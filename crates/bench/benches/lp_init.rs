@@ -1,0 +1,52 @@
+//! Criterion benches for sampler initialization: longest-path vs. LP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qni_core::init::{initialize_with, InitStrategy};
+use qni_model::topology::tandem;
+use qni_sim::{Simulator, Workload};
+use qni_stats::rng::rng_from_seed;
+use qni_trace::{MaskedLog, ObservationScheme};
+
+fn masked(tasks: usize, seed: u64) -> (MaskedLog, Vec<f64>) {
+    let bp = tandem(2.0, &[5.0, 4.0]).expect("topology");
+    let mut rng = rng_from_seed(seed);
+    let truth = Simulator::new(&bp.network)
+        .run(&Workload::poisson_n(2.0, tasks).expect("workload"), &mut rng)
+        .expect("simulation");
+    let m = ObservationScheme::task_sampling(0.1)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+    (m, bp.network.rates().expect("mm1"))
+}
+
+fn bench_longest_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("init_longest_path");
+    group.sample_size(10);
+    for &tasks in &[250usize, 1000, 4000] {
+        let (m, rates) = masked(tasks, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter(|| {
+                initialize_with(&m, &rates, InitStrategy::LongestPath { use_targets: true })
+                    .expect("init")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("init_lp");
+    group.sample_size(10);
+    // The LP is dense; bench only small instances.
+    for &tasks in &[10usize, 25] {
+        let (m, rates) = masked(tasks, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter(|| initialize_with(&m, &rates, InitStrategy::Lp).expect("init"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_longest_path, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the piecewise log-linear density engine — the
+//! inner loop of every Gibbs move.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qni_stats::piecewise::PiecewiseExpDensity;
+use qni_stats::rng::rng_from_seed;
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("piecewise_build_3seg", |b| {
+        b.iter(|| {
+            PiecewiseExpDensity::continuous_from_slopes(
+                std::hint::black_box(0.0),
+                std::hint::black_box(3.0),
+                &[1.0, 2.0],
+                &[-2.0, 0.5, 4.0],
+            )
+            .expect("density")
+        });
+    });
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let d = PiecewiseExpDensity::continuous_from_slopes(
+        0.0,
+        3.0,
+        &[1.0, 2.0],
+        &[-2.0, 0.5, 4.0],
+    )
+    .expect("density");
+    c.bench_function("piecewise_sample", |b| {
+        let mut rng = rng_from_seed(1);
+        b.iter(|| d.sample(&mut rng));
+    });
+}
+
+fn bench_build_and_sample(c: &mut Criterion) {
+    // The real per-move workload: construct + one draw.
+    c.bench_function("piecewise_build_plus_sample", |b| {
+        let mut rng = rng_from_seed(2);
+        b.iter(|| {
+            let d = PiecewiseExpDensity::continuous_from_slopes(
+                0.0,
+                3.0,
+                &[1.0, 2.0],
+                &[-2.0, 0.5, 4.0],
+            )
+            .expect("density");
+            d.sample(&mut rng)
+        });
+    });
+}
+
+criterion_group!(benches, bench_build, bench_sample, bench_build_and_sample);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the discrete-event engine's throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qni_model::topology::three_tier;
+use qni_sim::{Simulator, Workload};
+use qni_stats::rng::rng_from_seed;
+
+fn bench_three_tier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_three_tier");
+    group.sample_size(10);
+    for &tasks in &[500usize, 2000] {
+        let bp = three_tier(10.0, 5.0, &[1, 2, 4], false).expect("structure");
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &n| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(1);
+                Simulator::new(&bp.network)
+                    .run(&Workload::poisson_n(10.0, n).expect("workload"), &mut rng)
+                    .expect("simulation")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_webapp_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_webapp");
+    group.sample_size(10);
+    let cfg = qni_webapp::WebAppConfig {
+        requests: 1000,
+        duration: 600.0,
+        ramp: (0.5, 2.8),
+        ..qni_webapp::WebAppConfig::default()
+    };
+    let tb = qni_webapp::WebAppTestbed::build(&cfg).expect("testbed");
+    group.bench_function("1000_requests", |b| {
+        b.iter(|| {
+            let mut rng = rng_from_seed(2);
+            tb.generate(&mut rng).expect("generation")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_three_tier, bench_webapp_generation);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation: the rigid task-shift move (extension beyond the paper).
+//!
+//! Single-site Gibbs moves make a fully-unobserved task's times perform a
+//! coupled random walk, so chains mix slowly on sparsely observed queues.
+//! This harness estimates the web-application service times with and
+//! without the shift move at several iteration budgets; the shift move
+//! should reach the truth with far fewer sweeps.
+//!
+//! Usage: `cargo run --release -p qni-bench --bin ablation_shift`
+
+use qni_bench::jobs::{default_threads, parallel_map};
+use qni_bench::table;
+use qni_core::stem::{run_stem, StemOptions};
+use qni_stats::rng::rng_from_seed;
+use qni_trace::ObservationScheme;
+use qni_trace::csv::CsvWriter;
+use qni_webapp::{WebAppConfig, WebAppTestbed};
+
+fn main() {
+    let quick = qni_bench::quick_mode();
+    let cfg = WebAppConfig {
+        requests: if quick { 200 } else { 800 },
+        duration: if quick { 200.0 } else { 800.0 },
+        ramp: (0.5, 1.5),
+        ..WebAppConfig::default()
+    };
+    let tb = WebAppTestbed::build(&cfg).expect("testbed");
+    let mut rng = rng_from_seed(1);
+    let truth = tb.generate(&mut rng).expect("generation");
+    let truth_avg = truth.queue_averages();
+    // Mean true web service across the nine healthy servers.
+    let web_truth: f64 = tb.web_queues()[..9]
+        .iter()
+        .map(|q| truth_avg[q.index()].mean_service)
+        .sum::<f64>()
+        / 9.0;
+    let masked = ObservationScheme::task_sampling(0.2)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+
+    let budgets: Vec<usize> = if quick {
+        vec![25, 50]
+    } else {
+        vec![50, 100, 200, 400, 800]
+    };
+    let mut jobs = Vec::new();
+    for &iters in &budgets {
+        for shift in [false, true] {
+            jobs.push((iters, shift));
+        }
+    }
+    let masked_ref = &masked;
+    let results = parallel_map(jobs, default_threads(), move |(iters, shift)| {
+        let opts = StemOptions {
+            iterations: iters,
+            burn_in: iters / 2,
+            waiting_sweeps: 5,
+            shift_moves: shift,
+            ..StemOptions::default()
+        };
+        let mut rng = rng_from_seed(7 + iters as u64);
+        let r = run_stem(masked_ref, None, &opts, &mut rng).expect("stem");
+        // Mean absolute relative error over healthy web servers.
+        let err: f64 = tb.web_queues()[..9]
+            .iter()
+            .map(|q| (r.mean_service[q.index()] - web_truth).abs() / web_truth)
+            .sum::<f64>()
+            / 9.0;
+        (iters, shift, err)
+    });
+
+    let path = qni_bench::results_dir().join("ablation_shift.csv");
+    let file = std::fs::File::create(&path).expect("create csv");
+    let mut w =
+        CsvWriter::new(file, &["iterations", "shift_moves", "web_rel_err"]).expect("header");
+    let mut rows = Vec::new();
+    for &iters in &budgets {
+        let without = results
+            .iter()
+            .find(|r| r.0 == iters && !r.1)
+            .expect("row")
+            .2;
+        let with = results
+            .iter()
+            .find(|r| r.0 == iters && r.1)
+            .expect("row")
+            .2;
+        w.row(&[iters.to_string(), "false".into(), without.to_string()])
+            .expect("row");
+        w.row(&[iters.to_string(), "true".into(), with.to_string()])
+            .expect("row");
+        rows.push(vec![
+            iters.to_string(),
+            table::num(without),
+            table::num(with),
+        ]);
+    }
+    println!(
+        "mean relative error of healthy-web-server service estimates\n(20% observed, synthetic webapp):\n"
+    );
+    println!(
+        "{}",
+        table::render(&["iterations", "single-site only", "with shift move"], &rows)
+    );
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,96 @@
+//! Regenerates the paper's Figure 4: StEM absolute error in per-queue
+//! service (left panel) and waiting (right panel) estimates vs. the
+//! fraction of tasks observed, over five synthetic three-tier structures.
+//!
+//! Paper reference points (at 5% observed): median absolute service error
+//! 0.033, median absolute waiting error 1.35.
+//!
+//! Usage: `cargo run --release -p qni-bench --bin fig4`
+//! (set `QNI_QUICK=1` for a fast smoke run).
+
+use qni_bench::fig4::{jobs, run_job, summarize, Fig4Config};
+use qni_bench::jobs::{default_threads, parallel_map};
+use qni_bench::table;
+use qni_trace::csv::CsvWriter;
+
+fn main() {
+    let cfg = if qni_bench::quick_mode() {
+        Fig4Config::quick()
+    } else {
+        Fig4Config::default()
+    };
+    eprintln!(
+        "fig4: {} structures x {} fractions x {} reps, {} tasks each",
+        cfg.structures.len(),
+        cfg.fractions.len(),
+        cfg.reps,
+        cfg.tasks
+    );
+    let all_jobs = jobs(&cfg);
+    let cfg_ref = &cfg;
+    let rows: Vec<_> = parallel_map(all_jobs, default_threads(), |job| {
+        run_job(cfg_ref, &job)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Raw CSV: one row per (structure, fraction, rep, queue).
+    let path = qni_bench::results_dir().join("fig4.csv");
+    let file = std::fs::File::create(&path).expect("create fig4.csv");
+    let mut w = CsvWriter::new(
+        file,
+        &[
+            "structure",
+            "fraction",
+            "rep",
+            "queue",
+            "service_abs_err",
+            "waiting_abs_err",
+        ],
+    )
+    .expect("csv header");
+    for r in &rows {
+        w.row(&[
+            r.structure.clone(),
+            format!("{}", r.fraction),
+            format!("{}", r.rep),
+            format!("{}", r.queue),
+            format!("{}", r.service_err),
+            format!("{}", r.waiting_err),
+        ])
+        .expect("csv row");
+    }
+
+    // Console summary matching the paper's box-plot quartiles.
+    let summaries = summarize(&rows, &cfg.fractions);
+    let table_rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{:.0}%", s.fraction * 100.0),
+                format!("{}", s.n),
+                table::num(s.service_median),
+                table::num(s.service_p90),
+                table::num(s.waiting_median),
+                table::num(s.waiting_p90),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "observed",
+                "n",
+                "service med|err|",
+                "service p90",
+                "waiting med|err|",
+                "waiting p90",
+            ],
+            &table_rows,
+        )
+    );
+    println!("paper @5%: service median |err| = 0.033, waiting median |err| = 1.35");
+    println!("csv: {}", path.display());
+}

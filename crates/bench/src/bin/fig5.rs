@@ -1,0 +1,101 @@
+//! Regenerates the paper's Figure 5: per-queue service and waiting
+//! estimates on the (synthetic) movie-voting web application as the
+//! observed fraction sweeps 2–50%.
+//!
+//! Expected shape, per the paper: estimates stable for fractions ≥ ~10%,
+//! with one clear exception — the web server that the load balancer
+//! assigned only ≈19 requests, whose estimates swing wildly.
+//!
+//! Usage: `cargo run --release -p qni-bench --bin fig5`
+//! (set `QNI_QUICK=1` for a fast smoke run).
+
+use qni_bench::fig5::{run, stability, Fig5Config};
+use qni_bench::table;
+use qni_trace::csv::CsvWriter;
+
+fn main() {
+    let cfg = if qni_bench::quick_mode() {
+        Fig5Config::quick()
+    } else {
+        Fig5Config::default()
+    };
+    eprintln!(
+        "fig5: {} requests over {}s ramp, fractions {:?}",
+        cfg.app.requests, cfg.app.duration, cfg.fractions
+    );
+    let rows = run(&cfg);
+
+    let path = qni_bench::results_dir().join("fig5.csv");
+    let file = std::fs::File::create(&path).expect("create fig5.csv");
+    let mut w = CsvWriter::new(
+        file,
+        &[
+            "fraction",
+            "queue",
+            "name",
+            "service_est",
+            "waiting_est",
+            "service_true",
+            "waiting_true",
+            "events",
+        ],
+    )
+    .expect("csv header");
+    for r in &rows {
+        w.row(&[
+            format!("{}", r.fraction),
+            format!("{}", r.queue),
+            r.name.clone(),
+            format!("{}", r.service_est),
+            format!("{}", r.waiting_est),
+            format!("{}", r.service_true),
+            format!("{}", r.waiting_true),
+            format!("{}", r.events),
+        ])
+        .expect("csv row");
+    }
+
+    // Console: the service-estimate series per queue (the left panel).
+    let queues: Vec<usize> = {
+        let mut q: Vec<usize> = rows.iter().map(|r| r.queue).collect();
+        q.sort_unstable();
+        q.dedup();
+        q
+    };
+    let mut header: Vec<String> = vec!["queue".into(), "events".into(), "true".into()];
+    for f in &cfg.fractions {
+        header.push(format!("{:.0}%", f * 100.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table_rows = Vec::new();
+    for &q in &queues {
+        let of_q: Vec<_> = rows.iter().filter(|r| r.queue == q).collect();
+        let mut row = vec![
+            of_q[0].name.clone(),
+            format!("{}", of_q[0].events),
+            table::num(of_q[0].service_true),
+        ];
+        for f in &cfg.fractions {
+            let v = of_q
+                .iter()
+                .find(|r| r.fraction == *f)
+                .map(|r| r.service_est)
+                .unwrap_or(f64::NAN);
+            row.push(table::num(v));
+        }
+        table_rows.push(row);
+    }
+    println!("mean service estimates (paper Fig. 5, left):");
+    println!("{}", table::render(&header_refs, &table_rows));
+
+    // Stability report: every well-fed queue should be stable; the
+    // starved one should not.
+    println!("service-estimate instability (max relative swing vs 50%):");
+    for &q in &queues {
+        let s = stability(&rows, q);
+        let name = &rows.iter().find(|r| r.queue == q).expect("row").name;
+        let events = rows.iter().find(|r| r.queue == q).expect("row").events;
+        println!("  {name:<8} events={events:<5} swing={}", table::num(s));
+    }
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,109 @@
+//! Verifies the §5.2 scaling claim: "the sampler scales primarily in the
+//! number of unobserved arrival events, not in the number of servers."
+//!
+//! Sweep A grows the task count at a fixed topology — ns/move should stay
+//! flat while ms/sweep grows linearly. Sweep B grows the servers per tier
+//! at a fixed task count — ns/move should stay roughly flat even as the
+//! server count increases 16×.
+//!
+//! Usage: `cargo run --release -p qni-bench --bin scaling_table`
+
+use qni_bench::scaling::measure;
+use qni_bench::table;
+use qni_trace::csv::CsvWriter;
+
+fn main() {
+    let quick = qni_bench::quick_mode();
+    let sweeps = if quick { 3 } else { 10 };
+    let task_points: Vec<usize> = if quick {
+        vec![100, 200]
+    } else {
+        vec![250, 500, 1000, 2000, 4000]
+    };
+    let server_points: Vec<[usize; 3]> = if quick {
+        vec![[1, 2, 4], [2, 4, 8]]
+    } else {
+        vec![
+            [1, 2, 4],
+            [2, 4, 8],
+            [4, 8, 16],
+            [8, 16, 32],
+            [16, 32, 64],
+        ]
+    };
+    let tasks_fixed = if quick { 200 } else { 1000 };
+
+    let mut all = Vec::new();
+    println!("sweep A: tasks grow, topology fixed (1-2-4):");
+    for (i, &t) in task_points.iter().enumerate() {
+        let p = measure(&[1, 2, 4], t, 0.05, sweeps, 100 + i as u64);
+        println!(
+            "  {:<28} free={:<6} ns/move={:<8} ms/sweep={}",
+            p.label,
+            p.free_vars,
+            table::num(p.ns_per_move),
+            table::num(p.ms_per_sweep)
+        );
+        all.push(("A".to_owned(), p));
+    }
+    println!("sweep B: servers grow, tasks fixed ({tasks_fixed}):");
+    for (i, s) in server_points.iter().enumerate() {
+        let p = measure(s, tasks_fixed, 0.05, sweeps, 200 + i as u64);
+        println!(
+            "  {:<28} servers={:<4} free={:<6} ns/move={:<8} ms/sweep={}",
+            p.label,
+            p.servers,
+            p.free_vars,
+            table::num(p.ns_per_move),
+            table::num(p.ms_per_sweep)
+        );
+        all.push(("B".to_owned(), p));
+    }
+
+    let path = qni_bench::results_dir().join("scaling_table.csv");
+    let file = std::fs::File::create(&path).expect("create scaling_table.csv");
+    let mut w = CsvWriter::new(
+        file,
+        &["sweep", "label", "free_vars", "servers", "ns_per_move", "ms_per_sweep"],
+    )
+    .expect("csv header");
+    for (sweep_id, p) in &all {
+        w.row(&[
+            sweep_id.clone(),
+            p.label.clone(),
+            format!("{}", p.free_vars),
+            format!("{}", p.servers),
+            format!("{}", p.ns_per_move),
+            format!("{}", p.ms_per_sweep),
+        ])
+        .expect("csv row");
+    }
+    println!("csv: {}", path.display());
+
+    // Quantify the claim: cost-per-move spread across sweep B.
+    let b_moves: Vec<f64> = all
+        .iter()
+        .filter(|(s, _)| s == "B")
+        .map(|(_, p)| p.ns_per_move)
+        .collect();
+    if b_moves.len() >= 2 {
+        let min = b_moves.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = b_moves.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "sweep B ns/move spread: {:.2}x across a {}x server range \
+             (claim holds when ≪ server range)",
+            max / min,
+            all.iter()
+                .filter(|(s, _)| s == "B")
+                .map(|(_, p)| p.servers)
+                .max()
+                .unwrap_or(1)
+                / all
+                    .iter()
+                    .filter(|(s, _)| s == "B")
+                    .map(|(_, p)| p.servers)
+                    .min()
+                    .unwrap_or(1)
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Figure 4: StEM accuracy on synthetic three-tier networks.
+//!
+//! The paper samples five three-tier structures (server counts permuted
+//! so the bottleneck moves), `λ = 10`, `µ = 5` everywhere, 1000 tasks,
+//! observes all arrivals of {5%, 10%, 25%} of tasks, runs StEM + Gibbs,
+//! and plots the absolute error of per-queue mean service (left panel)
+//! and waiting (right panel) estimates over 10 repetitions.
+
+use qni_core::estimates::{absolute_errors, ErrorField};
+use qni_core::stem::{run_stem, StemOptions};
+use qni_model::topology::three_tier;
+use qni_sim::{Simulator, Workload};
+use qni_stats::rng::{rng_from_seed, SeedTree};
+use qni_trace::ObservationScheme;
+
+/// Configuration of the Figure 4 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4Config {
+    /// Tier structures (servers per tier).
+    pub structures: Vec<[usize; 3]>,
+    /// Fractions of tasks observed.
+    pub fractions: Vec<f64>,
+    /// Tasks per dataset.
+    pub tasks: usize,
+    /// Repetitions per (structure, fraction).
+    pub reps: usize,
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate µ for every queue.
+    pub mu: f64,
+    /// StEM options.
+    pub stem: StemOptions,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            structures: vec![
+                [1, 2, 4],
+                [2, 1, 4],
+                [4, 2, 1],
+                [2, 4, 1],
+                [1, 4, 2],
+            ],
+            fractions: vec![0.05, 0.10, 0.25],
+            tasks: 1000,
+            reps: 10,
+            lambda: 10.0,
+            mu: 5.0,
+            stem: StemOptions {
+                iterations: 150,
+                burn_in: 75,
+                waiting_sweeps: 20,
+                ..StemOptions::default()
+            },
+            seed: 20080101,
+        }
+    }
+}
+
+impl Fig4Config {
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Self {
+        Fig4Config {
+            structures: vec![[1, 2, 4]],
+            fractions: vec![0.10],
+            tasks: 150,
+            reps: 2,
+            stem: StemOptions::quick_test(),
+            ..Fig4Config::default()
+        }
+    }
+}
+
+/// One per-queue error observation (one point in the paper's plots).
+#[derive(Debug, Clone)]
+pub struct ErrorRow {
+    /// Structure label, e.g. `"1-2-4"`.
+    pub structure: String,
+    /// Fraction of tasks observed.
+    pub fraction: f64,
+    /// Repetition index.
+    pub rep: usize,
+    /// Queue index within the network.
+    pub queue: usize,
+    /// Absolute error of the mean service estimate.
+    pub service_err: f64,
+    /// Absolute error of the mean waiting estimate.
+    pub waiting_err: f64,
+}
+
+/// One (structure, fraction, rep) job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Structure of the run.
+    pub structure: [usize; 3],
+    /// Observed fraction.
+    pub fraction: f64,
+    /// Repetition index.
+    pub rep: usize,
+    /// Dedicated seed.
+    pub seed: u64,
+}
+
+/// Enumerates all jobs of a configuration.
+pub fn jobs(cfg: &Fig4Config) -> Vec<Job> {
+    let tree = SeedTree::new(cfg.seed);
+    let mut out = Vec::new();
+    for (si, &structure) in cfg.structures.iter().enumerate() {
+        for (fi, &fraction) in cfg.fractions.iter().enumerate() {
+            for rep in 0..cfg.reps {
+                let seed = tree
+                    .child(si as u64)
+                    .child(fi as u64)
+                    .child(rep as u64)
+                    .root();
+                out.push(Job {
+                    structure,
+                    fraction,
+                    rep,
+                    seed,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs one job, returning one error row per real queue.
+pub fn run_job(cfg: &Fig4Config, job: &Job) -> Vec<ErrorRow> {
+    let bp = three_tier(cfg.lambda, cfg.mu, &job.structure, false).expect("valid structure");
+    let mut rng = rng_from_seed(job.seed);
+    let truth = Simulator::new(&bp.network)
+        .run(
+            &Workload::poisson_n(cfg.lambda, cfg.tasks).expect("valid workload"),
+            &mut rng,
+        )
+        .expect("simulation");
+    let masked = ObservationScheme::task_sampling(job.fraction)
+        .expect("valid fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+    let result = run_stem(&masked, None, &cfg.stem, &mut rng).expect("stem");
+    let truths = masked.ground_truth().queue_averages();
+    let service_errs =
+        absolute_errors(&result.mean_service, &truths, ErrorField::Service).expect("shape");
+    let waiting_errs =
+        absolute_errors(&result.mean_waiting, &truths, ErrorField::Waiting).expect("shape");
+    let label = format!(
+        "{}-{}-{}",
+        job.structure[0], job.structure[1], job.structure[2]
+    );
+    service_errs
+        .into_iter()
+        .zip(waiting_errs)
+        .map(|((q, se), (_, we))| ErrorRow {
+            structure: label.clone(),
+            fraction: job.fraction,
+            rep: job.rep,
+            queue: q,
+            service_err: se,
+            waiting_err: we,
+        })
+        .collect()
+}
+
+/// Summary per fraction: the quartiles the paper's box plots show.
+#[derive(Debug, Clone)]
+pub struct FractionSummary {
+    /// Observed fraction.
+    pub fraction: f64,
+    /// Number of error observations.
+    pub n: usize,
+    /// Median absolute service error.
+    pub service_median: f64,
+    /// 90th percentile service error.
+    pub service_p90: f64,
+    /// Median absolute waiting error.
+    pub waiting_median: f64,
+    /// 90th percentile waiting error.
+    pub waiting_p90: f64,
+}
+
+/// Summarizes error rows per fraction.
+pub fn summarize(rows: &[ErrorRow], fractions: &[f64]) -> Vec<FractionSummary> {
+    fractions
+        .iter()
+        .map(|&f| {
+            let mut s: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.fraction == f)
+                .map(|r| r.service_err)
+                .collect();
+            let mut w: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.fraction == f)
+                .map(|r| r.waiting_err)
+                .collect();
+            s.sort_by(f64::total_cmp);
+            w.sort_by(f64::total_cmp);
+            use qni_stats::descriptive::quantile_sorted;
+            FractionSummary {
+                fraction: f,
+                n: s.len(),
+                service_median: if s.is_empty() {
+                    f64::NAN
+                } else {
+                    quantile_sorted(&s, 0.5)
+                },
+                service_p90: if s.is_empty() {
+                    f64::NAN
+                } else {
+                    quantile_sorted(&s, 0.9)
+                },
+                waiting_median: if w.is_empty() {
+                    f64::NAN
+                } else {
+                    quantile_sorted(&w, 0.5)
+                },
+                waiting_p90: if w.is_empty() {
+                    f64::NAN
+                } else {
+                    quantile_sorted(&w, 0.9)
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_enumeration() {
+        let cfg = Fig4Config::default();
+        let js = jobs(&cfg);
+        assert_eq!(js.len(), 5 * 3 * 10);
+        // All seeds distinct.
+        let mut seeds: Vec<u64> = js.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 150);
+    }
+
+    #[test]
+    fn quick_job_runs_and_produces_rows() {
+        let cfg = Fig4Config::quick();
+        let js = jobs(&cfg);
+        let rows = run_job(&cfg, &js[0]);
+        // One row per real queue: 1+2+4 = 7.
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.service_err.is_finite() && r.service_err >= 0.0);
+            assert!(r.waiting_err.is_finite() && r.waiting_err >= 0.0);
+        }
+    }
+
+    #[test]
+    fn summary_shapes() {
+        let rows = vec![
+            ErrorRow {
+                structure: "1-2-4".into(),
+                fraction: 0.1,
+                rep: 0,
+                queue: 1,
+                service_err: 0.02,
+                waiting_err: 0.5,
+            },
+            ErrorRow {
+                structure: "1-2-4".into(),
+                fraction: 0.1,
+                rep: 0,
+                queue: 2,
+                service_err: 0.04,
+                waiting_err: 1.5,
+            },
+        ];
+        let s = summarize(&rows, &[0.1, 0.25]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].n, 2);
+        assert!((s[0].service_median - 0.03).abs() < 1e-12);
+        assert_eq!(s[1].n, 0);
+        assert!(s[1].service_median.is_nan());
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel replication running.
+
+/// Maps `f` over `items` using `threads` scoped worker threads, preserving
+/// input order in the output.
+///
+/// # Examples
+///
+/// ```
+/// let squares = qni_bench::jobs::parallel_map(vec![1, 2, 3, 4], 2, |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut results: Vec<Vec<R>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move |_| c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope failed");
+    let mut out = Vec::with_capacity(n);
+    for v in results.drain(..) {
+        out.extend(v);
+    }
+    out
+}
+
+/// Number of worker threads to use: `QNI_THREADS` or available
+/// parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("QNI_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(4)
+        })
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 7, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![5], 1, |x| x + 1);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment harness regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artifact of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index):
+//!
+//! - `fig4` — Figure 4: StEM absolute error in service and waiting times
+//!   on five synthetic three-tier structures vs. observed fraction.
+//! - `variance_table` — §5.1 in-text comparison: StEM estimator variance
+//!   vs. the oracle mean-observed-service baseline.
+//! - `fig5` — Figure 5: per-queue estimates on the web-application
+//!   testbed vs. observed fraction, including the starved server.
+//! - `one_percent` — the abstract's claim that 1% of trace data suffices.
+//! - `scaling_table` — §5.2's claim that sweep cost scales in the number
+//!   of unobserved arrivals, not the number of servers.
+//!
+//! Shared infrastructure lives here: replication runners, parallel
+//! mapping, and console tables. CSV outputs land in `results/`.
+
+pub mod fig4;
+pub mod fig5;
+pub mod jobs;
+pub mod scaling;
+pub mod table;
+pub mod variance;
+
+use std::path::PathBuf;
+
+/// Resolves the `results/` directory at the workspace root, creating it
+/// if needed.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("QNI_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // crates/bench → workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Whether to run experiments in quick mode (reduced sizes for smoke
+/// tests), controlled by the `QNI_QUICK` environment variable.
+pub fn quick_mode() -> bool {
+    std::env::var("QNI_QUICK").is_ok_and(|v| v != "0")
+}

@@ -1,0 +1,84 @@
+//! Console table rendering for experiment output.
+
+/// Renders rows as a fixed-width console table with a header.
+///
+/// # Examples
+///
+/// ```
+/// let t = qni_bench::table::render(
+///     &["name", "value"],
+///     &[vec!["a".into(), "1".into()], vec!["b".into(), "2.5".into()]],
+/// );
+/// assert!(t.contains("name"));
+/// assert!(t.contains("2.5"));
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>w$}", w = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Formats a float with 4 significant decimals, trimming noise.
+pub fn num(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_owned()
+    } else if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render(
+            &["a", "long-header"],
+            &[vec!["xxx".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(f64::NAN), "-");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(0.03344), "0.0334");
+        assert_eq!(num(1.351), "1.351");
+        assert_eq!(num(123.456), "123.5");
+    }
+}

@@ -1,0 +1,123 @@
+//! The paper's §5.1 baseline: mean observed service time.
+//!
+//! "Traditional queueing theory does not provide a method for estimating
+//! the service times given an incomplete sample of response times. As a
+//! baseline, we use the sample mean of the service time for the tasks
+//! that are observed. This comparison is unfair to StEM, because the
+//! baseline uses the *true* service times from the observed tasks,
+//! information that is not available to StEM."
+//!
+//! Accordingly this module reads ground truth — it is an oracle, usable
+//! only for evaluation.
+
+use qni_model::ids::TaskId;
+use qni_trace::MaskedLog;
+
+/// Per-queue mean of the *true* service times over fully observed tasks.
+///
+/// A task counts as observed when all its non-initial arrivals and its
+/// final departure were measured (the task-sampling scheme's output).
+/// Queues with no observed events yield `None`.
+pub fn mean_observed_service(masked: &MaskedLog) -> Vec<Option<f64>> {
+    let log = masked.ground_truth();
+    let mut acc = vec![(0usize, 0.0f64); log.num_queues()];
+    for k in 0..log.num_tasks() {
+        let k = TaskId::from_index(k);
+        if !task_fully_observed(masked, k) {
+            continue;
+        }
+        for &e in log.task_events(k) {
+            let q = log.queue_of(e).index();
+            acc[q].0 += 1;
+            acc[q].1 += log.service_time(e);
+        }
+    }
+    acc.into_iter()
+        .map(|(n, sum)| if n > 0 { Some(sum / n as f64) } else { None })
+        .collect()
+}
+
+/// Number of fully observed tasks.
+pub fn observed_task_count(masked: &MaskedLog) -> usize {
+    (0..masked.ground_truth().num_tasks())
+        .filter(|&k| task_fully_observed(masked, TaskId::from_index(k)))
+        .count()
+}
+
+/// Whether every arrival (and the final departure) of task `k` was
+/// measured.
+pub fn task_fully_observed(masked: &MaskedLog, k: TaskId) -> bool {
+    let log = masked.ground_truth();
+    let events = log.task_events(k);
+    let all_arrivals = events[1..]
+        .iter()
+        .all(|&e| masked.mask().arrival_observed(e));
+    let last = *events.last().expect("tasks are non-empty");
+    all_arrivals && masked.mask().departure_observed(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+    use qni_trace::ObservationScheme;
+
+    fn masked(frac: f64, seed: u64) -> MaskedLog {
+        let bp = tandem(2.0, &[5.0, 4.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 400).unwrap(), &mut rng)
+            .unwrap();
+        ObservationScheme::task_sampling(frac)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn baseline_tracks_true_means() {
+        let m = masked(0.5, 1);
+        let est = mean_observed_service(&m);
+        // True mean services: 1/λ = 0.5 at q0, 0.2 and 0.25 at the stages.
+        assert!((est[0].unwrap() - 0.5).abs() < 0.1);
+        assert!((est[1].unwrap() - 0.2).abs() < 0.05);
+        assert!((est[2].unwrap() - 0.25).abs() < 0.06);
+    }
+
+    #[test]
+    fn no_observation_yields_none() {
+        let bp = tandem(2.0, &[5.0]).unwrap();
+        let mut rng = rng_from_seed(2);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 50).unwrap(), &mut rng)
+            .unwrap();
+        let m = ObservationScheme::None.apply(truth, &mut rng).unwrap();
+        assert!(mean_observed_service(&m).iter().all(Option::is_none));
+        assert_eq!(observed_task_count(&m), 0);
+    }
+
+    #[test]
+    fn full_observation_matches_complete_average() {
+        let bp = tandem(2.0, &[5.0]).unwrap();
+        let mut rng = rng_from_seed(3);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 200).unwrap(), &mut rng)
+            .unwrap();
+        let avg = truth.queue_averages();
+        let m = ObservationScheme::Full.apply(truth, &mut rng).unwrap();
+        let est = mean_observed_service(&m);
+        for i in 0..est.len() {
+            assert!((est[i].unwrap() - avg[i].mean_service).abs() < 1e-12);
+        }
+        assert_eq!(observed_task_count(&m), 200);
+    }
+
+    #[test]
+    fn observed_count_tracks_fraction() {
+        let m = masked(0.25, 4);
+        let c = observed_task_count(&m) as f64 / 400.0;
+        assert!((c - 0.25).abs() < 0.08, "fraction={c}");
+    }
+}

@@ -1,0 +1,110 @@
+//! MCMC diagnostics for StEM chains.
+
+use crate::error::InferenceError;
+use qni_stats::autocorr::effective_sample_size;
+
+/// Effective sample size of each queue's rate trace.
+///
+/// `trace` is the per-iteration rate vectors from
+/// [`crate::stem::StemResult::rate_trace`]; returns one ESS per queue.
+pub fn rate_trace_ess(trace: &[Vec<f64>]) -> Result<Vec<f64>, InferenceError> {
+    if trace.len() < 4 {
+        return Err(InferenceError::BadOptions {
+            what: "need at least 4 iterations for ESS",
+        });
+    }
+    let q = trace[0].len();
+    let mut out = Vec::with_capacity(q);
+    for i in 0..q {
+        let series: Vec<f64> = trace.iter().map(|row| row[i]).collect();
+        out.push(effective_sample_size(&series)?);
+    }
+    Ok(out)
+}
+
+/// Gelman–Rubin potential scale reduction factor across chains of one
+/// scalar quantity.
+///
+/// Values near 1 indicate the chains have mixed; > 1.1 is the usual
+/// warning threshold.
+pub fn potential_scale_reduction(chains: &[Vec<f64>]) -> Result<f64, InferenceError> {
+    if chains.len() < 2 || chains.iter().any(|c| c.len() < 2) {
+        return Err(InferenceError::BadOptions {
+            what: "PSRF needs >= 2 chains of length >= 2",
+        });
+    }
+    let n = chains.iter().map(Vec::len).min().expect("non-empty") as f64;
+    let m = chains.len() as f64;
+    let means: Vec<f64> = chains
+        .iter()
+        .map(|c| c.iter().take(n as usize).sum::<f64>() / n)
+        .collect();
+    let grand = means.iter().sum::<f64>() / m;
+    let b = n / (m - 1.0) * means.iter().map(|mu| (mu - grand).powi(2)).sum::<f64>();
+    let w = chains
+        .iter()
+        .zip(&means)
+        .map(|(c, mu)| {
+            c.iter()
+                .take(n as usize)
+                .map(|x| (x - mu).powi(2))
+                .sum::<f64>()
+                / (n - 1.0)
+        })
+        .sum::<f64>()
+        / m;
+    if w <= 0.0 {
+        // Identical constant chains are perfectly mixed.
+        return Ok(1.0);
+    }
+    let var_plus = (n - 1.0) / n * w + b / n;
+    Ok((var_plus / w).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_stats::rng::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn ess_shape() {
+        let trace: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i as f64).sin(), (i as f64).cos()])
+            .collect();
+        let ess = rate_trace_ess(&trace).unwrap();
+        assert_eq!(ess.len(), 2);
+        assert!(rate_trace_ess(&trace[..2]).is_err());
+    }
+
+    #[test]
+    fn psrf_near_one_for_same_distribution() {
+        let mut rng = rng_from_seed(1);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..2000).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let r = potential_scale_reduction(&chains).unwrap();
+        assert!((r - 1.0).abs() < 0.02, "r={r}");
+    }
+
+    #[test]
+    fn psrf_large_for_separated_chains() {
+        let mut rng = rng_from_seed(2);
+        let a: Vec<f64> = (0..500).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.random::<f64>() + 10.0).collect();
+        let r = potential_scale_reduction(&[a, b]).unwrap();
+        assert!(r > 5.0, "r={r}");
+    }
+
+    #[test]
+    fn psrf_constant_chains() {
+        let r = potential_scale_reduction(&[vec![1.0; 10], vec![1.0; 10]]).unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn psrf_validation() {
+        assert!(potential_scale_reduction(&[vec![1.0, 2.0]]).is_err());
+        assert!(potential_scale_reduction(&[vec![1.0], vec![1.0]]).is_err());
+    }
+}

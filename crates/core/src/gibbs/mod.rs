@@ -1,0 +1,19 @@
+//! The Gibbs moves of the paper's Section 3.
+//!
+//! - [`arrival`]: resampling an unobserved arrival `a_e` (jointly with the
+//!   tied predecessor departure `d_{π(e)} = a_e`) — the sampler of the
+//!   paper's Figure 3, realized through the general piecewise log-linear
+//!   construction (see `DESIGN.md` for the derivation and the mapping to
+//!   the paper's `Z1/Z2/Z3` segments).
+//! - [`final_departure`]: resampling a task's exit time, which the paper's
+//!   event convention leaves as a separate free variable.
+//! - [`sweep`]: one full randomized sweep over all free variables.
+//! - [`numeric`]: brute-force numerical conditionals used to validate the
+//!   closed forms in tests and benches.
+
+pub mod arrival;
+pub mod final_departure;
+pub mod numeric;
+pub mod reassign;
+pub mod shift;
+pub mod sweep;

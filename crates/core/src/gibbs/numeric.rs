@@ -1,0 +1,143 @@
+//! Brute-force numerical conditionals for validating the closed forms.
+//!
+//! These evaluate the *full* joint service likelihood on a grid of
+//! candidate values — no knowledge of which `max` terms switch where — and
+//! normalize numerically. Tests compare the analytic piecewise densities
+//! against these grids, which exercises every breakpoint/aliasing case end
+//! to end.
+
+use crate::error::InferenceError;
+use qni_model::ids::EventId;
+use qni_model::log::EventLog;
+
+/// The joint log-likelihood of all service times under per-queue
+/// exponential rates (`-inf` if any service is negative).
+pub fn service_log_joint(log: &EventLog, rates: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for e in log.event_ids() {
+        let s = log.service_time(e);
+        if s < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let mu = rates[log.queue_of(e).index()];
+        total += mu.ln() - mu * s;
+    }
+    total
+}
+
+/// Numerically normalized conditional density of event `e`'s arrival on a
+/// cell-centred grid over its support.
+///
+/// Returns `(grid, density)` with `density` normalized so that
+/// `Σ density·h = 1`.
+pub fn numeric_conditional_grid(
+    log: &EventLog,
+    rates: &[f64],
+    e: EventId,
+    n: usize,
+) -> Result<(Vec<f64>, Vec<f64>), InferenceError> {
+    let cond = crate::gibbs::arrival::arrival_conditional(log, rates, e)?;
+    numeric_grid(log, rates, cond.lower, cond.upper, n, |work, x| {
+        work.set_transition_time(e, x);
+    })
+}
+
+/// Numerically normalized conditional density of a final departure.
+pub fn numeric_final_grid(
+    log: &EventLog,
+    rates: &[f64],
+    e: EventId,
+    n: usize,
+    upper: f64,
+) -> Result<(Vec<f64>, Vec<f64>), InferenceError> {
+    let cond = crate::gibbs::final_departure::final_conditional(log, rates, e)?;
+    // Half-infinite supports need an explicit truncation point for the
+    // grid; the analytic density is compared on the same range.
+    let hi = if cond.upper.is_finite() {
+        cond.upper
+    } else {
+        upper
+    };
+    numeric_grid(log, rates, cond.lower, hi, n, |work, x| {
+        work.set_final_departure(e, x);
+    })
+}
+
+fn numeric_grid(
+    log: &EventLog,
+    rates: &[f64],
+    lo: f64,
+    hi: f64,
+    n: usize,
+    mut set: impl FnMut(&mut EventLog, f64),
+) -> Result<(Vec<f64>, Vec<f64>), InferenceError> {
+    if hi <= lo || hi.is_nan() || lo.is_nan() || n == 0 {
+        return Err(InferenceError::BadOptions {
+            what: "numeric grid needs a positive-width range and bins",
+        });
+    }
+    let h = (hi - lo) / n as f64;
+    let mut work = log.clone();
+    let mut grid = Vec::with_capacity(n);
+    let mut lj = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = lo + (i as f64 + 0.5) * h;
+        set(&mut work, x);
+        grid.push(x);
+        lj.push(service_log_joint(&work, rates));
+    }
+    let m = lj.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return Err(InferenceError::BadOptions {
+            what: "numeric grid found no feasible point",
+        });
+    }
+    let unnorm: Vec<f64> = lj.iter().map(|&v| (v - m).exp()).collect();
+    let total: f64 = unnorm.iter().sum::<f64>() * h;
+    Ok((grid, unnorm.into_iter().map(|v| v / total).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::ids::{QueueId, StateId, TaskId};
+    use qni_model::log::EventLogBuilder;
+
+    #[test]
+    fn joint_is_neg_inf_on_negative_service() {
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(1.0, &[(StateId(1), QueueId(1), 1.0, 2.0)])
+            .unwrap();
+        let mut log = b.build().unwrap();
+        let rates = vec![1.0, 1.0];
+        assert!(service_log_joint(&log, &rates).is_finite());
+        let e = log.task_events(TaskId(0))[1];
+        log.set_final_departure(e, 0.5);
+        assert_eq!(service_log_joint(&log, &rates), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn joint_hand_computed() {
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(1.0, &[(StateId(1), QueueId(1), 1.0, 2.0)])
+            .unwrap();
+        let log = b.build().unwrap();
+        // q0: rate 2, s=1.0 → ln2 − 2; q1: rate 3, s=1.0 → ln3 − 3.
+        let expect = 2.0f64.ln() - 2.0 + 3.0f64.ln() - 3.0;
+        let got = service_log_joint(&log, &[2.0, 3.0]);
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_density_normalizes() {
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(1.0, &[(StateId(1), QueueId(1), 1.0, 2.0)])
+            .unwrap();
+        let log = b.build().unwrap();
+        let e = log.task_events(TaskId(0))[1];
+        let (grid, pdf) = numeric_conditional_grid(&log, &[2.0, 3.0], e, 500).unwrap();
+        let h = grid[1] - grid[0];
+        let total: f64 = pdf.iter().map(|&p| p * h).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

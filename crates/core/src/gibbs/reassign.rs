@@ -1,0 +1,286 @@
+//! Metropolis–Hastings path resampling: unknown queue assignments.
+//!
+//! The paper assumes FSM paths are known but notes (§3): "If these paths
+//! are unknown for some events, they can be resampled by an outer
+//! Metropolis-Hastings step." This module implements that step for the
+//! common unknown — *which replica served the request* in a load-balanced
+//! tier. A proposal moves event `e` from its queue `q` to another queue
+//! `q′` in the emitting state's support, keeping all times fixed; the
+//! acceptance ratio multiplies the emission-probability ratio
+//! `p(q′|σ)/p(q|σ)` with the likelihood change of the (at most three)
+//! affected service times. The proposal is symmetric (uniform over the
+//! support minus the current queue), so no proposal correction is needed.
+//!
+//! Interleaving these moves with the time moves of [`super::sweep`] yields
+//! a sampler over both times and assignments.
+
+use crate::error::InferenceError;
+use qni_model::fsm::Fsm;
+use qni_model::ids::{EventId, QueueId};
+use qni_model::log::EventLog;
+use rand::Rng;
+
+/// Queues event `e` could have been served by: the emission support of
+/// its FSM state, excluding the current assignment.
+pub fn reassign_candidates(fsm: &Fsm, log: &EventLog, e: EventId) -> Vec<QueueId> {
+    let state = log.state_of(e);
+    let current = log.queue_of(e);
+    fsm.emissions_from(state)
+        .iter()
+        .filter(|&&(q, p)| q != current && p > 0.0)
+        .map(|&(q, _)| q)
+        .collect()
+}
+
+/// Outcome of one MH reassignment attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassignOutcome {
+    /// No alternative queue exists for this event's state.
+    NoCandidate,
+    /// A proposal was made but rejected (infeasible or by chance).
+    Rejected,
+    /// The event moved to a new queue.
+    Accepted(QueueId),
+}
+
+/// Log-pdf of an exponential service of duration `s` at rate `mu`.
+fn exp_log_pdf(mu: f64, s: f64) -> f64 {
+    if s < 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        mu.ln() - mu * s
+    }
+}
+
+/// Attempts one MH reassignment of event `e`.
+///
+/// `e` must be a non-initial event; times are held fixed. Infeasible
+/// proposals (a service at the insertion point would go negative) are
+/// rejected outright.
+pub fn mh_reassign<R: Rng + ?Sized>(
+    log: &mut EventLog,
+    rates: &[f64],
+    fsm: &Fsm,
+    e: EventId,
+    rng: &mut R,
+) -> Result<ReassignOutcome, InferenceError> {
+    if log.is_initial_event(e) {
+        return Err(InferenceError::BadMoveTarget {
+            event: e,
+            what: "initial events have a structural queue",
+        });
+    }
+    if rates.len() != log.num_queues() {
+        return Err(InferenceError::RateShapeMismatch {
+            expected: log.num_queues(),
+            actual: rates.len(),
+        });
+    }
+    let candidates = reassign_candidates(fsm, log, e);
+    if candidates.is_empty() {
+        return Ok(ReassignOutcome::NoCandidate);
+    }
+    let target = candidates[rng.random_range(0..candidates.len())];
+    let current = log.queue_of(e);
+    let state = log.state_of(e);
+    let mu_old = rates[current.index()];
+    let mu_new = rates[target.index()];
+    let a_e = log.arrival(e);
+    let d_e = log.departure(e);
+
+    // Current-side terms: s_e and the old successor's service.
+    let mut delta = -exp_log_pdf(mu_old, log.service_time(e));
+    let old_succ = log.rho_inv(e);
+    let old_pred_dep = log.rho(e).map(|r| log.departure(r));
+    if let Some(f) = old_succ {
+        delta -= exp_log_pdf(mu_old, log.service_time(f));
+        // After removal, f's predecessor becomes e's old predecessor.
+        let begin = match old_pred_dep {
+            Some(dp) => log.arrival(f).max(dp),
+            None => log.arrival(f),
+        };
+        delta += exp_log_pdf(mu_old, log.departure(f) - begin);
+    }
+    // Target-side terms: find insertion neighbours by arrival time.
+    let order = log.events_at_queue(target);
+    let ins = order.partition_point(|&o| {
+        (log.arrival(o), log.departure(o), o) < (a_e, d_e, e)
+    });
+    let new_pred = if ins > 0 { Some(order[ins - 1]) } else { None };
+    let new_succ = order.get(ins).copied();
+    let new_begin = match new_pred {
+        Some(r) => a_e.max(log.departure(r)),
+        None => a_e,
+    };
+    let s_e_new = d_e - new_begin;
+    if s_e_new < 0.0 {
+        return Ok(ReassignOutcome::Rejected);
+    }
+    delta += exp_log_pdf(mu_new, s_e_new);
+    if let Some(f) = new_succ {
+        let s_f_new = log.departure(f) - log.arrival(f).max(d_e);
+        if s_f_new < 0.0 {
+            return Ok(ReassignOutcome::Rejected);
+        }
+        delta -= exp_log_pdf(mu_new, log.service_time(f));
+        delta += exp_log_pdf(mu_new, s_f_new);
+    }
+    // Emission-probability ratio.
+    delta += fsm.emission_prob(state, target).ln();
+    delta -= fsm.emission_prob(state, current).ln();
+
+    // Symmetric proposal: accept with min(1, e^Δ).
+    let u: f64 = rng.random();
+    if u.ln() < delta {
+        log.reassign_queue(e, target);
+        debug_assert!(
+            qni_model::constraints::validate(log).is_ok(),
+            "reassignment corrupted constraints"
+        );
+        Ok(ReassignOutcome::Accepted(target))
+    } else {
+        Ok(ReassignOutcome::Rejected)
+    }
+}
+
+/// Runs one MH reassignment attempt for each event in `unknown`.
+pub fn reassign_sweep<R: Rng + ?Sized>(
+    log: &mut EventLog,
+    rates: &[f64],
+    fsm: &Fsm,
+    unknown: &[EventId],
+    rng: &mut R,
+) -> Result<usize, InferenceError> {
+    let mut accepted = 0;
+    for &e in unknown {
+        if matches!(
+            mh_reassign(log, rates, fsm, e, rng)?,
+            ReassignOutcome::Accepted(_)
+        ) {
+            accepted += 1;
+        }
+    }
+    Ok(accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::ids::TaskId;
+    use qni_model::topology::three_tier;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+
+    fn setup() -> (EventLog, Vec<f64>, Fsm, Vec<EventId>) {
+        // Two-server tier: assignments are exchangeable.
+        let bp = three_tier(2.0, 6.0, &[2], false).unwrap();
+        let mut rng = rng_from_seed(1);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 30).unwrap(), &mut rng)
+            .unwrap();
+        let rates = bp.network.rates().unwrap();
+        let unknown: Vec<EventId> = log
+            .event_ids()
+            .filter(|&e| !log.is_initial_event(e))
+            .collect();
+        (log, rates, bp.network.fsm().clone(), unknown)
+    }
+
+    #[test]
+    fn candidates_are_the_other_replicas() {
+        let (log, _, fsm, unknown) = setup();
+        for &e in &unknown {
+            let c = reassign_candidates(&fsm, &log, e);
+            assert_eq!(c.len(), 1);
+            assert_ne!(c[0], log.queue_of(e));
+        }
+    }
+
+    #[test]
+    fn rejects_initial_events() {
+        let (mut log, rates, fsm, _) = setup();
+        let init = log.task_events(TaskId(0))[0];
+        let mut rng = rng_from_seed(2);
+        assert!(mh_reassign(&mut log, &rates, &fsm, init, &mut rng).is_err());
+    }
+
+    #[test]
+    fn moves_preserve_validity() {
+        let (mut log, rates, fsm, unknown) = setup();
+        let mut rng = rng_from_seed(3);
+        let mut total_accepted = 0;
+        for _ in 0..50 {
+            total_accepted += reassign_sweep(&mut log, &rates, &fsm, &unknown, &mut rng)
+                .unwrap();
+            qni_model::constraints::validate(&log).unwrap();
+        }
+        assert!(total_accepted > 0, "sampler never moved");
+    }
+
+    #[test]
+    fn chain_matches_enumerated_posterior() {
+        // One event with an unknown assignment and everything else fixed:
+        // the MH chain's occupancy of each queue must match the exact
+        // posterior computed by enumeration.
+        let (mut log, rates, fsm, _) = setup();
+        let e = log.task_events(TaskId(4))[1];
+        let joint = |log: &EventLog| {
+            crate::gibbs::numeric::service_log_joint(log, &rates)
+                + qni_model::joint::path_log_probability(log, &net_for(&fsm, &rates))
+        };
+        // Enumerate both assignments.
+        let q_orig = log.queue_of(e);
+        let lp_orig = joint(&log);
+        let other = reassign_candidates(&fsm, &log, e)[0];
+        log.reassign_queue(e, other);
+        let feasible_other = qni_model::constraints::validate(&log).is_ok();
+        let lp_other = if feasible_other {
+            joint(&log)
+        } else {
+            f64::NEG_INFINITY
+        };
+        log.reassign_queue(e, q_orig);
+        let p_other = (lp_other - lp_orig).exp() / (1.0 + (lp_other - lp_orig).exp());
+        // Run the chain.
+        let mut rng = rng_from_seed(4);
+        let n = 40_000;
+        let mut at_other = 0usize;
+        for _ in 0..n {
+            mh_reassign(&mut log, &rates, &fsm, e, &mut rng).unwrap();
+            if log.queue_of(e) == other {
+                at_other += 1;
+            }
+        }
+        let freq = at_other as f64 / n as f64;
+        assert!(
+            (freq - p_other).abs() < 0.02,
+            "chain freq {freq} vs exact {p_other}"
+        );
+    }
+
+    /// Rebuilds a network equivalent for path-probability evaluation.
+    fn net_for(fsm: &Fsm, rates: &[f64]) -> qni_model::network::QueueingNetwork {
+        let named: Vec<(String, f64)> = rates
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &r)| (format!("q{i}"), r))
+            .collect();
+        let refs: Vec<(&str, f64)> = named.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        qni_model::network::QueueingNetwork::mm1(rates[0], &refs, fsm.clone()).unwrap()
+    }
+
+    #[test]
+    fn no_candidate_for_deterministic_routes() {
+        use qni_model::topology::tandem;
+        let bp = tandem(1.0, &[3.0]).unwrap();
+        let mut rng = rng_from_seed(5);
+        let mut log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(1.0, 5).unwrap(), &mut rng)
+            .unwrap();
+        let rates = bp.network.rates().unwrap();
+        let e = log.task_events(TaskId(0))[1];
+        let out = mh_reassign(&mut log, &rates, bp.network.fsm(), e, &mut rng).unwrap();
+        assert_eq!(out, ReassignOutcome::NoCandidate);
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's LP initialization: `min Σ_e |s_e − m_{q_e}|`.
+//!
+//! Variables (all non-negative): the slot values, a service-begin variable
+//! `b_e` per event (linearizing `begin = max(a_e, d_{ρ(e)})` via
+//! `b_e ≥ a_e`, `b_e ≥ d_{ρ(e)}`), and deviation variables `p_e, n_e`
+//! with `(d_e − b_e) − m_{q_e} = p_e − n_e`. The objective `Σ p_e + n_e`
+//! is the absolute deviation of (relaxed) services from their targets.
+//!
+//! This is exact on the relaxation (`b_e` may exceed the true `max`, in
+//! which case the modelled service *underestimates* the real one, keeping
+//! feasibility), matches the paper's description, and is intended for
+//! small instances — a dense tableau over `S + 3E` variables.
+
+use super::slots::SlotMap;
+use crate::error::InferenceError;
+use qni_lp::simplex::{LinearProgram, Relation};
+use qni_model::log::EventLog;
+use qni_trace::MaskedLog;
+
+/// Hard cap on LP size; larger instances should use
+/// [`super::InitStrategy::LongestPath`].
+pub const MAX_LP_VARS: usize = 6000;
+
+/// Runs the LP initialization.
+pub fn initialize(masked: &MaskedLog, rates: &[f64]) -> Result<EventLog, InferenceError> {
+    let mut log = masked.scrubbed_log();
+    let slots = SlotMap::build(&log);
+    if slots.is_empty() {
+        return Ok(log);
+    }
+    let num_events = log.num_events();
+    let s = slots.len();
+    let num_vars = s + 3 * num_events;
+    if num_vars > MAX_LP_VARS {
+        return Err(InferenceError::BadOptions {
+            what: "instance too large for LP initialization; use LongestPath",
+        });
+    }
+    // Variable layout: [slots | begins | p | n].
+    let begin_var = |e: usize| s + e;
+    let p_var = |e: usize| s + num_events + e;
+    let n_var = |e: usize| s + 2 * num_events + e;
+
+    let mut lp = LinearProgram::new(num_vars);
+    for e in 0..num_events {
+        lp.set_objective_coeff(p_var(e), 1.0);
+        lp.set_objective_coeff(n_var(e), 1.0);
+    }
+
+    // A time is either a slot variable or the constant 0 (initial
+    // arrivals) / an observed value (fixed slots are still variables here,
+    // pinned with equality rows — simpler and well within LP sizes).
+    for e in log.event_ids() {
+        let ei = e.index();
+        let dep = slots.departure_slot(&log, e);
+        let arr = slots.arrival_slot(e);
+        // b_e ≥ a_e.
+        match arr {
+            Some(a) => {
+                lp.add_constraint(&[(begin_var(ei), 1.0), (a, -1.0)], Relation::Ge, 0.0)
+            }
+            None => {
+                // Initial arrival is 0: b_e ≥ 0 is implicit.
+            }
+        }
+        // b_e ≥ d_{ρ(e)} and ordering constraints.
+        if let Some(r) = log.rho(e) {
+            let rdep = slots.departure_slot(&log, r);
+            lp.add_constraint(
+                &[(begin_var(ei), 1.0), (rdep, -1.0)],
+                Relation::Ge,
+                0.0,
+            );
+            // FIFO departures.
+            lp.add_constraint(&[(dep, 1.0), (rdep, -1.0)], Relation::Ge, 0.0);
+            // Arrival order.
+            if let (Some(ra), Some(ea)) = (slots.arrival_slot(r), arr) {
+                lp.add_constraint(&[(ea, 1.0), (ra, -1.0)], Relation::Ge, 0.0);
+            }
+        }
+        // Service non-negative: d_e − b_e ≥ 0.
+        lp.add_constraint(
+            &[(dep, 1.0), (begin_var(ei), -1.0)],
+            Relation::Ge,
+            0.0,
+        );
+        // Deviation split: d_e − b_e − p_e + n_e = m_q.
+        let m = 1.0 / rates[log.queue_of(e).index()];
+        lp.add_constraint(
+            &[
+                (dep, 1.0),
+                (begin_var(ei), -1.0),
+                (p_var(ei), -1.0),
+                (n_var(ei), 1.0),
+            ],
+            Relation::Eq,
+            m,
+        );
+    }
+    // Pin observed slots.
+    for e in log.event_ids() {
+        if let Some(a) = slots.arrival_slot(e) {
+            if masked.mask().arrival_observed(e) {
+                lp.add_constraint(&[(a, 1.0)], Relation::Eq, log.arrival(e));
+            }
+        }
+        if log.is_final_event(e) && masked.mask().departure_observed(e) {
+            let dep = slots.departure_slot(&log, e);
+            lp.add_constraint(&[(dep, 1.0)], Relation::Eq, log.departure(e));
+        }
+    }
+
+    let sol = lp.solve()?;
+    // Write slot values back; write arrivals before finals so transition
+    // ties are established first (order is irrelevant for correctness but
+    // keeps the write pattern obvious).
+    for i in 0..slots.len() {
+        slots.write(&mut log, i, sol.x[i]);
+    }
+    Ok(log)
+}

@@ -1,0 +1,231 @@
+//! Feasible initialization of the Gibbs sampler.
+//!
+//! The sampler needs starting values for all unobserved times that satisfy
+//! every deterministic constraint (§3 of the paper: "initializing the
+//! Gibbs sampler requires finding arrival times for the unobserved events
+//! that are feasible..."). Two strategies are provided:
+//!
+//! - [`InitStrategy::Lp`] — the paper's formulation: a linear program
+//!   minimizing `Σ_e |s_e − m_{q_e}|` (with `m_q` the target mean service
+//!   time) subject to the constraints, solved with `qni-lp`'s simplex.
+//!   Exact but dense; intended for small instances.
+//! - [`InitStrategy::LongestPath`] — the constraints form a
+//!   difference-constraint system over *time slots* (one per transition
+//!   `a_e = d_{π(e)}`, one per final departure), so minimal/maximal
+//!   feasible completions come from longest-path passes; a forward sweep
+//!   then walks the slots in topological order setting each to
+//!   `begin + target service`, clamped into its feasibility box. Linear
+//!   time, used by default.
+//!
+//! Both produce logs that pass [`qni_model::constraints::validate`].
+
+mod longest_path;
+mod lp;
+mod slots;
+
+pub use slots::{SlotKind, SlotMap};
+
+use crate::error::InferenceError;
+use qni_model::log::EventLog;
+use qni_trace::MaskedLog;
+
+/// How to initialize the free times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitStrategy {
+    /// Longest-path feasibility box plus a target-service forward sweep.
+    ///
+    /// With `use_targets = false` the minimal feasible completion is used
+    /// directly (useful for tests and worst-case studies).
+    LongestPath {
+        /// Whether to aim services at `1/rate` within the feasibility box.
+        use_targets: bool,
+    },
+    /// The paper's LP (`min Σ|s_e − m_{q_e}|`). Practical for small
+    /// instances only; guarded by a variable-count limit.
+    Lp,
+}
+
+impl Default for InitStrategy {
+    fn default() -> Self {
+        InitStrategy::LongestPath { use_targets: true }
+    }
+}
+
+/// Initializes all free times with the default strategy.
+pub fn initialize(masked: &MaskedLog, rates: &[f64]) -> Result<EventLog, InferenceError> {
+    initialize_with(masked, rates, InitStrategy::default())
+}
+
+/// Initializes all free times with an explicit strategy.
+///
+/// Returns a complete, constraint-valid event log whose observed times
+/// equal the measurements and whose free times are feasible.
+pub fn initialize_with(
+    masked: &MaskedLog,
+    rates: &[f64],
+    strategy: InitStrategy,
+) -> Result<EventLog, InferenceError> {
+    let truth_shape = masked.ground_truth();
+    if rates.len() != truth_shape.num_queues() {
+        return Err(InferenceError::RateShapeMismatch {
+            expected: truth_shape.num_queues(),
+            actual: rates.len(),
+        });
+    }
+    let log = match strategy {
+        InitStrategy::LongestPath { use_targets } => {
+            longest_path::initialize(masked, rates, use_targets)?
+        }
+        InitStrategy::Lp => lp::initialize(masked, rates)?,
+    };
+    qni_model::constraints::validate(&log).map_err(qni_model::ModelError::from)?;
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::ids::QueueId;
+    use qni_model::topology::{tandem, three_tier};
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+    use qni_trace::ObservationScheme;
+
+    fn masked_case(frac: f64, tasks: usize, seed: u64) -> (MaskedLog, Vec<f64>) {
+        let bp = tandem(2.0, &[5.0, 4.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, tasks).unwrap(), &mut rng)
+            .unwrap();
+        let masked = ObservationScheme::task_sampling(frac)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap();
+        (masked, bp.network.rates().unwrap())
+    }
+
+    #[test]
+    fn longest_path_produces_valid_log() {
+        let (masked, rates) = masked_case(0.2, 100, 1);
+        let log = initialize_with(
+            &masked,
+            &rates,
+            InitStrategy::LongestPath { use_targets: true },
+        )
+        .unwrap();
+        qni_model::constraints::validate(&log).unwrap();
+        // Observed times preserved exactly.
+        for e in log.event_ids() {
+            if masked.mask().arrival_observed(e) {
+                assert_eq!(log.arrival(e), masked.ground_truth().arrival(e));
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_solution_is_valid_too() {
+        let (masked, rates) = masked_case(0.1, 80, 2);
+        let log = initialize_with(
+            &masked,
+            &rates,
+            InitStrategy::LongestPath { use_targets: false },
+        )
+        .unwrap();
+        qni_model::constraints::validate(&log).unwrap();
+    }
+
+    #[test]
+    fn zero_observation_still_initializes() {
+        let (masked, rates) = {
+            let bp = tandem(2.0, &[5.0]).unwrap();
+            let mut rng = rng_from_seed(3);
+            let truth = Simulator::new(&bp.network)
+                .run(&Workload::poisson_n(2.0, 50).unwrap(), &mut rng)
+                .unwrap();
+            let masked = ObservationScheme::None.apply(truth, &mut rng).unwrap();
+            (masked, bp.network.rates().unwrap())
+        };
+        let log = initialize(&masked, &rates).unwrap();
+        qni_model::constraints::validate(&log).unwrap();
+        // With targets, interior services should be near 1/µ = 0.2 where
+        // slack allows; check they are not all zero.
+        let avg = log.queue_averages();
+        assert!(avg[1].mean_service > 0.05, "services collapsed to zero");
+    }
+
+    #[test]
+    fn full_observation_returns_truth() {
+        let (masked, rates) = masked_case(1.0, 60, 4);
+        let log = initialize(&masked, &rates).unwrap();
+        let truth = masked.ground_truth();
+        for e in log.event_ids() {
+            assert!((log.arrival(e) - truth.arrival(e)).abs() < 1e-9);
+            assert!((log.departure(e) - truth.departure(e)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lp_small_instance_valid_and_targets_services() {
+        let (masked, rates) = masked_case(0.3, 12, 5);
+        let log = initialize_with(&masked, &rates, InitStrategy::Lp).unwrap();
+        qni_model::constraints::validate(&log).unwrap();
+        for e in log.event_ids() {
+            if masked.mask().arrival_observed(e) {
+                assert!((log.arrival(e) - masked.ground_truth().arrival(e)).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_objective_not_worse_than_longest_path() {
+        // The LP relaxes `begin = max(...)` to `begin ≥ ...`, so at fixed
+        // times its optimal deviation variables realize the *shortfall*
+        // objective Σ max(0, m − s). The LP minimizes that exactly; the
+        // heuristic cannot beat it.
+        let (masked, rates) = masked_case(0.3, 10, 6);
+        let shortfall = |log: &qni_model::log::EventLog| -> f64 {
+            log.event_ids()
+                .map(|e| {
+                    let m = 1.0 / rates[log.queue_of(e).index()];
+                    (m - log.service_time(e)).max(0.0)
+                })
+                .sum()
+        };
+        let lp_log = initialize_with(&masked, &rates, InitStrategy::Lp).unwrap();
+        let hp_log = initialize_with(
+            &masked,
+            &rates,
+            InitStrategy::LongestPath { use_targets: true },
+        )
+        .unwrap();
+        assert!(shortfall(&lp_log) <= shortfall(&hp_log) + 1e-6);
+    }
+
+    #[test]
+    fn overloaded_network_initializes() {
+        // The paper's overloaded three-tier structure at 5% observation.
+        let bp = three_tier(10.0, 5.0, &[1, 2, 4], false).unwrap();
+        let mut rng = rng_from_seed(7);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(10.0, 300).unwrap(), &mut rng)
+            .unwrap();
+        let masked = ObservationScheme::task_sampling(0.05)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap();
+        let rates = bp.network.rates().unwrap();
+        let log = initialize(&masked, &rates).unwrap();
+        qni_model::constraints::validate(&log).unwrap();
+        assert_eq!(log.num_events(), 1200);
+        let _ = QueueId(1);
+    }
+
+    #[test]
+    fn rate_shape_checked() {
+        let (masked, _) = masked_case(0.2, 10, 8);
+        assert!(matches!(
+            initialize(&masked, &[1.0]),
+            Err(InferenceError::RateShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! Time slots: the free-variable structure of the posterior.
+//!
+//! The deterministic constraint `a_e = d_{π(e)}` means an arrival and its
+//! predecessor's departure are *one* variable. A slot is such a collapsed
+//! variable: one per non-initial event (its arrival / the predecessor's
+//! departure) and one per task-final departure. Observed times pin slots
+//! to constants; everything else is free.
+
+use qni_model::ids::EventId;
+use qni_model::log::EventLog;
+
+/// What a slot denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// The transition time `a_e = d_{π(e)}` of a non-initial event.
+    Arrival(EventId),
+    /// The final departure `d_e` of a task's last event.
+    Final(EventId),
+}
+
+/// The slot table of an event log.
+#[derive(Debug, Clone)]
+pub struct SlotMap {
+    arr_slot: Vec<Option<usize>>,
+    fin_slot: Vec<Option<usize>>,
+    kinds: Vec<SlotKind>,
+}
+
+impl SlotMap {
+    /// Builds the slot table from the structure of a log.
+    pub fn build(log: &EventLog) -> SlotMap {
+        let n = log.num_events();
+        let mut arr_slot = vec![None; n];
+        let mut fin_slot = vec![None; n];
+        let mut kinds = Vec::new();
+        for e in log.event_ids() {
+            if !log.is_initial_event(e) {
+                arr_slot[e.index()] = Some(kinds.len());
+                kinds.push(SlotKind::Arrival(e));
+            }
+        }
+        for e in log.event_ids() {
+            if log.is_final_event(e) {
+                fin_slot[e.index()] = Some(kinds.len());
+                kinds.push(SlotKind::Final(e));
+            }
+        }
+        SlotMap {
+            arr_slot,
+            fin_slot,
+            kinds,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// What slot `i` denotes.
+    pub fn kind(&self, i: usize) -> SlotKind {
+        self.kinds[i]
+    }
+
+    /// The arrival slot of `e` (`None` for initial events).
+    pub fn arrival_slot(&self, e: EventId) -> Option<usize> {
+        self.arr_slot[e.index()]
+    }
+
+    /// The slot holding `e`'s departure: the successor's arrival slot for
+    /// interior events, the final slot for last events.
+    pub fn departure_slot(&self, log: &EventLog, e: EventId) -> usize {
+        match log.pi_inv(e) {
+            Some(succ) => self.arr_slot[succ.index()].expect("successor is non-initial"),
+            None => self.fin_slot[e.index()].expect("event with no successor is final"),
+        }
+    }
+
+    /// Reads the current value of slot `i` from a log.
+    pub fn read(&self, log: &EventLog, i: usize) -> f64 {
+        match self.kinds[i] {
+            SlotKind::Arrival(e) => log.arrival(e),
+            SlotKind::Final(e) => log.departure(e),
+        }
+    }
+
+    /// Writes a value into slot `i` of a log (maintaining the tied
+    /// predecessor departure for arrival slots).
+    pub fn write(&self, log: &mut EventLog, i: usize, value: f64) {
+        match self.kinds[i] {
+            SlotKind::Arrival(e) => log.set_transition_time(e, value),
+            SlotKind::Final(e) => log.set_final_departure(e, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::ids::{QueueId, StateId, TaskId};
+    use qni_model::log::EventLogBuilder;
+
+    fn log2() -> EventLog {
+        let mut b = EventLogBuilder::new(3, StateId(0));
+        b.add_task(
+            1.0,
+            &[
+                (StateId(1), QueueId(1), 1.0, 2.0),
+                (StateId(2), QueueId(2), 2.0, 3.0),
+            ],
+        )
+        .unwrap();
+        b.add_task(1.5, &[(StateId(1), QueueId(1), 1.5, 2.5)])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn slot_counts() {
+        let log = log2();
+        let slots = SlotMap::build(&log);
+        // 3 non-initial events + 2 final departures.
+        assert_eq!(slots.len(), 5);
+        assert!(!slots.is_empty());
+    }
+
+    #[test]
+    fn departure_slot_identities() {
+        let log = log2();
+        let slots = SlotMap::build(&log);
+        let t0 = log.task_events(TaskId(0));
+        // Initial event's departure slot = first visit's arrival slot.
+        assert_eq!(
+            slots.departure_slot(&log, t0[0]),
+            slots.arrival_slot(t0[1]).unwrap()
+        );
+        // Interior event's departure slot = successor's arrival slot.
+        assert_eq!(
+            slots.departure_slot(&log, t0[1]),
+            slots.arrival_slot(t0[2]).unwrap()
+        );
+        // Final event's departure slot is its own final slot.
+        let fin = slots.departure_slot(&log, t0[2]);
+        assert!(matches!(slots.kind(fin), SlotKind::Final(e) if e == t0[2]));
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut log = log2();
+        let slots = SlotMap::build(&log);
+        for i in 0..slots.len() {
+            let v = slots.read(&log, i);
+            slots.write(&mut log, i, v + 0.0);
+            assert_eq!(slots.read(&log, i), v);
+        }
+        // Writing an arrival slot moves the tied departure.
+        let (e0, e1) = {
+            let t0 = log.task_events(TaskId(0));
+            (t0[0], t0[1])
+        };
+        let s = slots.arrival_slot(e1).unwrap();
+        slots.write(&mut log, s, 1.25);
+        assert_eq!(log.arrival(e1), 1.25);
+        assert_eq!(log.departure(e0), 1.25);
+    }
+
+    #[test]
+    fn initial_events_have_no_arrival_slot() {
+        let log = log2();
+        let slots = SlotMap::build(&log);
+        let init = log.task_events(TaskId(0))[0];
+        assert!(slots.arrival_slot(init).is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! Performance-fault localization from inferred estimates.
+//!
+//! This is the paper's application (§5): decompose each queue's response
+//! into waiting (load-induced) and service (intrinsic) components and rank
+//! the likely bottlenecks. It also answers the introduction's
+//! "slow-request" question: *during the execution of the slowest X% of
+//! requests, which components receive the most load?*
+
+use crate::error::InferenceError;
+use qni_model::ids::{QueueId, TaskId};
+use qni_model::log::EventLog;
+
+/// Why a queue looks like a bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BottleneckKind {
+    /// Waiting dominates: the queue is overloaded (add capacity).
+    LoadInduced,
+    /// Service dominates and is large: the component itself is slow
+    /// (fix or replace it).
+    Intrinsic,
+    /// Neither component stands out.
+    Healthy,
+}
+
+/// Diagnosis for one queue.
+#[derive(Debug, Clone)]
+pub struct QueueDiagnosis {
+    /// The queue.
+    pub queue: QueueId,
+    /// Estimated mean service time.
+    pub service: f64,
+    /// Estimated mean waiting time.
+    pub waiting: f64,
+    /// `waiting + service`.
+    pub response: f64,
+    /// Classification.
+    pub kind: BottleneckKind,
+}
+
+/// A ranked localization report.
+#[derive(Debug, Clone)]
+pub struct LocalizationReport {
+    /// Diagnoses sorted by descending response contribution.
+    pub ranked: Vec<QueueDiagnosis>,
+}
+
+impl LocalizationReport {
+    /// The most suspicious queue, if any queue has events.
+    pub fn top(&self) -> Option<&QueueDiagnosis> {
+        self.ranked.first()
+    }
+}
+
+/// Threshold on `waiting / service` above which a queue is load-induced.
+pub const LOAD_RATIO: f64 = 3.0;
+
+/// Multiple of the median service above which a queue is intrinsically
+/// slow.
+pub const INTRINSIC_RATIO: f64 = 3.0;
+
+/// Builds a localization report from per-queue estimates.
+///
+/// `service` and `waiting` are indexed by queue (entry 0 = `q0`, which is
+/// skipped). Classification: waiting ≫ service → load-induced; service ≫
+/// the median service of all queues → intrinsic; otherwise healthy.
+pub fn localize(service: &[f64], waiting: &[f64]) -> Result<LocalizationReport, InferenceError> {
+    if service.len() != waiting.len() || service.is_empty() {
+        return Err(InferenceError::BadOptions {
+            what: "service and waiting must be equal-length, non-empty",
+        });
+    }
+    let mut services: Vec<f64> = service[1..]
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
+    services.sort_by(f64::total_cmp);
+    let median_service = if services.is_empty() {
+        0.0
+    } else {
+        services[services.len() / 2]
+    };
+    let mut ranked: Vec<QueueDiagnosis> = (1..service.len())
+        .filter(|&i| service[i].is_finite() && waiting[i].is_finite())
+        .map(|i| {
+            let s = service[i];
+            let w = waiting[i];
+            let kind = if w > LOAD_RATIO * s.max(1e-12) {
+                BottleneckKind::LoadInduced
+            } else if median_service > 0.0 && s > INTRINSIC_RATIO * median_service {
+                BottleneckKind::Intrinsic
+            } else {
+                BottleneckKind::Healthy
+            };
+            QueueDiagnosis {
+                queue: QueueId::from_index(i),
+                service: s,
+                waiting: w,
+                response: s + w,
+                kind,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.response.total_cmp(&a.response));
+    Ok(LocalizationReport { ranked })
+}
+
+/// Per-queue attribution of where the slowest requests spend their time.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowRequestAttribution {
+    /// The queue.
+    pub queue: QueueId,
+    /// Mean waiting time at this queue *within slow requests*.
+    pub waiting: f64,
+    /// Mean service time at this queue within slow requests.
+    pub service: f64,
+    /// Number of slow-request events at this queue.
+    pub count: usize,
+}
+
+/// Attributes the time of tasks above the `quantile`-th response-time
+/// quantile to queues ("during the slowest 1% of requests, which
+/// components receive the most load?").
+pub fn slow_request_attribution(
+    log: &EventLog,
+    quantile: f64,
+) -> Result<Vec<SlowRequestAttribution>, InferenceError> {
+    if !(0.0..1.0).contains(&quantile) {
+        return Err(InferenceError::BadOptions {
+            what: "quantile must be in [0, 1)",
+        });
+    }
+    let mut responses: Vec<f64> = (0..log.num_tasks())
+        .map(|k| log.task_response(TaskId::from_index(k)))
+        .collect();
+    if responses.is_empty() {
+        return Err(InferenceError::BadOptions {
+            what: "log has no tasks",
+        });
+    }
+    responses.sort_by(f64::total_cmp);
+    let cutoff = qni_stats::descriptive::quantile_sorted(&responses, quantile);
+    let mut acc = vec![(0usize, 0.0f64, 0.0f64); log.num_queues()];
+    for k in 0..log.num_tasks() {
+        let k = TaskId::from_index(k);
+        if log.task_response(k) < cutoff {
+            continue;
+        }
+        for &e in &log.task_events(k)[1..] {
+            let q = log.queue_of(e).index();
+            acc[q].0 += 1;
+            acc[q].1 += log.waiting_time(e);
+            acc[q].2 += log.service_time(e);
+        }
+    }
+    Ok(acc
+        .into_iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, (n, w, s))| SlowRequestAttribution {
+            queue: QueueId::from_index(i),
+            waiting: if n > 0 { w / n as f64 } else { 0.0 },
+            service: if n > 0 { s / n as f64 } else { 0.0 },
+            count: n,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::topology::three_tier;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn overloaded_tier_is_load_induced_top() {
+        // λ=10, µ=5: tier with one server is overloaded.
+        let bp = three_tier(10.0, 5.0, &[1, 4, 4], false).unwrap();
+        let mut rng = rng_from_seed(1);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(10.0, 800).unwrap(), &mut rng)
+            .unwrap();
+        let avg = log.queue_averages();
+        let service: Vec<f64> = avg.iter().map(|a| a.mean_service).collect();
+        let waiting: Vec<f64> = avg.iter().map(|a| a.mean_waiting).collect();
+        let report = localize(&service, &waiting).unwrap();
+        let top = report.top().unwrap();
+        assert_eq!(top.queue, bp.tiers[0][0]);
+        assert_eq!(top.kind, BottleneckKind::LoadInduced);
+    }
+
+    #[test]
+    fn intrinsically_slow_queue_detected() {
+        // Service 10× the others, but lightly loaded → intrinsic.
+        let service = vec![f64::NAN, 0.1, 1.0, 0.1];
+        let waiting = vec![f64::NAN, 0.05, 0.2, 0.02];
+        let report = localize(&service, &waiting).unwrap();
+        let top = report.top().unwrap();
+        assert_eq!(top.queue, QueueId(2));
+        assert_eq!(top.kind, BottleneckKind::Intrinsic);
+    }
+
+    #[test]
+    fn healthy_system() {
+        let service = vec![f64::NAN, 0.1, 0.12, 0.09];
+        let waiting = vec![f64::NAN, 0.02, 0.03, 0.01];
+        let report = localize(&service, &waiting).unwrap();
+        assert!(report
+            .ranked
+            .iter()
+            .all(|d| d.kind == BottleneckKind::Healthy));
+    }
+
+    #[test]
+    fn slow_request_attribution_finds_bottleneck() {
+        let bp = three_tier(10.0, 5.0, &[1, 4, 4], false).unwrap();
+        let mut rng = rng_from_seed(2);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(10.0, 800).unwrap(), &mut rng)
+            .unwrap();
+        let attr = slow_request_attribution(&log, 0.95).unwrap();
+        // The overloaded tier-1 server dominates slow-request waiting.
+        let worst = attr
+            .iter()
+            .max_by(|a, b| a.waiting.total_cmp(&b.waiting))
+            .unwrap();
+        assert_eq!(worst.queue, bp.tiers[0][0]);
+        assert!(worst.count > 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(localize(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(localize(&[], &[]).is_err());
+        let bp = three_tier(1.0, 5.0, &[1, 1, 1], false).unwrap();
+        let mut rng = rng_from_seed(3);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(1.0, 10).unwrap(), &mut rng)
+            .unwrap();
+        assert!(slow_request_attribution(&log, 1.5).is_err());
+    }
+}

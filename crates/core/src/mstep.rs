@@ -1,0 +1,160 @@
+//! The M-step: closed-form exponential MLE from completed data.
+//!
+//! Given a complete event log (observed + currently imputed times), the
+//! maximum-likelihood rate of queue `q` is `n_q / Σ_{e at q} s_e`, and the
+//! arrival rate λ is the same formula applied to the virtual queue `q0`
+//! (whose "services" are the interarrival gaps).
+
+use crate::error::InferenceError;
+
+/// Rates are clamped into this range to keep early StEM iterations (where
+/// imputed services can be almost zero) numerically sane.
+pub const RATE_CLAMP: (f64, f64) = (1e-9, 1e9);
+
+/// Per-queue MLE rates; `None` where the MLE is undefined (no events or a
+/// zero service sum).
+pub fn mle_rates(log: &qni_model::log::EventLog) -> Vec<Option<f64>> {
+    log.service_sufficient_stats()
+        .into_iter()
+        .map(|(n, sum)| {
+            if n == 0 || !(sum.is_finite() && sum > 0.0) {
+                None
+            } else {
+                Some((n as f64 / sum).clamp(RATE_CLAMP.0, RATE_CLAMP.1))
+            }
+        })
+        .collect()
+}
+
+/// Applies the M-step in place: queues with a defined MLE are updated,
+/// the rest keep their previous rate.
+pub fn update_rates(
+    rates: &mut [f64],
+    log: &qni_model::log::EventLog,
+) -> Result<(), InferenceError> {
+    if rates.len() != log.num_queues() {
+        return Err(InferenceError::RateShapeMismatch {
+            expected: log.num_queues(),
+            actual: rates.len(),
+        });
+    }
+    for (r, m) in rates.iter_mut().zip(mle_rates(log)) {
+        if let Some(v) = m {
+            *r = v;
+        }
+    }
+    Ok(())
+}
+
+/// MLE rates from *averaged* sufficient statistics (the Monte-Carlo-EM
+/// E-step averages `(n, Σs)` over several sweeps).
+pub fn mle_rates_from_stats(stats: &[(f64, f64)]) -> Vec<Option<f64>> {
+    stats
+        .iter()
+        .map(|&(n, sum)| {
+            if n <= 0.0 || !(sum.is_finite() && sum > 0.0) {
+                None
+            } else {
+                Some((n / sum).clamp(RATE_CLAMP.0, RATE_CLAMP.1))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::ids::{QueueId, StateId};
+    use qni_model::log::EventLogBuilder;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn hand_computed_mle() {
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        // Entries at 1.0 and 3.0: q0 services 1.0 and 2.0 → λ̂ = 2/3.
+        // q1 services: 0.5 and 0.5 → µ̂ = 2/1 = 2.
+        b.add_task(1.0, &[(StateId(1), QueueId(1), 1.0, 1.5)])
+            .unwrap();
+        b.add_task(3.0, &[(StateId(1), QueueId(1), 3.0, 3.5)])
+            .unwrap();
+        let log = b.build().unwrap();
+        let rates = mle_rates(&log);
+        assert!((rates[0].unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rates[1].unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_simulation_rates() {
+        let bp = tandem(3.0, &[6.0, 9.0]).unwrap();
+        let mut rng = rng_from_seed(1);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(3.0, 20_000).unwrap(), &mut rng)
+            .unwrap();
+        let rates = mle_rates(&log);
+        assert!((rates[0].unwrap() - 3.0).abs() < 0.1, "{:?}", rates[0]);
+        assert!((rates[1].unwrap() - 6.0).abs() < 0.2);
+        assert!((rates[2].unwrap() - 9.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn mle_maximizes_likelihood() {
+        let bp = tandem(2.0, &[4.0]).unwrap();
+        let mut rng = rng_from_seed(2);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 500).unwrap(), &mut rng)
+            .unwrap();
+        let stats = log.service_sufficient_stats();
+        let mle: Vec<f64> = mle_rates(&log).into_iter().map(Option::unwrap).collect();
+        let at_mle = qni_model::joint::mm1_log_likelihood(&stats, &mle);
+        for scale in [0.7, 0.95, 1.05, 1.4] {
+            let perturbed: Vec<f64> = mle.iter().map(|r| r * scale).collect();
+            assert!(qni_model::joint::mm1_log_likelihood(&stats, &perturbed) < at_mle);
+        }
+    }
+
+    #[test]
+    fn degenerate_queues_keep_previous_rate() {
+        let mut b = EventLogBuilder::new(3, StateId(0));
+        // Queue 2 never visited.
+        b.add_task(1.0, &[(StateId(1), QueueId(1), 1.0, 1.5)])
+            .unwrap();
+        let log = b.build().unwrap();
+        let mle = mle_rates(&log);
+        assert!(mle[2].is_none());
+        let mut rates = vec![1.0, 1.0, 7.5];
+        update_rates(&mut rates, &log).unwrap();
+        assert_eq!(rates[2], 7.5);
+        assert!((rates[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_service_sum_clamps() {
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        // Zero-width services: MLE undefined → None.
+        b.add_task(0.0, &[(StateId(1), QueueId(1), 0.0, 0.0)])
+            .unwrap();
+        let log = b.build().unwrap();
+        assert!(mle_rates(&log)[1].is_none());
+    }
+
+    #[test]
+    fn averaged_stats_variant() {
+        let r = mle_rates_from_stats(&[(10.0, 5.0), (0.0, 0.0), (4.0, 0.0)]);
+        assert_eq!(r[0], Some(2.0));
+        assert_eq!(r[1], None);
+        assert_eq!(r[2], None);
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let bp = tandem(1.0, &[2.0]).unwrap();
+        let mut rng = rng_from_seed(3);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(1.0, 5).unwrap(), &mut rng)
+            .unwrap();
+        let mut rates = vec![1.0];
+        assert!(update_rates(&mut rates, &log).is_err());
+    }
+}

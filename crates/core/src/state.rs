@@ -1,0 +1,219 @@
+//! The mutable Gibbs sampler state.
+
+use crate::error::InferenceError;
+use crate::init::{initialize_with, InitStrategy};
+use qni_model::ids::{EventId, TaskId};
+use qni_model::log::EventLog;
+use qni_trace::MaskedLog;
+
+/// Sampler state: a complete working event log plus current rates.
+///
+/// The log always satisfies the deterministic constraints; Gibbs moves
+/// mutate it in place. Free-variable lists are fixed at construction.
+#[derive(Debug, Clone)]
+pub struct GibbsState {
+    log: EventLog,
+    rates: Vec<f64>,
+    free_arrivals: Vec<EventId>,
+    free_finals: Vec<EventId>,
+    /// Tasks with no observed time at all, eligible for the rigid
+    /// [`crate::gibbs::shift`] move.
+    shiftable_tasks: Vec<TaskId>,
+}
+
+impl GibbsState {
+    /// Builds a state from a masked log: scrubs unobserved times,
+    /// initializes them feasibly, and records the free-variable lists.
+    pub fn new(
+        masked: &MaskedLog,
+        rates: Vec<f64>,
+        strategy: InitStrategy,
+    ) -> Result<Self, InferenceError> {
+        let log = initialize_with(masked, &rates, strategy)?;
+        let shiftable_tasks = (0..log.num_tasks())
+            .map(TaskId::from_index)
+            .filter(|&k| crate::gibbs::shift::task_fully_free(masked, k))
+            .collect();
+        Ok(GibbsState {
+            log,
+            rates,
+            free_arrivals: masked.free_arrivals(),
+            free_finals: masked.free_final_departures(),
+            shiftable_tasks,
+        })
+    }
+
+    /// Builds a state from explicit parts (advanced; used by tests and by
+    /// waiting-time estimation restarts).
+    pub fn from_parts(
+        log: EventLog,
+        rates: Vec<f64>,
+        free_arrivals: Vec<EventId>,
+        free_finals: Vec<EventId>,
+    ) -> Result<Self, InferenceError> {
+        if rates.len() != log.num_queues() {
+            return Err(InferenceError::RateShapeMismatch {
+                expected: log.num_queues(),
+                actual: rates.len(),
+            });
+        }
+        qni_model::constraints::validate(&log).map_err(qni_model::ModelError::from)?;
+        Ok(GibbsState {
+            log,
+            rates,
+            free_arrivals,
+            free_finals,
+            shiftable_tasks: Vec::new(),
+        })
+    }
+
+    /// Declares which tasks may receive rigid shift moves (see
+    /// [`crate::gibbs::shift`]). Only meaningful with
+    /// [`GibbsState::from_parts`]; [`GibbsState::new`] derives the list
+    /// from the observation mask.
+    pub fn with_shiftable_tasks(mut self, tasks: Vec<TaskId>) -> Self {
+        self.shiftable_tasks = tasks;
+        self
+    }
+
+    /// Tasks eligible for the rigid shift move.
+    pub fn shiftable_tasks(&self) -> &[TaskId] {
+        &self.shiftable_tasks
+    }
+
+    /// Runs one MH reassignment attempt for each event in `unknown`
+    /// (see [`crate::gibbs::reassign`]); returns the number accepted.
+    pub fn reassign_unknown<R: rand::Rng + ?Sized>(
+        &mut self,
+        fsm: &qni_model::Fsm,
+        unknown: &[EventId],
+        rng: &mut R,
+    ) -> Result<usize, InferenceError> {
+        let GibbsState { log, rates, .. } = self;
+        crate::gibbs::reassign::reassign_sweep(log, rates, fsm, unknown, rng)
+    }
+
+    /// Resamples one rigid task-shift move in place; returns `δ`.
+    pub fn move_shift<R: rand::Rng + ?Sized>(
+        &mut self,
+        k: TaskId,
+        rng: &mut R,
+    ) -> Result<f64, InferenceError> {
+        let GibbsState { log, rates, .. } = self;
+        crate::gibbs::shift::resample_shift(log, rates, k, rng)
+    }
+
+    /// The working event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Mutable access for the move implementations.
+    pub(crate) fn log_mut(&mut self) -> &mut EventLog {
+        &mut self.log
+    }
+
+    /// Current per-queue rates (entry 0 is λ).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Replaces the rates (the StEM M-step).
+    pub fn set_rates(&mut self, rates: Vec<f64>) -> Result<(), InferenceError> {
+        if rates.len() != self.log.num_queues() {
+            return Err(InferenceError::RateShapeMismatch {
+                expected: self.log.num_queues(),
+                actual: rates.len(),
+            });
+        }
+        self.rates = rates;
+        Ok(())
+    }
+
+    /// Events whose arrival is resampled each sweep.
+    pub fn free_arrivals(&self) -> &[EventId] {
+        &self.free_arrivals
+    }
+
+    /// Events whose final departure is resampled each sweep.
+    pub fn free_finals(&self) -> &[EventId] {
+        &self.free_finals
+    }
+
+    /// Total number of free variables.
+    pub fn num_free(&self) -> usize {
+        self.free_arrivals.len() + self.free_finals.len()
+    }
+
+    /// Resamples one arrival move in place (exposed for benches and
+    /// fine-grained drivers; sweeps should use [`crate::gibbs::sweep`]).
+    pub fn move_arrival<R: rand::Rng + ?Sized>(
+        &mut self,
+        e: EventId,
+        rng: &mut R,
+    ) -> Result<f64, InferenceError> {
+        let GibbsState { log, rates, .. } = self;
+        crate::gibbs::arrival::resample_arrival(log, rates, e, rng)
+    }
+
+    /// Resamples one final-departure move in place.
+    pub fn move_final<R: rand::Rng + ?Sized>(
+        &mut self,
+        e: EventId,
+        rng: &mut R,
+    ) -> Result<f64, InferenceError> {
+        let GibbsState { log, rates, .. } = self;
+        crate::gibbs::final_departure::resample_final(log, rates, e, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+    use qni_trace::ObservationScheme;
+
+    fn masked() -> MaskedLog {
+        let bp = tandem(2.0, &[5.0]).unwrap();
+        let mut rng = rng_from_seed(1);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 50).unwrap(), &mut rng)
+            .unwrap();
+        ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = masked();
+        let state = GibbsState::new(&m, vec![2.0, 5.0], InitStrategy::default()).unwrap();
+        assert_eq!(state.rates(), &[2.0, 5.0]);
+        assert_eq!(
+            state.num_free(),
+            m.free_arrivals().len() + m.free_final_departures().len()
+        );
+        qni_model::constraints::validate(state.log()).unwrap();
+    }
+
+    #[test]
+    fn set_rates_validates_shape() {
+        let m = masked();
+        let mut state = GibbsState::new(&m, vec![2.0, 5.0], InitStrategy::default()).unwrap();
+        assert!(state.set_rates(vec![1.0]).is_err());
+        state.set_rates(vec![3.0, 4.0]).unwrap();
+        assert_eq!(state.rates(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let m = masked();
+        let truth = m.ground_truth().clone();
+        let s = GibbsState::from_parts(truth.clone(), vec![2.0, 5.0], vec![], vec![]);
+        assert!(s.is_ok());
+        assert!(GibbsState::from_parts(truth, vec![1.0], vec![], vec![]).is_err());
+    }
+}

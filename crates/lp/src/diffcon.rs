@@ -1,0 +1,337 @@
+//! Difference-constraint systems solved by longest-path passes.
+//!
+//! The sampler-initialization constraints (`a_e = d_{π(e)}` collapsed,
+//! queue-order inequalities, non-negative services) form a system of pure
+//! precedence constraints `x_u ≤ x_v` over an acyclic graph, with some
+//! variables fixed by observations. The *minimal* feasible completion is
+//! the longest path from below (each variable as small as its
+//! predecessors allow), the *maximal* one the symmetric pass from above;
+//! any value between the two bounds is feasible for that variable given
+//! the others are at their bounds' side. `qni-core` uses the pair as a
+//! feasibility box for initialization.
+
+use crate::error::LpError;
+
+/// A system of `x_u ≤ x_v` constraints with fixed values and box bounds.
+///
+/// # Examples
+///
+/// ```
+/// use qni_lp::diffcon::DiffSystem;
+///
+/// let mut sys = DiffSystem::new(3);
+/// sys.le(0, 1).unwrap();
+/// sys.le(1, 2).unwrap();
+/// sys.fix(2, 5.0).unwrap();
+/// let sol = sys.solve().unwrap();
+/// assert_eq!(sol.min, vec![0.0, 0.0, 5.0]);
+/// assert_eq!(sol.max, vec![5.0, 5.0, 5.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiffSystem {
+    n: usize,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    fixed: Vec<Option<f64>>,
+    /// Edges `u → v` meaning `x_u ≤ x_v`.
+    edges: Vec<(usize, usize)>,
+}
+
+/// Minimal and maximal feasible completions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffSolution {
+    /// Smallest feasible value per variable.
+    pub min: Vec<f64>,
+    /// Largest feasible value per variable (`+inf` when unbounded).
+    pub max: Vec<f64>,
+}
+
+impl DiffSystem {
+    /// Creates a system of `n` variables with default bounds `[0, +inf)`.
+    pub fn new(n: usize) -> Self {
+        DiffSystem {
+            n,
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+            fixed: vec![None; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the system has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `x_u ≤ x_v`.
+    pub fn le(&mut self, u: usize, v: usize) -> Result<(), LpError> {
+        if u >= self.n {
+            return Err(LpError::BadVariable { index: u });
+        }
+        if v >= self.n {
+            return Err(LpError::BadVariable { index: v });
+        }
+        if u != v {
+            self.edges.push((u, v));
+        }
+        Ok(())
+    }
+
+    /// Fixes `x_v = value`.
+    pub fn fix(&mut self, v: usize, value: f64) -> Result<(), LpError> {
+        if v >= self.n {
+            return Err(LpError::BadVariable { index: v });
+        }
+        if !value.is_finite() {
+            return Err(LpError::ShapeMismatch);
+        }
+        self.fixed[v] = Some(value);
+        Ok(())
+    }
+
+    /// Tightens the lower bound of `x_v`.
+    pub fn set_lower(&mut self, v: usize, value: f64) -> Result<(), LpError> {
+        if v >= self.n {
+            return Err(LpError::BadVariable { index: v });
+        }
+        self.lower[v] = self.lower[v].max(value);
+        Ok(())
+    }
+
+    /// Tightens the upper bound of `x_v`.
+    pub fn set_upper(&mut self, v: usize, value: f64) -> Result<(), LpError> {
+        if v >= self.n {
+            return Err(LpError::BadVariable { index: v });
+        }
+        self.upper[v] = self.upper[v].min(value);
+        Ok(())
+    }
+
+    /// Solves for the minimal and maximal feasible completions.
+    ///
+    /// Errors with [`LpError::CyclicConstraints`] if the precedence graph
+    /// has a cycle and [`LpError::Infeasible`] if bounds/fixed values
+    /// conflict.
+    pub fn solve(&self) -> Result<DiffSolution, LpError> {
+        let order = self.topo_order()?;
+        // Effective bounds: fixed values collapse the box.
+        let mut lo = self.lower.clone();
+        let mut hi = self.upper.clone();
+        for v in 0..self.n {
+            if let Some(f) = self.fixed[v] {
+                if f < self.lower[v] - 1e-12 || f > self.upper[v] + 1e-12 {
+                    return Err(LpError::Infeasible);
+                }
+                lo[v] = f;
+                hi[v] = f;
+            }
+        }
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            succs[u].push(v);
+            preds[v].push(u);
+        }
+        // Forward pass: minimal values.
+        let mut min = vec![0.0f64; self.n];
+        for &v in &order {
+            let from_preds = preds[v]
+                .iter()
+                .map(|&u| min[u])
+                .fold(f64::NEG_INFINITY, f64::max);
+            min[v] = lo[v].max(from_preds);
+            if min[v] > hi[v] + 1e-9 {
+                return Err(LpError::Infeasible);
+            }
+            if self.fixed[v].is_some() && min[v] > lo[v] + 1e-9 {
+                // A fixed value below what predecessors force.
+                return Err(LpError::Infeasible);
+            }
+            if self.fixed[v].is_some() {
+                min[v] = lo[v];
+            }
+        }
+        // Backward pass: maximal values.
+        let mut max = vec![f64::INFINITY; self.n];
+        for &v in order.iter().rev() {
+            let from_succs = succs[v]
+                .iter()
+                .map(|&u| max[u])
+                .fold(f64::INFINITY, f64::min);
+            max[v] = hi[v].min(from_succs);
+            if self.fixed[v].is_some() {
+                max[v] = hi[v].min(max[v]);
+                if max[v] < hi[v] - 1e-9 {
+                    // Successors force the fixed value lower than it is.
+                    return Err(LpError::Infeasible);
+                }
+            }
+            if max[v] < min[v] - 1e-9 {
+                return Err(LpError::Infeasible);
+            }
+        }
+        Ok(DiffSolution { min, max })
+    }
+
+    /// The precedence edges `(u, v)` meaning `x_u ≤ x_v`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// A topological order of the precedence graph (Kahn's algorithm);
+    /// errors on cycles.
+    pub fn topo_order(&self) -> Result<Vec<usize>, LpError> {
+        let mut indeg = vec![0usize; self.n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            succs[u].push(v);
+            indeg[v] += 1;
+        }
+        let mut stack: Vec<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &s in &succs[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+        if order.len() != self.n {
+            return Err(LpError::CyclicConstraints);
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_with_fixed_endpoint() {
+        let mut sys = DiffSystem::new(4);
+        sys.le(0, 1).unwrap();
+        sys.le(1, 2).unwrap();
+        sys.le(2, 3).unwrap();
+        sys.fix(1, 2.0).unwrap();
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.min, vec![0.0, 2.0, 2.0, 2.0]);
+        assert_eq!(sol.max[0], 2.0);
+        assert_eq!(sol.max[1], 2.0);
+        assert_eq!(sol.max[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn diamond() {
+        // 0 ≤ {1,2} ≤ 3, with 0 fixed at 1 and 3 fixed at 4.
+        let mut sys = DiffSystem::new(4);
+        sys.le(0, 1).unwrap();
+        sys.le(0, 2).unwrap();
+        sys.le(1, 3).unwrap();
+        sys.le(2, 3).unwrap();
+        sys.fix(0, 1.0).unwrap();
+        sys.fix(3, 4.0).unwrap();
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.min[1], 1.0);
+        assert_eq!(sol.max[1], 4.0);
+        assert_eq!(sol.min[2], 1.0);
+        assert_eq!(sol.max[2], 4.0);
+    }
+
+    #[test]
+    fn infeasible_fixed_order() {
+        let mut sys = DiffSystem::new(2);
+        sys.le(0, 1).unwrap();
+        sys.fix(0, 5.0).unwrap();
+        sys.fix(1, 3.0).unwrap();
+        assert_eq!(sys.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn infeasible_bounds() {
+        let mut sys = DiffSystem::new(1);
+        sys.set_lower(0, 2.0).unwrap();
+        sys.set_upper(0, 1.0).unwrap();
+        assert_eq!(sys.solve(), Err(LpError::Infeasible));
+        let mut sys = DiffSystem::new(1);
+        sys.set_upper(0, 1.0).unwrap();
+        sys.fix(0, 2.0).unwrap();
+        assert_eq!(sys.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut sys = DiffSystem::new(2);
+        sys.le(0, 1).unwrap();
+        sys.le(1, 0).unwrap();
+        assert_eq!(sys.solve(), Err(LpError::CyclicConstraints));
+    }
+
+    #[test]
+    fn self_loop_ignored() {
+        let mut sys = DiffSystem::new(1);
+        sys.le(0, 0).unwrap();
+        assert!(sys.solve().is_ok());
+    }
+
+    #[test]
+    fn bounds_propagate_through_chain() {
+        let mut sys = DiffSystem::new(3);
+        sys.le(0, 1).unwrap();
+        sys.le(1, 2).unwrap();
+        sys.set_lower(0, 1.5).unwrap();
+        sys.set_upper(2, 9.0).unwrap();
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.min, vec![1.5, 1.5, 1.5]);
+        assert_eq!(sol.max, vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn min_is_feasible_and_extreme() {
+        // Property on a random DAG: the minimal solution satisfies every
+        // constraint and is pointwise ≤ the maximal one.
+        use qni_stats::rng::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(3);
+        for _ in 0..50 {
+            let n = 12;
+            let mut sys = DiffSystem::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random::<f64>() < 0.2 {
+                        sys.le(u, v).unwrap();
+                    }
+                }
+            }
+            sys.fix(n - 1, 10.0).unwrap();
+            if rng.random::<f64>() < 0.5 {
+                sys.fix(0, 1.0).unwrap();
+            }
+            let sol = sys.solve().unwrap();
+            for &(u, v) in &sys.edges {
+                assert!(sol.min[u] <= sol.min[v] + 1e-12);
+                assert!(sol.max[u] <= sol.max[v] + 1e-12);
+            }
+            for v in 0..n {
+                assert!(sol.min[v] <= sol.max[v] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_indices() {
+        let mut sys = DiffSystem::new(2);
+        assert!(sys.le(0, 5).is_err());
+        assert!(sys.fix(9, 0.0).is_err());
+        assert!(sys.fix(0, f64::NAN).is_err());
+        assert!(sys.set_lower(7, 0.0).is_err());
+        assert!(sys.set_upper(7, 0.0).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the optimization layer.
+
+use std::fmt;
+
+/// Errors raised by LP and difference-constraint solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The problem is infeasible.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// A variable index was out of range.
+    BadVariable {
+        /// The offending index.
+        index: usize,
+    },
+    /// The iteration limit was exceeded (defensive; Bland's rule prevents
+    /// cycling, so this indicates a pathological instance size).
+    IterationLimit,
+    /// The constraint graph contains a cycle (difference systems must be
+    /// acyclic after equality collapsing).
+    CyclicConstraints,
+    /// Input shapes disagree.
+    ShapeMismatch,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::BadVariable { index } => write!(f, "variable {index} out of range"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::CyclicConstraints => write!(f, "constraint graph is cyclic"),
+            LpError::ShapeMismatch => write!(f, "input shapes disagree"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(LpError::Infeasible.to_string(), "problem is infeasible");
+        assert!(LpError::BadVariable { index: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,122 @@
+//! Dense Gaussian elimination with partial pivoting.
+//!
+//! Used by the Jackson-network analysis in `qni-sim` to solve the
+//! visit-ratio equations `(I − Pᵀ)v = b` over the FSM's transient states.
+//! Kept here with the other numerical-linear-algebra code.
+
+use crate::error::LpError;
+
+/// Solves the dense linear system `A x = b` in place (partial pivoting).
+///
+/// Errors with [`LpError::Infeasible`] when the matrix is (numerically)
+/// singular.
+///
+/// # Examples
+///
+/// ```
+/// use qni_lp::gauss::solve_dense;
+///
+/// // 2x + y = 5, x - y = 1  →  x = 2, y = 1.
+/// let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+/// let x = solve_dense(a, vec![5.0, 1.0]).unwrap();
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, LpError> {
+    let n = a.len();
+    if b.len() != n || a.iter().any(|row| row.len() != n) {
+        return Err(LpError::ShapeMismatch);
+    }
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(LpError::Infeasible);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f != 0.0 {
+                let (upper, lower) = a.split_at_mut(row);
+                let pivot_row = &upper[col];
+                for (k, cell) in lower[0].iter_mut().enumerate().skip(col) {
+                    *cell -= f * pivot_row[k];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_dense(a, vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let a = vec![vec![1.0, 1.0]];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn random_systems_verify() {
+        use qni_stats::rng::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(5);
+        for _ in 0..20 {
+            let n = 6;
+            let a: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| {
+                            // Diagonally dominant → well-conditioned.
+                            rng.random::<f64>() + if i == j { 4.0 } else { 0.0 }
+                        })
+                        .collect()
+                })
+                .collect();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 4.0 - 2.0).collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| a[i][j] * x_true[j]).sum())
+                .collect();
+            let x = solve_dense(a, b).unwrap();
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+}

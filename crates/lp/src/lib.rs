@@ -1,0 +1,36 @@
+//! Linear programming and difference-constraint solvers.
+//!
+//! The paper initializes its Gibbs sampler with "a linear program to
+//! minimize `Σ_e |s_e − µ_{q_e}|` subject to the deterministic
+//! constraints" (§3). This crate provides the optimization machinery:
+//!
+//! - [`simplex`]: a dense two-phase primal simplex solver with Bland's
+//!   anti-cycling rule — sufficient for the initialization LPs, which are
+//!   sparse but small once the observation structure decomposes them.
+//! - [`diffcon`]: a solver for *difference-constraint systems*
+//!   (`x_u ≤ x_v`, fixed values, box bounds). The initialization
+//!   constraints are exactly such a system, so minimal/maximal feasible
+//!   completions are computable in linear time by longest-path passes over
+//!   the constraint DAG; `qni-core` uses this for large instances where a
+//!   dense tableau would be wasteful.
+//!
+//! # Examples
+//!
+//! ```
+//! use qni_lp::simplex::{LinearProgram, Relation};
+//!
+//! // minimize -x - y  s.t.  x + y <= 4, x <= 2  (max x+y = 4).
+//! let mut lp = LinearProgram::new(2);
+//! lp.set_objective(&[-1.0, -1.0]);
+//! lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+//! lp.add_constraint(&[(0, 1.0)], Relation::Le, 2.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective + 4.0).abs() < 1e-9);
+//! ```
+
+pub mod diffcon;
+pub mod error;
+pub mod gauss;
+pub mod simplex;
+
+pub use error::LpError;

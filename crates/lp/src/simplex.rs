@@ -1,0 +1,517 @@
+//! Dense two-phase primal simplex with Bland's rule.
+//!
+//! A deliberately classic implementation: all variables are non-negative
+//! (times in our LPs are), constraints may be `≤`, `≥`, or `=`, and the
+//! solver minimizes. Phase 1 drives artificial variables to zero to find a
+//! basic feasible solution; phase 2 optimizes the real objective. Bland's
+//! smallest-index rule guarantees termination on degenerate instances at
+//! the cost of speed — acceptable for the initialization problems this
+//! crate serves.
+
+use crate::error::LpError;
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ coeffs·x ≤ rhs`.
+    Le,
+    /// `Σ coeffs·x ≥ rhs`.
+    Ge,
+    /// `Σ coeffs·x = rhs`.
+    Eq,
+}
+
+/// One linear constraint in sparse form.
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: Vec<(usize, f64)>,
+    rel: Relation,
+    rhs: f64,
+}
+
+/// Solver status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Status (always [`LpStatus::Optimal`]; failures are errors).
+    pub status: LpStatus,
+    /// Values of the structural variables.
+    pub x: Vec<f64>,
+    /// Objective value (minimization).
+    pub objective: f64,
+}
+
+/// A linear program over non-negative variables, to be minimized.
+///
+/// # Examples
+///
+/// ```
+/// use qni_lp::simplex::{LinearProgram, Relation};
+///
+/// // minimize x  s.t.  x >= 3.
+/// let mut lp = LinearProgram::new(1);
+/// lp.set_objective(&[1.0]);
+/// lp.add_constraint(&[(0, 1.0)], Relation::Ge, 3.0);
+/// assert!((lp.solve().unwrap().x[0] - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    num_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a program with `num_vars` non-negative variables and a zero
+    /// objective.
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the (minimization) objective coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn set_objective(&mut self, coeffs: &[f64]) {
+        assert_eq!(coeffs.len(), self.num_vars, "objective length mismatch");
+        self.objective.copy_from_slice(coeffs);
+    }
+
+    /// Sets a single objective coefficient.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.num_vars, "variable out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Adds a sparse constraint.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], rel: Relation, rhs: f64) {
+        debug_assert!(
+            coeffs.iter().all(|&(i, _)| i < self.num_vars),
+            "constraint references unknown variable"
+        );
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        Tableau::build(self)?.solve()
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// The dense simplex tableau.
+struct Tableau {
+    /// Rows: one per constraint. Columns: all variables then RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), same width as `rows` entries.
+    obj: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Total columns excluding RHS.
+    width: usize,
+    /// Structural variable count.
+    structural: usize,
+    /// Index of the first artificial column.
+    first_artificial: usize,
+    /// Original objective (padded to `width`).
+    costs: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Result<Tableau, LpError> {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+        // Count slack/surplus and artificial columns.
+        let mut num_slack = 0usize;
+        let mut num_art = 0usize;
+        for c in &lp.constraints {
+            match normalized_rel(c) {
+                Relation::Le => num_slack += 1,
+                Relation::Ge => {
+                    num_slack += 1;
+                    num_art += 1;
+                }
+                Relation::Eq => num_art += 1,
+            }
+        }
+        let width = n + num_slack + num_art;
+        let first_artificial = n + num_slack;
+        let mut rows = vec![vec![0.0; width + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_idx = first_artificial;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            // Normalize to rhs >= 0.
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(j, v) in &c.coeffs {
+                if j >= n {
+                    return Err(LpError::BadVariable { index: j });
+                }
+                rows[i][j] += sign * v;
+            }
+            rows[i][width] = sign * c.rhs;
+            let rel = normalized_rel(c);
+            match rel {
+                Relation::Le => {
+                    rows[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    rows[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        let mut costs = vec![0.0; width];
+        costs[..n].copy_from_slice(&lp.objective);
+        Ok(Tableau {
+            rows,
+            obj: vec![0.0; width + 1],
+            basis,
+            width,
+            structural: n,
+            first_artificial,
+            costs,
+        })
+    }
+
+    fn solve(mut self) -> Result<LpSolution, LpError> {
+        let has_artificials = self.first_artificial < self.width;
+        if has_artificials {
+            // Phase 1: minimize the sum of artificials.
+            let mut phase1 = vec![0.0; self.width];
+            for c in phase1.iter_mut().skip(self.first_artificial) {
+                *c = 1.0;
+            }
+            self.load_objective(&phase1);
+            self.iterate(self.width)?;
+            if self.obj[self.width] > EPS {
+                return Err(LpError::Infeasible);
+            }
+            // Drive any remaining artificial out of the basis.
+            for i in 0..self.rows.len() {
+                if self.basis[i] >= self.first_artificial {
+                    if let Some(j) = (0..self.first_artificial)
+                        .find(|&j| self.rows[i][j].abs() > EPS)
+                    {
+                        self.pivot(i, j);
+                    }
+                    // A row with no eligible pivot is redundant; its
+                    // artificial stays basic at value 0, harmless in
+                    // phase 2 because the column is excluded below.
+                }
+            }
+        }
+        // Phase 2 over structural + slack columns only.
+        let costs = self.costs.clone();
+        self.load_objective(&costs);
+        self.iterate(self.first_artificial)?;
+        let mut x = vec![0.0; self.structural];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.structural {
+                x[b] = self.rows[i][self.width];
+            }
+        }
+        Ok(LpSolution {
+            status: LpStatus::Optimal,
+            x,
+            objective: self.obj[self.width],
+        })
+    }
+
+    /// Loads an objective and reduces it against the current basis.
+    fn load_objective(&mut self, costs: &[f64]) {
+        let w = self.width;
+        self.obj[..w].copy_from_slice(costs);
+        self.obj[w] = 0.0;
+        for i in 0..self.rows.len() {
+            let cb = costs[self.basis[i]];
+            if cb != 0.0 {
+                for j in 0..=w {
+                    self.obj[j] -= cb * self.rows[i][j];
+                }
+            }
+        }
+        // Objective row holds reduced costs; obj[w] is −(current value).
+        // We store value directly by negating at read time; see iterate.
+    }
+
+    /// Runs simplex iterations over columns `< col_limit` (Bland's rule).
+    fn iterate(&mut self, col_limit: usize) -> Result<(), LpError> {
+        let max_iters = 50_000usize.max(100 * (self.rows.len() + self.width));
+        for _ in 0..max_iters {
+            // Entering column: smallest index with negative reduced cost.
+            let Some(enter) = (0..col_limit).find(|&j| self.obj[j] < -EPS) else {
+                // Optimal. Fix the sign convention of the stored value.
+                self.obj[self.width] = -self.obj[self.width];
+                return Ok(());
+            };
+            // Ratio test: smallest ratio; ties by smallest basis index
+            // (Bland).
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][enter];
+                if a > EPS {
+                    let ratio = self.rows[i][self.width] / a;
+                    let better = ratio < best - EPS
+                        || (ratio < best + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(leave, enter);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Pivots on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.width;
+        let p = self.rows[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on a zero element");
+        for j in 0..=w {
+            self.rows[row][j] /= p;
+        }
+        self.rows[row][col] = 1.0; // Exact.
+        for i in 0..self.rows.len() {
+            if i != row {
+                let f = self.rows[i][col];
+                if f != 0.0 {
+                    for j in 0..=w {
+                        self.rows[i][j] -= f * self.rows[row][j];
+                    }
+                    self.rows[i][col] = 0.0; // Exact.
+                }
+            }
+        }
+        let f = self.obj[col];
+        if f != 0.0 {
+            for j in 0..=w {
+                self.obj[j] -= f * self.rows[row][j];
+            }
+            self.obj[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+/// Relation after RHS normalization (`rhs < 0` flips Le/Ge).
+fn normalized_rel(c: &Constraint) -> Relation {
+    if c.rhs < 0.0 {
+        match c.rel {
+            Relation::Le => Relation::Ge,
+            Relation::Ge => Relation::Le,
+            Relation::Eq => Relation::Eq,
+        }
+    } else {
+        c.rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feasible(lp: &LinearProgram, x: &[f64]) -> bool {
+        lp.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(j, v)| v * x[j]).sum();
+            match c.rel {
+                Relation::Le => lhs <= c.rhs + 1e-7,
+                Relation::Ge => lhs >= c.rhs - 1e-7,
+                Relation::Eq => (lhs - c.rhs).abs() < 1e-7,
+            }
+        }) && x.iter().all(|&v| v >= -1e-7)
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 → x=2, y=6, obj=36.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-3.0, -5.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8, "x={:?}", sol.x);
+        assert!((sol.x[1] - 6.0).abs() < 1e-8);
+        assert!((sol.objective + 36.0).abs() < 1e-8);
+        assert!(feasible(&lp, &sol.x));
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // minimize 2x + 3y s.t. x + y = 10, x >= 4 → x=10,y=0? No:
+        // min at y=0 → wait cost of y is 3 > 2, so x=10, y=0, obj=20.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[2.0, 3.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 10.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 4.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 20.0).abs() < 1e-8, "obj={}", sol.objective);
+        assert!((sol.x[0] - 10.0).abs() < 1e-8);
+        assert!(feasible(&lp, &sol.x));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[1.0]);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        assert!(matches!(lp.solve(), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[-1.0]); // maximize x, no upper bound.
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 0.0);
+        assert!(matches!(lp.solve(), Err(LpError::Unbounded)));
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y <= -2 with x,y >= 0: means y >= x + 2.
+        // minimize y → x=0, y=2.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[0.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Le, -2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.x[1] - 2.0).abs() < 1e-8, "x={:?}", sol.x);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[-1.0, -1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(1, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(&[(0, 2.0), (1, 1.0)], Relation::Le, 2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // x + y = 3, x − y = 1 → x=2, y=1; objective irrelevant.
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+        assert!((sol.x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // Duplicate equality: must not break phase-1→2 transition.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[1.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn absolute_deviation_gadget() {
+        // minimize |x − 5| with x free-ish (x >= 0): model as
+        // x − 5 = p − n, minimize p + n.  Vars: x, p, n.
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(&[0.0, 1.0, 1.0]);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0), (2, 1.0)], Relation::Eq, 5.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 0.0).abs() < 1e-8);
+        assert!((sol.x[0] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bad_variable_index_rejected() {
+        let mut lp = LinearProgram::new(1);
+        lp.constraints.push(Constraint {
+            coeffs: vec![(5, 1.0)],
+            rel: Relation::Le,
+            rhs: 1.0,
+        });
+        assert!(matches!(lp.solve(), Err(LpError::BadVariable { index: 5 })));
+    }
+
+    #[test]
+    fn random_lps_are_locally_optimal() {
+        // For random feasible LPs (constraints x_i <= b_i, Σx <= B with a
+        // negative objective), compare against sampled feasible points.
+        use qni_stats::rng::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(77);
+        for trial in 0..25 {
+            let n = 3 + (trial % 3);
+            let mut lp = LinearProgram::new(n);
+            let costs: Vec<f64> = (0..n).map(|_| -(rng.random::<f64>() + 0.1)).collect();
+            lp.set_objective(&costs);
+            let caps: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 5.0 + 0.5).collect();
+            for (i, &c) in caps.iter().enumerate() {
+                lp.add_constraint(&[(i, 1.0)], Relation::Le, c);
+            }
+            let total: f64 = caps.iter().sum::<f64>() * 0.6;
+            let all: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+            lp.add_constraint(&all, Relation::Le, total);
+            let sol = lp.solve().unwrap();
+            assert!(feasible(&lp, &sol.x), "trial {trial}");
+            // Sampled feasible points can't beat the optimum.
+            for _ in 0..50 {
+                let x: Vec<f64> = caps.iter().map(|&c| rng.random::<f64>() * c).collect();
+                let sum: f64 = x.iter().sum();
+                if sum > total {
+                    continue;
+                }
+                let val: f64 = x.iter().zip(&costs).map(|(a, b)| a * b).sum();
+                assert!(val >= sol.objective - 1e-6, "trial {trial}");
+            }
+        }
+    }
+}

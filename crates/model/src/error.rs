@@ -1,0 +1,114 @@
+//! Error types for model construction and validation.
+
+use crate::ids::{EventId, QueueId, StateId, TaskId};
+use std::fmt;
+
+/// Errors raised while building or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An FSM row (transition or emission) does not sum to one.
+    UnnormalizedDistribution {
+        /// State whose distribution is invalid.
+        state: StateId,
+        /// The actual sum.
+        sum: f64,
+    },
+    /// A referenced state does not exist.
+    UnknownState(StateId),
+    /// A referenced queue does not exist.
+    UnknownQueue(QueueId),
+    /// A referenced task does not exist.
+    UnknownTask(TaskId),
+    /// A referenced event does not exist.
+    UnknownEvent(EventId),
+    /// A probability was outside `[0, 1]`.
+    BadProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// The FSM has no final (absorbing) state or it is unreachable.
+    NoFinalState,
+    /// The FSM's initial state is final, so tasks would visit no queue.
+    DegenerateFsm,
+    /// A queue parameter was invalid (e.g. non-positive rate).
+    BadQueueParameter {
+        /// Queue with the bad parameter.
+        queue: QueueId,
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// Emission assigned to the reserved initial queue `q0`.
+    EmissionToInitialQueue {
+        /// State with the offending emission.
+        state: StateId,
+    },
+    /// A task path was empty.
+    EmptyTask(TaskId),
+    /// A deterministic constraint of the event log is violated.
+    ConstraintViolation(crate::constraints::Violation),
+    /// A statistics-layer error bubbled up.
+    Stats(qni_stats::StatsError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnnormalizedDistribution { state, sum } => {
+                write!(f, "distribution for state {state} sums to {sum}, not 1")
+            }
+            ModelError::UnknownState(s) => write!(f, "unknown state {s}"),
+            ModelError::UnknownQueue(q) => write!(f, "unknown queue {q}"),
+            ModelError::UnknownTask(k) => write!(f, "unknown task {k}"),
+            ModelError::UnknownEvent(e) => write!(f, "unknown event {e}"),
+            ModelError::BadProbability { value } => write!(f, "invalid probability {value}"),
+            ModelError::NoFinalState => write!(f, "FSM has no reachable final state"),
+            ModelError::DegenerateFsm => {
+                write!(f, "FSM initial state is final; tasks visit no queue")
+            }
+            ModelError::BadQueueParameter { queue, what } => {
+                write!(f, "bad parameter for queue {queue}: {what}")
+            }
+            ModelError::EmissionToInitialQueue { state } => {
+                write!(f, "state {state} emits the reserved initial queue q0")
+            }
+            ModelError::EmptyTask(k) => write!(f, "task {k} has an empty path"),
+            ModelError::ConstraintViolation(v) => write!(f, "constraint violation: {v}"),
+            ModelError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<qni_stats::StatsError> for ModelError {
+    fn from(e: qni_stats::StatsError) -> Self {
+        ModelError::Stats(e)
+    }
+}
+
+impl From<crate::constraints::Violation> for ModelError {
+    fn from(v: crate::constraints::Violation) -> Self {
+        ModelError::ConstraintViolation(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::UnnormalizedDistribution {
+            state: StateId(2),
+            sum: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("s2") && s.contains("0.5"));
+    }
+
+    #[test]
+    fn stats_error_converts() {
+        let e: ModelError = qni_stats::StatsError::EmptyData.into();
+        assert!(matches!(e, ModelError::Stats(_)));
+    }
+}

@@ -1,0 +1,67 @@
+//! The event record: one queue visit by one task.
+
+use crate::ids::{QueueId, StateId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One event `e = (k_e, σ_e, q_e, a_e, d_e)`: task `k_e` entered FSM state
+/// `σ_e`, arrived at queue `q_e` at time `a_e`, waited, was serviced, and
+/// departed at time `d_e`.
+///
+/// Service and waiting times are *derived* quantities — they depend on the
+/// departure of the within-queue predecessor — and therefore live on
+/// [`crate::log::EventLog`], not here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// The task that changed state.
+    pub task: TaskId,
+    /// The FSM state the task entered.
+    pub state: StateId,
+    /// The queue the task arrived at.
+    pub queue: QueueId,
+    /// Arrival time at the queue.
+    pub arrival: f64,
+    /// Departure time from the queue (end of service).
+    pub departure: f64,
+}
+
+impl Event {
+    /// Total time the task spent at this queue (waiting + service).
+    pub fn response_time(&self) -> f64 {
+        self.departure - self.arrival
+    }
+
+    /// Whether this is a system-entry event at the virtual queue `q0`.
+    pub fn is_initial(&self) -> bool {
+        self.queue.is_initial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time() {
+        let e = Event {
+            task: TaskId(0),
+            state: StateId(1),
+            queue: QueueId(2),
+            arrival: 1.5,
+            departure: 4.0,
+        };
+        assert!((e.response_time() - 2.5).abs() < 1e-12);
+        assert!(!e.is_initial());
+    }
+
+    #[test]
+    fn initial_event_detection() {
+        let e = Event {
+            task: TaskId(0),
+            state: StateId(0),
+            queue: QueueId::INITIAL,
+            arrival: 0.0,
+            departure: 3.0,
+        };
+        assert!(e.is_initial());
+    }
+}

@@ -1,0 +1,474 @@
+//! The probabilistic finite-state machine that routes tasks.
+//!
+//! Per Section 2 of the paper, a task's passage through the system is a
+//! probabilistic FSM: after each transition `σ → σ′` (with probability
+//! `p(σ′|σ)`) the machine emits the next queue `q ~ p(q|σ′)`, the task is
+//! serviced there, and the process repeats until a *final* (absorbing)
+//! state is entered. The FSM is assumed known in advance — from a protocol
+//! or application architecture — and the inference machinery conditions on
+//! it.
+
+use crate::error::ModelError;
+use crate::ids::{QueueId, StateId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Guard against runaway path sampling in cyclic FSMs.
+const MAX_PATH_LEN: usize = 1_000_000;
+
+/// A task-routing finite-state machine.
+///
+/// Build one with [`FsmBuilder`], or use the convenience constructors
+/// [`Fsm::linear`] (deterministic queue sequence) and [`Fsm::tiered`]
+/// (load-balanced tiers, as in the paper's three-tier web service).
+///
+/// # Examples
+///
+/// ```
+/// use qni_model::fsm::Fsm;
+/// use qni_model::ids::QueueId;
+///
+/// let fsm = Fsm::linear(&[QueueId(1), QueueId(2)]).unwrap();
+/// assert_eq!(fsm.num_states(), 4); // initial, two stages, final.
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fsm {
+    names: Vec<String>,
+    initial: StateId,
+    /// Per state: outgoing transition distribution (empty iff final).
+    transitions: Vec<Vec<(StateId, f64)>>,
+    /// Per state: queue emission distribution (empty for initial/final).
+    emissions: Vec<Vec<(QueueId, f64)>>,
+    is_final: Vec<bool>,
+}
+
+impl Fsm {
+    /// Number of states, including initial and final.
+    pub fn num_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `s` is a final (absorbing) state.
+    pub fn is_final(&self, s: StateId) -> bool {
+        self.is_final[s.index()]
+    }
+
+    /// Human-readable state name.
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Outgoing transition distribution of `s`.
+    pub fn transitions_from(&self, s: StateId) -> &[(StateId, f64)] {
+        &self.transitions[s.index()]
+    }
+
+    /// Queue emission distribution of `s`.
+    pub fn emissions_from(&self, s: StateId) -> &[(QueueId, f64)] {
+        &self.emissions[s.index()]
+    }
+
+    /// Transition probability `p(to | from)`.
+    pub fn transition_prob(&self, from: StateId, to: StateId) -> f64 {
+        self.transitions[from.index()]
+            .iter()
+            .find(|(s, _)| *s == to)
+            .map_or(0.0, |(_, p)| *p)
+    }
+
+    /// Emission probability `p(queue | state)`.
+    pub fn emission_prob(&self, state: StateId, queue: QueueId) -> f64 {
+        self.emissions[state.index()]
+            .iter()
+            .find(|(q, _)| *q == queue)
+            .map_or(0.0, |(_, p)| *p)
+    }
+
+    /// Probability that `s` transitions directly into some final state.
+    pub fn completion_prob(&self, s: StateId) -> f64 {
+        self.transitions[s.index()]
+            .iter()
+            .filter(|(t, _)| self.is_final(*t))
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// Samples one task path: the sequence of `(state, queue)` visits
+    /// between system entry and completion.
+    ///
+    /// Errors with [`ModelError::NoFinalState`] if the walk exceeds an
+    /// internal step guard (which indicates an FSM whose absorbing states
+    /// are unreachable in practice).
+    pub fn sample_path<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<Vec<(StateId, QueueId)>, ModelError> {
+        let mut path = Vec::new();
+        let mut state = self.initial;
+        loop {
+            state = weighted_choice(&self.transitions[state.index()], rng);
+            if self.is_final(state) {
+                return Ok(path);
+            }
+            let queue = weighted_choice(&self.emissions[state.index()], rng);
+            path.push((state, queue));
+            if path.len() > MAX_PATH_LEN {
+                return Err(ModelError::NoFinalState);
+            }
+        }
+    }
+
+    /// Log-probability of a complete task path (including the final
+    /// transition into an absorbing state).
+    pub fn log_prob_path(&self, path: &[(StateId, QueueId)]) -> f64 {
+        let mut lp = 0.0;
+        let mut prev = self.initial;
+        for &(s, q) in path {
+            lp += self.transition_prob(prev, s).ln();
+            lp += self.emission_prob(s, q).ln();
+            prev = s;
+        }
+        lp + self.completion_prob(prev).ln()
+    }
+
+    /// Builds a deterministic FSM that visits the given queues in order.
+    pub fn linear(queues: &[QueueId]) -> Result<Fsm, ModelError> {
+        let tiers: Vec<Vec<(QueueId, f64)>> =
+            queues.iter().map(|&q| vec![(q, 1.0)]).collect();
+        Fsm::tiered_weighted(&tiers)
+    }
+
+    /// Builds a tiered FSM: one state per tier, visiting tiers in order,
+    /// choosing uniformly among each tier's queues.
+    ///
+    /// This is the paper's three-tier web-service structure (Figure 1) for
+    /// `tiers.len() == 3` with redundant servers per tier.
+    pub fn tiered(tiers: &[Vec<QueueId>]) -> Result<Fsm, ModelError> {
+        let weighted: Vec<Vec<(QueueId, f64)>> = tiers
+            .iter()
+            .map(|qs| {
+                let w = 1.0 / qs.len() as f64;
+                qs.iter().map(|&q| (q, w)).collect()
+            })
+            .collect();
+        Fsm::tiered_weighted(&weighted)
+    }
+
+    /// Builds a tiered FSM with explicit per-queue weights in each tier.
+    pub fn tiered_weighted(tiers: &[Vec<(QueueId, f64)>]) -> Result<Fsm, ModelError> {
+        let mut b = FsmBuilder::new();
+        let init = b.add_state("entry");
+        b.set_initial(init);
+        let mut prev = init;
+        for (i, tier) in tiers.iter().enumerate() {
+            let s = b.add_state(&format!("tier{}", i + 1));
+            b.add_transition(prev, s, 1.0);
+            for &(q, w) in tier {
+                b.add_emission(s, q, w);
+            }
+            prev = s;
+        }
+        let done = b.add_final_state("done");
+        b.add_transition(prev, done, 1.0);
+        b.build()
+    }
+}
+
+/// Samples from a discrete distribution given as `(value, weight)` pairs.
+fn weighted_choice<T: Copy, R: Rng + ?Sized>(pairs: &[(T, f64)], rng: &mut R) -> T {
+    debug_assert!(!pairs.is_empty());
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for &(v, w) in pairs {
+        acc += w;
+        if u < acc {
+            return v;
+        }
+    }
+    pairs.last().expect("non-empty distribution").0
+}
+
+/// Incremental builder for [`Fsm`].
+#[derive(Debug, Default)]
+pub struct FsmBuilder {
+    names: Vec<String>,
+    transitions: Vec<Vec<(StateId, f64)>>,
+    emissions: Vec<Vec<(QueueId, f64)>>,
+    is_final: Vec<bool>,
+    initial: Option<StateId>,
+}
+
+impl FsmBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        FsmBuilder::default()
+    }
+
+    /// Adds a non-final state and returns its id.
+    pub fn add_state(&mut self, name: &str) -> StateId {
+        self.push_state(name, false)
+    }
+
+    /// Adds a final (absorbing) state and returns its id.
+    pub fn add_final_state(&mut self, name: &str) -> StateId {
+        self.push_state(name, true)
+    }
+
+    fn push_state(&mut self, name: &str, is_final: bool) -> StateId {
+        let id = StateId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.transitions.push(Vec::new());
+        self.emissions.push(Vec::new());
+        self.is_final.push(is_final);
+        id
+    }
+
+    /// Marks the initial state.
+    pub fn set_initial(&mut self, s: StateId) {
+        self.initial = Some(s);
+    }
+
+    /// Adds a transition `from → to` with probability `p`.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, p: f64) {
+        self.transitions[from.index()].push((to, p));
+    }
+
+    /// Adds an emission `state → queue` with probability `p`.
+    pub fn add_emission(&mut self, state: StateId, queue: QueueId, p: f64) {
+        self.emissions[state.index()].push((queue, p));
+    }
+
+    /// Validates and builds the FSM.
+    ///
+    /// Checks: an initial state is set and is not final; every non-final
+    /// state's transition row sums to 1; every emitting state's emission
+    /// row sums to 1 and never targets the reserved `q0`; all probabilities
+    /// lie in `[0, 1]`; some final state is reachable from the initial
+    /// state.
+    pub fn build(self) -> Result<Fsm, ModelError> {
+        let initial = self.initial.ok_or(ModelError::NoFinalState)?;
+        if self.is_final[initial.index()] {
+            return Err(ModelError::DegenerateFsm);
+        }
+        let n = self.names.len();
+        for s in 0..n {
+            let sid = StateId::from_index(s);
+            for &(t, p) in &self.transitions[s] {
+                if t.index() >= n {
+                    return Err(ModelError::UnknownState(t));
+                }
+                if !(0.0..=1.0 + 1e-12).contains(&p) {
+                    return Err(ModelError::BadProbability { value: p });
+                }
+            }
+            for &(q, p) in &self.emissions[s] {
+                if q.is_initial() {
+                    return Err(ModelError::EmissionToInitialQueue { state: sid });
+                }
+                if !(0.0..=1.0 + 1e-12).contains(&p) {
+                    return Err(ModelError::BadProbability { value: p });
+                }
+            }
+            if !self.is_final[s] {
+                let sum: f64 = self.transitions[s].iter().map(|(_, p)| p).sum();
+                if (sum - 1.0).abs() > 1e-9 {
+                    return Err(ModelError::UnnormalizedDistribution { state: sid, sum });
+                }
+            }
+            // Emitting states: any state that can be *entered* (non-initial,
+            // non-final) must emit a queue.
+            if !self.is_final[s] && sid != initial {
+                let sum: f64 = self.emissions[s].iter().map(|(_, p)| p).sum();
+                if (sum - 1.0).abs() > 1e-9 {
+                    return Err(ModelError::UnnormalizedDistribution { state: sid, sum });
+                }
+            }
+        }
+        // Reachability of a final state (BFS).
+        let mut seen = vec![false; n];
+        let mut stack = vec![initial];
+        seen[initial.index()] = true;
+        let mut final_reachable = false;
+        while let Some(s) = stack.pop() {
+            if self.is_final[s.index()] {
+                final_reachable = true;
+                break;
+            }
+            for &(t, p) in &self.transitions[s.index()] {
+                if p > 0.0 && !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        if !final_reachable {
+            return Err(ModelError::NoFinalState);
+        }
+        Ok(Fsm {
+            names: self.names,
+            initial,
+            transitions: self.transitions,
+            emissions: self.emissions,
+            is_final: self.is_final,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_stats::rng::rng_from_seed;
+
+    fn two_stage() -> Fsm {
+        Fsm::linear(&[QueueId(1), QueueId(2)]).unwrap()
+    }
+
+    #[test]
+    fn linear_fsm_shape() {
+        let f = two_stage();
+        assert_eq!(f.num_states(), 4);
+        assert!(!f.is_final(f.initial()));
+        let path = f.sample_path(&mut rng_from_seed(1)).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].1, QueueId(1));
+        assert_eq!(path[1].1, QueueId(2));
+    }
+
+    #[test]
+    fn linear_fsm_path_prob_is_one() {
+        let f = two_stage();
+        let path = f.sample_path(&mut rng_from_seed(2)).unwrap();
+        assert!((f.log_prob_path(&path) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiered_fsm_balances_uniformly() {
+        let f = Fsm::tiered(&[vec![QueueId(1), QueueId(2)], vec![QueueId(3)]]).unwrap();
+        let mut rng = rng_from_seed(3);
+        let mut count_q1 = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let p = f.sample_path(&mut rng).unwrap();
+            assert_eq!(p.len(), 2);
+            assert_eq!(p[1].1, QueueId(3));
+            if p[0].1 == QueueId(1) {
+                count_q1 += 1;
+            }
+        }
+        let frac = count_q1 as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn tiered_weighted_respects_weights() {
+        let f = Fsm::tiered_weighted(&[vec![(QueueId(1), 0.9), (QueueId(2), 0.1)]]).unwrap();
+        let mut rng = rng_from_seed(4);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| f.sample_path(&mut rng).unwrap()[0].1 == QueueId(1))
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn log_prob_of_tiered_path() {
+        let f = Fsm::tiered(&[vec![QueueId(1), QueueId(2)]]).unwrap();
+        let mut rng = rng_from_seed(5);
+        let p = f.sample_path(&mut rng).unwrap();
+        // One uniform choice among two queues: log(1/2).
+        assert!((f.log_prob_path(&p) - 0.5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_unnormalized_transitions() {
+        let mut b = FsmBuilder::new();
+        let i = b.add_state("i");
+        let s = b.add_state("s");
+        let f = b.add_final_state("f");
+        b.set_initial(i);
+        b.add_transition(i, s, 0.5); // Missing half the mass.
+        b.add_transition(s, f, 1.0);
+        b.add_emission(s, QueueId(1), 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::UnnormalizedDistribution { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_emission_to_q0() {
+        let mut b = FsmBuilder::new();
+        let i = b.add_state("i");
+        let s = b.add_state("s");
+        let f = b.add_final_state("f");
+        b.set_initial(i);
+        b.add_transition(i, s, 1.0);
+        b.add_transition(s, f, 1.0);
+        b.add_emission(s, QueueId::INITIAL, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::EmissionToInitialQueue { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_unreachable_final() {
+        let mut b = FsmBuilder::new();
+        let i = b.add_state("i");
+        let s = b.add_state("s");
+        let _f = b.add_final_state("f");
+        b.set_initial(i);
+        b.add_transition(i, s, 1.0);
+        b.add_transition(s, i, 1.0);
+        b.add_emission(s, QueueId(1), 1.0);
+        b.add_emission(i, QueueId(1), 1.0);
+        assert!(matches!(b.build(), Err(ModelError::NoFinalState)));
+    }
+
+    #[test]
+    fn builder_rejects_final_initial() {
+        let mut b = FsmBuilder::new();
+        let i = b.add_final_state("i");
+        b.set_initial(i);
+        assert!(matches!(b.build(), Err(ModelError::DegenerateFsm)));
+    }
+
+    #[test]
+    fn cyclic_fsm_samples_geometric_lengths() {
+        // State s loops back to itself with probability 0.5.
+        let mut b = FsmBuilder::new();
+        let i = b.add_state("i");
+        let s = b.add_state("s");
+        let f = b.add_final_state("f");
+        b.set_initial(i);
+        b.add_transition(i, s, 1.0);
+        b.add_transition(s, s, 0.5);
+        b.add_transition(s, f, 0.5);
+        b.add_emission(s, QueueId(1), 1.0);
+        let fsm = b.build().unwrap();
+        let mut rng = rng_from_seed(6);
+        let n = 10_000;
+        let total: usize = (0..n)
+            .map(|_| fsm.sample_path(&mut rng).unwrap().len())
+            .sum();
+        let mean = total as f64 / n as f64;
+        // Geometric with success 0.5 starting at 1: mean 2.
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn completion_prob() {
+        let f = two_stage();
+        // The last tier state transitions to final w.p. 1.
+        let path = f.sample_path(&mut rng_from_seed(7)).unwrap();
+        let last_state = path.last().unwrap().0;
+        assert_eq!(f.completion_prob(last_state), 1.0);
+        assert_eq!(f.completion_prob(f.initial()), 0.0);
+    }
+}

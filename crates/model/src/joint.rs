@@ -1,0 +1,224 @@
+//! The joint log-density of an event set — Equation (1) of the paper.
+//!
+//! ```text
+//! p(E) = Π_e  1{a_e = d_{π(e)}} · 1{d_e = s_e + max(a_e, d_{ρ(e)})}
+//!             · p(s_e | q_e) · p(q_e | σ_e) · p(σ_e | σ_{π(e)})
+//! ```
+//!
+//! The indicator factors are enforced structurally by
+//! [`crate::constraints::validate`]; this module evaluates the continuous
+//! and discrete factors. Initial events contribute only their service
+//! factor (under `q0`'s law, i.e. the interarrival density); each task
+//! additionally contributes the probability of its final transition into
+//! an absorbing state.
+
+use crate::error::ModelError;
+use crate::ids::TaskId;
+use crate::log::EventLog;
+use crate::network::QueueingNetwork;
+use qni_stats::distributions::ServiceDistribution;
+use qni_stats::exponential::Exponential;
+
+/// Log-density of the service factors only: `Σ_e log p(s_e | q_e)`.
+///
+/// This is the part of Eq. (1) that depends on the continuous times, and
+/// hence the quantity tracked across Gibbs sweeps.
+pub fn service_log_likelihood(
+    log: &EventLog,
+    net: &QueueingNetwork,
+) -> Result<f64, ModelError> {
+    let mut total = 0.0;
+    for e in log.event_ids() {
+        let q = log.queue_of(e);
+        let s = log.service_time(e);
+        total += service_log_pdf(net.service(q)?, s);
+    }
+    Ok(total)
+}
+
+/// Log-density of the FSM factors: `Σ_e log p(q_e|σ_e) p(σ_e|σ_{π(e)})`
+/// plus each task's final-transition probability.
+pub fn path_log_probability(log: &EventLog, net: &QueueingNetwork) -> f64 {
+    let fsm = net.fsm();
+    let mut total = 0.0;
+    for k in 0..log.num_tasks() {
+        let events = log.task_events(TaskId::from_index(k));
+        let mut prev_state = fsm.initial();
+        for &e in &events[1..] {
+            let s = log.state_of(e);
+            total += fsm.transition_prob(prev_state, s).ln();
+            total += fsm.emission_prob(s, log.queue_of(e)).ln();
+            prev_state = s;
+        }
+        total += fsm.completion_prob(prev_state).ln();
+    }
+    total
+}
+
+/// Full joint log-density of Eq. (1): service factors + FSM factors.
+///
+/// Returns `-inf` if any deterministic constraint is violated (checked via
+/// [`crate::constraints::validate`]).
+pub fn joint_log_density(log: &EventLog, net: &QueueingNetwork) -> Result<f64, ModelError> {
+    if crate::constraints::validate(log).is_err() {
+        return Ok(f64::NEG_INFINITY);
+    }
+    Ok(service_log_likelihood(log, net)? + path_log_probability(log, net))
+}
+
+/// Log-pdf of a service time under a service distribution.
+fn service_log_pdf(dist: &ServiceDistribution, s: f64) -> f64 {
+    match dist {
+        ServiceDistribution::Exponential(e) => e.log_pdf(s),
+        // Non-exponential laws are supported by the simulator but the
+        // inference layer is exponential-only; evaluate densities where a
+        // closed form exists and fall back to -inf boundary handling.
+        ServiceDistribution::Deterministic { value } => {
+            if (s - value).abs() < 1e-12 {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+        ServiceDistribution::Erlang { k, rate } => {
+            if s < 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            let k = *k as i32;
+            let lgamma = ln_factorial((k - 1) as u64);
+            f64::from(k) * rate.ln() + f64::from(k - 1) * s.ln() - rate * s - lgamma
+        }
+        ServiceDistribution::HyperExponential { weights, rates } => {
+            let parts: Vec<f64> = weights
+                .iter()
+                .zip(rates)
+                .map(|(w, r)| {
+                    w.ln()
+                        + Exponential::new(*r)
+                            .map(|e| e.log_pdf(s))
+                            .unwrap_or(f64::NEG_INFINITY)
+                })
+                .collect();
+            qni_stats::logspace::log_sum_exp(&parts)
+        }
+        ServiceDistribution::LogNormal { mu, sigma } => {
+            if s <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            let z = (s.ln() - mu) / sigma;
+            -0.5 * z * z - s.ln() - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+        }
+    }
+}
+
+/// `ln(n!)` by direct summation (exact for the small stage counts used by
+/// Erlang service laws).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// The exponential-network special case: log-likelihood as a function of
+/// per-queue rates, given sufficient statistics. Used to verify that the
+/// M-step maximizes this expression.
+pub fn mm1_log_likelihood(stats: &[(usize, f64)], rates: &[f64]) -> f64 {
+    stats
+        .iter()
+        .zip(rates)
+        .map(|(&(n, sum), &r)| n as f64 * r.ln() - r * sum)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::Fsm;
+    use crate::ids::{QueueId, StateId};
+    use crate::log::EventLogBuilder;
+
+    fn setup() -> (EventLog, QueueingNetwork) {
+        let fsm = Fsm::linear(&[QueueId(1)]).unwrap();
+        let net = QueueingNetwork::mm1(2.0, &[("a", 4.0)], fsm).unwrap();
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        // Entry at 0.5, service 0.5 → 0.8.
+        b.add_task(0.5, &[(StateId(1), QueueId(1), 0.5, 0.8)])
+            .unwrap();
+        (b.build().unwrap(), net)
+    }
+
+    #[test]
+    fn service_likelihood_hand_computed() {
+        let (log, net) = setup();
+        // q0 event: service 0.5 under Exp(2): ln2 − 2·0.5.
+        // q1 event: service 0.3 under Exp(4): ln4 − 4·0.3.
+        let expect = (2.0f64.ln() - 1.0) + (4.0f64.ln() - 1.2);
+        let got = service_log_likelihood(&log, &net).unwrap();
+        assert!((got - expect).abs() < 1e-12, "got={got}, expect={expect}");
+    }
+
+    #[test]
+    fn path_probability_deterministic_fsm_is_zero() {
+        let (log, net) = setup();
+        assert!((path_log_probability(&log, &net) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_includes_both_factors() {
+        let (log, net) = setup();
+        let j = joint_log_density(&log, &net).unwrap();
+        let s = service_log_likelihood(&log, &net).unwrap();
+        assert!((j - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_is_neg_inf_for_invalid_log() {
+        let (mut log, net) = setup();
+        let e = log.task_events(TaskId(0))[1];
+        log.set_final_departure(e, 0.1); // Negative service.
+        assert_eq!(joint_log_density(&log, &net).unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn tiered_fsm_path_probability() {
+        let fsm = Fsm::tiered(&[vec![QueueId(1), QueueId(2)]]).unwrap();
+        let net = QueueingNetwork::mm1(1.0, &[("a", 1.0), ("b", 1.0)], fsm).unwrap();
+        let mut b = EventLogBuilder::new(3, StateId(0));
+        b.add_task(0.5, &[(StateId(1), QueueId(2), 0.5, 0.9)])
+            .unwrap();
+        let log = b.build().unwrap();
+        // One emission choice of probability 1/2.
+        let lp = path_log_probability(&log, &net);
+        assert!((lp - 0.5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_likelihood_peaks_at_mle() {
+        let stats = vec![(10usize, 2.0f64), (5usize, 10.0f64)];
+        let mle: Vec<f64> = stats.iter().map(|&(n, s)| n as f64 / s).collect();
+        let at_mle = mm1_log_likelihood(&stats, &mle);
+        for scale in [0.5, 0.9, 1.1, 2.0] {
+            let perturbed: Vec<f64> = mle.iter().map(|r| r * scale).collect();
+            assert!(mm1_log_likelihood(&stats, &perturbed) < at_mle);
+        }
+    }
+
+    #[test]
+    fn erlang_log_pdf_matches_exponential_when_k1() {
+        let d1 = ServiceDistribution::erlang(1, 3.0).unwrap();
+        let e = Exponential::new(3.0).unwrap();
+        for &s in &[0.1, 0.5, 2.0] {
+            assert!((super::service_log_pdf(&d1, s) - e.log_pdf(s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lognormal_log_pdf_integrates_to_one() {
+        let d = ServiceDistribution::log_normal(0.0, 0.7).unwrap();
+        let n = 40_000;
+        let h = 30.0 / n as f64;
+        let mut acc = 0.0;
+        for i in 1..n {
+            acc += super::service_log_pdf(&d, i as f64 * h).exp() * h;
+        }
+        assert!((acc - 1.0).abs() < 1e-3, "integral={acc}");
+    }
+}

@@ -1,0 +1,224 @@
+//! The queueing network: queue metadata plus the routing FSM.
+
+use crate::error::ModelError;
+use crate::fsm::Fsm;
+use crate::ids::QueueId;
+use qni_stats::distributions::ServiceDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one queue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueInfo {
+    /// Human-readable name.
+    pub name: String,
+    /// Service-time distribution. Exponential for M/M/1 queues.
+    pub service: ServiceDistribution,
+}
+
+impl QueueInfo {
+    /// Creates queue metadata.
+    pub fn new(name: impl Into<String>, service: ServiceDistribution) -> Self {
+        QueueInfo {
+            name: name.into(),
+            service,
+        }
+    }
+}
+
+/// A network of FIFO single-server queues with FSM routing.
+///
+/// Queue 0 is always the virtual initial queue `q0`; its "service"
+/// distribution is the system interarrival law, so for an M/M/1 network
+/// `q0` is exponential with the arrival rate λ.
+///
+/// # Examples
+///
+/// ```
+/// use qni_model::network::QueueingNetwork;
+/// use qni_model::fsm::Fsm;
+/// use qni_model::ids::QueueId;
+///
+/// let fsm = Fsm::linear(&[QueueId(1)]).unwrap();
+/// let net = QueueingNetwork::mm1(2.0, &[("server", 5.0)], fsm).unwrap();
+/// assert_eq!(net.arrival_rate().unwrap(), 2.0);
+/// assert_eq!(net.service_rate(QueueId(1)).unwrap(), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueueingNetwork {
+    queues: Vec<QueueInfo>,
+    fsm: Fsm,
+}
+
+impl QueueingNetwork {
+    /// Builds a network from explicit queue metadata (`q0` excluded; it is
+    /// created internally from `arrival`).
+    pub fn new(
+        arrival: ServiceDistribution,
+        queues: Vec<QueueInfo>,
+        fsm: Fsm,
+    ) -> Result<Self, ModelError> {
+        let mut all = Vec::with_capacity(queues.len() + 1);
+        all.push(QueueInfo::new("q0(arrivals)", arrival));
+        all.extend(queues);
+        // Every queue the FSM can emit must exist.
+        for s in 0..fsm.num_states() {
+            for &(q, _) in fsm.emissions_from(crate::ids::StateId::from_index(s)) {
+                if q.index() >= all.len() {
+                    return Err(ModelError::UnknownQueue(q));
+                }
+            }
+        }
+        Ok(QueueingNetwork { queues: all, fsm })
+    }
+
+    /// Builds an M/M/1 network: Poisson arrivals at rate `lambda`,
+    /// exponential service at the given named rates.
+    pub fn mm1(lambda: f64, rates: &[(&str, f64)], fsm: Fsm) -> Result<Self, ModelError> {
+        let arrival = ServiceDistribution::exponential(lambda)?;
+        let queues = rates
+            .iter()
+            .map(|(name, r)| Ok(QueueInfo::new(*name, ServiceDistribution::exponential(*r)?)))
+            .collect::<Result<Vec<_>, ModelError>>()?;
+        QueueingNetwork::new(arrival, queues, fsm)
+    }
+
+    /// Number of queues including `q0`.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The routing FSM.
+    pub fn fsm(&self) -> &Fsm {
+        &self.fsm
+    }
+
+    /// Queue metadata.
+    pub fn queue(&self, q: QueueId) -> Result<&QueueInfo, ModelError> {
+        self.queues.get(q.index()).ok_or(ModelError::UnknownQueue(q))
+    }
+
+    /// Human-readable queue name.
+    pub fn queue_name(&self, q: QueueId) -> &str {
+        self.queues
+            .get(q.index())
+            .map_or("<unknown>", |i| i.name.as_str())
+    }
+
+    /// Service distribution of a queue.
+    pub fn service(&self, q: QueueId) -> Result<&ServiceDistribution, ModelError> {
+        Ok(&self.queue(q)?.service)
+    }
+
+    /// Exponential service rate of a queue; errors for non-exponential
+    /// queues (the Gibbs sampler requires M/M/1).
+    pub fn service_rate(&self, q: QueueId) -> Result<f64, ModelError> {
+        match &self.queue(q)?.service {
+            ServiceDistribution::Exponential(e) => Ok(e.rate()),
+            _ => Err(ModelError::BadQueueParameter {
+                queue: q,
+                what: "queue service is not exponential",
+            }),
+        }
+    }
+
+    /// System arrival rate λ (= `q0`'s exponential rate).
+    pub fn arrival_rate(&self) -> Result<f64, ModelError> {
+        self.service_rate(QueueId::INITIAL)
+    }
+
+    /// All exponential rates indexed by queue (including `q0` = λ).
+    pub fn rates(&self) -> Result<Vec<f64>, ModelError> {
+        (0..self.num_queues())
+            .map(|i| self.service_rate(QueueId::from_index(i)))
+            .collect()
+    }
+
+    /// Replaces the service distribution of a queue with an exponential of
+    /// the given rate.
+    pub fn set_exponential_rate(&mut self, q: QueueId, rate: f64) -> Result<(), ModelError> {
+        if q.index() >= self.queues.len() {
+            return Err(ModelError::UnknownQueue(q));
+        }
+        self.queues[q.index()].service = ServiceDistribution::exponential(rate)?;
+        Ok(())
+    }
+
+    /// Replaces the service distribution of a queue.
+    pub fn set_service(
+        &mut self,
+        q: QueueId,
+        service: ServiceDistribution,
+    ) -> Result<(), ModelError> {
+        if q.index() >= self.queues.len() {
+            return Err(ModelError::UnknownQueue(q));
+        }
+        self.queues[q.index()].service = service;
+        Ok(())
+    }
+
+    /// Whether every queue (including arrivals) is exponential, i.e. the
+    /// network is M/M/1 and the Gibbs sampler applies exactly.
+    pub fn is_mm1(&self) -> bool {
+        self.queues
+            .iter()
+            .all(|q| matches!(q.service, ServiceDistribution::Exponential(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::StateId;
+
+    fn tiny() -> QueueingNetwork {
+        let fsm = Fsm::linear(&[QueueId(1), QueueId(2)]).unwrap();
+        QueueingNetwork::mm1(10.0, &[("a", 5.0), ("b", 7.0)], fsm).unwrap()
+    }
+
+    #[test]
+    fn mm1_constructor() {
+        let net = tiny();
+        assert_eq!(net.num_queues(), 3);
+        assert_eq!(net.arrival_rate().unwrap(), 10.0);
+        assert_eq!(net.service_rate(QueueId(2)).unwrap(), 7.0);
+        assert_eq!(net.queue_name(QueueId(1)), "a");
+        assert!(net.is_mm1());
+        assert_eq!(net.rates().unwrap(), vec![10.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn fsm_emission_must_reference_existing_queue() {
+        let fsm = Fsm::linear(&[QueueId(5)]).unwrap();
+        let err = QueueingNetwork::mm1(1.0, &[("only", 2.0)], fsm);
+        assert!(matches!(err, Err(ModelError::UnknownQueue(QueueId(5)))));
+    }
+
+    #[test]
+    fn set_rate_and_non_mm1_detection() {
+        let mut net = tiny();
+        net.set_exponential_rate(QueueId(1), 9.0).unwrap();
+        assert_eq!(net.service_rate(QueueId(1)).unwrap(), 9.0);
+        net.set_service(
+            QueueId(1),
+            ServiceDistribution::deterministic(0.1).unwrap(),
+        )
+        .unwrap();
+        assert!(!net.is_mm1());
+        assert!(net.service_rate(QueueId(1)).is_err());
+        assert!(net.rates().is_err());
+    }
+
+    #[test]
+    fn unknown_queue_errors() {
+        let net = tiny();
+        assert!(net.queue(QueueId(99)).is_err());
+        let mut net = tiny();
+        assert!(net.set_exponential_rate(QueueId(99), 1.0).is_err());
+    }
+
+    #[test]
+    fn fsm_accessor_round_trip() {
+        let net = tiny();
+        assert_eq!(net.fsm().initial(), StateId(0));
+    }
+}

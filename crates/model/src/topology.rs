@@ -1,0 +1,211 @@
+//! Builders for the network topologies used in the paper.
+//!
+//! - [`single_queue`]: one M/M/1 queue (the textbook case, used heavily in
+//!   validation against analytic formulas).
+//! - [`tandem`]: a chain of queues visited in order.
+//! - [`three_tier`]: the paper's Figure 1 — a web service with redundant
+//!   servers per tier and optional network queues at entry and exit.
+
+use crate::error::ModelError;
+use crate::fsm::Fsm;
+use crate::ids::QueueId;
+use crate::network::QueueingNetwork;
+
+/// A constructed network together with its logical structure.
+#[derive(Debug, Clone)]
+pub struct Blueprint {
+    /// The network (queue 0 is `q0`).
+    pub network: QueueingNetwork,
+    /// Queues grouped by tier, in visit order (network queues excluded).
+    pub tiers: Vec<Vec<QueueId>>,
+    /// Entry/exit network queues, if any.
+    pub network_queues: Vec<QueueId>,
+}
+
+/// Builds a single M/M/1 queue with arrival rate `lambda` and service rate
+/// `mu`.
+pub fn single_queue(lambda: f64, mu: f64) -> Result<Blueprint, ModelError> {
+    let fsm = Fsm::linear(&[QueueId(1)])?;
+    let network = QueueingNetwork::mm1(lambda, &[("server", mu)], fsm)?;
+    Ok(Blueprint {
+        network,
+        tiers: vec![vec![QueueId(1)]],
+        network_queues: vec![],
+    })
+}
+
+/// Builds a tandem network: queues with the given rates visited in order.
+pub fn tandem(lambda: f64, rates: &[f64]) -> Result<Blueprint, ModelError> {
+    if rates.is_empty() {
+        return Err(ModelError::BadQueueParameter {
+            queue: QueueId(1),
+            what: "tandem needs at least one queue",
+        });
+    }
+    let queues: Vec<QueueId> = (1..=rates.len()).map(QueueId::from_index).collect();
+    let fsm = Fsm::linear(&queues)?;
+    let named: Vec<(String, f64)> = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (format!("stage{}", i + 1), r))
+        .collect();
+    let refs: Vec<(&str, f64)> = named.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+    let network = QueueingNetwork::mm1(lambda, &refs, fsm)?;
+    Ok(Blueprint {
+        network,
+        tiers: queues.into_iter().map(|q| vec![q]).collect(),
+        network_queues: vec![],
+    })
+}
+
+/// Builds the paper's three-tier (or n-tier) web service of Figure 1.
+///
+/// Each entry of `tier_sizes` is the number of redundant servers in that
+/// tier; each server is one queue with exponential rate `mu`, and tasks
+/// choose a server uniformly at random (the FSM emission). With
+/// `with_network`, a network queue is visited before the first tier and
+/// after the last (rate `mu` as well; adjust afterwards with
+/// [`QueueingNetwork::set_exponential_rate`]).
+///
+/// The synthetic experiments of §5.1 use `with_network = false` and
+/// `lambda = 10, mu = 5`, so that a one-server tier is heavily overloaded,
+/// a two-server tier barely overloaded, and a four-server tier moderately
+/// loaded.
+pub fn three_tier(
+    lambda: f64,
+    mu: f64,
+    tier_sizes: &[usize],
+    with_network: bool,
+) -> Result<Blueprint, ModelError> {
+    if tier_sizes.is_empty() || tier_sizes.contains(&0) {
+        return Err(ModelError::BadQueueParameter {
+            queue: QueueId(1),
+            what: "every tier needs at least one server",
+        });
+    }
+    let mut names: Vec<String> = Vec::new();
+    let mut tiers: Vec<Vec<QueueId>> = Vec::new();
+    let mut network_queues: Vec<QueueId> = Vec::new();
+    // Queue ids start at 1 (0 is q0).
+    let mut next = 1usize;
+    let mut alloc = |count: usize, label: &str, names: &mut Vec<String>| -> Vec<QueueId> {
+        let ids: Vec<QueueId> = (next..next + count).map(QueueId::from_index).collect();
+        for i in 0..count {
+            names.push(if count == 1 {
+                label.to_owned()
+            } else {
+                format!("{label}{}", i + 1)
+            });
+        }
+        next += count;
+        ids
+    };
+    let net_in = if with_network {
+        let ids = alloc(1, "net-in", &mut names);
+        network_queues.extend(&ids);
+        Some(ids[0])
+    } else {
+        None
+    };
+    for (t, &size) in tier_sizes.iter().enumerate() {
+        let ids = alloc(size, &format!("tier{}-srv", t + 1), &mut names);
+        tiers.push(ids);
+    }
+    let net_out = if with_network {
+        let ids = alloc(1, "net-out", &mut names);
+        network_queues.extend(&ids);
+        Some(ids[0])
+    } else {
+        None
+    };
+    // Visit order: [net_in], tier1..tierN, [net_out].
+    let mut visit_tiers: Vec<Vec<QueueId>> = Vec::new();
+    if let Some(q) = net_in {
+        visit_tiers.push(vec![q]);
+    }
+    visit_tiers.extend(tiers.iter().cloned());
+    if let Some(q) = net_out {
+        visit_tiers.push(vec![q]);
+    }
+    let fsm = Fsm::tiered(&visit_tiers)?;
+    let rates: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), mu)).collect();
+    let network = QueueingNetwork::mm1(lambda, &rates, fsm)?;
+    Ok(Blueprint {
+        network,
+        tiers,
+        network_queues,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn single_queue_shape() {
+        let b = single_queue(2.0, 5.0).unwrap();
+        assert_eq!(b.network.num_queues(), 2);
+        assert_eq!(b.tiers, vec![vec![QueueId(1)]]);
+    }
+
+    #[test]
+    fn tandem_shape_and_routing() {
+        let b = tandem(1.0, &[3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(b.network.num_queues(), 4);
+        let path = b.network.fsm().sample_path(&mut rng_from_seed(1)).unwrap();
+        let queues: Vec<QueueId> = path.iter().map(|&(_, q)| q).collect();
+        assert_eq!(queues, vec![QueueId(1), QueueId(2), QueueId(3)]);
+        assert!(tandem(1.0, &[]).is_err());
+    }
+
+    #[test]
+    fn three_tier_paper_config() {
+        // §5.1 example structure: (1, 2, 4) servers.
+        let b = three_tier(10.0, 5.0, &[1, 2, 4], false).unwrap();
+        assert_eq!(b.network.num_queues(), 1 + 7);
+        assert_eq!(b.tiers.len(), 3);
+        assert_eq!(b.tiers[0].len(), 1);
+        assert_eq!(b.tiers[1].len(), 2);
+        assert_eq!(b.tiers[2].len(), 4);
+        assert!(b.network_queues.is_empty());
+        // Every sampled path visits exactly one server per tier.
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let path = b.network.fsm().sample_path(&mut rng).unwrap();
+            assert_eq!(path.len(), 3);
+            for (i, &(_, q)) in path.iter().enumerate() {
+                assert!(b.tiers[i].contains(&q), "queue {q} not in tier {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_tier_with_network_queues() {
+        let b = three_tier(1.0, 5.0, &[2, 1, 2], true).unwrap();
+        assert_eq!(b.network_queues.len(), 2);
+        assert_eq!(b.network.num_queues(), 1 + 2 + 5);
+        let path = b.network.fsm().sample_path(&mut rng_from_seed(3)).unwrap();
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[0].1, b.network_queues[0]);
+        assert_eq!(path[4].1, b.network_queues[1]);
+        assert_eq!(b.network.queue_name(b.network_queues[0]), "net-in");
+    }
+
+    #[test]
+    fn three_tier_rejects_empty_tier() {
+        assert!(three_tier(1.0, 1.0, &[2, 0, 1], false).is_err());
+        assert!(three_tier(1.0, 1.0, &[], false).is_err());
+    }
+
+    #[test]
+    fn queue_names_are_distinct() {
+        let b = three_tier(1.0, 5.0, &[2, 2, 2], true).unwrap();
+        let mut names: Vec<String> = (0..b.network.num_queues())
+            .map(|i| b.network.queue_name(QueueId::from_index(i)).to_owned())
+            .collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), b.network.num_queues());
+    }
+}

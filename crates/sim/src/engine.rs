@@ -1,0 +1,439 @@
+//! The discrete-event engine.
+//!
+//! A straightforward calendar-queue simulator specialized to FIFO
+//! single-server queues with FSM routing. Each task's route is sampled
+//! from the network's FSM when the task enters; arrivals and service
+//! completions are processed in global time order; the full ground-truth
+//! trace is returned as a [`qni_model::EventLog`] (with the paper's
+//! initial-event convention applied).
+
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::workload::Workload;
+use qni_model::ids::{QueueId, StateId};
+use qni_model::log::{EventLog, EventLogBuilder};
+use qni_model::network::QueueingNetwork;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Default cap on processed calendar entries, guarding against runaway
+/// configurations (e.g. an FSM with a near-1 self-loop under heavy load).
+pub const DEFAULT_EVENT_BUDGET: usize = 50_000_000;
+
+/// A calendar entry. Ordered by time, then by insertion sequence so that
+/// simultaneous entries are processed deterministically in FIFO order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Entry {
+    /// Task arrives at the `visit`-th queue on its route.
+    Arrival { task: usize, visit: usize },
+    /// The queue finishes serving its current task.
+    ServiceComplete { queue: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    entry: Entry,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Per-queue run-time state.
+#[derive(Debug, Default)]
+struct QueueState {
+    /// Tasks waiting, FIFO. Entries are `(task, visit)`.
+    waiting: VecDeque<(usize, usize)>,
+    /// The task currently in service, if any.
+    in_service: Option<(usize, usize)>,
+}
+
+/// Recorded times for one visit of one task.
+#[derive(Debug, Clone, Copy)]
+struct VisitRecord {
+    state: StateId,
+    queue: QueueId,
+    arrival: f64,
+    departure: f64,
+}
+
+/// The simulator.
+///
+/// Holds a reference to the network; [`Simulator::run`] is reentrant and
+/// deterministic given the RNG.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    network: &'a QueueingNetwork,
+    faults: FaultPlan,
+    event_budget: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for a network.
+    pub fn new(network: &'a QueueingNetwork) -> Self {
+        Simulator {
+            network,
+            faults: FaultPlan::none(),
+            event_budget: DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the event budget.
+    pub fn with_event_budget(mut self, budget: usize) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Runs the workload to completion and returns the ground-truth log.
+    ///
+    /// Every generated task is simulated until it leaves the system; the
+    /// returned log therefore satisfies all deterministic constraints
+    /// (validated in debug builds).
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        workload: &Workload,
+        rng: &mut R,
+    ) -> Result<EventLog, SimError> {
+        let entries = workload.sample(rng)?;
+        self.run_with_entries(&entries, rng)
+    }
+
+    /// Runs with explicit task entry times (sorted, non-negative).
+    pub fn run_with_entries<R: Rng + ?Sized>(
+        &self,
+        entries: &[f64],
+        rng: &mut R,
+    ) -> Result<EventLog, SimError> {
+        let n_tasks = entries.len();
+        // Sample each task's route upfront (the FSM is independent of the
+        // timing dynamics).
+        let mut routes: Vec<Vec<(StateId, QueueId)>> = Vec::with_capacity(n_tasks);
+        for _ in 0..n_tasks {
+            routes.push(self.network.fsm().sample_path(rng)?);
+        }
+        // Visit records, filled in as the simulation progresses.
+        let mut records: Vec<Vec<VisitRecord>> = routes
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|&(state, queue)| VisitRecord {
+                        state,
+                        queue,
+                        arrival: f64::NAN,
+                        departure: f64::NAN,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut queues: Vec<QueueState> = (0..self.network.num_queues())
+            .map(|_| QueueState::default())
+            .collect();
+        let mut calendar: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let schedule = |cal: &mut BinaryHeap<Reverse<Scheduled>>,
+                            seq: &mut u64,
+                            time: f64,
+                            entry: Entry| {
+            *seq += 1;
+            cal.push(Reverse(Scheduled {
+                time,
+                seq: *seq,
+                entry,
+            }));
+        };
+
+        for (task, &t) in entries.iter().enumerate() {
+            if !routes[task].is_empty() {
+                schedule(&mut calendar, &mut seq, t, Entry::Arrival { task, visit: 0 });
+            }
+        }
+
+        let mut processed = 0usize;
+        while let Some(Reverse(Scheduled { time, entry, .. })) = calendar.pop() {
+            processed += 1;
+            if processed > self.event_budget {
+                return Err(SimError::EventBudgetExceeded {
+                    budget: self.event_budget,
+                });
+            }
+            match entry {
+                Entry::Arrival { task, visit } => {
+                    let q = records[task][visit].queue;
+                    records[task][visit].arrival = time;
+                    let qs = &mut queues[q.index()];
+                    if qs.in_service.is_none() {
+                        qs.in_service = Some((task, visit));
+                        let s = self.sample_service(q, time, rng)?;
+                        schedule(
+                            &mut calendar,
+                            &mut seq,
+                            time + s,
+                            Entry::ServiceComplete { queue: q.index() },
+                        );
+                    } else {
+                        qs.waiting.push_back((task, visit));
+                    }
+                }
+                Entry::ServiceComplete { queue } => {
+                    let qs = &mut queues[queue];
+                    let (task, visit) = qs
+                        .in_service
+                        .take()
+                        .expect("service completion for an idle queue");
+                    records[task][visit].departure = time;
+                    // Route the task onward.
+                    if visit + 1 < routes[task].len() {
+                        schedule(
+                            &mut calendar,
+                            &mut seq,
+                            time,
+                            Entry::Arrival {
+                                task,
+                                visit: visit + 1,
+                            },
+                        );
+                    }
+                    // Start the next waiting task, if any.
+                    if let Some((nt, nv)) = qs.waiting.pop_front() {
+                        qs.in_service = Some((nt, nv));
+                        let q = QueueId::from_index(queue);
+                        let s = self.sample_service(q, time, rng)?;
+                        schedule(
+                            &mut calendar,
+                            &mut seq,
+                            time + s,
+                            Entry::ServiceComplete { queue },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Assemble the event log.
+        let mut builder =
+            EventLogBuilder::new(self.network.num_queues(), self.network.fsm().initial());
+        for (task, recs) in records.iter().enumerate() {
+            let visits: Vec<(StateId, QueueId, f64, f64)> = recs
+                .iter()
+                .map(|r| (r.state, r.queue, r.arrival, r.departure))
+                .collect();
+            debug_assert!(
+                visits.iter().all(|v| v.2.is_finite() && v.3.is_finite()),
+                "task {task} has unprocessed visits"
+            );
+            builder.add_task(entries[task], &visits)?;
+        }
+        let log = builder.build()?;
+        debug_assert!(
+            qni_model::constraints::validate(&log).is_ok(),
+            "simulator produced an invalid log: {:?}",
+            qni_model::constraints::validate(&log)
+        );
+        Ok(log)
+    }
+
+    /// Samples a service time for queue `q` beginning at time `t`,
+    /// applying any fault slow-down.
+    fn sample_service<R: Rng + ?Sized>(
+        &self,
+        q: QueueId,
+        t: f64,
+        rng: &mut R,
+    ) -> Result<f64, SimError> {
+        let base = self.network.service(q)?.sample(rng);
+        Ok(base * self.faults.factor(q, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use qni_model::constraints::validate;
+    use qni_model::ids::TaskId;
+    use qni_model::topology::{single_queue, tandem, three_tier};
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn single_queue_log_is_valid() {
+        let bp = single_queue(2.0, 5.0).unwrap();
+        let mut rng = rng_from_seed(1);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 500).unwrap(), &mut rng)
+            .unwrap();
+        assert_eq!(log.num_tasks(), 500);
+        assert_eq!(log.num_events(), 1000); // One visit + one initial each.
+        validate(&log).unwrap();
+    }
+
+    #[test]
+    fn tandem_routes_in_order() {
+        let bp = tandem(1.0, &[4.0, 4.0]).unwrap();
+        let mut rng = rng_from_seed(2);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(1.0, 200).unwrap(), &mut rng)
+            .unwrap();
+        validate(&log).unwrap();
+        for k in 0..log.num_tasks() {
+            let evs = log.task_events(TaskId::from_index(k));
+            assert_eq!(evs.len(), 3);
+            assert_eq!(log.queue_of(evs[1]), QueueId(1));
+            assert_eq!(log.queue_of(evs[2]), QueueId(2));
+        }
+    }
+
+    #[test]
+    fn three_tier_overloaded_log_is_valid() {
+        // The paper's §5.1 parameters: λ=10, µ=5, tier sizes (1,2,4): the
+        // single-server tier is heavily overloaded.
+        let bp = three_tier(10.0, 5.0, &[1, 2, 4], false).unwrap();
+        let mut rng = rng_from_seed(3);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(10.0, 1000).unwrap(), &mut rng)
+            .unwrap();
+        validate(&log).unwrap();
+        assert_eq!(log.num_tasks(), 1000);
+        assert_eq!(log.num_events(), 4000);
+        // The overloaded tier accumulates far more waiting than service.
+        let avg = log.queue_averages();
+        let t1 = bp.tiers[0][0];
+        assert!(avg[t1.index()].mean_waiting > 3.0 * avg[t1.index()].mean_service);
+    }
+
+    #[test]
+    fn empirical_service_means_match_parameters() {
+        let bp = three_tier(10.0, 5.0, &[1, 2, 4], false).unwrap();
+        let mut rng = rng_from_seed(4);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(10.0, 4000).unwrap(), &mut rng)
+            .unwrap();
+        let avg = log.queue_averages();
+        // Every server queue has mean service ≈ 1/µ = 0.2.
+        for tier in &bp.tiers {
+            for &q in tier {
+                let m = avg[q.index()].mean_service;
+                assert!((m - 0.2).abs() < 0.03, "queue {q}: mean={m}");
+            }
+        }
+        // q0 mean "service" ≈ 1/λ = 0.1 (interarrival gap).
+        assert!((avg[0].mean_service - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bp = tandem(2.0, &[5.0, 5.0]).unwrap();
+        let run = |seed| {
+            let mut rng = rng_from_seed(seed);
+            Simulator::new(&bp.network)
+                .run(&Workload::poisson_n(2.0, 100).unwrap(), &mut rng)
+                .unwrap()
+        };
+        let (a, b) = (run(7), run(7));
+        for e in a.event_ids() {
+            assert_eq!(a.arrival(e), b.arrival(e));
+            assert_eq!(a.departure(e), b.departure(e));
+        }
+        let c = run(8);
+        let diff = a
+            .event_ids()
+            .filter(|&e| a.arrival(e) != c.arrival(e))
+            .count();
+        assert!(diff > 0);
+    }
+
+    #[test]
+    fn fault_injection_slows_service() {
+        let bp = single_queue(1.0, 10.0).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.push(Fault::new(QueueId(1), 0.0, 1e9, 5.0).unwrap());
+        let mut rng = rng_from_seed(5);
+        let log = Simulator::new(&bp.network)
+            .with_faults(plan)
+            .run(&Workload::poisson_n(1.0, 2000).unwrap(), &mut rng)
+            .unwrap();
+        let avg = log.queue_averages();
+        // Base mean 0.1, slowed 5× → 0.5.
+        assert!(
+            (avg[1].mean_service - 0.5).abs() < 0.05,
+            "mean={}",
+            avg[1].mean_service
+        );
+        validate(&log).unwrap();
+    }
+
+    #[test]
+    fn windowed_fault_only_affects_window() {
+        let bp = single_queue(1.0, 10.0).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.push(Fault::new(QueueId(1), 500.0, 1500.0, 10.0).unwrap());
+        let mut rng = rng_from_seed(6);
+        let log = Simulator::new(&bp.network)
+            .with_faults(plan)
+            .run(&Workload::poisson(1.0, 2500.0).unwrap(), &mut rng)
+            .unwrap();
+        let q1 = log.events_at_queue(QueueId(1));
+        let (mut in_win, mut out_win) = (Vec::new(), Vec::new());
+        for &e in q1 {
+            let begin = log.begin_service(e);
+            let s = log.service_time(e);
+            if (500.0..1500.0).contains(&begin) {
+                in_win.push(s);
+            } else if !(400.0..=1700.0).contains(&begin) {
+                out_win.push(s);
+            }
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&in_win) > 4.0 * mean(&out_win));
+    }
+
+    #[test]
+    fn event_budget_guard_trips() {
+        let bp = single_queue(1.0, 10.0).unwrap();
+        let mut rng = rng_from_seed(7);
+        let err = Simulator::new(&bp.network)
+            .with_event_budget(10)
+            .run(&Workload::poisson_n(1.0, 100).unwrap(), &mut rng);
+        assert!(matches!(err, Err(SimError::EventBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_processed_fifo() {
+        // Two tasks entering at exactly the same time: processed in
+        // insertion (task-index) order.
+        let bp = single_queue(1.0, 1.0).unwrap();
+        let mut rng = rng_from_seed(8);
+        let log = Simulator::new(&bp.network)
+            .run_with_entries(&[1.0, 1.0], &mut rng)
+            .unwrap();
+        validate(&log).unwrap();
+        let q1 = log.events_at_queue(QueueId(1));
+        assert_eq!(log.task_of(q1[0]), TaskId(0));
+        assert_eq!(log.task_of(q1[1]), TaskId(1));
+        assert!(log.departure(q1[0]) <= log.begin_service(q1[1]));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A workload parameter was invalid.
+    BadWorkload {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// The simulation exceeded its event budget (runaway configuration).
+    EventBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// A model-layer error bubbled up.
+    Model(qni_model::ModelError),
+    /// A statistics-layer error bubbled up.
+    Stats(qni_stats::StatsError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadWorkload { what } => write!(f, "bad workload: {what}"),
+            SimError::EventBudgetExceeded { budget } => {
+                write!(f, "simulation exceeded event budget of {budget}")
+            }
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::Stats(e) => write!(f, "stats error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<qni_model::ModelError> for SimError {
+    fn from(e: qni_model::ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<qni_stats::StatsError> for SimError {
+    fn from(e: qni_stats::StatsError) -> Self {
+        SimError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::BadWorkload { what: "x" }.to_string().contains('x'));
+        assert!(SimError::EventBudgetExceeded { budget: 7 }
+            .to_string()
+            .contains('7'));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SimError = qni_stats::StatsError::EmptyData.into();
+        assert!(matches!(e, SimError::Stats(_)));
+    }
+}

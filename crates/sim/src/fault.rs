@@ -1,0 +1,127 @@
+//! Service-degradation fault injection.
+//!
+//! The paper motivates its inference technique with diagnosis questions
+//! like *"five minutes ago a brief spike occurred — which component was
+//! the bottleneck?"*. To evaluate localization we need ground truth, so
+//! the simulator can inject faults: within a time window, a queue's
+//! sampled service times are multiplied by a slow-down factor.
+
+use crate::error::SimError;
+use qni_model::ids::QueueId;
+use serde::{Deserialize, Serialize};
+
+/// One injected fault: queue `queue` is slowed by `slowdown`× while
+/// service *begins* inside `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// The degraded queue.
+    pub queue: QueueId,
+    /// Window start (service-begin time).
+    pub from: f64,
+    /// Window end (exclusive).
+    pub until: f64,
+    /// Multiplicative service-time inflation (> 1 slows the queue down).
+    pub slowdown: f64,
+}
+
+impl Fault {
+    /// Creates a fault after validating its parameters.
+    pub fn new(queue: QueueId, from: f64, until: f64, slowdown: f64) -> Result<Self, SimError> {
+        if !(from.is_finite() && until.is_finite() && until > from) {
+            return Err(SimError::BadWorkload {
+                what: "fault window must be a non-empty finite interval",
+            });
+        }
+        if !(slowdown.is_finite() && slowdown > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "fault slowdown must be positive",
+            });
+        }
+        Ok(Fault {
+            queue,
+            from,
+            until,
+            slowdown,
+        })
+    }
+
+    /// Whether the fault applies to a service beginning at `t` on `q`.
+    pub fn applies(&self, q: QueueId, t: f64) -> bool {
+        q == self.queue && t >= self.from && t < self.until
+    }
+}
+
+/// A set of faults; multiplicative factors stack if windows overlap.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Creates a plan from explicit faults.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// Adds one fault.
+    pub fn push(&mut self, f: Fault) {
+        self.faults.push(f);
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Combined slow-down factor for a service beginning at `t` on `q`.
+    pub fn factor(&self, q: QueueId, t: f64) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.applies(q, t))
+            .map(|f| f.slowdown)
+            .product()
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Fault::new(QueueId(1), 0.0, 0.0, 2.0).is_err());
+        assert!(Fault::new(QueueId(1), 0.0, 1.0, 0.0).is_err());
+        assert!(Fault::new(QueueId(1), 0.0, 1.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn applies_within_window_and_queue() {
+        let f = Fault::new(QueueId(2), 1.0, 2.0, 3.0).unwrap();
+        assert!(f.applies(QueueId(2), 1.0));
+        assert!(f.applies(QueueId(2), 1.999));
+        assert!(!f.applies(QueueId(2), 2.0));
+        assert!(!f.applies(QueueId(1), 1.5));
+    }
+
+    #[test]
+    fn factors_stack() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        plan.push(Fault::new(QueueId(1), 0.0, 10.0, 2.0).unwrap());
+        plan.push(Fault::new(QueueId(1), 5.0, 10.0, 3.0).unwrap());
+        assert_eq!(plan.factor(QueueId(1), 1.0), 2.0);
+        assert_eq!(plan.factor(QueueId(1), 6.0), 6.0);
+        assert_eq!(plan.factor(QueueId(1), 11.0), 1.0);
+        assert_eq!(plan.factor(QueueId(9), 6.0), 1.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Jackson-network steady-state analysis.
+//!
+//! Our model is exactly an open Jackson network: Poisson external
+//! arrivals, exponential single-server FIFO queues, probabilistic routing
+//! (via the FSM). Jackson's theorem then gives the steady state in
+//! product form: each queue behaves as an independent M/M/1 with arrival
+//! rate `λ_q = λ · v_q`, where `v_q` is the expected number of visits a
+//! task makes to queue `q`.
+//!
+//! Visit counts come from the FSM's absorbing-chain equations: with `P`
+//! the transition matrix over non-final states and `e₀` the indicator of
+//! the initial state, expected state-entry counts solve
+//! `(I − Pᵀ) v = e₀`; queue visits then follow through the emission
+//! distribution. The dense solve comes from `qni-lp`.
+//!
+//! This is the *classical* analysis the paper contrasts with: it answers
+//! "what if?" questions in equilibrium but none of the paper's "what
+//! happened?" questions. Here it serves as (i) an exact oracle validating
+//! the simulator on whole networks and (ii) the extrapolation engine for
+//! capacity planning once rates have been *inferred* from partial traces.
+
+use crate::error::SimError;
+use crate::mm1::Mm1;
+use qni_lp::gauss::solve_dense;
+use qni_model::ids::{QueueId, StateId};
+use qni_model::network::QueueingNetwork;
+
+/// Steady-state predictions for every queue of a network.
+#[derive(Debug, Clone)]
+pub struct JacksonAnalysis {
+    /// Expected visits per task to each queue (entry 0, `q0`, is 1).
+    pub visits: Vec<f64>,
+    /// Effective arrival rate `λ_q = λ·v_q` at each queue.
+    pub arrival_rates: Vec<f64>,
+    /// Utilization `ρ_q = λ_q/µ_q` (NaN for `q0`).
+    pub utilization: Vec<f64>,
+    /// Steady-state mean waiting time per visit (infinite if `ρ_q ≥ 1`,
+    /// NaN for `q0`).
+    pub mean_waiting: Vec<f64>,
+    /// Mean service time `1/µ_q` per queue.
+    pub mean_service: Vec<f64>,
+}
+
+impl JacksonAnalysis {
+    /// Whether every real queue is stable (`ρ_q < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.utilization
+            .iter()
+            .skip(1)
+            .all(|&rho| rho.is_finite() && rho < 1.0)
+    }
+
+    /// Steady-state mean end-to-end response time of a task: the sum over
+    /// queues of `v_q · (W_q + 1/µ_q)`. Infinite if any queue is
+    /// unstable.
+    pub fn mean_response(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        (1..self.visits.len())
+            .map(|q| self.visits[q] * (self.mean_waiting[q] + self.mean_service[q]))
+            .sum()
+    }
+}
+
+/// Computes the Jackson steady state of an M/M/1 network.
+///
+/// Errors if the network is not M/M/1 or the FSM's absorbing-chain system
+/// is singular (no absorption — caught earlier by FSM validation).
+pub fn analyze(net: &QueueingNetwork) -> Result<JacksonAnalysis, SimError> {
+    let rates = net.rates()?;
+    let lambda = rates[0];
+    let fsm = net.fsm();
+    let n_states = fsm.num_states();
+    // Index map over non-final (transient) states.
+    let transient: Vec<StateId> = (0..n_states)
+        .map(StateId::from_index)
+        .filter(|&s| !fsm.is_final(s))
+        .collect();
+    let index_of = |s: StateId| transient.iter().position(|&t| t == s);
+    let m = transient.len();
+    // (I − Pᵀ) v = e₀ over transient states.
+    let mut a = vec![vec![0.0; m]; m];
+    for (i, &s) in transient.iter().enumerate() {
+        a[i][i] += 1.0;
+        for &(t, p) in fsm.transitions_from(s) {
+            if let Some(j) = index_of(t) {
+                // Column of the source state contributes to the row of
+                // the target: v_t = Σ_s v_s p(t|s) → row t, col s.
+                a[j][i] -= p;
+            }
+        }
+    }
+    let mut b = vec![0.0; m];
+    b[index_of(fsm.initial()).expect("initial is transient")] = 1.0;
+    let v_states = solve_dense(a, b).map_err(|_| SimError::BadWorkload {
+        what: "FSM visit equations are singular",
+    })?;
+    // Queue visit counts through the emissions.
+    let mut visits = vec![0.0; net.num_queues()];
+    visits[0] = 1.0; // Every task enters q0 exactly once.
+    for (i, &s) in transient.iter().enumerate() {
+        for &(q, p) in fsm.emissions_from(s) {
+            visits[q.index()] += v_states[i] * p;
+        }
+    }
+    let arrival_rates: Vec<f64> = visits.iter().map(|v| v * lambda).collect();
+    let mut utilization = vec![f64::NAN; net.num_queues()];
+    let mut mean_waiting = vec![f64::NAN; net.num_queues()];
+    let mut mean_service = vec![f64::NAN; net.num_queues()];
+    for q in 0..net.num_queues() {
+        mean_service[q] = 1.0 / rates[q];
+        if q == 0 {
+            continue;
+        }
+        let lam_q = arrival_rates[q];
+        utilization[q] = lam_q / rates[q];
+        mean_waiting[q] = match Mm1::new(lam_q, rates[q]) {
+            Ok(m) => m.mean_waiting(),
+            Err(_) => {
+                if lam_q == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+        };
+        if lam_q == 0.0 {
+            utilization[q] = 0.0;
+        }
+    }
+    Ok(JacksonAnalysis {
+        visits,
+        arrival_rates,
+        utilization,
+        mean_waiting,
+        mean_service,
+    })
+}
+
+/// Convenience: predicted mean waiting for queue `q`.
+pub fn predicted_waiting(net: &QueueingNetwork, q: QueueId) -> Result<f64, SimError> {
+    Ok(analyze(net)?.mean_waiting[q.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::workload::Workload;
+    use qni_model::fsm::FsmBuilder;
+    use qni_model::topology::{tandem, three_tier};
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn tandem_visits_are_one_each() {
+        let bp = tandem(2.0, &[5.0, 8.0]).unwrap();
+        let j = analyze(&bp.network).unwrap();
+        assert!((j.visits[1] - 1.0).abs() < 1e-12);
+        assert!((j.visits[2] - 1.0).abs() < 1e-12);
+        assert!((j.utilization[1] - 0.4).abs() < 1e-12);
+        assert!(j.is_stable());
+        // W_q for M/M/1(2,5) = 0.4/3; for (2,8) = 0.25/6.
+        assert!((j.mean_waiting[1] - 0.4 / 3.0).abs() < 1e-12);
+        assert!((j.mean_waiting[2] - 0.25 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_balanced_tier_splits_arrivals() {
+        let bp = three_tier(4.0, 10.0, &[2, 1, 4], false).unwrap();
+        let j = analyze(&bp.network).unwrap();
+        for &q in &bp.tiers[0] {
+            assert!((j.visits[q.index()] - 0.5).abs() < 1e-12);
+        }
+        assert!((j.visits[bp.tiers[1][0].index()] - 1.0).abs() < 1e-12);
+        for &q in &bp.tiers[2] {
+            assert!((j.visits[q.index()] - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overload_detected() {
+        let bp = three_tier(10.0, 5.0, &[1, 2, 4], false).unwrap();
+        let j = analyze(&bp.network).unwrap();
+        let q = bp.tiers[0][0];
+        assert!(j.utilization[q.index()] > 1.0);
+        assert_eq!(j.mean_waiting[q.index()], f64::INFINITY);
+        assert!(!j.is_stable());
+        assert_eq!(j.mean_response(), f64::INFINITY);
+    }
+
+    #[test]
+    fn cyclic_fsm_visit_counts() {
+        // State s loops on itself with probability 0.4 → geometric visits
+        // with mean 1/(1−0.4) = 5/3.
+        let mut b = FsmBuilder::new();
+        let i = b.add_state("i");
+        let s = b.add_state("s");
+        let f = b.add_final_state("f");
+        b.set_initial(i);
+        b.add_transition(i, s, 1.0);
+        b.add_transition(s, s, 0.4);
+        b.add_transition(s, f, 0.6);
+        b.add_emission(s, QueueId(1), 1.0);
+        let fsm = b.build().unwrap();
+        let net =
+            qni_model::network::QueueingNetwork::mm1(1.0, &[("loop", 10.0)], fsm).unwrap();
+        let j = analyze(&net).unwrap();
+        assert!((j.visits[1] - 5.0 / 3.0).abs() < 1e-12, "v={}", j.visits[1]);
+        assert!((j.arrival_rates[1] - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulator_matches_jackson_on_a_network() {
+        // Moderate load so the steady state is reached quickly.
+        let bp = three_tier(3.0, 8.0, &[2, 1, 2], false).unwrap();
+        let j = analyze(&bp.network).unwrap();
+        let mut rng = rng_from_seed(42);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(3.0, 40_000).unwrap(), &mut rng)
+            .unwrap();
+        let avg = log.queue_averages();
+        // Middleware tier: λ_q = 3, µ = 8 → ρ = 0.375, Wq = 0.075.
+        let mid = bp.tiers[1][0];
+        let sim_w = avg[mid.index()].mean_waiting;
+        let jack_w = j.mean_waiting[mid.index()];
+        assert!(
+            (sim_w - jack_w).abs() / jack_w < 0.15,
+            "sim={sim_w} jackson={jack_w}"
+        );
+        // Visit counts: every queue's event count / tasks ≈ v_q.
+        for (q, a) in avg.iter().enumerate().skip(1) {
+            let emp = a.count as f64 / log.num_tasks() as f64;
+            assert!(
+                (emp - j.visits[q]).abs() < 0.05,
+                "queue {q}: emp={emp} v={}",
+                j.visits[q]
+            );
+        }
+    }
+
+    #[test]
+    fn webapp_network_queue_visited_twice() {
+        let cfg = qni_webapp_config_equivalent();
+        let j = analyze(&cfg).unwrap();
+        // Queue 1 is the shared network queue on the in and out path.
+        assert!((j.visits[1] - 2.0).abs() < 1e-12);
+    }
+
+    /// A miniature of the webapp topology without depending on the
+    /// `qni-webapp` crate (which depends on this one).
+    fn qni_webapp_config_equivalent() -> qni_model::network::QueueingNetwork {
+        use qni_model::fsm::Fsm;
+        let fsm = Fsm::tiered(&[
+            vec![QueueId(1)],
+            vec![QueueId(2), QueueId(3)],
+            vec![QueueId(4)],
+            vec![QueueId(1)],
+        ])
+        .unwrap();
+        qni_model::network::QueueingNetwork::mm1(
+            1.0,
+            &[("net", 20.0), ("web1", 2.5), ("web2", 2.5), ("db", 10.0)],
+            fsm,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mean_response_composes() {
+        let bp = tandem(1.0, &[4.0, 4.0]).unwrap();
+        let j = analyze(&bp.network).unwrap();
+        // Two identical M/M/1(1,4): response each = 1/(4−1) = 1/3.
+        assert!((j.mean_response() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

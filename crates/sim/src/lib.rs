@@ -1,0 +1,46 @@
+//! Discrete-event simulator for FIFO single-server queueing networks.
+//!
+//! This crate is the *data-generating* substrate of the reproduction: the
+//! paper's synthetic experiments (§5.1) sample arrival and departure times
+//! from three-tier M/M/1 networks, and its web-application experiment
+//! (§5.2) is emulated here by `qni-webapp` on top of this engine.
+//!
+//! - [`engine`]: the event calendar and queue processes. Produces a
+//!   ground-truth [`qni_model::EventLog`] with every arrival and departure.
+//! - [`workload`]: open-loop arrival processes — homogeneous Poisson,
+//!   the linearly ramping load of §5.2, fixed times, and exact-count
+//!   variants.
+//! - [`fault`]: fault injection (service slow-down windows) used by the
+//!   localization examples to create ground-truth bottlenecks.
+//! - [`lindley`]: the Lindley-recursion reference implementation for a
+//!   single FIFO queue, used to cross-check the engine.
+//! - [`mm1`]: textbook M/M/1 formulas used to validate simulated averages.
+//!
+//! # Examples
+//!
+//! ```
+//! use qni_model::topology::single_queue;
+//! use qni_sim::engine::Simulator;
+//! use qni_sim::workload::Workload;
+//! use qni_stats::rng::rng_from_seed;
+//!
+//! let bp = single_queue(2.0, 5.0).unwrap();
+//! let mut rng = rng_from_seed(1);
+//! let log = Simulator::new(&bp.network)
+//!     .run(&Workload::poisson_n(2.0, 100).unwrap(), &mut rng)
+//!     .unwrap();
+//! assert_eq!(log.num_tasks(), 100);
+//! assert!(qni_model::constraints::validate(&log).is_ok());
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod fault;
+pub mod jackson;
+pub mod lindley;
+pub mod mm1;
+pub mod workload;
+
+pub use engine::Simulator;
+pub use error::SimError;
+pub use workload::Workload;

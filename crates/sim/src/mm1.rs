@@ -1,0 +1,146 @@
+//! Analytic M/M/1 formulas used as validation oracles.
+//!
+//! The paper's core argument is that *steady-state* quantities like these
+//! cannot answer "what happened?" questions — but they remain the right
+//! oracle for validating the simulator on stationary workloads.
+
+use crate::error::SimError;
+
+/// Steady-state quantities of an M/M/1 queue with arrival rate `lambda`
+/// and service rate `mu` (requires `lambda < mu`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate µ.
+    pub mu: f64,
+}
+
+impl Mm1 {
+    /// Creates the model, requiring stability (`lambda < mu`).
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, SimError> {
+        if !(lambda.is_finite() && lambda > 0.0 && mu.is_finite() && mu > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "rates must be positive",
+            });
+        }
+        if lambda >= mu {
+            return Err(SimError::BadWorkload {
+                what: "M/M/1 formulas require lambda < mu",
+            });
+        }
+        Ok(Mm1 { lambda, mu })
+    }
+
+    /// Utilization `ρ = λ/µ`.
+    pub fn utilization(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean waiting time in queue `W_q = ρ/(µ − λ)`.
+    pub fn mean_waiting(&self) -> f64 {
+        self.utilization() / (self.mu - self.lambda)
+    }
+
+    /// Mean sojourn (response) time `W = 1/(µ − λ)`.
+    pub fn mean_sojourn(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean number in system `L = ρ/(1 − ρ)`.
+    pub fn mean_in_system(&self) -> f64 {
+        let rho = self.utilization();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean service time `1/µ`.
+    pub fn mean_service(&self) -> f64 {
+        1.0 / self.mu
+    }
+
+    /// CDF of the sojourn time: `1 − e^{−(µ−λ)t}`.
+    pub fn sojourn_cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            -(-(self.mu - self.lambda) * t).exp_m1()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::workload::Workload;
+    use qni_model::ids::QueueId;
+    use qni_model::topology::single_queue;
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn formulas() {
+        let m = Mm1::new(2.0, 5.0).unwrap();
+        assert!((m.utilization() - 0.4).abs() < 1e-12);
+        assert!((m.mean_waiting() - 0.4 / 3.0).abs() < 1e-12);
+        assert!((m.mean_sojourn() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.mean_in_system() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.mean_service() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn little_law_consistency() {
+        // L = λ·W.
+        let m = Mm1::new(3.0, 7.0).unwrap();
+        assert!((m.mean_in_system() - m.lambda * m.mean_sojourn()).abs() < 1e-12);
+        // W = Wq + 1/µ.
+        assert!((m.mean_sojourn() - (m.mean_waiting() + m.mean_service())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_stability() {
+        assert!(Mm1::new(5.0, 5.0).is_err());
+        assert!(Mm1::new(6.0, 5.0).is_err());
+        assert!(Mm1::new(0.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn simulator_matches_steady_state_waiting() {
+        let m = Mm1::new(2.0, 5.0).unwrap();
+        let bp = single_queue(2.0, 5.0).unwrap();
+        let mut rng = rng_from_seed(20);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 60_000).unwrap(), &mut rng)
+            .unwrap();
+        let avg = log.queue_averages();
+        let w = avg[QueueId(1).index()].mean_waiting;
+        let s = avg[QueueId(1).index()].mean_service;
+        // Long-run averages: generous tolerance for finite-sample noise.
+        assert!(
+            (w - m.mean_waiting()).abs() / m.mean_waiting() < 0.1,
+            "waiting: sim={w} theory={}",
+            m.mean_waiting()
+        );
+        assert!((s - m.mean_service()).abs() / m.mean_service() < 0.05);
+    }
+
+    #[test]
+    fn simulator_sojourn_distribution_matches() {
+        let m = Mm1::new(1.0, 3.0).unwrap();
+        let bp = single_queue(1.0, 3.0).unwrap();
+        let mut rng = rng_from_seed(21);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(1.0, 40_000).unwrap(), &mut rng)
+            .unwrap();
+        let q1 = log.events_at_queue(QueueId(1));
+        // Drop a warm-up prefix; compare the empirical sojourn CDF.
+        let sojourns: Vec<f64> = q1[2_000..]
+            .iter()
+            .map(|&e| log.response_time(e))
+            .collect();
+        let d = qni_stats::ks::ks_statistic(&sojourns, |t| m.sojourn_cdf(t)).unwrap();
+        // Sojourns are autocorrelated, so the i.i.d. critical value does
+        // not apply; requiring d < 0.03 still sharply distinguishes the
+        // correct law from e.g. the service-only exponential.
+        assert!(d < 0.03, "ks={d}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Open-loop arrival processes.
+
+use crate::error::SimError;
+use qni_stats::point_process::{
+    homogeneous_poisson, homogeneous_poisson_n, linear_ramp_poisson,
+};
+use rand::Rng;
+
+/// An open-loop workload: how task entry times are generated.
+///
+/// # Examples
+///
+/// ```
+/// use qni_sim::workload::Workload;
+/// use qni_stats::rng::rng_from_seed;
+///
+/// let w = Workload::poisson_n(10.0, 50).unwrap();
+/// let times = w.sample(&mut rng_from_seed(1)).unwrap();
+/// assert_eq!(times.len(), 50);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Poisson arrivals at a fixed rate over a horizon.
+    Poisson {
+        /// Arrival rate λ.
+        rate: f64,
+        /// Horizon; arrivals beyond it are discarded.
+        horizon: f64,
+    },
+    /// Exactly `count` Poisson arrivals at a fixed rate.
+    PoissonN {
+        /// Arrival rate λ.
+        rate: f64,
+        /// Number of tasks to generate.
+        count: usize,
+    },
+    /// Poisson arrivals whose rate ramps linearly from `start_rate` to
+    /// `end_rate` over the horizon (the §5.2 workload shape).
+    LinearRamp {
+        /// Rate at time 0.
+        start_rate: f64,
+        /// Rate at `horizon`.
+        end_rate: f64,
+        /// Horizon of the ramp.
+        horizon: f64,
+    },
+    /// Explicit entry times (must be sorted, non-negative).
+    Fixed {
+        /// The entry times.
+        times: Vec<f64>,
+    },
+}
+
+impl Workload {
+    /// Poisson workload over a horizon.
+    pub fn poisson(rate: f64, horizon: f64) -> Result<Self, SimError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "rate must be positive",
+            });
+        }
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "horizon must be positive",
+            });
+        }
+        Ok(Workload::Poisson { rate, horizon })
+    }
+
+    /// Poisson workload with an exact task count.
+    pub fn poisson_n(rate: f64, count: usize) -> Result<Self, SimError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "rate must be positive",
+            });
+        }
+        if count == 0 {
+            return Err(SimError::BadWorkload {
+                what: "count must be positive",
+            });
+        }
+        Ok(Workload::PoissonN { rate, count })
+    }
+
+    /// Linearly ramping workload.
+    pub fn linear_ramp(start_rate: f64, end_rate: f64, horizon: f64) -> Result<Self, SimError> {
+        if !(start_rate >= 0.0 && end_rate >= 0.0 && (start_rate > 0.0 || end_rate > 0.0)) {
+            return Err(SimError::BadWorkload {
+                what: "ramp rates must be non-negative and not both zero",
+            });
+        }
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "horizon must be positive",
+            });
+        }
+        Ok(Workload::LinearRamp {
+            start_rate,
+            end_rate,
+            horizon,
+        })
+    }
+
+    /// Explicit entry times.
+    pub fn fixed(times: Vec<f64>) -> Result<Self, SimError> {
+        if times.is_empty() {
+            return Err(SimError::BadWorkload {
+                what: "fixed workload needs at least one time",
+            });
+        }
+        if times.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SimError::BadWorkload {
+                what: "fixed times must be sorted",
+            });
+        }
+        if times.iter().any(|t| !(t.is_finite() && *t >= 0.0)) {
+            return Err(SimError::BadWorkload {
+                what: "fixed times must be finite and non-negative",
+            });
+        }
+        Ok(Workload::Fixed { times })
+    }
+
+    /// Samples the task entry times.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Vec<f64>, SimError> {
+        match self {
+            Workload::Poisson { rate, horizon } => {
+                Ok(homogeneous_poisson(*rate, *horizon, rng)?)
+            }
+            Workload::PoissonN { rate, count } => {
+                Ok(homogeneous_poisson_n(*rate, *count, rng)?)
+            }
+            Workload::LinearRamp {
+                start_rate,
+                end_rate,
+                horizon,
+            } => Ok(linear_ramp_poisson(*start_rate, *end_rate, *horizon, rng)?),
+            Workload::Fixed { times } => Ok(times.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Workload::poisson(0.0, 1.0).is_err());
+        assert!(Workload::poisson(1.0, 0.0).is_err());
+        assert!(Workload::poisson_n(1.0, 0).is_err());
+        assert!(Workload::linear_ramp(0.0, 0.0, 1.0).is_err());
+        assert!(Workload::fixed(vec![]).is_err());
+        assert!(Workload::fixed(vec![2.0, 1.0]).is_err());
+        assert!(Workload::fixed(vec![-1.0]).is_err());
+    }
+
+    #[test]
+    fn poisson_n_exact_count() {
+        let w = Workload::poisson_n(5.0, 123).unwrap();
+        let t = w.sample(&mut rng_from_seed(1)).unwrap();
+        assert_eq!(t.len(), 123);
+    }
+
+    #[test]
+    fn fixed_round_trips() {
+        let w = Workload::fixed(vec![0.0, 1.0, 2.5]).unwrap();
+        let t = w.sample(&mut rng_from_seed(2)).unwrap();
+        assert_eq!(t, vec![0.0, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn ramp_sorted() {
+        let w = Workload::linear_ramp(0.5, 10.0, 100.0).unwrap();
+        let t = w.sample(&mut rng_from_seed(3)).unwrap();
+        assert!(t.windows(2).all(|p| p[0] <= p[1]));
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Autocorrelation and effective sample size for MCMC diagnostics.
+//!
+//! Stochastic EM produces a Markov chain of parameter estimates; these
+//! utilities quantify how correlated the chain is and how many effectively
+//! independent draws it contains (Geyer's initial positive sequence).
+
+use crate::error::StatsError;
+
+/// Sample autocovariance at lag `k` (biased, `1/n` normalization).
+pub fn autocovariance(xs: &[f64], k: usize) -> Result<f64, StatsError> {
+    if xs.is_empty() || k >= xs.len() {
+        return Err(StatsError::EmptyData);
+    }
+    let n = xs.len();
+    let mean: f64 = xs.iter().sum::<f64>() / n as f64;
+    let mut acc = 0.0;
+    for i in 0..n - k {
+        acc += (xs[i] - mean) * (xs[i + k] - mean);
+    }
+    Ok(acc / n as f64)
+}
+
+/// Sample autocorrelation at lag `k`, in `[-1, 1]`.
+pub fn autocorrelation(xs: &[f64], k: usize) -> Result<f64, StatsError> {
+    let c0 = autocovariance(xs, 0)?;
+    if c0 <= 0.0 {
+        return Err(StatsError::BadParameter {
+            what: "zero-variance sequence has undefined autocorrelation",
+        });
+    }
+    Ok(autocovariance(xs, k)? / c0)
+}
+
+/// Effective sample size via Geyer's initial positive sequence estimator.
+///
+/// Sums consecutive autocorrelation pairs `ρ(2t) + ρ(2t+1)` while they stay
+/// positive; `ESS = n / (1 + 2·Σρ)`. Returns `n` for an (empirically)
+/// uncorrelated chain.
+pub fn effective_sample_size(xs: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() < 4 {
+        return Err(StatsError::EmptyData);
+    }
+    let n = xs.len();
+    let c0 = autocovariance(xs, 0)?;
+    if c0 <= 0.0 {
+        // A constant chain carries one effective observation.
+        return Ok(1.0);
+    }
+    let mut sum_rho = 0.0;
+    let mut t = 1;
+    while t + 1 < n / 2 {
+        let pair = (autocovariance(xs, t)? + autocovariance(xs, t + 1)?) / c0;
+        if pair <= 0.0 {
+            break;
+        }
+        sum_rho += pair;
+        t += 2;
+    }
+    Ok(n as f64 / (1.0 + 2.0 * sum_rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn white_noise_has_full_ess() {
+        let mut rng = rng_from_seed(31);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.random::<f64>()).collect();
+        let ess = effective_sample_size(&xs).unwrap();
+        assert!(ess > 2_500.0, "ess={ess}");
+        let rho1 = autocorrelation(&xs, 1).unwrap();
+        assert!(rho1.abs() < 0.05);
+    }
+
+    #[test]
+    fn ar1_chain_has_reduced_ess() {
+        // x_t = 0.9·x_{t-1} + ε: theoretical ESS factor (1-φ)/(1+φ) ≈ 1/19.
+        let mut rng = rng_from_seed(32);
+        let mut xs = vec![0.0f64];
+        for _ in 0..20_000 {
+            let e: f64 = rng.random::<f64>() - 0.5;
+            let prev = *xs.last().expect("non-empty");
+            xs.push(0.9 * prev + e);
+        }
+        let ess = effective_sample_size(&xs).unwrap();
+        let n = xs.len() as f64;
+        assert!(ess < n / 8.0, "ess={ess}, n={n}");
+        assert!(ess > n / 60.0, "ess={ess}, n={n}");
+        let rho1 = autocorrelation(&xs, 1).unwrap();
+        assert!((rho1 - 0.9).abs() < 0.05, "rho1={rho1}");
+    }
+
+    #[test]
+    fn constant_sequence() {
+        let xs = vec![2.0; 100];
+        assert_eq!(effective_sample_size(&xs).unwrap(), 1.0);
+        assert!(autocorrelation(&xs, 1).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(autocovariance(&[], 0).is_err());
+        assert!(autocovariance(&[1.0, 2.0], 2).is_err());
+        assert!(effective_sample_size(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Descriptive statistics: running moments, quantiles, error metrics.
+
+use crate::error::StatsError;
+
+/// Numerically stable running mean/variance accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use qni_stats::descriptive::RunningStats;
+///
+/// let mut r = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.mean(), 2.0);
+/// assert_eq!(r.variance(), 1.0); // Sample variance.
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A one-shot summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (type-7 interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice; errors on empty input.
+    pub fn from_slice(xs: &[f64]) -> Result<Self, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::EmptyData);
+        }
+        let mut r = RunningStats::new();
+        for &x in xs {
+            r.push(x);
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Ok(Summary {
+            count: xs.len(),
+            mean: r.mean(),
+            variance: r.variance(),
+            min: r.min(),
+            max: r.max(),
+            median: quantile_sorted(&sorted, 0.5),
+        })
+    }
+}
+
+/// Type-7 (linear interpolation) quantile of an already-sorted slice.
+///
+/// # Panics
+///
+/// Debug-asserts the slice is non-empty and `p ∈ [0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Quantile of an unsorted slice (copies and sorts).
+pub fn quantile(xs: &[f64], p: f64) -> Result<f64, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Ok(quantile_sorted(&sorted, p))
+}
+
+/// Median of a slice.
+pub fn median(xs: &[f64]) -> Result<f64, StatsError> {
+    quantile(xs, 0.5)
+}
+
+/// Median absolute deviation from the median.
+pub fn mad(xs: &[f64]) -> Result<f64, StatsError> {
+    let m = median(xs)?;
+    let devs: Vec<f64> = xs.iter().map(|&x| (x - m).abs()).collect();
+    median(&devs)
+}
+
+/// Mean absolute error between paired estimates and truths.
+pub fn mean_absolute_error(estimates: &[f64], truths: &[f64]) -> Result<f64, StatsError> {
+    if estimates.is_empty() || estimates.len() != truths.len() {
+        return Err(StatsError::EmptyData);
+    }
+    Ok(estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
+        / estimates.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = RunningStats::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((r.mean() - mean).abs() < 1e-12);
+        assert!((r.variance() - var).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+        assert_eq!(r.count(), 8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.mean(), a.variance(), a.count());
+        a.merge(&RunningStats::new());
+        assert_eq!(before, (a.mean(), a.variance(), a.count()));
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), a.mean());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 2.5);
+        assert!((quantile_sorted(&sorted, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        let xs = [1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0];
+        assert_eq!(median(&xs).unwrap(), 2.0);
+        assert_eq!(mad(&xs).unwrap(), 1.0);
+        assert!(median(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_from_slice() {
+        let s = Summary::from_slice(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::from_slice(&[]).is_err());
+    }
+
+    #[test]
+    fn mae_errors_on_mismatch() {
+        assert!(mean_absolute_error(&[1.0], &[1.0, 2.0]).is_err());
+        let v = mean_absolute_error(&[1.0, 2.0], &[2.0, 0.0]).unwrap();
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Additional service-time distributions for the generalized-service
+//! extension.
+//!
+//! The paper's sampler is derived for exponential (M/M/1) service, but its
+//! Section 2 emphasizes that the modeling viewpoint accommodates general
+//! service laws. The simulator in `qni-sim` accepts any
+//! [`ServiceDistribution`], which lets experiments measure how the M/M/1
+//! inference degrades under model misspecification (an ablation the paper
+//! motivates but does not run).
+
+use crate::error::StatsError;
+use crate::exponential::Exponential;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A positive continuous distribution usable as a service-time law.
+///
+/// Only [`ServiceDistribution::Exponential`] is supported by the Gibbs
+/// sampler; the others exist for workload generation and misspecification
+/// studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ServiceDistribution {
+    /// Exponential with the given rate (M/M/1 service).
+    Exponential(Exponential),
+    /// A point mass at `value` (deterministic service).
+    Deterministic {
+        /// The constant service time.
+        value: f64,
+    },
+    /// Erlang-`k`: sum of `k` i.i.d. exponentials of rate `rate`.
+    Erlang {
+        /// Number of exponential stages (≥ 1).
+        k: u32,
+        /// Rate of each stage.
+        rate: f64,
+    },
+    /// Mixture of exponentials: with probability `weights[i]`, sample
+    /// `Exp(rates[i])`.
+    HyperExponential {
+        /// Mixture weights (sum to 1).
+        weights: Vec<f64>,
+        /// Component rates.
+        rates: Vec<f64>,
+    },
+    /// Log-normal with the given parameters of the underlying normal.
+    LogNormal {
+        /// Mean of `ln X`.
+        mu: f64,
+        /// Standard deviation of `ln X`.
+        sigma: f64,
+    },
+}
+
+impl ServiceDistribution {
+    /// Convenience constructor for the exponential case.
+    pub fn exponential(rate: f64) -> Result<Self, StatsError> {
+        Ok(ServiceDistribution::Exponential(Exponential::new(rate)?))
+    }
+
+    /// Convenience constructor for the deterministic case.
+    pub fn deterministic(value: f64) -> Result<Self, StatsError> {
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(StatsError::BadParameter {
+                what: "deterministic service must be finite and non-negative",
+            });
+        }
+        Ok(ServiceDistribution::Deterministic { value })
+    }
+
+    /// Convenience constructor for Erlang-`k`.
+    pub fn erlang(k: u32, rate: f64) -> Result<Self, StatsError> {
+        if k == 0 {
+            return Err(StatsError::BadParameter {
+                what: "Erlang stage count must be >= 1",
+            });
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(StatsError::NonPositiveRate { value: rate });
+        }
+        Ok(ServiceDistribution::Erlang { k, rate })
+    }
+
+    /// Convenience constructor for a hyper-exponential mixture.
+    pub fn hyper_exponential(weights: Vec<f64>, rates: Vec<f64>) -> Result<Self, StatsError> {
+        if weights.len() != rates.len() || weights.is_empty() {
+            return Err(StatsError::BadParameter {
+                what: "weights and rates must be non-empty and equal length",
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > 1e-9 || weights.iter().any(|&w| !(0.0..=1.0).contains(&w)) {
+            return Err(StatsError::BadProbability { value: total });
+        }
+        if rates.iter().any(|&r| !(r.is_finite() && r > 0.0)) {
+            return Err(StatsError::BadParameter {
+                what: "all mixture rates must be positive",
+            });
+        }
+        Ok(ServiceDistribution::HyperExponential { weights, rates })
+    }
+
+    /// Convenience constructor for the log-normal case.
+    pub fn log_normal(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !(sigma.is_finite() && sigma > 0.0 && mu.is_finite()) {
+            return Err(StatsError::BadParameter {
+                what: "log-normal needs finite mu and positive sigma",
+            });
+        }
+        Ok(ServiceDistribution::LogNormal { mu, sigma })
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            ServiceDistribution::Exponential(e) => e.mean(),
+            ServiceDistribution::Deterministic { value } => *value,
+            ServiceDistribution::Erlang { k, rate } => f64::from(*k) / rate,
+            ServiceDistribution::HyperExponential { weights, rates } => weights
+                .iter()
+                .zip(rates)
+                .map(|(w, r)| w / r)
+                .sum(),
+            ServiceDistribution::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+        }
+    }
+
+    /// Squared coefficient of variation `Var/Mean²` (1 for exponential).
+    pub fn scv(&self) -> f64 {
+        match self {
+            ServiceDistribution::Exponential(_) => 1.0,
+            ServiceDistribution::Deterministic { .. } => 0.0,
+            ServiceDistribution::Erlang { k, .. } => 1.0 / f64::from(*k),
+            ServiceDistribution::HyperExponential { weights, rates } => {
+                let m1: f64 = weights.iter().zip(rates).map(|(w, r)| w / r).sum();
+                let m2: f64 = weights
+                    .iter()
+                    .zip(rates)
+                    .map(|(w, r)| 2.0 * w / (r * r))
+                    .sum();
+                m2 / (m1 * m1) - 1.0
+            }
+            ServiceDistribution::LogNormal { sigma, .. } => (sigma * sigma).exp_m1(),
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            ServiceDistribution::Exponential(e) => e.sample(rng),
+            ServiceDistribution::Deterministic { value } => *value,
+            ServiceDistribution::Erlang { k, rate } => {
+                let e = Exponential::new(*rate).expect("validated");
+                (0..*k).map(|_| e.sample(rng)).sum()
+            }
+            ServiceDistribution::HyperExponential { weights, rates } => {
+                let u: f64 = rng.random();
+                let mut acc = 0.0;
+                for (w, r) in weights.iter().zip(rates) {
+                    acc += w;
+                    if u < acc {
+                        return Exponential::new(*r).expect("validated").sample(rng);
+                    }
+                }
+                Exponential::new(*rates.last().expect("non-empty"))
+                    .expect("validated")
+                    .sample(rng)
+            }
+            ServiceDistribution::LogNormal { mu, sigma } => {
+                (mu + sigma * standard_normal(rng)).exp()
+            }
+        }
+    }
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 = 0 exactly (log of zero).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::Summary;
+    use crate::rng::rng_from_seed;
+
+    fn empirical(dist: &ServiceDistribution, n: usize, seed: u64) -> Summary {
+        let mut rng = rng_from_seed(seed);
+        let xs: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        Summary::from_slice(&xs).unwrap()
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(ServiceDistribution::exponential(-1.0).is_err());
+        assert!(ServiceDistribution::deterministic(-0.1).is_err());
+        assert!(ServiceDistribution::erlang(0, 1.0).is_err());
+        assert!(ServiceDistribution::erlang(2, 0.0).is_err());
+        assert!(ServiceDistribution::hyper_exponential(vec![0.7], vec![1.0, 2.0]).is_err());
+        assert!(ServiceDistribution::hyper_exponential(vec![0.5, 0.4], vec![1.0, 2.0]).is_err());
+        assert!(ServiceDistribution::log_normal(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = ServiceDistribution::deterministic(0.3).unwrap();
+        let mut rng = rng_from_seed(1);
+        assert_eq!(d.sample(&mut rng), 0.3);
+        assert_eq!(d.mean(), 0.3);
+        assert_eq!(d.scv(), 0.0);
+    }
+
+    #[test]
+    fn erlang_mean_and_scv() {
+        let d = ServiceDistribution::erlang(4, 8.0).unwrap();
+        assert!((d.mean() - 0.5).abs() < 1e-12);
+        assert!((d.scv() - 0.25).abs() < 1e-12);
+        let s = empirical(&d, 100_000, 2);
+        assert!((s.mean - 0.5).abs() < 0.005, "mean={}", s.mean);
+    }
+
+    #[test]
+    fn hyper_exponential_mean_and_scv() {
+        let d =
+            ServiceDistribution::hyper_exponential(vec![0.9, 0.1], vec![10.0, 0.5]).unwrap();
+        let expect_mean = 0.9 / 10.0 + 0.1 / 0.5;
+        assert!((d.mean() - expect_mean).abs() < 1e-12);
+        assert!(d.scv() > 1.0, "hyper-exponential must be more variable");
+        let s = empirical(&d, 200_000, 3);
+        assert!((s.mean - expect_mean).abs() < 0.01, "mean={}", s.mean);
+    }
+
+    #[test]
+    fn log_normal_mean() {
+        let d = ServiceDistribution::log_normal(-1.0, 0.5).unwrap();
+        let s = empirical(&d, 200_000, 4);
+        assert!(
+            (s.mean - d.mean()).abs() / d.mean() < 0.02,
+            "mean={} vs {}",
+            s.mean,
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(6);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let s = Summary::from_slice(&xs).unwrap();
+        assert!(s.mean.abs() < 0.01, "mean={}", s.mean);
+        assert!((s.variance - 1.0).abs() < 0.02, "var={}", s.variance);
+    }
+
+    #[test]
+    fn exponential_case_matches_exponential_module() {
+        let d = ServiceDistribution::exponential(2.0).unwrap();
+        assert_eq!(d.mean(), 0.5);
+        assert_eq!(d.scv(), 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for statistical primitives.
+
+use std::fmt;
+
+/// Errors produced by constructors and evaluators in this crate.
+///
+/// All constructors in this crate validate their parameters and return
+/// `Result<_, StatsError>` rather than panicking, so callers can surface
+/// configuration mistakes (a non-positive rate, an empty support, ...) as
+/// ordinary errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A rate parameter was not strictly positive and finite.
+    NonPositiveRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// An interval `[lo, hi]` was empty or not finite where required.
+    BadInterval {
+        /// Lower endpoint supplied.
+        lo: f64,
+        /// Upper endpoint supplied.
+        hi: f64,
+    },
+    /// A probability was outside `[0, 1]` or a weight vector did not
+    /// normalize.
+    BadProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A piecewise density had no segment with positive mass.
+    EmptyDensity,
+    /// A shape or count parameter was invalid.
+    BadParameter {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+    },
+    /// Input data was empty where at least one element is required.
+    EmptyData,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NonPositiveRate { value } => {
+                write!(f, "rate must be strictly positive and finite, got {value}")
+            }
+            StatsError::BadInterval { lo, hi } => {
+                write!(f, "invalid interval [{lo}, {hi}]")
+            }
+            StatsError::BadProbability { value } => {
+                write!(f, "invalid probability {value}")
+            }
+            StatsError::EmptyDensity => write!(f, "piecewise density has no mass"),
+            StatsError::BadParameter { what } => write!(f, "invalid parameter: {what}"),
+            StatsError::EmptyData => write!(f, "empty data"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_value() {
+        let e = StatsError::NonPositiveRate { value: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = StatsError::BadInterval { lo: 3.0, hi: 1.0 };
+        assert!(e.to_string().contains('3'));
+        let e = StatsError::BadProbability { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(StatsError::EmptyDensity);
+    }
+}

@@ -1,0 +1,191 @@
+//! The exponential distribution, the service law of M/M/1 queues.
+
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Exponential distribution with rate `rate` (mean `1/rate`).
+///
+/// This is the service-time law of every queue in an M/M/1 network, and —
+/// via the paper's initial-event convention — also the interarrival law of
+/// the system (the virtual queue `q0` has rate λ).
+///
+/// # Examples
+///
+/// ```
+/// use qni_stats::exponential::Exponential;
+///
+/// let e = Exponential::new(4.0).unwrap();
+/// assert!((e.mean() - 0.25).abs() < 1e-12);
+/// assert!((e.cdf(e.inv_cdf(0.3)) - 0.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+// Serialized as the bare rate; deserialization re-validates the invariant.
+impl serde::Serialize for Exponential {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(self.rate)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Exponential {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let rate = f64::deserialize(d)?;
+        Exponential::new(rate).map_err(serde::de::Error::custom)
+    }
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// Returns [`StatsError::NonPositiveRate`] unless `rate` is finite and
+    /// strictly positive.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(StatsError::NonPositiveRate { value: rate });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Returns the rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Returns the mean `1/rate`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Returns the variance `1/rate²`.
+    pub fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    /// Evaluates the density at `x` (zero for negative `x`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    /// Evaluates the log-density at `x` (`-inf` for negative `x`).
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    /// Evaluates the CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    /// Evaluates the quantile function at `p ∈ [0, 1)`.
+    pub fn inv_cdf(&self, p: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&p));
+        -(-p).ln_1p() / self.rate
+    }
+
+    /// Draws one sample using inverse-CDF transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // `random::<f64>()` is uniform on [0,1); 1-u avoids ln(0).
+        let u: f64 = rng.random();
+        self.inv_cdf(u)
+    }
+
+    /// The maximum-likelihood rate estimate `n / Σxᵢ` from i.i.d. samples.
+    ///
+    /// Returns [`StatsError::EmptyData`] on empty input and
+    /// [`StatsError::BadParameter`] if the sum is not strictly positive.
+    pub fn mle_rate(samples: &[f64]) -> Result<f64, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptyData);
+        }
+        let sum: f64 = samples.iter().sum();
+        if !(sum.is_finite() && sum > 0.0) {
+            return Err(StatsError::BadParameter {
+                what: "sum of exponential samples must be positive",
+            });
+        }
+        Ok(samples.len() as f64 / sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let e = Exponential::new(2.0).unwrap();
+        assert_eq!(e.mean(), 0.5);
+        assert_eq!(e.variance(), 0.25);
+    }
+
+    #[test]
+    fn pdf_cdf_consistency() {
+        let e = Exponential::new(1.5).unwrap();
+        // d/dx CDF = pdf (finite differences).
+        for &x in &[0.1, 0.5, 1.0, 3.0] {
+            let h = 1e-6;
+            let d = (e.cdf(x + h) - e.cdf(x - h)) / (2.0 * h);
+            assert!((d - e.pdf(x)).abs() < 1e-6);
+        }
+        assert_eq!(e.pdf(-1.0), 0.0);
+        assert_eq!(e.cdf(-1.0), 0.0);
+        assert_eq!(e.log_pdf(-0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn inverse_cdf_round_trip() {
+        let e = Exponential::new(0.7).unwrap();
+        for &p in &[0.0, 0.01, 0.5, 0.9, 0.9999] {
+            assert!((e.cdf(e.inv_cdf(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sample_mean_close_to_theoretical() {
+        let e = Exponential::new(5.0).unwrap();
+        let mut rng = rng_from_seed(11);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        // Standard error ≈ 0.2/√n ≈ 4.5e-4; allow 5 sigma.
+        assert!((mean - 0.2).abs() < 2.5e-3, "mean={mean}");
+    }
+
+    #[test]
+    fn mle_recovers_rate() {
+        let e = Exponential::new(3.0).unwrap();
+        let mut rng = rng_from_seed(5);
+        let samples: Vec<f64> = (0..100_000).map(|_| e.sample(&mut rng)).collect();
+        let r = Exponential::mle_rate(&samples).unwrap();
+        assert!((r - 3.0).abs() < 0.05, "r={r}");
+    }
+
+    #[test]
+    fn mle_rejects_degenerate_input() {
+        assert_eq!(Exponential::mle_rate(&[]), Err(StatsError::EmptyData));
+        assert!(Exponential::mle_rate(&[0.0, 0.0]).is_err());
+    }
+}

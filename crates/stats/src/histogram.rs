@@ -1,0 +1,158 @@
+//! Fixed-range equal-width histograms for diagnostics and tests.
+
+use crate::error::StatsError;
+
+/// An equal-width histogram over `[lo, hi)` with values outside the range
+/// counted in saturating edge bins.
+///
+/// # Examples
+///
+/// ```
+/// use qni_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+/// h.add(0.1);
+/// h.add(0.9);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[3], 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins on `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+            return Err(StatsError::BadInterval { lo, hi });
+        }
+        if bins == 0 {
+            return Err(StatsError::BadParameter {
+                what: "histogram needs at least one bin",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds an observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// In-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Empirical density estimate at bin `i` (count normalized by total
+    /// observations and bin width).
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[i] as f64 / (self.total as f64 * self.bin_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0);
+        h.add(9.9999);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(1.0); // Right edge counts as overflow (half-open range).
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn density_tracks_exponential() {
+        let e = Exponential::new(2.0).unwrap();
+        let mut rng = rng_from_seed(8);
+        let mut h = Histogram::new(0.0, 3.0, 30).unwrap();
+        for _ in 0..200_000 {
+            h.add(e.sample(&mut rng));
+        }
+        // Compare empirical density with the true pdf at a few centers.
+        for &i in &[0usize, 5, 10, 20] {
+            let x = h.bin_center(i);
+            let err = (h.density(i) - e.pdf(x)).abs();
+            assert!(err < 0.05, "bin {i}: density={} pdf={}", h.density(i), e.pdf(x));
+        }
+    }
+}

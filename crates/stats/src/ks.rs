@@ -1,0 +1,123 @@
+//! One-sample Kolmogorov–Smirnov distance for statistical validation.
+//!
+//! Used by tests that check the Gibbs sampler's output distribution against
+//! a numerically integrated posterior.
+
+use crate::error::StatsError;
+
+/// One-sample KS statistic of `samples` against the CDF `cdf`.
+///
+/// `samples` need not be sorted; a sorted copy is made internally.
+pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let hi = (i + 1) as f64 / n;
+        let lo = i as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    Ok(d)
+}
+
+/// Approximate critical value of the one-sample KS statistic.
+///
+/// For significance level `alpha` and sample size `n`, uses the asymptotic
+/// `c(α)·√(1/n)` with `c(α) = sqrt(-ln(α/2)/2)`; accurate for `n ≳ 35`.
+pub fn ks_critical_value(n: usize, alpha: f64) -> Result<f64, StatsError> {
+    if n == 0 {
+        return Err(StatsError::EmptyData);
+    }
+    if !(0.0 < alpha && alpha < 1.0) {
+        return Err(StatsError::BadProbability { value: alpha });
+    }
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    Ok(c / (n as f64).sqrt())
+}
+
+/// Two-sample KS statistic between `a` and `b`.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn exact_cdf_passes() {
+        let e = Exponential::new(1.0).unwrap();
+        let mut rng = rng_from_seed(21);
+        let xs: Vec<f64> = (0..20_000).map(|_| e.sample(&mut rng)).collect();
+        let d = ks_statistic(&xs, |x| e.cdf(x)).unwrap();
+        let crit = ks_critical_value(xs.len(), 0.001).unwrap();
+        assert!(d < crit, "d={d} crit={crit}");
+    }
+
+    #[test]
+    fn wrong_cdf_fails() {
+        let e = Exponential::new(1.0).unwrap();
+        let wrong = Exponential::new(2.0).unwrap();
+        let mut rng = rng_from_seed(22);
+        let xs: Vec<f64> = (0..20_000).map(|_| e.sample(&mut rng)).collect();
+        let d = ks_statistic(&xs, |x| wrong.cdf(x)).unwrap();
+        let crit = ks_critical_value(xs.len(), 0.001).unwrap();
+        assert!(d > crit, "misfit should be detected: d={d} crit={crit}");
+    }
+
+    #[test]
+    fn two_sample_same_distribution_small() {
+        let e = Exponential::new(3.0).unwrap();
+        let mut rng = rng_from_seed(23);
+        let a: Vec<f64> = (0..10_000).map(|_| e.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..10_000).map(|_| e.sample(&mut rng)).collect();
+        let d = ks_two_sample(&a, &b).unwrap();
+        assert!(d < 0.03, "d={d}");
+    }
+
+    #[test]
+    fn two_sample_different_distribution_large() {
+        let e1 = Exponential::new(1.0).unwrap();
+        let e2 = Exponential::new(4.0).unwrap();
+        let mut rng = rng_from_seed(24);
+        let a: Vec<f64> = (0..5_000).map(|_| e1.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..5_000).map(|_| e2.sample(&mut rng)).collect();
+        let d = ks_two_sample(&a, &b).unwrap();
+        assert!(d > 0.3, "d={d}");
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(ks_statistic(&[], |_| 0.0).is_err());
+        assert!(ks_critical_value(0, 0.05).is_err());
+        assert!(ks_critical_value(10, 0.0).is_err());
+        assert!(ks_two_sample(&[], &[1.0]).is_err());
+    }
+}

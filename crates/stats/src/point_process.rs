@@ -1,0 +1,159 @@
+//! Poisson process samplers driving open-loop workloads.
+//!
+//! The synthetic experiments (paper §5.1) use a homogeneous Poisson arrival
+//! process; the web-application experiment (§5.2) ramps load linearly over
+//! 30 minutes, which we realize as an inhomogeneous Poisson process sampled
+//! by thinning.
+
+use crate::error::StatsError;
+use crate::exponential::Exponential;
+use rand::Rng;
+
+/// Samples a homogeneous Poisson process of the given rate on `[0, t_end)`.
+///
+/// Returns the sorted arrival times.
+///
+/// # Examples
+///
+/// ```
+/// use qni_stats::point_process::homogeneous_poisson;
+/// use qni_stats::rng::rng_from_seed;
+///
+/// let mut rng = rng_from_seed(1);
+/// let times = homogeneous_poisson(10.0, 100.0, &mut rng).unwrap();
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn homogeneous_poisson<R: Rng + ?Sized>(
+    rate: f64,
+    t_end: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, StatsError> {
+    if !(t_end.is_finite() && t_end > 0.0) {
+        return Err(StatsError::BadInterval { lo: 0.0, hi: t_end });
+    }
+    let exp = Exponential::new(rate)?;
+    let mut times = Vec::new();
+    let mut t = exp.sample(rng);
+    while t < t_end {
+        times.push(t);
+        t += exp.sample(rng);
+    }
+    Ok(times)
+}
+
+/// Samples exactly `n` arrivals of a homogeneous Poisson process (the first
+/// `n` event times).
+pub fn homogeneous_poisson_n<R: Rng + ?Sized>(
+    rate: f64,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, StatsError> {
+    let exp = Exponential::new(rate)?;
+    let mut times = Vec::with_capacity(n);
+    let mut t = 0.0;
+    for _ in 0..n {
+        t += exp.sample(rng);
+        times.push(t);
+    }
+    Ok(times)
+}
+
+/// Samples an inhomogeneous Poisson process by thinning.
+///
+/// `rate(t)` must be bounded above by `rate_max` on `[0, t_end)`; candidate
+/// points from a homogeneous process of rate `rate_max` are kept with
+/// probability `rate(t)/rate_max`.
+pub fn inhomogeneous_poisson<R: Rng + ?Sized, F: Fn(f64) -> f64>(
+    rate: F,
+    rate_max: f64,
+    t_end: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, StatsError> {
+    if !(rate_max.is_finite() && rate_max > 0.0) {
+        return Err(StatsError::NonPositiveRate { value: rate_max });
+    }
+    let candidates = homogeneous_poisson(rate_max, t_end, rng)?;
+    let mut kept = Vec::new();
+    for t in candidates {
+        let r = rate(t);
+        debug_assert!(
+            r <= rate_max * (1.0 + 1e-9),
+            "rate({t}) = {r} exceeds rate_max = {rate_max}"
+        );
+        let u: f64 = rng.random();
+        if u * rate_max < r {
+            kept.push(t);
+        }
+    }
+    Ok(kept)
+}
+
+/// Samples a linear-ramp Poisson process whose rate rises from `r0` at
+/// `t = 0` to `r1` at `t = t_end`.
+pub fn linear_ramp_poisson<R: Rng + ?Sized>(
+    r0: f64,
+    r1: f64,
+    t_end: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, StatsError> {
+    if !(r0 >= 0.0 && r1 >= 0.0 && (r0 > 0.0 || r1 > 0.0)) {
+        return Err(StatsError::NonPositiveRate { value: r0.min(r1) });
+    }
+    let rate = move |t: f64| r0 + (r1 - r0) * (t / t_end);
+    inhomogeneous_poisson(rate, r0.max(r1), t_end, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn homogeneous_count_near_rate_times_t() {
+        let mut rng = rng_from_seed(41);
+        let times = homogeneous_poisson(10.0, 1_000.0, &mut rng).unwrap();
+        let n = times.len() as f64;
+        // Poisson(10_000): sd = 100; allow 5 sigma.
+        assert!((n - 10_000.0).abs() < 500.0, "n={n}");
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(*times.last().unwrap() < 1_000.0);
+    }
+
+    #[test]
+    fn homogeneous_n_returns_exact_count() {
+        let mut rng = rng_from_seed(42);
+        let times = homogeneous_poisson_n(2.0, 500, &mut rng).unwrap();
+        assert_eq!(times.len(), 500);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        // Mean interarrival ≈ 0.5.
+        let mean = times.last().unwrap() / 500.0;
+        assert!((mean - 0.5).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn ramp_has_increasing_density() {
+        let mut rng = rng_from_seed(43);
+        let times = linear_ramp_poisson(1.0, 20.0, 1_000.0, &mut rng).unwrap();
+        let first_half = times.iter().filter(|&&t| t < 500.0).count() as f64;
+        let second_half = times.len() as f64 - first_half;
+        // Expected ratio of intensities: ∫ first / ∫ second = 5.75/15.25.
+        let ratio = first_half / second_half;
+        assert!((ratio - 5.75 / 15.25).abs() < 0.08, "ratio={ratio}");
+    }
+
+    #[test]
+    fn thinning_matches_homogeneous_when_constant() {
+        let mut rng = rng_from_seed(44);
+        let times = inhomogeneous_poisson(|_| 5.0, 5.0, 2_000.0, &mut rng).unwrap();
+        let n = times.len() as f64;
+        assert!((n - 10_000.0).abs() < 500.0, "n={n}");
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = rng_from_seed(45);
+        assert!(homogeneous_poisson(0.0, 1.0, &mut rng).is_err());
+        assert!(homogeneous_poisson(1.0, 0.0, &mut rng).is_err());
+        assert!(linear_ramp_poisson(0.0, 0.0, 1.0, &mut rng).is_err());
+    }
+}

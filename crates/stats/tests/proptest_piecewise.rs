@@ -1,0 +1,108 @@
+//! Property-based validation of the piecewise log-linear density engine.
+
+use proptest::prelude::*;
+use qni_stats::piecewise::PiecewiseExpDensity;
+use qni_stats::rng::rng_from_seed;
+
+/// Strategy: a density spec with up to 4 segments over a random interval.
+fn density_spec() -> impl Strategy<Value = (f64, f64, Vec<f64>, Vec<f64>)> {
+    (
+        -5.0f64..5.0,
+        0.2f64..8.0,
+        prop::collection::vec(-6.0f64..6.0, 1..=4),
+        0u64..1_000_000,
+    )
+        .prop_map(|(lo, width, slopes, cut_seed)| {
+            let hi = lo + width;
+            // Deterministic interior breakpoints from the seed.
+            let n = slopes.len() - 1;
+            let mut breaks = Vec::with_capacity(n);
+            let mut x = cut_seed as f64 / 1_000_000.0;
+            for i in 0..n {
+                x = (x * 0.61803 + 0.1931 * (i as f64 + 1.0)).fract();
+                breaks.push(lo + x * width);
+            }
+            breaks.sort_by(f64::total_cmp);
+            (lo, hi, breaks, slopes)
+        })
+}
+
+fn simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        acc += if i % 2 == 1 { 4.0 } else { 2.0 } * f(a + i as f64 * h);
+    }
+    acc * h / 3.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn normalizes_to_one((lo, hi, breaks, slopes) in density_spec()) {
+        let d = PiecewiseExpDensity::continuous_from_slopes(lo, hi, &breaks, &slopes)
+            .expect("buildable");
+        let total = simpson(|x| d.log_pdf(x).exp(), lo, hi - 1e-12, 4000);
+        prop_assert!((total - 1.0).abs() < 1e-4, "total={total}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded((lo, hi, breaks, slopes) in density_spec()) {
+        let d = PiecewiseExpDensity::continuous_from_slopes(lo, hi, &breaks, &slopes)
+            .expect("buildable");
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let x = lo + (hi - lo) * i as f64 / 50.0;
+            let c = d.cdf(x);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            prop_assert!(c >= prev - 1e-9, "cdf decreased at {x}");
+            prev = c;
+        }
+        prop_assert!((d.cdf(hi) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inv_cdf_round_trips((lo, hi, breaks, slopes) in density_spec()) {
+        let d = PiecewiseExpDensity::continuous_from_slopes(lo, hi, &breaks, &slopes)
+            .expect("buildable");
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.99] {
+            let x = d.inv_cdf(p);
+            prop_assert!((lo..=hi).contains(&x));
+            prop_assert!((d.cdf(x) - p).abs() < 1e-6, "p={p}, cdf={}", d.cdf(x));
+        }
+    }
+
+    #[test]
+    fn samples_lie_in_support_and_match_mean(
+        (lo, hi, breaks, slopes) in density_spec(),
+        seed in 0u64..1000,
+    ) {
+        let d = PiecewiseExpDensity::continuous_from_slopes(lo, hi, &breaks, &slopes)
+            .expect("buildable");
+        let mut rng = rng_from_seed(seed);
+        let n = 4000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            prop_assert!((lo..=hi).contains(&x), "sample {x} outside [{lo},{hi}]");
+            acc += x;
+        }
+        let sample_mean = acc / n as f64;
+        let true_mean = simpson(|x| x * d.log_pdf(x).exp(), lo, hi - 1e-12, 4000);
+        // Bound the error by ~6 standard errors of a worst-case spread.
+        let spread = hi - lo;
+        prop_assert!(
+            (sample_mean - true_mean).abs() < 6.0 * spread / (n as f64).sqrt(),
+            "sample mean {sample_mean} vs true {true_mean}"
+        );
+    }
+
+    #[test]
+    fn segment_probs_sum_to_one((lo, hi, breaks, slopes) in density_spec()) {
+        let d = PiecewiseExpDensity::continuous_from_slopes(lo, hi, &breaks, &slopes)
+            .expect("buildable");
+        let total: f64 = (0..d.segments().len()).map(|i| d.segment_prob(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

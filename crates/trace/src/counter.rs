@@ -1,0 +1,148 @@
+//! The event-counter mechanism justifying the fixed-order assumption.
+//!
+//! The paper's sampler holds the per-queue arrival *order* fixed, arguing
+//! this is "easy to measure in actual systems, by maintaining an event
+//! counter that is transmitted only when an event is observed". This
+//! module simulates exactly that mechanism and shows the order/count
+//! information it yields: for each observed event we record the value of
+//! its queue's arrival counter; the gaps between consecutive observed
+//! counter values are the numbers of unobserved intervening events.
+
+use qni_model::ids::{EventId, QueueId};
+use qni_model::log::EventLog;
+
+use crate::mask::ObservedMask;
+
+/// One observed event together with its queue-local arrival counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterReading {
+    /// The observed event.
+    pub event: EventId,
+    /// Arrival index of this event at its queue (0-based).
+    pub counter: usize,
+}
+
+/// Counter readings for one queue, in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueCounterTrace {
+    /// The queue.
+    pub queue: QueueId,
+    /// Total number of arrivals the counter reached.
+    pub total: usize,
+    /// Readings transmitted with observed events.
+    pub readings: Vec<CounterReading>,
+}
+
+impl QueueCounterTrace {
+    /// Numbers of unobserved events in each gap: before the first reading,
+    /// between consecutive readings, and after the last.
+    pub fn gap_sizes(&self) -> Vec<usize> {
+        let mut gaps = Vec::with_capacity(self.readings.len() + 1);
+        let mut prev = 0usize;
+        for r in &self.readings {
+            gaps.push(r.counter - prev);
+            prev = r.counter + 1;
+        }
+        gaps.push(self.total - prev);
+        gaps
+    }
+}
+
+/// Simulates the counter mechanism: what an instrumented system would
+/// transmit given this observation mask.
+pub fn counter_traces(log: &EventLog, mask: &ObservedMask) -> Vec<QueueCounterTrace> {
+    (0..log.num_queues())
+        .map(|q| {
+            let q = QueueId::from_index(q);
+            let order = log.events_at_queue(q);
+            let readings = order
+                .iter()
+                .enumerate()
+                .filter(|&(_, &e)| mask.arrival_observed(e))
+                .map(|(i, &e)| CounterReading { event: e, counter: i })
+                .collect();
+            QueueCounterTrace {
+                queue: q,
+                total: order.len(),
+                readings,
+            }
+        })
+        .collect()
+}
+
+/// Verifies that counter readings are consistent with a hypothesized
+/// per-queue order (used in tests: the readings pin observed events to
+/// their true positions).
+pub fn readings_match_order(trace: &QueueCounterTrace, order: &[EventId]) -> bool {
+    trace.total == order.len()
+        && trace
+            .readings
+            .iter()
+            .all(|r| order.get(r.counter) == Some(&r.event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::ObservationScheme;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+
+    fn setup() -> (EventLog, ObservedMask) {
+        let bp = tandem(2.0, &[4.0]).unwrap();
+        let mut rng = rng_from_seed(1);
+        let log = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 100).unwrap(), &mut rng)
+            .unwrap();
+        let ml = ObservationScheme::task_sampling(0.2)
+            .unwrap()
+            .apply(log, &mut rng_from_seed(2))
+            .unwrap();
+        (ml.ground_truth().clone(), ml.mask().clone())
+    }
+
+    #[test]
+    fn readings_are_consistent_with_truth() {
+        let (log, mask) = setup();
+        for trace in counter_traces(&log, &mask) {
+            let order = log.events_at_queue(trace.queue);
+            assert!(readings_match_order(&trace, order));
+        }
+    }
+
+    #[test]
+    fn gap_sizes_sum_to_unobserved_count() {
+        let (log, mask) = setup();
+        for trace in counter_traces(&log, &mask) {
+            let gaps = trace.gap_sizes();
+            let unobserved = trace.total - trace.readings.len();
+            assert_eq!(gaps.iter().sum::<usize>(), unobserved);
+            assert_eq!(gaps.len(), trace.readings.len() + 1);
+        }
+    }
+
+    #[test]
+    fn fully_observed_has_zero_gaps() {
+        let (log, _) = setup();
+        let mask = ObservedMask::fully_observed(log.num_events());
+        for trace in counter_traces(&log, &mask) {
+            assert!(trace.gap_sizes().iter().all(|&g| g == 0));
+        }
+    }
+
+    #[test]
+    fn readings_reject_wrong_order() {
+        let (log, mask) = setup();
+        let traces = counter_traces(&log, &mask);
+        // Find a queue with at least two events and one reading.
+        let trace = traces
+            .iter()
+            .find(|t| t.total >= 2 && !t.readings.is_empty())
+            .expect("setup produces observed events");
+        let mut order = log.events_at_queue(trace.queue).to_vec();
+        // A cyclic shift misplaces every event.
+        order.rotate_left(1);
+        assert!(!readings_match_order(trace, &order));
+    }
+}

@@ -1,0 +1,104 @@
+//! A minimal CSV writer for experiment outputs.
+//!
+//! Deliberately tiny: experiment harnesses emit simple numeric tables, so
+//! a dependency-free writer with quoting for the rare string cell is all
+//! that is required.
+
+use crate::error::TraceError;
+use std::io::Write;
+
+/// Writes rows of cells as CSV with a header.
+///
+/// # Examples
+///
+/// ```
+/// use qni_trace::csv::CsvWriter;
+///
+/// let mut buf = Vec::new();
+/// let mut w = CsvWriter::new(&mut buf, &["x", "y"]).unwrap();
+/// w.row(&["1".into(), "2.5".into()]).unwrap();
+/// drop(w);
+/// assert_eq!(String::from_utf8(buf).unwrap(), "x,y\n1,2.5\n");
+/// ```
+#[derive(Debug)]
+pub struct CsvWriter<W: Write> {
+    out: W,
+    columns: usize,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Creates a writer and emits the header row.
+    pub fn new(mut out: W, header: &[&str]) -> Result<Self, TraceError> {
+        let line = header
+            .iter()
+            .map(|c| quote(c))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(out, "{line}")?;
+        Ok(CsvWriter {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Writes one row; errors if the cell count mismatches the header.
+    pub fn row(&mut self, cells: &[String]) -> Result<(), TraceError> {
+        if cells.len() != self.columns {
+            return Err(TraceError::ShapeMismatch {
+                expected: self.columns,
+                actual: cells.len(),
+            });
+        }
+        let line = cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
+        writeln!(self.out, "{line}")?;
+        Ok(())
+    }
+
+    /// Writes one row of floats with full precision.
+    pub fn row_f64(&mut self, cells: &[f64]) -> Result<(), TraceError> {
+        let strings: Vec<String> = cells.iter().map(|v| format!("{v}")).collect();
+        self.row(&strings)
+    }
+}
+
+/// Quotes a cell if it contains a comma, quote, or newline.
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf, &["a", "b"]).unwrap();
+            w.row(&["x,y".into(), "say \"hi\"".into()]).unwrap();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn shape_enforced() {
+        let mut buf = Vec::new();
+        let mut w = CsvWriter::new(&mut buf, &["a", "b"]).unwrap();
+        assert!(w.row(&["only one".into()]).is_err());
+    }
+
+    #[test]
+    fn floats() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf, &["v", "w"]).unwrap();
+            w.row_f64(&[0.5, 1.25]).unwrap();
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "v,w\n0.5,1.25\n");
+    }
+}

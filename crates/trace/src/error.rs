@@ -1,0 +1,79 @@
+//! Error type for the trace layer.
+
+use std::fmt;
+
+/// Errors raised by observation and serialization utilities.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A fraction was outside `[0, 1]`.
+    BadFraction {
+        /// The offending value.
+        value: f64,
+    },
+    /// A time window was empty or non-finite.
+    BadWindow {
+        /// Window start.
+        from: f64,
+        /// Window end.
+        until: f64,
+    },
+    /// An I/O error during trace reading/writing.
+    Io(std::io::Error),
+    /// A serialization error.
+    Serde(serde_json::Error),
+    /// Mask and log shapes disagree.
+    ShapeMismatch {
+        /// Expected number of events.
+        expected: usize,
+        /// Actual number of events.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadFraction { value } => {
+                write!(f, "fraction must be in [0,1], got {value}")
+            }
+            TraceError::BadWindow { from, until } => {
+                write!(f, "invalid window [{from}, {until})")
+            }
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::Serde(e) => write!(f, "serialization error: {e}"),
+            TraceError::ShapeMismatch { expected, actual } => {
+                write!(f, "mask covers {actual} events, log has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(TraceError::BadFraction { value: 1.5 }.to_string().contains("1.5"));
+        assert!(TraceError::ShapeMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains('4'));
+    }
+}

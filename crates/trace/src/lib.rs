@@ -1,0 +1,32 @@
+//! Instrumentation layer: traces, observation schemes, and masked logs.
+//!
+//! The paper's premise is that full tracing is too expensive (123 GB/day
+//! for the Coral cache), so only a *subset* of arrival times is measured.
+//! This crate models that measurement process:
+//!
+//! - [`observe`]: observation schemes — most importantly
+//!   [`observe::ObservationScheme::TaskSampling`], the §5.1 protocol that
+//!   observes *all arrivals of a random sample of tasks* (plus their final
+//!   departures), and per-event sampling as an alternative.
+//! - [`mask`]: the [`mask::MaskedLog`] — ground truth plus an observation
+//!   mask. Inference code receives this and must call
+//!   [`mask::MaskedLog::scrubbed_log`], which replaces every unobserved
+//!   time with NaN, making accidental peeking loud.
+//! - [`counter`]: the event-counter mechanism the paper proposes for
+//!   knowing *how many* unobserved events occurred between observed ones
+//!   (which justifies the fixed-arrival-order assumption of the sampler).
+//! - [`record`]: serializable per-event trace records with JSONL
+//!   round-tripping.
+//! - [`csv`]: a minimal CSV writer used by the experiment harness.
+
+pub mod counter;
+pub mod csv;
+pub mod error;
+pub mod mask;
+pub mod observe;
+pub mod record;
+pub mod volume;
+
+pub use error::TraceError;
+pub use mask::{MaskedLog, ObservedMask};
+pub use observe::ObservationScheme;

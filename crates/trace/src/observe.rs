@@ -1,0 +1,237 @@
+//! Observation schemes: which events get measured.
+
+use crate::error::TraceError;
+use crate::mask::{MaskedLog, ObservedMask};
+use qni_model::ids::TaskId;
+use qni_model::log::EventLog;
+use rand::Rng;
+
+/// A policy for selecting which arrival (and final-departure) times are
+/// measured from a running system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObservationScheme {
+    /// Observe *all arrivals* (and the final departure) of a uniformly
+    /// random fraction of tasks — the protocol of the paper's §5.1
+    /// ("observe all arrivals for a random sample of tasks").
+    TaskSampling {
+        /// Fraction of tasks observed, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Observe each non-initial event's arrival independently with the
+    /// given probability (final departures likewise).
+    EventSampling {
+        /// Per-event observation probability.
+        fraction: f64,
+    },
+    /// Observe all events of tasks that *enter* within a time window —
+    /// models "turn tracing on for five minutes".
+    TimeWindow {
+        /// Window start (task entry time).
+        from: f64,
+        /// Window end (exclusive).
+        until: f64,
+    },
+    /// Observe everything (for sanity checks).
+    Full,
+    /// Observe nothing beyond the structural knowledge.
+    None,
+}
+
+impl ObservationScheme {
+    /// Task-sampling scheme with validation.
+    pub fn task_sampling(fraction: f64) -> Result<Self, TraceError> {
+        check_fraction(fraction)?;
+        Ok(ObservationScheme::TaskSampling { fraction })
+    }
+
+    /// Event-sampling scheme with validation.
+    pub fn event_sampling(fraction: f64) -> Result<Self, TraceError> {
+        check_fraction(fraction)?;
+        Ok(ObservationScheme::EventSampling { fraction })
+    }
+
+    /// Time-window scheme with validation.
+    pub fn time_window(from: f64, until: f64) -> Result<Self, TraceError> {
+        if !(from.is_finite() && until.is_finite() && until > from) {
+            return Err(TraceError::BadWindow { from, until });
+        }
+        Ok(ObservationScheme::TimeWindow { from, until })
+    }
+
+    /// Applies the scheme to a ground-truth log, producing a masked log.
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        truth: EventLog,
+        rng: &mut R,
+    ) -> Result<MaskedLog, TraceError> {
+        let n = truth.num_events();
+        let mut mask = ObservedMask::unobserved(n);
+        match self {
+            ObservationScheme::TaskSampling { fraction } => {
+                for k in 0..truth.num_tasks() {
+                    let u: f64 = rng.random();
+                    if u < *fraction {
+                        observe_task(&truth, TaskId::from_index(k), &mut mask);
+                    }
+                }
+            }
+            ObservationScheme::EventSampling { fraction } => {
+                for e in truth.event_ids() {
+                    if truth.is_initial_event(e) {
+                        continue;
+                    }
+                    let u: f64 = rng.random();
+                    if u < *fraction {
+                        mask.observe_arrival(e);
+                    }
+                    if truth.is_final_event(e) {
+                        let u: f64 = rng.random();
+                        if u < *fraction {
+                            mask.observe_departure(e);
+                        }
+                    }
+                }
+            }
+            ObservationScheme::TimeWindow { from, until } => {
+                for k in 0..truth.num_tasks() {
+                    let k = TaskId::from_index(k);
+                    let entry = truth.task_entry(k);
+                    if entry >= *from && entry < *until {
+                        observe_task(&truth, k, &mut mask);
+                    }
+                }
+            }
+            ObservationScheme::Full => {
+                mask = ObservedMask::fully_observed(n);
+            }
+            ObservationScheme::None => {}
+        }
+        MaskedLog::new(truth, mask)
+    }
+}
+
+/// Marks every arrival and the final departure of one task as observed.
+fn observe_task(truth: &EventLog, k: TaskId, mask: &mut ObservedMask) {
+    let events = truth.task_events(k);
+    for &e in events {
+        mask.observe_arrival(e);
+    }
+    if let Some(&last) = events.last() {
+        mask.observe_departure(last);
+    }
+}
+
+fn check_fraction(f: f64) -> Result<(), TraceError> {
+    if !(0.0..=1.0).contains(&f) || f.is_nan() {
+        return Err(TraceError::BadFraction { value: f });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+
+    fn truth(n: usize, seed: u64) -> EventLog {
+        let bp = tandem(2.0, &[5.0, 5.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, n).unwrap(), &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ObservationScheme::task_sampling(-0.1).is_err());
+        assert!(ObservationScheme::task_sampling(1.1).is_err());
+        assert!(ObservationScheme::event_sampling(f64::NAN).is_err());
+        assert!(ObservationScheme::time_window(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn task_sampling_observes_whole_tasks() {
+        let t = truth(400, 1);
+        let ml = ObservationScheme::task_sampling(0.3)
+            .unwrap()
+            .apply(t, &mut rng_from_seed(2))
+            .unwrap();
+        // Every task is either fully pinned or has all non-initial
+        // arrivals free.
+        let gt = ml.ground_truth();
+        for k in 0..gt.num_tasks() {
+            let evs = gt.task_events(TaskId::from_index(k));
+            let observed: Vec<bool> = evs[1..]
+                .iter()
+                .map(|&e| ml.mask().arrival_observed(e))
+                .collect();
+            assert!(
+                observed.iter().all(|&b| b) || observed.iter().all(|&b| !b),
+                "task {k} partially observed"
+            );
+        }
+        let f = ml.observed_arrival_fraction();
+        assert!((f - 0.3).abs() < 0.1, "fraction={f}");
+    }
+
+    #[test]
+    fn full_and_none() {
+        let t = truth(50, 3);
+        let full = ObservationScheme::Full
+            .apply(t.clone(), &mut rng_from_seed(4))
+            .unwrap();
+        assert!(full.free_arrivals().is_empty());
+        let none = ObservationScheme::None
+            .apply(t, &mut rng_from_seed(5))
+            .unwrap();
+        assert_eq!(none.observed_arrival_fraction(), 0.0);
+        // All non-initial arrivals free: 2 per task.
+        assert_eq!(none.free_arrivals().len(), 2 * 50);
+    }
+
+    #[test]
+    fn event_sampling_fraction_approximate() {
+        let t = truth(1000, 6);
+        let ml = ObservationScheme::event_sampling(0.25)
+            .unwrap()
+            .apply(t, &mut rng_from_seed(7))
+            .unwrap();
+        let f = ml.observed_arrival_fraction();
+        assert!((f - 0.25).abs() < 0.03, "fraction={f}");
+    }
+
+    #[test]
+    fn time_window_observes_entrants() {
+        let t = truth(500, 8);
+        let horizon = (0..t.num_tasks())
+            .map(|k| t.task_entry(TaskId::from_index(k)))
+            .fold(0.0f64, f64::max);
+        let ml = ObservationScheme::time_window(0.0, horizon / 2.0)
+            .unwrap()
+            .apply(t, &mut rng_from_seed(9))
+            .unwrap();
+        let gt = ml.ground_truth();
+        for k in 0..gt.num_tasks() {
+            let k = TaskId::from_index(k);
+            let inside = gt.task_entry(k) < horizon / 2.0;
+            let first_real = gt.task_events(k)[1];
+            assert_eq!(ml.mask().arrival_observed(first_real), inside);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = truth(300, 10);
+        let a = ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(t.clone(), &mut rng_from_seed(11))
+            .unwrap();
+        let b = ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(t, &mut rng_from_seed(11))
+            .unwrap();
+        assert_eq!(a.mask(), b.mask());
+    }
+}

@@ -1,0 +1,133 @@
+//! Trace-volume accounting: why sampling is necessary.
+//!
+//! The paper motivates partial observation with a measurement: recording
+//! full trace data for the Coral CDN would take 123 GB/day. This module
+//! quantifies that trade-off for any deployment: bytes per event record,
+//! events per day, and the reduction from task sampling — the quantity an
+//! operator balances against the estimation accuracy measured in
+//! `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte cost of one trace record.
+///
+/// Defaults model a compact binary record: ids (task 8 + queue 2 +
+/// state 2), two f64 timestamps, and per-record framing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecordCost {
+    /// Bytes per event record.
+    pub bytes_per_event: u64,
+    /// Fixed per-task overhead (task metadata, counters).
+    pub bytes_per_task: u64,
+}
+
+impl Default for RecordCost {
+    fn default() -> Self {
+        RecordCost {
+            bytes_per_event: 32,
+            bytes_per_task: 16,
+        }
+    }
+}
+
+/// A deployment's tracing workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentVolume {
+    /// Tasks (requests) per day.
+    pub tasks_per_day: u64,
+    /// Queue visits per task (events).
+    pub events_per_task: u64,
+    /// Record cost model.
+    pub cost: RecordCost,
+}
+
+impl DeploymentVolume {
+    /// Bytes per day at full tracing.
+    pub fn full_bytes_per_day(&self) -> u64 {
+        self.tasks_per_day
+            * (self.events_per_task * self.cost.bytes_per_event + self.cost.bytes_per_task)
+    }
+
+    /// Bytes per day when observing a fraction of tasks (plus the
+    /// counter readings transmitted with observed events, already counted
+    /// in the per-event cost).
+    pub fn sampled_bytes_per_day(&self, fraction: f64) -> u64 {
+        (self.full_bytes_per_day() as f64 * fraction.clamp(0.0, 1.0)).round() as u64
+    }
+
+    /// Reduction factor achieved by sampling.
+    pub fn reduction(&self, fraction: f64) -> f64 {
+        if fraction <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / fraction.min(1.0)
+        }
+    }
+}
+
+/// Formats a byte count as a human-readable decimal string.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1000.0 && unit + 1 < UNITS.len() {
+        v /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deployment in the Coral class: ~1.5 billion events/day of trace
+    /// at ~80 B/event ≈ 123 GB/day.
+    fn coral_like() -> DeploymentVolume {
+        DeploymentVolume {
+            tasks_per_day: 250_000_000,
+            events_per_task: 6,
+            cost: RecordCost {
+                bytes_per_event: 80,
+                bytes_per_task: 24,
+            },
+        }
+    }
+
+    #[test]
+    fn coral_scale_reproduces_the_motivation() {
+        let v = coral_like();
+        let gb = v.full_bytes_per_day() as f64 / 1e9;
+        // The paper cites 123 GB/day (uncompressed) for Coral.
+        assert!((gb - 126.0).abs() < 10.0, "gb={gb}");
+        // At the 1% observation the abstract highlights: ~1.3 GB/day.
+        let sampled = v.sampled_bytes_per_day(0.01) as f64 / 1e9;
+        assert!((sampled - 1.26).abs() < 0.1, "sampled={sampled}");
+        assert_eq!(v.reduction(0.01), 100.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let v = DeploymentVolume {
+            tasks_per_day: 1000,
+            events_per_task: 4,
+            cost: RecordCost::default(),
+        };
+        assert_eq!(v.full_bytes_per_day(), 1000 * (4 * 32 + 16));
+        assert_eq!(v.sampled_bytes_per_day(0.5), v.full_bytes_per_day() / 2);
+        assert_eq!(v.sampled_bytes_per_day(2.0), v.full_bytes_per_day());
+        assert_eq!(v.reduction(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human_bytes(999), "999 B");
+        assert_eq!(human_bytes(1_500), "1.5 KB");
+        assert_eq!(human_bytes(123_000_000_000), "123.0 GB");
+        assert_eq!(human_bytes(2_000_000_000_000), "2.0 TB");
+    }
+}

@@ -1,0 +1,175 @@
+//! Configuration of the synthetic web application.
+
+use qni_sim::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`crate::testbed::WebAppTestbed`].
+///
+/// Defaults reproduce the paper's published statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebAppConfig {
+    /// Number of requests (paper: 5759).
+    pub requests: usize,
+    /// Experiment duration in seconds (paper: 30 minutes).
+    pub duration: f64,
+    /// Workload ramp: arrival rate at t=0 and at `duration`.
+    pub ramp: (f64, f64),
+    /// Number of web-server processes (paper: 10).
+    pub web_servers: usize,
+    /// Exponential service rate of the network queue (visited twice).
+    pub network_rate: f64,
+    /// Exponential service rate of each web server.
+    pub web_rate: f64,
+    /// Exponential service rate of the database.
+    pub db_rate: f64,
+    /// Index of the starved web server and its expected request count
+    /// (paper: one server received only 19 requests).
+    pub starved: Option<(usize, f64)>,
+}
+
+impl Default for WebAppConfig {
+    fn default() -> Self {
+        WebAppConfig {
+            requests: 5759,
+            duration: 1800.0,
+            // Mean rate ≈ 3.2/s integrates to ≈ 5759 requests over 30 min.
+            ramp: (0.5, 5.9),
+            web_servers: 10,
+            network_rate: 20.0, // 50 ms mean per traversal.
+            web_rate: 2.5,      // 400 ms mean dynamic-content rendering.
+            db_rate: 10.0,      // 100 ms mean query time.
+            starved: Some((9, 19.0)),
+        }
+    }
+}
+
+impl WebAppConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.requests == 0 {
+            return Err(SimError::BadWorkload {
+                what: "requests must be positive",
+            });
+        }
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "duration must be positive",
+            });
+        }
+        if self.web_servers == 0 {
+            return Err(SimError::BadWorkload {
+                what: "need at least one web server",
+            });
+        }
+        let (r0, r1) = self.ramp;
+        if !(r0 >= 0.0 && r1 >= 0.0 && r0 + r1 > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "ramp rates must be non-negative, not both zero",
+            });
+        }
+        for &(rate, name) in &[
+            (self.network_rate, "network_rate"),
+            (self.web_rate, "web_rate"),
+            (self.db_rate, "db_rate"),
+        ] {
+            if !(rate.is_finite() && rate > 0.0) {
+                let _ = name;
+                return Err(SimError::BadWorkload {
+                    what: "service rates must be positive",
+                });
+            }
+        }
+        if let Some((idx, expect)) = self.starved {
+            if idx >= self.web_servers {
+                return Err(SimError::BadWorkload {
+                    what: "starved server index out of range",
+                });
+            }
+            if !(expect > 0.0 && expect < self.requests as f64) {
+                return Err(SimError::BadWorkload {
+                    what: "starved request count must be in (0, requests)",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Load-balancer weights over web servers (sum to 1).
+    pub fn balancer_weights(&self) -> Vec<f64> {
+        let n = self.web_servers;
+        match self.starved {
+            None => vec![1.0 / n as f64; n],
+            Some((idx, expect)) => {
+                let starved_w = expect / self.requests as f64;
+                let other_w = (1.0 - starved_w) / (n - 1) as f64;
+                (0..n)
+                    .map(|i| if i == idx { starved_w } else { other_w })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_statistics() {
+        let c = WebAppConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.requests, 5759);
+        assert_eq!(c.duration, 1800.0);
+        assert_eq!(c.web_servers, 10);
+        // Ramp integrates to roughly the request count.
+        let expected = (c.ramp.0 + c.ramp.1) / 2.0 * c.duration;
+        assert!((expected - 5759.0).abs() < 100.0, "expected={expected}");
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_starve_one_server() {
+        let c = WebAppConfig::default();
+        let w = c.balancer_weights();
+        assert_eq!(w.len(), 10);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[9] < 0.01);
+        assert!((w[9] * 5759.0 - 19.0).abs() < 1e-9);
+        for weight in &w[..9] {
+            assert!(*weight > 0.1);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_without_starvation() {
+        let c = WebAppConfig {
+            starved: None,
+            ..WebAppConfig::default()
+        };
+        let w = c.balancer_weights();
+        assert!(w.iter().all(|&x| (x - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let bad = WebAppConfig {
+            requests: 0,
+            ..WebAppConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = WebAppConfig {
+            web_servers: 0,
+            ..WebAppConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = WebAppConfig {
+            starved: Some((10, 19.0)),
+            ..WebAppConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = WebAppConfig {
+            db_rate: 0.0,
+            ..WebAppConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Exact-count sampling of linearly ramping arrivals.
+//!
+//! Conditional on the total count `n`, the arrival times of an
+//! inhomogeneous Poisson process are i.i.d. with density proportional to
+//! the intensity. For a linear ramp `r(t) = r0 + (r1 − r0)·t/T` the
+//! cumulative intensity is quadratic, so the inverse CDF has a closed
+//! form. This yields *exactly* `n` arrivals with the right profile — the
+//! paper reports exactly 5759 requests.
+
+use qni_sim::SimError;
+use rand::Rng;
+
+/// Samples exactly `n` arrival times on `[0, duration)` from a linear
+/// intensity ramp `r0 → r1`; returned sorted.
+pub fn ramp_arrivals_exact<R: Rng + ?Sized>(
+    n: usize,
+    r0: f64,
+    r1: f64,
+    duration: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, SimError> {
+    if !(duration.is_finite() && duration > 0.0) {
+        return Err(SimError::BadWorkload {
+            what: "duration must be positive",
+        });
+    }
+    if !(r0 >= 0.0 && r1 >= 0.0 && r0 + r1 > 0.0) {
+        return Err(SimError::BadWorkload {
+            what: "ramp rates must be non-negative, not both zero",
+        });
+    }
+    let total = (r0 + r1) / 2.0 * duration; // Λ(T).
+    let slope = (r1 - r0) / duration;
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.random();
+        let target = u * total; // Λ(t) = r0·t + slope·t²/2 = target.
+        let t = if slope.abs() < 1e-15 {
+            target / r0
+        } else {
+            // Positive root of (slope/2)·t² + r0·t − target = 0.
+            let disc = r0 * r0 + 2.0 * slope * target;
+            (-r0 + disc.sqrt()) / slope
+        };
+        times.push(t.clamp(0.0, duration));
+    }
+    times.sort_by(f64::total_cmp);
+    Ok(times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_stats::rng::rng_from_seed;
+
+    #[test]
+    fn exact_count_and_sorted() {
+        let mut rng = rng_from_seed(1);
+        let t = ramp_arrivals_exact(5759, 0.5, 5.9, 1800.0, &mut rng).unwrap();
+        assert_eq!(t.len(), 5759);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        assert!(t.iter().all(|&x| (0.0..=1800.0).contains(&x)));
+    }
+
+    #[test]
+    fn density_increases_along_ramp() {
+        let mut rng = rng_from_seed(2);
+        let t = ramp_arrivals_exact(50_000, 1.0, 9.0, 100.0, &mut rng).unwrap();
+        let first = t.iter().filter(|&&x| x < 50.0).count() as f64;
+        let second = t.len() as f64 - first;
+        // Intensity mass: first half ∫ = (1+5)/2·50 = 150; second 350.
+        let ratio = first / second;
+        assert!((ratio - 150.0 / 350.0).abs() < 0.03, "ratio={ratio}");
+    }
+
+    #[test]
+    fn flat_ramp_is_uniform() {
+        let mut rng = rng_from_seed(3);
+        let t = ramp_arrivals_exact(20_000, 2.0, 2.0, 10.0, &mut rng).unwrap();
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn decreasing_ramp_works_too() {
+        let mut rng = rng_from_seed(4);
+        let t = ramp_arrivals_exact(20_000, 9.0, 1.0, 100.0, &mut rng).unwrap();
+        let first = t.iter().filter(|&&x| x < 50.0).count();
+        assert!(first > t.len() / 2);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = rng_from_seed(5);
+        assert!(ramp_arrivals_exact(10, 0.0, 0.0, 1.0, &mut rng).is_err());
+        assert!(ramp_arrivals_exact(10, 1.0, 2.0, 0.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The assembled testbed: topology, load balancer, and data generation.
+
+use crate::config::WebAppConfig;
+use crate::ramp::ramp_arrivals_exact;
+use qni_model::fsm::Fsm;
+use qni_model::ids::QueueId;
+use qni_model::log::EventLog;
+use qni_model::network::QueueingNetwork;
+use qni_sim::{SimError, Simulator};
+use rand::Rng;
+
+/// The synthetic movie-voting deployment.
+///
+/// # Examples
+///
+/// ```
+/// use qni_webapp::{WebAppConfig, WebAppTestbed};
+/// use qni_stats::rng::rng_from_seed;
+///
+/// let mut cfg = WebAppConfig::default();
+/// cfg.requests = 200; // Keep the doc test fast.
+/// cfg.ramp = (0.05, 0.17);
+/// let tb = WebAppTestbed::build(&cfg).unwrap();
+/// let log = tb.generate(&mut rng_from_seed(1)).unwrap();
+/// assert_eq!(log.num_tasks(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WebAppTestbed {
+    config: WebAppConfig,
+    network: QueueingNetwork,
+    network_queue: QueueId,
+    web_queues: Vec<QueueId>,
+    db_queue: QueueId,
+}
+
+impl WebAppTestbed {
+    /// Builds the 12-queue topology from a configuration.
+    pub fn build(config: &WebAppConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        // Queue layout: q0 | network | web_1..web_n | db.
+        let network_queue = QueueId(1);
+        let web_queues: Vec<QueueId> =
+            (2..2 + config.web_servers).map(QueueId::from_index).collect();
+        let db_queue = QueueId::from_index(2 + config.web_servers);
+        let weights = config.balancer_weights();
+        let web_tier: Vec<(QueueId, f64)> = web_queues
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .collect();
+        // Request path: network → web_i → db → network.
+        let fsm = Fsm::tiered_weighted(&[
+            vec![(network_queue, 1.0)],
+            web_tier,
+            vec![(db_queue, 1.0)],
+            vec![(network_queue, 1.0)],
+        ])?;
+        let mut rates: Vec<(String, f64)> = vec![("network".into(), config.network_rate)];
+        for i in 0..config.web_servers {
+            rates.push((format!("web{}", i + 1), config.web_rate));
+        }
+        rates.push(("mysql".into(), config.db_rate));
+        let refs: Vec<(&str, f64)> = rates.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+        // The nominal arrival rate recorded on q0 is the ramp average;
+        // the actual workload is the exact-count ramp.
+        let lambda = (config.ramp.0 + config.ramp.1) / 2.0;
+        let network = QueueingNetwork::mm1(lambda.max(1e-6), &refs, fsm)?;
+        Ok(WebAppTestbed {
+            config: config.clone(),
+            network,
+            network_queue,
+            web_queues,
+            db_queue,
+        })
+    }
+
+    /// The queueing network (q0 included).
+    pub fn network(&self) -> &QueueingNetwork {
+        &self.network
+    }
+
+    /// The configuration this testbed was built from.
+    pub fn config(&self) -> &WebAppConfig {
+        &self.config
+    }
+
+    /// The shared network queue (visited on the way in and out).
+    pub fn network_queue(&self) -> QueueId {
+        self.network_queue
+    }
+
+    /// The web-server queues.
+    pub fn web_queues(&self) -> &[QueueId] {
+        &self.web_queues
+    }
+
+    /// The database queue.
+    pub fn db_queue(&self) -> QueueId {
+        self.db_queue
+    }
+
+    /// True mean service time per queue (indexed by queue id), for
+    /// evaluation against estimates.
+    pub fn true_mean_services(&self) -> Vec<f64> {
+        (0..self.network.num_queues())
+            .map(|i| {
+                self.network
+                    .service(QueueId::from_index(i))
+                    .map(|d| d.mean())
+                    .unwrap_or(f64::NAN)
+            })
+            .collect()
+    }
+
+    /// Generates one ground-truth dataset: exactly `config.requests` tasks
+    /// on the 30-minute linear ramp.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<EventLog, SimError> {
+        let entries = ramp_arrivals_exact(
+            self.config.requests,
+            self.config.ramp.0,
+            self.config.ramp.1,
+            self.config.duration,
+            rng,
+        )?;
+        Simulator::new(&self.network).run_with_entries(&entries, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_stats::rng::rng_from_seed;
+
+    fn small() -> WebAppConfig {
+        WebAppConfig {
+            requests: 600,
+            duration: 600.0,
+            ramp: (0.5, 1.5),
+            ..WebAppConfig::default()
+        }
+    }
+
+    #[test]
+    fn paper_event_count_shape() {
+        // Full-size generation: 5759 tasks → 23 036 non-initial events.
+        let cfg = WebAppConfig::default();
+        let tb = WebAppTestbed::build(&cfg).unwrap();
+        let mut rng = rng_from_seed(42);
+        let log = tb.generate(&mut rng).unwrap();
+        assert_eq!(log.num_tasks(), 5759);
+        assert_eq!(log.num_events() - log.num_tasks(), 23_036);
+        qni_model::constraints::validate(&log).unwrap();
+    }
+
+    #[test]
+    fn twelve_queues_like_the_paper() {
+        let tb = WebAppTestbed::build(&WebAppConfig::default()).unwrap();
+        // q0 + network + 10 web + db = 13 entries; 12 real queues.
+        assert_eq!(tb.network().num_queues(), 13);
+        assert_eq!(tb.web_queues().len(), 10);
+        assert_eq!(tb.network().queue_name(tb.network_queue()), "network");
+        assert_eq!(tb.network().queue_name(tb.db_queue()), "mysql");
+    }
+
+    #[test]
+    fn starved_server_gets_about_19_requests() {
+        let cfg = WebAppConfig::default();
+        let tb = WebAppTestbed::build(&cfg).unwrap();
+        let mut rng = rng_from_seed(7);
+        let log = tb.generate(&mut rng).unwrap();
+        let starved_q = tb.web_queues()[9];
+        let n = log.events_at_queue(starved_q).len();
+        // Binomial(5759, 19/5759): 3σ ≈ 13.
+        assert!((6..=32).contains(&n), "starved server got {n} requests");
+        // The other servers each get roughly (5759-19)/9 ≈ 638.
+        for &q in &tb.web_queues()[..9] {
+            let m = log.events_at_queue(q).len();
+            assert!((500..=800).contains(&m), "server {q} got {m}");
+        }
+    }
+
+    #[test]
+    fn network_queue_visited_twice_per_task() {
+        let tb = WebAppTestbed::build(&small()).unwrap();
+        let mut rng = rng_from_seed(8);
+        let log = tb.generate(&mut rng).unwrap();
+        assert_eq!(
+            log.events_at_queue(tb.network_queue()).len(),
+            2 * log.num_tasks()
+        );
+        assert_eq!(log.events_at_queue(tb.db_queue()).len(), log.num_tasks());
+    }
+
+    #[test]
+    fn request_path_order() {
+        let tb = WebAppTestbed::build(&small()).unwrap();
+        let mut rng = rng_from_seed(9);
+        let log = tb.generate(&mut rng).unwrap();
+        for k in 0..log.num_tasks() {
+            let evs = log.task_events(qni_model::ids::TaskId::from_index(k));
+            assert_eq!(evs.len(), 5); // Initial + 4 visits.
+            assert_eq!(log.queue_of(evs[1]), tb.network_queue());
+            assert!(tb.web_queues().contains(&log.queue_of(evs[2])));
+            assert_eq!(log.queue_of(evs[3]), tb.db_queue());
+            assert_eq!(log.queue_of(evs[4]), tb.network_queue());
+        }
+    }
+
+    #[test]
+    fn service_means_match_configuration() {
+        let tb = WebAppTestbed::build(&small()).unwrap();
+        let mut rng = rng_from_seed(10);
+        let log = tb.generate(&mut rng).unwrap();
+        let avg = log.queue_averages();
+        let truth = tb.true_mean_services();
+        // Network and db queues have plenty of events.
+        for q in [tb.network_queue(), tb.db_queue()] {
+            let got = avg[q.index()].mean_service;
+            let want = truth[q.index()];
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "queue {q}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_grows_over_the_ramp() {
+        let cfg = WebAppConfig {
+            requests: 4000,
+            duration: 1000.0,
+            ramp: (0.5, 7.5),
+            ..WebAppConfig::default()
+        };
+        let tb = WebAppTestbed::build(&cfg).unwrap();
+        let mut rng = rng_from_seed(11);
+        let log = tb.generate(&mut rng).unwrap();
+        // Mean waiting at the db in the last quarter exceeds the first.
+        let db = tb.db_queue();
+        let (mut early, mut late) = ((0usize, 0.0f64), (0usize, 0.0f64));
+        for &e in log.events_at_queue(db) {
+            let w = log.waiting_time(e);
+            if log.arrival(e) < 250.0 {
+                early.0 += 1;
+                early.1 += w;
+            } else if log.arrival(e) > 750.0 {
+                late.0 += 1;
+                late.1 += w;
+            }
+        }
+        let early_mean = early.1 / early.0.max(1) as f64;
+        let late_mean = late.1 / late.0.max(1) as f64;
+        assert!(
+            late_mean > early_mean,
+            "late={late_mean} early={early_mean}"
+        );
+    }
+}

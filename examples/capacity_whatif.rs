@@ -1,0 +1,114 @@
+//! Capacity planning from partial traces: estimate rates with StEM, then
+//! answer "what happens at 2x load?" with queueing theory.
+//!
+//! The paper's introduction motivates queueing models by their ability to
+//! "predict the amount of load that will cause a system to become
+//! unresponsive, without actually allowing it to fail". This example
+//! closes that loop: rates inferred from 10% of trace data feed M/M/1
+//! formulas that extrapolate waiting times to hypothetical loads and find
+//! the saturation point.
+//!
+//! Run with: `cargo run --release --example capacity_whatif`
+
+use qni::prelude::*;
+use qni::sim::mm1::Mm1;
+
+fn main() {
+    // Current system: a single service queue at moderate load (ρ = 0.4).
+    let true_lambda = 4.0;
+    let true_mu = 10.0;
+    let bp = qni::model::topology::single_queue(true_lambda, true_mu).expect("topology");
+    let mut rng = rng_from_seed(31);
+    let truth = Simulator::new(&bp.network)
+        .run(
+            &Workload::poisson_n(true_lambda, 2000).expect("workload"),
+            &mut rng,
+        )
+        .expect("simulation");
+    let masked = ObservationScheme::task_sampling(0.10)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+
+    let result = run_stem(&masked, None, &StemOptions::default(), &mut rng).expect("stem");
+    let lambda_hat = result.rates[0];
+    let mu_hat = result.rates[1];
+    println!(
+        "inferred from 10% of arrivals: λ̂ = {lambda_hat:.3} (true {true_lambda}), \
+         µ̂ = {mu_hat:.3} (true {true_mu})"
+    );
+
+    // What-if sweep: scale the arrival rate and extrapolate.
+    println!(
+        "\n{:>6} {:>10} {:>12} {:>12}",
+        "load x", "λ", "utilization", "mean waiting"
+    );
+    for mult in [1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.4] {
+        let lam = lambda_hat * mult;
+        match Mm1::new(lam, mu_hat) {
+            Ok(m) => println!(
+                "{:>6.2} {:>10.3} {:>11.1}% {:>12.4}",
+                mult,
+                lam,
+                m.utilization() * 100.0,
+                m.mean_waiting()
+            ),
+            Err(_) => println!("{:>6.2} {:>10.3} {:>12} {:>12}", mult, lam, "≥100%", "∞"),
+        }
+    }
+    let saturation = mu_hat / lambda_hat;
+    println!(
+        "\n→ the system saturates at {saturation:.2}x the current load \
+         (λ reaches µ̂ = {mu_hat:.2})."
+    );
+    // Cross-check the 1x prediction against simulated truth.
+    let truth_w = Mm1::new(true_lambda, true_mu).expect("stable").mean_waiting();
+    let est_w = Mm1::new(lambda_hat, mu_hat).expect("stable").mean_waiting();
+    println!(
+        "sanity: predicted mean waiting at current load {est_w:.4} vs theory {truth_w:.4}"
+    );
+
+    // The same exercise for a whole network: infer rates on a three-tier
+    // service, then extrapolate with the Jackson product-form solution.
+    println!("\n--- network-level what-if (three-tier, inferred rates) ---");
+    let bp = qni::model::topology::three_tier(3.0, 10.0, &[2, 1, 2], false)
+        .expect("topology");
+    let truth = Simulator::new(&bp.network)
+        .run(&Workload::poisson_n(3.0, 1500).expect("workload"), &mut rng)
+        .expect("simulation");
+    let masked = ObservationScheme::task_sampling(0.10)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+    let result = run_stem(&masked, None, &StemOptions::default(), &mut rng).expect("stem");
+    // Build a what-if network from the inferred rates and sweep the load.
+    let mut inferred = bp.network.clone();
+    for q in 1..inferred.num_queues() {
+        inferred
+            .set_exponential_rate(QueueId::from_index(q), result.rates[q])
+            .expect("rate");
+    }
+    println!("{:>6} {:>14} {:>16}", "load x", "bottleneck ρ", "mean response");
+    for mult in [1.0, 1.5, 2.0, 2.5, 3.0] {
+        inferred
+            .set_exponential_rate(QueueId(0), result.rates[0] * mult)
+            .expect("rate");
+        let j = qni::sim::jackson::analyze(&inferred).expect("jackson");
+        let worst = j
+            .utilization
+            .iter()
+            .skip(1)
+            .fold(0.0f64, |a, &b| if b.is_finite() { a.max(b) } else { a });
+        let resp = j.mean_response();
+        println!(
+            "{:>6.1} {:>13.1}% {:>16}",
+            mult,
+            worst * 100.0,
+            if resp.is_finite() {
+                format!("{resp:.4}")
+            } else {
+                "unbounded".to_owned()
+            }
+        );
+    }
+}

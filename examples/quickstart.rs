@@ -1,0 +1,61 @@
+//! Quickstart: recover service rates of a tandem network from 10% of
+//! trace data.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qni::prelude::*;
+
+fn main() {
+    // 1. Define the system: Poisson(2.0) arrivals through two FIFO
+    //    queues with service rates 6.0 and 8.0.
+    let bp = qni::model::topology::tandem(2.0, &[6.0, 8.0]).expect("valid topology");
+    let mut rng = rng_from_seed(2008);
+
+    // 2. Generate ground truth: 800 tasks through the simulator.
+    let truth = Simulator::new(&bp.network)
+        .run(&Workload::poisson_n(2.0, 800).expect("workload"), &mut rng)
+        .expect("simulation");
+    println!(
+        "simulated {} tasks / {} events",
+        truth.num_tasks(),
+        truth.num_events()
+    );
+
+    // 3. Observe only 10% of tasks (all their arrivals + final departure),
+    //    as the paper's §5.1 protocol prescribes.
+    let masked = ObservationScheme::task_sampling(0.10)
+        .expect("valid fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+    println!(
+        "observed arrival fraction: {:.1}%  (free variables: {})",
+        masked.observed_arrival_fraction() * 100.0,
+        masked.free_arrivals().len() + masked.free_final_departures().len()
+    );
+
+    // 4. Run stochastic EM: Gibbs sweeps impute the unobserved times, the
+    //    M-step re-estimates the rates.
+    let opts = StemOptions::default();
+    let result = run_stem(&masked, None, &opts, &mut rng).expect("stem");
+
+    // 5. Compare against the generating parameters.
+    let truth_rates = [2.0, 6.0, 8.0];
+    let names = ["q0 (arrivals λ)", "stage1 (µ1)", "stage2 (µ2)"];
+    println!("\n{:<18} {:>8} {:>8} {:>8}", "queue", "true", "est", "err%");
+    for i in 0..3 {
+        let err = (result.rates[i] - truth_rates[i]).abs() / truth_rates[i] * 100.0;
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>7.1}%",
+            names[i], truth_rates[i], result.rates[i], err
+        );
+    }
+    println!(
+        "\nmean waiting estimates: stage1 = {:.4}, stage2 = {:.4}",
+        result.mean_waiting[1], result.mean_waiting[2]
+    );
+    println!(
+        "M/M/1 theory:           stage1 = {:.4}, stage2 = {:.4}",
+        qni::sim::mm1::Mm1::new(2.0, 6.0).expect("stable").mean_waiting(),
+        qni::sim::mm1::Mm1::new(2.0, 8.0).expect("stable").mean_waiting()
+    );
+}

@@ -1,0 +1,210 @@
+//! `qni` — command-line driver for simulate / infer / localize / volume.
+//!
+//! ```console
+//! $ qni simulate --tiers 1,2,4 --lambda 10 --mu 5 --tasks 500 \
+//!       --observe 0.1 --seed 7 --out trace.jsonl
+//! $ qni infer --trace trace.jsonl --iterations 150
+//! $ qni localize --trace trace.jsonl
+//! $ qni volume --tasks-per-day 250000000 --events-per-task 6 --fraction 0.01
+//! ```
+//!
+//! Flags are deliberately minimal (no external argument-parsing
+//! dependency); every subcommand prints `--help`-style usage on error.
+
+use qni::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "infer" => cmd_infer(&flags, false),
+        "localize" => cmd_infer(&flags, true),
+        "volume" => cmd_volume(&flags),
+        "--help" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+qni — probabilistic inference in queueing networks
+
+USAGE:
+  qni simulate --tiers 1,2,4 [--lambda 10] [--mu 5] [--tasks 1000]
+               [--observe 0.1] [--seed 1] --out trace.jsonl
+  qni infer    --trace trace.jsonl [--iterations 200] [--seed 2]
+  qni localize --trace trace.jsonl [--iterations 200] [--seed 2]
+  qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected flag, got `{}`", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        map.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+    }
+}
+
+fn get_usize(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer `{v}`")),
+    }
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tiers: Vec<usize> = flags
+        .get("tiers")
+        .ok_or("simulate requires --tiers (e.g. 1,2,4)")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad tier `{s}`")))
+        .collect::<Result<_, _>>()?;
+    let lambda = get_f64(flags, "lambda", 10.0)?;
+    let mu = get_f64(flags, "mu", 5.0)?;
+    let tasks = get_usize(flags, "tasks", 1000)?;
+    let observe = get_f64(flags, "observe", 0.1)?;
+    let seed = get_usize(flags, "seed", 1)? as u64;
+    let out = flags.get("out").ok_or("simulate requires --out FILE")?;
+
+    let bp = qni::model::topology::three_tier(lambda, mu, &tiers, false)
+        .map_err(|e| e.to_string())?;
+    let mut rng = rng_from_seed(seed);
+    let truth = Simulator::new(&bp.network)
+        .run(
+            &Workload::poisson_n(lambda, tasks).map_err(|e| e.to_string())?,
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+    let masked = ObservationScheme::task_sampling(observe)
+        .map_err(|e| e.to_string())?
+        .apply(truth, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    qni::trace::record::write_jsonl(&masked, std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} events ({} tasks, {:.1}% arrivals observed) to {out}",
+        masked.ground_truth().num_events(),
+        masked.ground_truth().num_tasks(),
+        masked.observed_arrival_fraction() * 100.0
+    );
+    Ok(())
+}
+
+fn load_masked(flags: &HashMap<String, String>) -> Result<MaskedLog, String> {
+    let path = flags.get("trace").ok_or("requires --trace FILE")?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let records = qni::trace::record::read_jsonl(std::io::BufReader::new(file))
+        .map_err(|e| e.to_string())?;
+    let num_queues = records
+        .iter()
+        .map(|r| r.event.queue.index() + 1)
+        .max()
+        .ok_or("trace is empty")?;
+    qni::trace::record::from_records(&records, num_queues).map_err(|e| e.to_string())
+}
+
+fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(), String> {
+    let masked = load_masked(flags)?;
+    let iterations = get_usize(flags, "iterations", 200)?;
+    let seed = get_usize(flags, "seed", 2)? as u64;
+    let opts = StemOptions {
+        iterations,
+        burn_in: iterations / 2,
+        waiting_sweeps: 20,
+        ..StemOptions::default()
+    };
+    let mut rng = rng_from_seed(seed);
+    let r = run_stem(&masked, None, &opts, &mut rng).map_err(|e| e.to_string())?;
+    println!("arrival rate λ̂ = {:.4}", r.rates[0]);
+    println!(
+        "{:<7} {:>12} {:>12} {:>12}",
+        "queue", "rate µ̂", "mean service", "mean waiting"
+    );
+    for q in 1..r.rates.len() {
+        println!(
+            "q{:<6} {:>12.4} {:>12.4} {:>12.4}",
+            q, r.rates[q], r.mean_service[q], r.mean_waiting[q]
+        );
+    }
+    if localize_report {
+        let report =
+            localize(&r.mean_service, &r.mean_waiting).map_err(|e| e.to_string())?;
+        println!("\nbottleneck ranking:");
+        for d in &report.ranked {
+            println!(
+                "  {:<6} response={:.4} ({:?})",
+                d.queue.to_string(),
+                d.response,
+                d.kind
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_volume(flags: &HashMap<String, String>) -> Result<(), String> {
+    use qni::trace::volume::{human_bytes, DeploymentVolume, RecordCost};
+    let tasks_per_day = get_usize(flags, "tasks-per-day", 0)? as u64;
+    let events_per_task = get_usize(flags, "events-per-task", 0)? as u64;
+    if tasks_per_day == 0 || events_per_task == 0 {
+        return Err("volume requires --tasks-per-day and --events-per-task".into());
+    }
+    let fraction = get_f64(flags, "fraction", 0.01)?;
+    let v = DeploymentVolume {
+        tasks_per_day,
+        events_per_task,
+        cost: RecordCost::default(),
+    };
+    println!(
+        "full tracing:    {}/day",
+        human_bytes(v.full_bytes_per_day())
+    );
+    println!(
+        "at {:>5.1}% sample: {}/day  ({}x reduction)",
+        fraction * 100.0,
+        human_bytes(v.sampled_bytes_per_day(fraction)),
+        v.reduction(fraction)
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! End-to-end tests of the `qni` command-line tool.
+
+use std::process::Command;
+
+fn qni() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qni"))
+}
+
+#[test]
+fn simulate_then_infer_round_trip() {
+    let dir = std::env::temp_dir().join("qni-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let out = qni()
+        .args([
+            "simulate",
+            "--tiers",
+            "1,2",
+            "--lambda",
+            "4",
+            "--mu",
+            "5",
+            "--tasks",
+            "120",
+            "--observe",
+            "0.3",
+            "--seed",
+            "11",
+            "--out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    let out = qni()
+        .args([
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "40",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run infer");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("arrival rate"), "stdout: {stdout}");
+    assert!(stdout.contains("q1"), "stdout: {stdout}");
+
+    let out = qni()
+        .args([
+            "localize",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "40",
+        ])
+        .output()
+        .expect("run localize");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bottleneck ranking"), "stdout: {stdout}");
+}
+
+#[test]
+fn volume_reports_reduction() {
+    let out = qni()
+        .args([
+            "volume",
+            "--tasks-per-day",
+            "250000000",
+            "--events-per-task",
+            "6",
+            "--fraction",
+            "0.01",
+        ])
+        .output()
+        .expect("run volume");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("full tracing"), "stdout: {stdout}");
+    assert!(stdout.contains("100x reduction"), "stdout: {stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = qni().args(["simulate"]).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "stderr: {stderr}");
+
+    let out = qni().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+
+    let out = qni().output().expect("run");
+    assert!(!out.status.success());
+}

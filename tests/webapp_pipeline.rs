@@ -1,0 +1,126 @@
+//! Full pipeline on the synthetic web application (scaled down).
+
+use qni::prelude::*;
+
+fn small_app() -> WebAppConfig {
+    WebAppConfig {
+        requests: 800,
+        duration: 800.0,
+        ramp: (0.5, 1.5),
+        ..WebAppConfig::default()
+    }
+}
+
+#[test]
+fn estimates_track_configuration_at_20_percent() {
+    let cfg = small_app();
+    let tb = WebAppTestbed::build(&cfg).expect("testbed");
+    let mut rng = rng_from_seed(1);
+    let truth = tb.generate(&mut rng).expect("generation");
+    let masked = ObservationScheme::task_sampling(0.20)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+    let opts = StemOptions {
+        iterations: 400,
+        burn_in: 200,
+        waiting_sweeps: 10,
+        ..StemOptions::default()
+    };
+    let r = run_stem(&masked, None, &opts, &mut rng).expect("stem");
+    let true_means = tb.true_mean_services();
+    // Well-fed queues (network, db) estimated within 30%.
+    for q in [tb.network_queue(), tb.db_queue()] {
+        let est = r.mean_service[q.index()];
+        let tru = true_means[q.index()];
+        assert!(
+            (est - tru).abs() / tru < 0.3,
+            "queue {q}: est={est} true={tru}"
+        );
+    }
+    // The healthy web servers each see only ~16 observed tasks here, so
+    // individual estimates are wide; the median across the nine healthy
+    // servers must land within 50% of the truth.
+    let mut webs: Vec<f64> = tb.web_queues()[..9]
+        .iter()
+        .map(|q| r.mean_service[q.index()])
+        .collect();
+    webs.sort_by(f64::total_cmp);
+    let median = webs[webs.len() / 2];
+    let tru = true_means[tb.web_queues()[0].index()];
+    assert!(
+        (median - tru).abs() / tru < 0.5,
+        "median web estimate {median} vs true {tru}"
+    );
+}
+
+#[test]
+fn starved_server_estimate_is_least_reliable() {
+    // Repeat estimation over several observation draws; the starved
+    // server's estimates should spread more (relatively) than the rest.
+    let cfg = small_app();
+    let tb = WebAppTestbed::build(&cfg).expect("testbed");
+    let mut rng = rng_from_seed(2);
+    let truth = tb.generate(&mut rng).expect("generation");
+    let starved = tb.web_queues()[9];
+    let healthy = tb.web_queues()[0];
+    let mut starved_ests = Vec::new();
+    let mut healthy_ests = Vec::new();
+    for rep in 0..4u64 {
+        let mut rng = rng_from_seed(100 + rep);
+        let masked = ObservationScheme::task_sampling(0.15)
+            .expect("fraction")
+            .apply(truth.clone(), &mut rng)
+            .expect("mask");
+        let r = run_stem(&masked, None, &StemOptions::quick_test(), &mut rng).expect("stem");
+        starved_ests.push(r.mean_service[starved.index()]);
+        healthy_ests.push(r.mean_service[healthy.index()]);
+    }
+    let rel_spread = |v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        (max - min) / mean.abs().max(1e-12)
+    };
+    assert!(
+        rel_spread(&starved_ests) > rel_spread(&healthy_ests),
+        "starved spread {:?} should exceed healthy spread {:?}",
+        starved_ests,
+        healthy_ests
+    );
+}
+
+#[test]
+fn trace_jsonl_round_trip_preserves_inference_input() {
+    let cfg = WebAppConfig {
+        requests: 120,
+        duration: 200.0,
+        ramp: (0.3, 0.9),
+        ..WebAppConfig::default()
+    };
+    let tb = WebAppTestbed::build(&cfg).expect("testbed");
+    let mut rng = rng_from_seed(3);
+    let truth = tb.generate(&mut rng).expect("generation");
+    let masked = ObservationScheme::task_sampling(0.25)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+    // Serialize, reload, and verify the masked log is identical.
+    let mut buf = Vec::new();
+    qni::trace::record::write_jsonl(&masked, &mut buf).expect("write");
+    let records = qni::trace::record::read_jsonl(std::io::Cursor::new(&buf)).expect("read");
+    let rebuilt = qni::trace::record::from_records(&records, tb.network().num_queues())
+        .expect("rebuild");
+    assert_eq!(
+        masked.free_arrivals().len(),
+        rebuilt.free_arrivals().len()
+    );
+    // Same inference outcome from the same seed.
+    let mut r1 = rng_from_seed(9);
+    let mut r2 = rng_from_seed(9);
+    let a = run_stem(&masked, None, &StemOptions::quick_test(), &mut r1).expect("stem");
+    let b = run_stem(&rebuilt, None, &StemOptions::quick_test(), &mut r2).expect("stem");
+    for (x, y) in a.rates.iter().zip(&b.rates) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
