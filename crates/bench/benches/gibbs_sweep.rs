@@ -15,7 +15,10 @@ fn make_state(tier_sizes: &[usize; 3], tasks: usize, seed: u64) -> GibbsState {
     let bp = three_tier(lambda, 5.0, tier_sizes, false).expect("structure");
     let mut rng = rng_from_seed(seed);
     let truth = Simulator::new(&bp.network)
-        .run(&Workload::poisson_n(lambda, tasks).expect("workload"), &mut rng)
+        .run(
+            &Workload::poisson_n(lambda, tasks).expect("workload"),
+            &mut rng,
+        )
         .expect("simulation");
     let masked = ObservationScheme::task_sampling(0.05)
         .expect("fraction")

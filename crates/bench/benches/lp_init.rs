@@ -11,7 +11,10 @@ fn masked(tasks: usize, seed: u64) -> (MaskedLog, Vec<f64>) {
     let bp = tandem(2.0, &[5.0, 4.0]).expect("topology");
     let mut rng = rng_from_seed(seed);
     let truth = Simulator::new(&bp.network)
-        .run(&Workload::poisson_n(2.0, tasks).expect("workload"), &mut rng)
+        .run(
+            &Workload::poisson_n(2.0, tasks).expect("workload"),
+            &mut rng,
+        )
         .expect("simulation");
     let m = ObservationScheme::task_sampling(0.1)
         .expect("fraction")

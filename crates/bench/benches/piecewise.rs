@@ -20,13 +20,8 @@ fn bench_build(c: &mut Criterion) {
 }
 
 fn bench_sample(c: &mut Criterion) {
-    let d = PiecewiseExpDensity::continuous_from_slopes(
-        0.0,
-        3.0,
-        &[1.0, 2.0],
-        &[-2.0, 0.5, 4.0],
-    )
-    .expect("density");
+    let d = PiecewiseExpDensity::continuous_from_slopes(0.0, 3.0, &[1.0, 2.0], &[-2.0, 0.5, 4.0])
+        .expect("density");
     c.bench_function("piecewise_sample", |b| {
         let mut rng = rng_from_seed(1);
         b.iter(|| d.sample(&mut rng));

@@ -12,8 +12,8 @@ use qni_bench::jobs::{default_threads, parallel_map};
 use qni_bench::table;
 use qni_core::stem::{run_stem, StemOptions};
 use qni_stats::rng::rng_from_seed;
-use qni_trace::ObservationScheme;
 use qni_trace::csv::CsvWriter;
+use qni_trace::ObservationScheme;
 use qni_webapp::{WebAppConfig, WebAppTestbed};
 
 fn main() {
@@ -81,11 +81,7 @@ fn main() {
             .find(|r| r.0 == iters && !r.1)
             .expect("row")
             .2;
-        let with = results
-            .iter()
-            .find(|r| r.0 == iters && r.1)
-            .expect("row")
-            .2;
+        let with = results.iter().find(|r| r.0 == iters && r.1).expect("row").2;
         w.row(&[iters.to_string(), "false".into(), without.to_string()])
             .expect("row");
         w.row(&[iters.to_string(), "true".into(), with.to_string()])
@@ -101,7 +97,10 @@ fn main() {
     );
     println!(
         "{}",
-        table::render(&["iterations", "single-site only", "with shift move"], &rows)
+        table::render(
+            &["iterations", "single-site only", "with shift move"],
+            &rows
+        )
     );
     println!("csv: {}", path.display());
 }

@@ -28,12 +28,10 @@ fn main() {
     );
     let all_jobs = jobs(&cfg);
     let cfg_ref = &cfg;
-    let rows: Vec<_> = parallel_map(all_jobs, default_threads(), |job| {
-        run_job(cfg_ref, &job)
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let rows: Vec<_> = parallel_map(all_jobs, default_threads(), |job| run_job(cfg_ref, &job))
+        .into_iter()
+        .flatten()
+        .collect();
 
     // Raw CSV: one row per (structure, fraction, rep, queue).
     let path = qni_bench::results_dir().join("fig4.csv");

@@ -79,7 +79,10 @@ fn main() {
         let true_mean2 = dist.mean();
         let mut rng = rng_from_seed(seed.root());
         let truth = Simulator::new(&net)
-            .run(&Workload::poisson_n(2.0, tasks).expect("workload"), &mut rng)
+            .run(
+                &Workload::poisson_n(2.0, tasks).expect("workload"),
+                &mut rng,
+            )
             .expect("simulation");
         let emp = truth.queue_averages();
         let masked = ObservationScheme::task_sampling(0.2)

@@ -30,18 +30,22 @@ fn main() {
         cfg.reps
     );
     let cfg_ref = &cfg;
-    let rows: Vec<_> = parallel_map(jobs(&cfg), default_threads(), |job| {
-        run_job(cfg_ref, &job)
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    let rows: Vec<_> = parallel_map(jobs(&cfg), default_threads(), |job| run_job(cfg_ref, &job))
+        .into_iter()
+        .flatten()
+        .collect();
 
     let path = qni_bench::results_dir().join("one_percent.csv");
     let file = std::fs::File::create(&path).expect("create one_percent.csv");
     let mut w = CsvWriter::new(
         file,
-        &["structure", "rep", "queue", "service_abs_err", "waiting_abs_err"],
+        &[
+            "structure",
+            "rep",
+            "queue",
+            "service_abs_err",
+            "waiting_abs_err",
+        ],
     )
     .expect("csv header");
     for r in &rows {

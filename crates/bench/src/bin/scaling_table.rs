@@ -23,13 +23,7 @@ fn main() {
     let server_points: Vec<[usize; 3]> = if quick {
         vec![[1, 2, 4], [2, 4, 8]]
     } else {
-        vec![
-            [1, 2, 4],
-            [2, 4, 8],
-            [4, 8, 16],
-            [8, 16, 32],
-            [16, 32, 64],
-        ]
+        vec![[1, 2, 4], [2, 4, 8], [4, 8, 16], [8, 16, 32], [16, 32, 64]]
     };
     let tasks_fixed = if quick { 200 } else { 1000 };
 
@@ -64,7 +58,14 @@ fn main() {
     let file = std::fs::File::create(&path).expect("create scaling_table.csv");
     let mut w = CsvWriter::new(
         file,
-        &["sweep", "label", "free_vars", "servers", "ns_per_move", "ms_per_sweep"],
+        &[
+            "sweep",
+            "label",
+            "free_vars",
+            "servers",
+            "ns_per_move",
+            "ms_per_sweep",
+        ],
     )
     .expect("csv header");
     for (sweep_id, p) in &all {

@@ -36,8 +36,8 @@ fn main() {
 
     let path = qni_bench::results_dir().join("variance_table.csv");
     let file = std::fs::File::create(&path).expect("create variance_table.csv");
-    let mut w = CsvWriter::new(file, &["rep", "queue", "stem", "baseline", "truth"])
-        .expect("csv header");
+    let mut w =
+        CsvWriter::new(file, &["rep", "queue", "stem", "baseline", "truth"]).expect("csv header");
     for p in &estimates {
         w.row(&[
             format!("{}", p.rep),

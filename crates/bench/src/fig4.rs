@@ -37,13 +37,7 @@ pub struct Fig4Config {
 impl Default for Fig4Config {
     fn default() -> Self {
         Fig4Config {
-            structures: vec![
-                [1, 2, 4],
-                [2, 1, 4],
-                [4, 2, 1],
-                [2, 4, 1],
-                [1, 4, 2],
-            ],
+            structures: vec![[1, 2, 4], [2, 1, 4], [4, 2, 1], [2, 4, 1], [1, 4, 2]],
             fractions: vec![0.05, 0.10, 0.25],
             tasks: 1000,
             reps: 10,

@@ -31,17 +31,16 @@ where
         chunks.push(c);
     }
     let f = &f;
-    let mut results: Vec<Vec<R>> = crossbeam::scope(|s| {
+    let mut results: Vec<Vec<R>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| s.spawn(move |_| c.into_iter().map(f).collect::<Vec<R>>()))
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect()
-    })
-    .expect("scope failed");
+    });
     let mut out = Vec::with_capacity(n);
     for v in results.drain(..) {
         out.extend(v);

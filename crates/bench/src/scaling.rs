@@ -45,7 +45,10 @@ pub fn measure(
     let bp = three_tier(lambda, 5.0, tier_sizes, false).expect("structure");
     let mut rng = rng_from_seed(seed);
     let truth = Simulator::new(&bp.network)
-        .run(&Workload::poisson_n(lambda, tasks).expect("workload"), &mut rng)
+        .run(
+            &Workload::poisson_n(lambda, tasks).expect("workload"),
+            &mut rng,
+        )
         .expect("simulation");
     let masked = ObservationScheme::task_sampling(fraction)
         .expect("fraction")

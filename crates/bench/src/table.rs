@@ -63,10 +63,7 @@ mod tests {
 
     #[test]
     fn aligns_columns() {
-        let t = render(
-            &["a", "long-header"],
-            &[vec!["xxx".into(), "1".into()]],
-        );
+        let t = render(&["a", "long-header"], &[vec!["xxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("long-header"));

@@ -57,10 +57,7 @@ impl fmt::Display for InferenceError {
                 event,
                 lower,
                 upper,
-            } => write!(
-                f,
-                "empty support for event {event}: [{lower}, {upper}]"
-            ),
+            } => write!(f, "empty support for event {event}: [{lower}, {upper}]"),
             InferenceError::NotExponential => {
                 write!(f, "Gibbs sampling requires exponential (M/M/1) service")
             }

@@ -210,9 +210,7 @@ pub fn figure3_weights(
     })?;
     let mu1 = rates[log.queue_of(e).index()];
     let mu2 = rates[log.queue_of(p).index()];
-    let l = log
-        .begin_service(p)
-        .max(log.arrival(r));
+    let l = log.begin_service(p).max(log.arrival(r));
     let u = log
         .departure(e)
         .min(log.arrival(succ))
@@ -245,11 +243,7 @@ pub fn figure3_weights(
     let lz3 = log_int_exp_linear(c3, s3, b, u);
     let lz = log_sum_exp(&[lz1, lz2, lz3]);
     Ok((
-        (
-            (lz1 - lz).exp(),
-            (lz2 - lz).exp(),
-            (lz3 - lz).exp(),
-        ),
+        ((lz1 - lz).exp(), (lz2 - lz).exp(), (lz3 - lz).exp()),
         (l, a, b, u),
     ))
 }

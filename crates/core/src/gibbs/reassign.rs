@@ -103,9 +103,7 @@ pub fn mh_reassign<R: Rng + ?Sized>(
     }
     // Target-side terms: find insertion neighbours by arrival time.
     let order = log.events_at_queue(target);
-    let ins = order.partition_point(|&o| {
-        (log.arrival(o), log.departure(o), o) < (a_e, d_e, e)
-    });
+    let ins = order.partition_point(|&o| (log.arrival(o), log.departure(o), o) < (a_e, d_e, e));
     let new_pred = if ins > 0 { Some(order[ins - 1]) } else { None };
     let new_succ = order.get(ins).copied();
     let new_begin = match new_pred {
@@ -210,8 +208,7 @@ mod tests {
         let mut rng = rng_from_seed(3);
         let mut total_accepted = 0;
         for _ in 0..50 {
-            total_accepted += reassign_sweep(&mut log, &rates, &fsm, &unknown, &mut rng)
-                .unwrap();
+            total_accepted += reassign_sweep(&mut log, &rates, &fsm, &unknown, &mut rng).unwrap();
             qni_model::constraints::validate(&log).unwrap();
         }
         assert!(total_accepted > 0, "sampler never moved");

@@ -56,10 +56,7 @@ impl ShiftConditional {
 
 /// Whether every time of task `k` is free (all non-initial arrivals and
 /// the final departure unobserved). Only such tasks may shift rigidly.
-pub fn task_fully_free(
-    masked: &qni_trace::MaskedLog,
-    k: TaskId,
-) -> bool {
+pub fn task_fully_free(masked: &qni_trace::MaskedLog, k: TaskId) -> bool {
     let log = masked.ground_truth();
     let events = log.task_events(k);
     let arrivals_free = events[1..]

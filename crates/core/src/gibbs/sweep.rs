@@ -136,8 +136,7 @@ mod tests {
             .run(&Workload::poisson_n(2.0, 30).unwrap(), &mut rng)
             .unwrap();
         let masked = ObservationScheme::Full.apply(truth, &mut rng).unwrap();
-        let mut st =
-            GibbsState::new(&masked, vec![2.0, 5.0], InitStrategy::default()).unwrap();
+        let mut st = GibbsState::new(&masked, vec![2.0, 5.0], InitStrategy::default()).unwrap();
         let before: Vec<f64> = st.log().event_ids().map(|e| st.log().arrival(e)).collect();
         let stats = sweep(&mut st, &mut rng).unwrap();
         assert_eq!(stats.arrival_moves + stats.final_moves, 0);

@@ -54,10 +54,7 @@ pub fn initialize(
             slots.write(&mut log, v, value[v]);
             continue;
         }
-        let lower_now = preds[v]
-            .iter()
-            .map(|&u| value[u])
-            .fold(0.0f64, f64::max);
+        let lower_now = preds[v].iter().map(|&u| value[u]).fold(0.0f64, f64::max);
         let x = if use_targets {
             let desired = desired_value(&log, &slots, rates, v);
             desired.clamp(lower_now, sol.max[v])

@@ -56,9 +56,7 @@ pub fn initialize(masked: &MaskedLog, rates: &[f64]) -> Result<EventLog, Inferen
         let arr = slots.arrival_slot(e);
         // b_e ≥ a_e.
         match arr {
-            Some(a) => {
-                lp.add_constraint(&[(begin_var(ei), 1.0), (a, -1.0)], Relation::Ge, 0.0)
-            }
+            Some(a) => lp.add_constraint(&[(begin_var(ei), 1.0), (a, -1.0)], Relation::Ge, 0.0),
             None => {
                 // Initial arrival is 0: b_e ≥ 0 is implicit.
             }
@@ -66,11 +64,7 @@ pub fn initialize(masked: &MaskedLog, rates: &[f64]) -> Result<EventLog, Inferen
         // b_e ≥ d_{ρ(e)} and ordering constraints.
         if let Some(r) = log.rho(e) {
             let rdep = slots.departure_slot(&log, r);
-            lp.add_constraint(
-                &[(begin_var(ei), 1.0), (rdep, -1.0)],
-                Relation::Ge,
-                0.0,
-            );
+            lp.add_constraint(&[(begin_var(ei), 1.0), (rdep, -1.0)], Relation::Ge, 0.0);
             // FIFO departures.
             lp.add_constraint(&[(dep, 1.0), (rdep, -1.0)], Relation::Ge, 0.0);
             // Arrival order.
@@ -79,11 +73,7 @@ pub fn initialize(masked: &MaskedLog, rates: &[f64]) -> Result<EventLog, Inferen
             }
         }
         // Service non-negative: d_e − b_e ≥ 0.
-        lp.add_constraint(
-            &[(dep, 1.0), (begin_var(ei), -1.0)],
-            Relation::Ge,
-            0.0,
-        );
+        lp.add_constraint(&[(dep, 1.0), (begin_var(ei), -1.0)], Relation::Ge, 0.0);
         // Deviation split: d_e − b_e − p_e + n_e = m_q.
         let m = 1.0 / rates[log.queue_of(e).index()];
         lp.add_constraint(

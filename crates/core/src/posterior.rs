@@ -131,8 +131,12 @@ mod tests {
             .unwrap()
             .apply(truth, &mut rng)
             .unwrap();
-        GibbsState::new(&masked, bp.network.rates().unwrap(), InitStrategy::default())
-            .unwrap()
+        GibbsState::new(
+            &masked,
+            bp.network.rates().unwrap(),
+            InitStrategy::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -184,8 +188,7 @@ mod tests {
     fn interval_is_ordered_and_contains_mean() {
         let mut st = state(0.2);
         let mut rng = rng_from_seed(4);
-        let post =
-            posterior_summaries(&mut st, &PosteriorOptions::default(), &mut rng).unwrap();
+        let post = posterior_summaries(&mut st, &PosteriorOptions::default(), &mut rng).unwrap();
         for p in &post {
             if p.count == 0 {
                 continue;

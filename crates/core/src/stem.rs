@@ -198,7 +198,11 @@ pub fn run_mcem<R: Rng + ?Sized>(
         let mut acc = vec![(0.0f64, 0.0f64); q];
         for _ in 0..opts.inner_sweeps {
             sweep(&mut state, rng)?;
-            for (i, (n, sum)) in state.log().service_sufficient_stats().into_iter().enumerate()
+            for (i, (n, sum)) in state
+                .log()
+                .service_sufficient_stats()
+                .into_iter()
+                .enumerate()
             {
                 acc[i].0 += n as f64;
                 acc[i].1 += sum;

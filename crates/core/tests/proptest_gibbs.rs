@@ -9,9 +9,9 @@
 use proptest::prelude::*;
 use qni_core::gibbs::arrival::arrival_conditional;
 use qni_core::gibbs::final_departure::final_conditional;
+use qni_core::gibbs::numeric::service_log_joint;
 use qni_core::gibbs::numeric::{numeric_conditional_grid, numeric_final_grid};
 use qni_core::gibbs::shift::{apply_shift, shift_conditional};
-use qni_core::gibbs::numeric::service_log_joint;
 use qni_model::ids::TaskId;
 use qni_model::log::EventLog;
 use qni_model::topology::{tandem, three_tier};
@@ -39,7 +39,10 @@ fn random_log(shape: u8, tasks: usize, seed: u64) -> (EventLog, Vec<f64>) {
     };
     let mut rng = rng_from_seed(seed);
     let log = Simulator::new(&network)
-        .run(&Workload::poisson_n(2.0, tasks).expect("workload"), &mut rng)
+        .run(
+            &Workload::poisson_n(2.0, tasks).expect("workload"),
+            &mut rng,
+        )
         .expect("simulation");
     (log, rates)
 }

@@ -227,8 +227,8 @@ impl Tableau {
             // Drive any remaining artificial out of the basis.
             for i in 0..self.rows.len() {
                 if self.basis[i] >= self.first_artificial {
-                    if let Some(j) = (0..self.first_artificial)
-                        .find(|&j| self.rows[i][j].abs() > EPS)
+                    if let Some(j) =
+                        (0..self.first_artificial).find(|&j| self.rows[i][j].abs() > EPS)
                     {
                         self.pivot(i, j);
                     }

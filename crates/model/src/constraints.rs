@@ -122,7 +122,10 @@ pub fn validate_with_tol(log: &EventLog, tol: f64) -> Result<(), Violation> {
         }
         if log.is_initial_event(e) {
             if a != 0.0 {
-                return Err(Violation::InitialArrivalNotZero { event: e, arrival: a });
+                return Err(Violation::InitialArrivalNotZero {
+                    event: e,
+                    arrival: a,
+                });
             }
         } else {
             let p = log.pi(e).expect("non-initial events have a predecessor");
@@ -137,7 +140,10 @@ pub fn validate_with_tol(log: &EventLog, tol: f64) -> Result<(), Violation> {
         }
         let s = log.service_time(e);
         if s < -tol {
-            return Err(Violation::NegativeService { event: e, service: s });
+            return Err(Violation::NegativeService {
+                event: e,
+                service: s,
+            });
         }
     }
     Ok(())

@@ -138,8 +138,7 @@ impl Fsm {
 
     /// Builds a deterministic FSM that visits the given queues in order.
     pub fn linear(queues: &[QueueId]) -> Result<Fsm, ModelError> {
-        let tiers: Vec<Vec<(QueueId, f64)>> =
-            queues.iter().map(|&q| vec![(q, 1.0)]).collect();
+        let tiers: Vec<Vec<(QueueId, f64)>> = queues.iter().map(|&q| vec![(q, 1.0)]).collect();
         Fsm::tiered_weighted(&tiers)
     }
 

@@ -23,10 +23,7 @@ use qni_stats::exponential::Exponential;
 ///
 /// This is the part of Eq. (1) that depends on the continuous times, and
 /// hence the quantity tracked across Gibbs sweeps.
-pub fn service_log_likelihood(
-    log: &EventLog,
-    net: &QueueingNetwork,
-) -> Result<f64, ModelError> {
+pub fn service_log_likelihood(log: &EventLog, net: &QueueingNetwork) -> Result<f64, ModelError> {
     let mut total = 0.0;
     for e in log.event_ids() {
         let q = log.queue_of(e);

@@ -94,7 +94,9 @@ impl QueueingNetwork {
 
     /// Queue metadata.
     pub fn queue(&self, q: QueueId) -> Result<&QueueInfo, ModelError> {
-        self.queues.get(q.index()).ok_or(ModelError::UnknownQueue(q))
+        self.queues
+            .get(q.index())
+            .ok_or(ModelError::UnknownQueue(q))
     }
 
     /// Human-readable queue name.
@@ -198,11 +200,8 @@ mod tests {
         let mut net = tiny();
         net.set_exponential_rate(QueueId(1), 9.0).unwrap();
         assert_eq!(net.service_rate(QueueId(1)).unwrap(), 9.0);
-        net.set_service(
-            QueueId(1),
-            ServiceDistribution::deterministic(0.1).unwrap(),
-        )
-        .unwrap();
+        net.set_service(QueueId(1), ServiceDistribution::deterministic(0.1).unwrap())
+            .unwrap();
         assert!(!net.is_mm1());
         assert!(net.service_rate(QueueId(1)).is_err());
         assert!(net.rates().is_err());

@@ -155,21 +155,24 @@ impl<'a> Simulator<'a> {
             .collect();
         let mut calendar: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
         let mut seq = 0u64;
-        let schedule = |cal: &mut BinaryHeap<Reverse<Scheduled>>,
-                            seq: &mut u64,
-                            time: f64,
-                            entry: Entry| {
-            *seq += 1;
-            cal.push(Reverse(Scheduled {
-                time,
-                seq: *seq,
-                entry,
-            }));
-        };
+        let schedule =
+            |cal: &mut BinaryHeap<Reverse<Scheduled>>, seq: &mut u64, time: f64, entry: Entry| {
+                *seq += 1;
+                cal.push(Reverse(Scheduled {
+                    time,
+                    seq: *seq,
+                    entry,
+                }));
+            };
 
         for (task, &t) in entries.iter().enumerate() {
             if !routes[task].is_empty() {
-                schedule(&mut calendar, &mut seq, t, Entry::Arrival { task, visit: 0 });
+                schedule(
+                    &mut calendar,
+                    &mut seq,
+                    t,
+                    Entry::Arrival { task, visit: 0 },
+                );
             }
         }
 

@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(SimError::BadWorkload { what: "x" }.to_string().contains('x'));
+        assert!(SimError::BadWorkload { what: "x" }
+            .to_string()
+            .contains('x'));
         assert!(SimError::EventBudgetExceeded { budget: 7 }
             .to_string()
             .contains('7'));

@@ -203,8 +203,7 @@ mod tests {
         b.add_transition(s, f, 0.6);
         b.add_emission(s, QueueId(1), 1.0);
         let fsm = b.build().unwrap();
-        let net =
-            qni_model::network::QueueingNetwork::mm1(1.0, &[("loop", 10.0)], fsm).unwrap();
+        let net = qni_model::network::QueueingNetwork::mm1(1.0, &[("loop", 10.0)], fsm).unwrap();
         let j = analyze(&net).unwrap();
         assert!((j.visits[1] - 5.0 / 3.0).abs() < 1e-12, "v={}", j.visits[1]);
         assert!((j.arrival_rates[1] - 5.0 / 3.0).abs() < 1e-12);

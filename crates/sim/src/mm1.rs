@@ -133,10 +133,7 @@ mod tests {
             .unwrap();
         let q1 = log.events_at_queue(QueueId(1));
         // Drop a warm-up prefix; compare the empirical sojourn CDF.
-        let sojourns: Vec<f64> = q1[2_000..]
-            .iter()
-            .map(|&e| log.response_time(e))
-            .collect();
+        let sojourns: Vec<f64> = q1[2_000..].iter().map(|&e| log.response_time(e)).collect();
         let d = qni_stats::ks::ks_statistic(&sojourns, |t| m.sojourn_cdf(t)).unwrap();
         // Sojourns are autocorrelated, so the i.i.d. critical value does
         // not apply; requiring d < 0.03 still sharply distinguishes the

@@ -1,9 +1,7 @@
 //! Open-loop arrival processes.
 
 use crate::error::SimError;
-use qni_stats::point_process::{
-    homogeneous_poisson, homogeneous_poisson_n, linear_ramp_poisson,
-};
+use qni_stats::point_process::{homogeneous_poisson, homogeneous_poisson_n, linear_ramp_poisson};
 use rand::Rng;
 
 /// An open-loop workload: how task entry times are generated.
@@ -124,12 +122,8 @@ impl Workload {
     /// Samples the task entry times.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Vec<f64>, SimError> {
         match self {
-            Workload::Poisson { rate, horizon } => {
-                Ok(homogeneous_poisson(*rate, *horizon, rng)?)
-            }
-            Workload::PoissonN { rate, count } => {
-                Ok(homogeneous_poisson_n(*rate, *count, rng)?)
-            }
+            Workload::Poisson { rate, horizon } => Ok(homogeneous_poisson(*rate, *horizon, rng)?),
+            Workload::PoissonN { rate, count } => Ok(homogeneous_poisson_n(*rate, *count, rng)?),
             Workload::LinearRamp {
                 start_rate,
                 end_rate,

@@ -210,8 +210,7 @@ mod tests {
             r.push(x);
         }
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((r.mean() - mean).abs() < 1e-12);
         assert!((r.variance() - var).abs() < 1e-12);
         assert_eq!(r.min(), 2.0);

@@ -116,11 +116,9 @@ impl ServiceDistribution {
             ServiceDistribution::Exponential(e) => e.mean(),
             ServiceDistribution::Deterministic { value } => *value,
             ServiceDistribution::Erlang { k, rate } => f64::from(*k) / rate,
-            ServiceDistribution::HyperExponential { weights, rates } => weights
-                .iter()
-                .zip(rates)
-                .map(|(w, r)| w / r)
-                .sum(),
+            ServiceDistribution::HyperExponential { weights, rates } => {
+                weights.iter().zip(rates).map(|(w, r)| w / r).sum()
+            }
             ServiceDistribution::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
         }
     }
@@ -224,8 +222,7 @@ mod tests {
 
     #[test]
     fn hyper_exponential_mean_and_scv() {
-        let d =
-            ServiceDistribution::hyper_exponential(vec![0.9, 0.1], vec![10.0, 0.5]).unwrap();
+        let d = ServiceDistribution::hyper_exponential(vec![0.9, 0.1], vec![10.0, 0.5]).unwrap();
         let expect_mean = 0.9 / 10.0 + 0.1 / 0.5;
         assert!((d.mean() - expect_mean).abs() < 1e-12);
         assert!(d.scv() > 1.0, "hyper-exponential must be more variable");

@@ -152,7 +152,12 @@ mod tests {
         for &i in &[0usize, 5, 10, 20] {
             let x = h.bin_center(i);
             let err = (h.density(i) - e.pdf(x)).abs();
-            assert!(err < 0.05, "bin {i}: density={} pdf={}", h.density(i), e.pdf(x));
+            assert!(
+                err < 0.05,
+                "bin {i}: density={} pdf={}",
+                h.density(i),
+                e.pdf(x)
+            );
         }
     }
 }

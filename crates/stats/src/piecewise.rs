@@ -332,34 +332,26 @@ mod tests {
     #[test]
     fn continuous_builder_drops_empty_segments() {
         // Breakpoint at the lower bound: first segment is empty.
-        let d = PiecewiseExpDensity::continuous_from_slopes(1.0, 2.0, &[1.0], &[5.0, -1.0])
-            .unwrap();
+        let d =
+            PiecewiseExpDensity::continuous_from_slopes(1.0, 2.0, &[1.0], &[5.0, -1.0]).unwrap();
         assert_eq!(d.segments().len(), 1);
         assert_eq!(d.segments()[0].slope, -1.0);
     }
 
     #[test]
     fn pdf_integrates_to_one() {
-        let d = PiecewiseExpDensity::continuous_from_slopes(
-            -1.0,
-            2.0,
-            &[0.0, 1.0],
-            &[3.0, -0.5, -4.0],
-        )
-        .unwrap();
+        let d =
+            PiecewiseExpDensity::continuous_from_slopes(-1.0, 2.0, &[0.0, 1.0], &[3.0, -0.5, -4.0])
+                .unwrap();
         let total = simpson(|x| d.log_pdf(x).exp(), -1.0, 2.0 - 1e-9, 6000);
         assert!((total - 1.0).abs() < 1e-6, "total={total}");
     }
 
     #[test]
     fn cdf_and_inv_cdf_agree() {
-        let d = PiecewiseExpDensity::continuous_from_slopes(
-            0.0,
-            5.0,
-            &[1.5, 3.0],
-            &[-1.0, 2.0, -3.0],
-        )
-        .unwrap();
+        let d =
+            PiecewiseExpDensity::continuous_from_slopes(0.0, 5.0, &[1.5, 3.0], &[-1.0, 2.0, -3.0])
+                .unwrap();
         for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
             let x = d.inv_cdf(p);
             assert!((d.cdf(x) - p).abs() < 1e-8, "p={p}, x={x}");
@@ -368,13 +360,9 @@ mod tests {
 
     #[test]
     fn sampling_matches_cdf() {
-        let d = PiecewiseExpDensity::continuous_from_slopes(
-            0.0,
-            4.0,
-            &[1.0, 2.0],
-            &[2.0, 0.0, -5.0],
-        )
-        .unwrap();
+        let d =
+            PiecewiseExpDensity::continuous_from_slopes(0.0, 4.0, &[1.0, 2.0], &[2.0, 0.0, -5.0])
+                .unwrap();
         let mut rng = rng_from_seed(17);
         let n = 50_000;
         let mut samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
@@ -410,13 +398,9 @@ mod tests {
 
     #[test]
     fn segment_probabilities_sum_to_one() {
-        let d = PiecewiseExpDensity::continuous_from_slopes(
-            0.0,
-            10.0,
-            &[2.0, 7.0],
-            &[0.5, -0.1, -1.0],
-        )
-        .unwrap();
+        let d =
+            PiecewiseExpDensity::continuous_from_slopes(0.0, 10.0, &[2.0, 7.0], &[0.5, -0.1, -1.0])
+                .unwrap();
         let total: f64 = (0..d.segments().len()).map(|i| d.segment_prob(i)).sum();
         assert!((total - 1.0).abs() < 1e-12);
     }

@@ -11,10 +11,7 @@
 //! task / component its own statistically independent stream without any
 //! coordination.
 
-use rand_chacha::{
-    rand_core::SeedableRng,
-    ChaCha12Rng,
-};
+use rand_chacha::{rand_core::SeedableRng, ChaCha12Rng};
 
 /// The RNG type used throughout the workspace.
 pub type Rng = ChaCha12Rng;

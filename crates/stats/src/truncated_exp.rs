@@ -123,9 +123,7 @@ mod tests {
     #[test]
     fn inv_cdf_matches_cdf_numerically() {
         let t = TruncatedExp::new(1.7, 0.9).unwrap();
-        let cdf = |x: f64| {
-            (1.0 - (-t.rate() * x).exp()) / (1.0 - (-t.rate() * t.width()).exp())
-        };
+        let cdf = |x: f64| (1.0 - (-t.rate() * x).exp()) / (1.0 - (-t.rate() * t.width()).exp());
         for &p in &[0.05, 0.3, 0.5, 0.77, 0.99] {
             assert!((cdf(t.inv_cdf(p)) - p).abs() < 1e-10);
         }
@@ -156,7 +154,11 @@ mod tests {
             sum += x;
         }
         let mean = sum / n as f64;
-        assert!((mean - t.mean()).abs() < 0.01, "mean={mean} vs {}", t.mean());
+        assert!(
+            (mean - t.mean()).abs() < 0.01,
+            "mean={mean} vs {}",
+            t.mean()
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub fn counter_traces(log: &EventLog, mask: &ObservedMask) -> Vec<QueueCounterTr
                 .iter()
                 .enumerate()
                 .filter(|&(_, &e)| mask.arrival_observed(e))
-                .map(|(i, &e)| CounterReading { event: e, counter: i })
+                .map(|(i, &e)| CounterReading {
+                    event: e,
+                    counter: i,
+                })
                 .collect();
             QueueCounterTrace {
                 queue: q,

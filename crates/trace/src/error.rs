@@ -68,7 +68,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(TraceError::BadFraction { value: 1.5 }.to_string().contains("1.5"));
+        assert!(TraceError::BadFraction { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
         assert!(TraceError::ShapeMismatch {
             expected: 4,
             actual: 2

@@ -57,10 +57,7 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Vec<TraceRecord>, TraceError> {
 /// Records must describe complete tasks (each task's events contiguous in
 /// task order, starting with its `q0` initial event), which is how
 /// [`write_jsonl`] emits them.
-pub fn from_records(
-    records: &[TraceRecord],
-    num_queues: usize,
-) -> Result<MaskedLog, TraceError> {
+pub fn from_records(records: &[TraceRecord], num_queues: usize) -> Result<MaskedLog, TraceError> {
     use qni_model::log::EventLogBuilder;
     // Group by task preserving order.
     let mut by_task: Vec<Vec<&TraceRecord>> = Vec::new();
@@ -79,17 +76,24 @@ pub fn from_records(
     let mut builder = EventLogBuilder::new(num_queues, initial_state);
     let mut flags: Vec<(bool, bool)> = Vec::with_capacity(records.len());
     for recs in &by_task {
-        let initial = recs
-            .iter()
-            .find(|r| r.event.is_initial())
-            .ok_or(TraceError::ShapeMismatch {
-                expected: 1,
-                actual: 0,
-            })?;
+        let initial =
+            recs.iter()
+                .find(|r| r.event.is_initial())
+                .ok_or(TraceError::ShapeMismatch {
+                    expected: 1,
+                    actual: 0,
+                })?;
         let visits: Vec<_> = recs
             .iter()
             .filter(|r| !r.event.is_initial())
-            .map(|r| (r.event.state, r.event.queue, r.event.arrival, r.event.departure))
+            .map(|r| {
+                (
+                    r.event.state,
+                    r.event.queue,
+                    r.event.arrival,
+                    r.event.departure,
+                )
+            })
             .collect();
         flags.push((initial.arrival_observed, initial.departure_observed));
         for r in recs.iter().filter(|r| !r.event.is_initial()) {

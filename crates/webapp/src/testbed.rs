@@ -39,8 +39,9 @@ impl WebAppTestbed {
         config.validate()?;
         // Queue layout: q0 | network | web_1..web_n | db.
         let network_queue = QueueId(1);
-        let web_queues: Vec<QueueId> =
-            (2..2 + config.web_servers).map(QueueId::from_index).collect();
+        let web_queues: Vec<QueueId> = (2..2 + config.web_servers)
+            .map(QueueId::from_index)
+            .collect();
         let db_queue = QueueId::from_index(2 + config.web_servers);
         let weights = config.balancer_weights();
         let web_tier: Vec<(QueueId, f64)> = web_queues

@@ -62,17 +62,16 @@ fn main() {
          (λ reaches µ̂ = {mu_hat:.2})."
     );
     // Cross-check the 1x prediction against simulated truth.
-    let truth_w = Mm1::new(true_lambda, true_mu).expect("stable").mean_waiting();
+    let truth_w = Mm1::new(true_lambda, true_mu)
+        .expect("stable")
+        .mean_waiting();
     let est_w = Mm1::new(lambda_hat, mu_hat).expect("stable").mean_waiting();
-    println!(
-        "sanity: predicted mean waiting at current load {est_w:.4} vs theory {truth_w:.4}"
-    );
+    println!("sanity: predicted mean waiting at current load {est_w:.4} vs theory {truth_w:.4}");
 
     // The same exercise for a whole network: infer rates on a three-tier
     // service, then extrapolate with the Jackson product-form solution.
     println!("\n--- network-level what-if (three-tier, inferred rates) ---");
-    let bp = qni::model::topology::three_tier(3.0, 10.0, &[2, 1, 2], false)
-        .expect("topology");
+    let bp = qni::model::topology::three_tier(3.0, 10.0, &[2, 1, 2], false).expect("topology");
     let truth = Simulator::new(&bp.network)
         .run(&Workload::poisson_n(3.0, 1500).expect("workload"), &mut rng)
         .expect("simulation");
@@ -88,17 +87,20 @@ fn main() {
             .set_exponential_rate(QueueId::from_index(q), result.rates[q])
             .expect("rate");
     }
-    println!("{:>6} {:>14} {:>16}", "load x", "bottleneck ρ", "mean response");
+    println!(
+        "{:>6} {:>14} {:>16}",
+        "load x", "bottleneck ρ", "mean response"
+    );
     for mult in [1.0, 1.5, 2.0, 2.5, 3.0] {
         inferred
             .set_exponential_rate(QueueId(0), result.rates[0] * mult)
             .expect("rate");
         let j = qni::sim::jackson::analyze(&inferred).expect("jackson");
-        let worst = j
-            .utilization
-            .iter()
-            .skip(1)
-            .fold(0.0f64, |a, &b| if b.is_finite() { a.max(b) } else { a });
+        let worst =
+            j.utilization
+                .iter()
+                .skip(1)
+                .fold(0.0f64, |a, &b| if b.is_finite() { a.max(b) } else { a });
         let resp = j.mean_response();
         println!(
             "{:>6.1} {:>13.1}% {:>16}",

@@ -55,7 +55,11 @@ fn main() {
     );
     println!(
         "M/M/1 theory:           stage1 = {:.4}, stage2 = {:.4}",
-        qni::sim::mm1::Mm1::new(2.0, 6.0).expect("stable").mean_waiting(),
-        qni::sim::mm1::Mm1::new(2.0, 8.0).expect("stable").mean_waiting()
+        qni::sim::mm1::Mm1::new(2.0, 6.0)
+            .expect("stable")
+            .mean_waiting(),
+        qni::sim::mm1::Mm1::new(2.0, 8.0)
+            .expect("stable")
+            .mean_waiting()
     );
 }

@@ -20,8 +20,7 @@ fn main() {
     // Two replicas: replica 2 is 4x slower (rates 8 vs 2).
     let fsm = Fsm::tiered(&[vec![QueueId(1), QueueId(2)]]).expect("fsm");
     let network =
-        QueueingNetwork::mm1(1.5, &[("replica1", 8.0), ("replica2", 2.0)], fsm)
-            .expect("network");
+        QueueingNetwork::mm1(1.5, &[("replica1", 8.0), ("replica2", 2.0)], fsm).expect("network");
     let mut rng = rng_from_seed(99);
     let truth = Simulator::new(&network)
         .run(&Workload::poisson_n(1.5, 300).expect("workload"), &mut rng)
@@ -32,7 +31,9 @@ fn main() {
     );
 
     // All *times* observed; every replica assignment treated as unknown.
-    let masked = ObservationScheme::Full.apply(truth, &mut rng).expect("mask");
+    let masked = ObservationScheme::Full
+        .apply(truth, &mut rng)
+        .expect("mask");
     let unknown: Vec<EventId> = masked
         .ground_truth()
         .event_ids()
@@ -46,8 +47,7 @@ fn main() {
     // Start from deliberately wrong symmetric rates: the sampler must
     // discover the asymmetry on its own.
     let rates0 = vec![1.5, 4.0, 4.0];
-    let mut state =
-        GibbsState::new(&masked, rates0, InitStrategy::default()).expect("state");
+    let mut state = GibbsState::new(&masked, rates0, InitStrategy::default()).expect("state");
     let fsm = network.fsm().clone();
     let mut accepted = 0usize;
     let sweeps = 600;

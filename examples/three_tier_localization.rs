@@ -14,8 +14,7 @@ use qni::prelude::*;
 fn main() {
     // Figure 1: 2 web servers, 1 middleware, 2 storage servers, with
     // network queues at entry and exit.
-    let bp = qni::model::topology::three_tier(3.0, 12.0, &[2, 1, 2], true)
-        .expect("valid topology");
+    let bp = qni::model::topology::three_tier(3.0, 12.0, &[2, 1, 2], true).expect("valid topology");
     let mut network = bp.network.clone();
     // Give the network queues a faster rate than the servers.
     for &q in &bp.network_queues {
@@ -72,8 +71,7 @@ fn main() {
 
     // Drill into the slowest 5% of requests using the imputed data: where
     // do they spend their time?
-    let attribution =
-        slow_request_attribution(masked.ground_truth(), 0.95).expect("attribution");
+    let attribution = slow_request_attribution(masked.ground_truth(), 0.95).expect("attribution");
     println!("\nslowest-5%-of-requests time attribution (ground truth):");
     for a in attribution {
         if a.count > 0 {

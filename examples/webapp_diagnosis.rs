@@ -55,7 +55,11 @@ fn main() {
         let est = result.mean_service[q];
         let tru = true_service[q];
         let err = (est - tru).abs() / tru * 100.0;
-        let flag = if truth_avg[q].count < 50 { "  ← starved" } else { "" };
+        let flag = if truth_avg[q].count < 50 {
+            "  ← starved"
+        } else {
+            ""
+        };
         println!(
             "{:<9} {:>7} {:>10.4} {:>10.4} {:>7.1}% {:>10.4} {:>10.4}{}",
             name,

@@ -81,11 +81,7 @@ fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f
     }
 }
 
-fn get_usize(
-    flags: &HashMap<String, String>,
-    key: &str,
-    default: usize,
-) -> Result<usize, String> {
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer `{v}`")),
@@ -106,8 +102,8 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let seed = get_usize(flags, "seed", 1)? as u64;
     let out = flags.get("out").ok_or("simulate requires --out FILE")?;
 
-    let bp = qni::model::topology::three_tier(lambda, mu, &tiers, false)
-        .map_err(|e| e.to_string())?;
+    let bp =
+        qni::model::topology::three_tier(lambda, mu, &tiers, false).map_err(|e| e.to_string())?;
     let mut rng = rng_from_seed(seed);
     let truth = Simulator::new(&bp.network)
         .run(
@@ -134,8 +130,8 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
 fn load_masked(flags: &HashMap<String, String>) -> Result<MaskedLog, String> {
     let path = flags.get("trace").ok_or("requires --trace FILE")?;
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let records = qni::trace::record::read_jsonl(std::io::BufReader::new(file))
-        .map_err(|e| e.to_string())?;
+    let records =
+        qni::trace::record::read_jsonl(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
     let num_queues = records
         .iter()
         .map(|r| r.event.queue.index() + 1)
@@ -168,8 +164,7 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
         );
     }
     if localize_report {
-        let report =
-            localize(&r.mean_service, &r.mean_waiting).map_err(|e| e.to_string())?;
+        let report = localize(&r.mean_service, &r.mean_waiting).map_err(|e| e.to_string())?;
         println!("\nbottleneck ranking:");
         for d in &report.ranked {
             println!(

@@ -31,7 +31,11 @@ fn simulate_then_infer_round_trip() {
         ])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     let out = qni()
@@ -46,7 +50,11 @@ fn simulate_then_infer_round_trip() {
         ])
         .output()
         .expect("run infer");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("arrival rate"), "stdout: {stdout}");
     assert!(stdout.contains("q1"), "stdout: {stdout}");

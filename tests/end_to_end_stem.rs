@@ -6,7 +6,10 @@ fn tandem_masked(frac: f64, tasks: usize, seed: u64) -> MaskedLog {
     let bp = qni::model::topology::tandem(2.0, &[6.0, 8.0]).expect("topology");
     let mut rng = rng_from_seed(seed);
     let truth = Simulator::new(&bp.network)
-        .run(&Workload::poisson_n(2.0, tasks).expect("workload"), &mut rng)
+        .run(
+            &Workload::poisson_n(2.0, tasks).expect("workload"),
+            &mut rng,
+        )
         .expect("simulation");
     ObservationScheme::task_sampling(frac)
         .expect("fraction")
@@ -36,7 +39,10 @@ fn three_tier_overloaded_service_errors_small_at_10_percent() {
     let bp = qni::model::topology::three_tier(10.0, 5.0, &[1, 2, 4], false).expect("topology");
     let mut rng = rng_from_seed(3);
     let truth = Simulator::new(&bp.network)
-        .run(&Workload::poisson_n(10.0, 1000).expect("workload"), &mut rng)
+        .run(
+            &Workload::poisson_n(10.0, 1000).expect("workload"),
+            &mut rng,
+        )
         .expect("simulation");
     let masked = ObservationScheme::task_sampling(0.10)
         .expect("fraction")
@@ -95,11 +101,13 @@ fn stem_beats_nothing_even_at_one_percent() {
     // with only ~10 observed tasks, so pool errors over three datasets.
     let mut errs: Vec<f64> = Vec::new();
     for seed in [5u64, 6, 7] {
-        let bp =
-            qni::model::topology::three_tier(10.0, 5.0, &[2, 4, 1], false).expect("topology");
+        let bp = qni::model::topology::three_tier(10.0, 5.0, &[2, 4, 1], false).expect("topology");
         let mut rng = rng_from_seed(seed);
         let truth = Simulator::new(&bp.network)
-            .run(&Workload::poisson_n(10.0, 1000).expect("workload"), &mut rng)
+            .run(
+                &Workload::poisson_n(10.0, 1000).expect("workload"),
+                &mut rng,
+            )
             .expect("simulation");
         let masked = ObservationScheme::task_sampling(0.01)
             .expect("fraction")
@@ -154,6 +162,11 @@ fn mcem_and_stem_agree() {
     .expect("mcem");
     for q in 0..stem.rates.len() {
         let rel = (stem.rates[q] - mcem.rates[q]).abs() / stem.rates[q];
-        assert!(rel < 0.25, "queue {q}: stem={} mcem={}", stem.rates[q], mcem.rates[q]);
+        assert!(
+            rel < 0.25,
+            "queue {q}: stem={} mcem={}",
+            stem.rates[q],
+            mcem.rates[q]
+        );
     }
 }

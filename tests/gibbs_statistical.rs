@@ -25,7 +25,9 @@ fn tiny_problem(lambda: f64, mu: f64, seed: u64) -> GibbsState {
     let truth = Simulator::new(&bp.network)
         .run(&Workload::poisson_n(lambda, 1).expect("workload"), &mut rng)
         .expect("simulation");
-    let masked = ObservationScheme::None.apply(truth, &mut rng).expect("mask");
+    let masked = ObservationScheme::None
+        .apply(truth, &mut rng)
+        .expect("mask");
     GibbsState::new(&masked, vec![lambda, mu], InitStrategy::default()).expect("state")
 }
 
@@ -48,7 +50,13 @@ fn joint_chain_matches_closed_form_marginals() {
         }
     }
     // Marginal of the entry: Exp(λ).
-    let exp_cdf = |x: f64| if x <= 0.0 { 0.0 } else { 1.0 - (-lambda * x).exp() };
+    let exp_cdf = |x: f64| {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-lambda * x).exp()
+        }
+    };
     let d_entry = qni::stats::ks::ks_statistic(&entries, exp_cdf).expect("ks");
     // Marginal of the exit: hypoexponential(λ, µ).
     let hypo_cdf = |x: f64| {
@@ -93,7 +101,9 @@ fn two_task_queue_interaction_respects_fifo_posterior() {
     let truth = Simulator::new(&bp.network)
         .run(&Workload::poisson_n(2.0, 10).expect("workload"), &mut rng)
         .expect("simulation");
-    let masked = ObservationScheme::None.apply(truth, &mut rng).expect("mask");
+    let masked = ObservationScheme::None
+        .apply(truth, &mut rng)
+        .expect("mask");
     let mut state =
         GibbsState::new(&masked, vec![2.0, 3.0], InitStrategy::default()).expect("state");
     for _ in 0..2_000 {

@@ -12,10 +12,7 @@ use qni::prelude::*;
 
 /// Strategy: tandem networks with 1–4 stages and mixed utilizations.
 fn tandem_params() -> impl Strategy<Value = (f64, Vec<f64>)> {
-    (
-        0.5f64..4.0,
-        prop::collection::vec(1.0f64..12.0, 1..=4),
-    )
+    (0.5f64..4.0, prop::collection::vec(1.0f64..12.0, 1..=4))
 }
 
 proptest! {

@@ -22,6 +22,41 @@ fn pipeline(seed: u64) -> (Vec<f64>, Vec<f64>) {
     (r.rates, r.mean_waiting)
 }
 
+/// One full simulate → mask → StEM run driven by a single
+/// `rng_from_seed(7)` stream, as a user following the README would write
+/// it (no per-stage seed tree).
+fn stem_rates_seed7() -> Vec<f64> {
+    let bp = qni::model::topology::tandem(2.0, &[6.0, 8.0]).expect("topology");
+    let mut rng = rng_from_seed(7);
+    let truth = Simulator::new(&bp.network)
+        .run(&Workload::poisson_n(2.0, 150).expect("workload"), &mut rng)
+        .expect("simulation");
+    let masked = ObservationScheme::task_sampling(0.25)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask");
+    run_stem(&masked, None, &StemOptions::quick_test(), &mut rng)
+        .expect("stem")
+        .rates
+}
+
+#[test]
+fn stem_rates_are_byte_identical_across_runs() {
+    // Byte-level equality (`to_bits`), not approximate closeness: any
+    // hidden iteration-order nondeterminism (e.g. a HashMap sneaking into
+    // a hot path) or uninitialized-read would flip at least one bit.
+    let a = stem_rates_seed7();
+    let b = stem_rates_seed7();
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "rate {i} differs across identically seeded runs: {x} vs {y}"
+        );
+    }
+}
+
 #[test]
 fn same_seed_same_result() {
     let (ra, wa) = pipeline(123);

@@ -109,12 +109,9 @@ fn trace_jsonl_round_trip_preserves_inference_input() {
     let mut buf = Vec::new();
     qni::trace::record::write_jsonl(&masked, &mut buf).expect("write");
     let records = qni::trace::record::read_jsonl(std::io::Cursor::new(&buf)).expect("read");
-    let rebuilt = qni::trace::record::from_records(&records, tb.network().num_queues())
-        .expect("rebuild");
-    assert_eq!(
-        masked.free_arrivals().len(),
-        rebuilt.free_arrivals().len()
-    );
+    let rebuilt =
+        qni::trace::record::from_records(&records, tb.network().num_queues()).expect("rebuild");
+    assert_eq!(masked.free_arrivals().len(), rebuilt.free_arrivals().len());
     // Same inference outcome from the same seed.
     let mut r1 = rng_from_seed(9);
     let mut r2 = rng_from_seed(9);

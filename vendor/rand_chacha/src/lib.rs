@@ -1,0 +1,149 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Provides [`ChaCha12Rng`] (and the 8/20-round variants) implementing the
+//! vendored `rand` crate's [`RngCore`]/[`SeedableRng`] traits. The core is
+//! a faithful ChaCha block function (IETF constants, 64-bit block counter),
+//! so streams are deterministic, platform-independent, and statistically
+//! strong. They are *not* guaranteed byte-identical to upstream
+//! `rand_chacha` — the workspace only requires in-process stability, which
+//! its reproducibility tests pin.
+
+pub use rand as rand_core;
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha stream cipher RNG with `R` double-rounds worth of mixing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        debug_assert!(ROUNDS % 2 == 0, "ChaCha round count must be even");
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16, // Forces a refill on first use.
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// ChaCha with 8 rounds.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds — the workspace default.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = ChaCha12Rng::seed_from_u64(0);
+        let mut b = ChaCha12Rng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ietf_test_vector_chacha20() {
+        // RFC 8439 §2.3.2: key 00..1f, block counter 1, nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00. Our RNG fixes the nonce to
+        // zero, so instead pin the all-zero-key block-0 keystream head of
+        // standard ChaCha20 with 64-bit counter & zero nonce.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        // First keystream word of ChaCha20(key=0, counter=0, nonce=0).
+        assert_eq!(first, 0xade0b876);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha12Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,595 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal serde whose trait *shapes* match the real crate — generic
+//! `Serialize`/`Serializer` and `Deserialize<'de>`/`Deserializer<'de>`
+//! pairs, `serde::de::Error::custom`, and `#[derive(Serialize,
+//! Deserialize)]` re-exported from a local proc-macro crate — but whose
+//! data model is a single in-memory [`value::Value`] tree. The companion
+//! `serde_json` stand-in renders that tree to and from JSON text.
+//!
+//! Hand-written impls in the workspace (e.g. `qni_stats::Exponential`)
+//! compile against these traits unchanged.
+
+pub mod value {
+    //! The in-memory data model all (de)serialization flows through.
+
+    /// A dynamically typed serialized value (JSON-shaped).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer (used for negative integers).
+        I64(i64),
+        /// An unsigned integer.
+        U64(u64),
+        /// A float.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Seq(Vec<Value>),
+        /// An object with insertion-ordered keys.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// A short name of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F64(_) => "float",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "array",
+                Value::Map(_) => "object",
+            }
+        }
+
+        /// Numeric view as `f64`, if the value is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::I64(v) => Some(v as f64),
+                Value::U64(v) => Some(v as f64),
+                Value::F64(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Numeric view as `u64`, if representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::U64(v) => Some(v),
+                Value::I64(v) => u64::try_from(v).ok(),
+                Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                    Some(v as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// Numeric view as `i64`, if representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::I64(v) => Some(v),
+                Value::U64(v) => i64::try_from(v).ok(),
+                Value::F64(v)
+                    if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+                {
+                    Some(v as i64)
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+pub mod ser {
+    //! Serialization traits.
+
+    use super::value::Value;
+    use std::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data structure that can be serialized.
+    pub trait Serialize {
+        /// Serializes `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A sink for serialized data.
+    ///
+    /// Unlike real serde's 30-method trait, everything funnels through
+    /// [`Serializer::serialize_value`]; the scalar methods are provided so
+    /// hand-written impls read identically to upstream serde code.
+    pub trait Serializer: Sized {
+        /// The output type.
+        type Ok;
+        /// The error type.
+        type Error: Error;
+
+        /// Consumes a fully built [`Value`].
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Bool(v))
+        }
+        /// Serializes an `i64`.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+            if v >= 0 {
+                self.serialize_value(Value::U64(v as u64))
+            } else {
+                self.serialize_value(Value::I64(v))
+            }
+        }
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::U64(v))
+        }
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::F64(v))
+        }
+        /// Serializes a string.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Str(v.to_string()))
+        }
+        /// Serializes a unit value.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+        /// Serializes an absent optional.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+            self.serialize_value(Value::Null)
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization traits.
+
+    use super::value::Value;
+    use std::fmt::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data structure that can be deserialized.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes `Self` from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// A type that owns deserializers for all lifetimes.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// A source of deserialized data.
+    ///
+    /// Everything funnels through [`Deserializer::take_value`], which
+    /// yields the parsed [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// The error type.
+        type Error: Error;
+
+        /// Consumes the deserializer, yielding its value tree.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// The derive macros live in the companion proc-macro crate; re-export them
+// so `use serde::{Serialize, Deserialize}` pulls in both trait and derive,
+// exactly as real serde's `derive` feature does.
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::Value;
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self
+            .iter()
+            .map(__private::to_value)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ser::Error::custom)?;
+        serializer.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(__private::to_value(&self.$idx).map_err(ser::Error::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                value
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        de::Error::custom(format!(
+                            "expected {}, found {}",
+                            stringify!($t),
+                            value.kind()
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                value
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        de::Error::custom(format!(
+                            "expected {}, found {}",
+                            stringify!($t),
+                            value.kind()
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        value
+            .as_f64()
+            .ok_or_else(|| de::Error::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            value => __private::from_value(value).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items.into_iter().map(__private::from_value).collect(),
+            other => Err(de::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                match deserializer.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            __private::from_value::<$name, __D::Error>(
+                                iter.next().expect("length checked"),
+                            )?,
+                        )+))
+                    }
+                    Value::Seq(items) => Err(de::Error::custom(format!(
+                        "expected array of length {}, found length {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(de::Error::custom(format!(
+                        "expected array, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, D)
+}
+
+// ---------------------------------------------------------------------------
+// Support machinery shared by the derive macro and serde_json.
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    //! Plumbing used by derive-generated code; not part of the public API.
+
+    use super::value::Value;
+    use super::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+    use std::marker::PhantomData;
+
+    /// Error raised while building a [`Value`] tree.
+    #[derive(Debug, Clone)]
+    pub struct ValueError(pub String);
+
+    impl std::fmt::Display for ValueError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for ValueError {}
+
+    impl ser::Error for ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    impl de::Error for ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            ValueError(msg.to_string())
+        }
+    }
+
+    /// A serializer producing the [`Value`] tree itself.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = ValueError;
+
+        fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+            Ok(value)
+        }
+    }
+
+    /// Serializes anything into a [`Value`] tree.
+    pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, ValueError> {
+        v.serialize(ValueSerializer)
+    }
+
+    /// A deserializer reading from a [`Value`] tree, generic in the error
+    /// type so derive-generated code can surface `D::Error` unchanged.
+    pub struct ValueDeserializer<E> {
+        value: Value,
+        _marker: PhantomData<fn() -> E>,
+    }
+
+    impl<E> ValueDeserializer<E> {
+        /// Wraps a value tree.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer {
+                value,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+        type Error = E;
+
+        fn take_value(self) -> Result<Value, E> {
+            Ok(self.value)
+        }
+    }
+
+    /// Deserializes anything from a [`Value`] tree.
+    pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+        T::deserialize(ValueDeserializer::<E>::new(value))
+    }
+
+    /// Looks up `key` in an object's fields.
+    pub fn lookup<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Deserializes one named field; a missing key behaves like `null`,
+    /// which makes `Option` fields implicitly optional (as in real serde).
+    pub fn field<'de, T: Deserialize<'de>, E: de::Error>(
+        map: &[(String, Value)],
+        key: &str,
+    ) -> Result<T, E> {
+        let value = lookup(map, key).cloned().unwrap_or(Value::Null);
+        from_value(value).map_err(|e: E| de::Error::custom(format!("field `{key}`: {e}")))
+    }
+
+    /// Deserializes a `#[serde(flatten)]` field from the whole object.
+    pub fn flatten<'de, T: Deserialize<'de>, E: de::Error>(
+        map: &[(String, Value)],
+    ) -> Result<T, E> {
+        from_value(Value::Map(map.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::__private::{from_value, to_value, ValueError};
+    use super::value::Value;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_value(&1.5f64).unwrap(), Value::F64(1.5));
+        assert_eq!(to_value(&7u32).unwrap(), Value::U64(7));
+        assert_eq!(to_value(&-3i64).unwrap(), Value::I64(-3));
+        assert_eq!(to_value(&true).unwrap(), Value::Bool(true));
+        let x: f64 = from_value::<f64, ValueError>(Value::U64(3)).unwrap();
+        assert_eq!(x, 3.0);
+        let n: usize = from_value::<usize, ValueError>(Value::U64(9)).unwrap();
+        assert_eq!(n, 9);
+        assert!(from_value::<u32, ValueError>(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let tree = to_value(&v).unwrap();
+        let back: Vec<u32> = from_value::<_, ValueError>(tree).unwrap();
+        assert_eq!(back, v);
+
+        let t = (1u32, 2.5f64);
+        let back: (u32, f64) = from_value::<_, ValueError>(to_value(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+
+        let some: Option<u32> = from_value::<_, ValueError>(Value::U64(4)).unwrap();
+        assert_eq!(some, Some(4));
+        let none: Option<u32> = from_value::<_, ValueError>(Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let s = String::from("hello");
+        let back: String = from_value::<_, ValueError>(to_value(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

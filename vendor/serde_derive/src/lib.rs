@@ -1,0 +1,693 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` stand-in's `Value`-based data model, without
+//! `syn`/`quote` (unavailable offline): the input item is parsed by
+//! walking raw `proc_macro` token trees, and output code is rendered as
+//! strings.
+//!
+//! Supported shapes — exactly what the `qni` workspace uses:
+//!
+//! - named-field structs, with `#[serde(flatten)]` fields;
+//! - tuple structs (one field ⇒ newtype/`#[serde(transparent)]`
+//!   delegation, several fields ⇒ arrays);
+//! - enums with unit / newtype / struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`, with
+//!   `#[serde(rename_all = "...")]` variant renaming.
+//!
+//! Generic types and other serde attributes are rejected with a compile
+//! error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(#[allow(dead_code)] usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Collects the `key` / `key = "value"` entries of one `#[serde(...)]`
+/// attribute body.
+fn parse_serde_attr_body(group: TokenStream, out: &mut Vec<(String, Option<String>)>) {
+    let mut iter = group.into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Ident(key) => {
+                let key = key.to_string();
+                let mut value = None;
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '=' {
+                        iter.next();
+                        match iter.next() {
+                            Some(TokenTree::Literal(lit)) => {
+                                value = Some(lit.to_string().trim_matches('"').to_string());
+                            }
+                            other => panic!("expected literal after `{key} =`, got {other:?}"),
+                        }
+                    }
+                }
+                out.push((key, value));
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        }
+    }
+}
+
+/// Consumes leading attributes from `iter`, returning all serde entries.
+fn take_attrs(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Vec<(String, Option<String>)> {
+    let mut entries = Vec::new();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    panic!("expected [...] after #");
+                };
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(name)) = inner.next() {
+                    if name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(body)) = inner.next() {
+                            parse_serde_attr_body(body.stream(), &mut entries);
+                        }
+                    }
+                    // Other attributes (doc comments, cfg, ...) are skipped.
+                }
+            }
+            _ => return entries,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips a field's type tokens up to a top-level `,` (tracking `<...>`
+/// nesting, where commas are still top-level token trees).
+fn skip_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    while let Some(tree) = iter.peek() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {
+                iter.next();
+            }
+        }
+    }
+}
+
+/// Parses the fields of a named-field body `{ ... }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while iter.peek().is_some() {
+        let attrs = take_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("expected field name");
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        let mut flatten = false;
+        for (key, _) in &attrs {
+            match key.as_str() {
+                "flatten" => flatten = true,
+                other => panic!("unsupported field attribute #[serde({other})]"),
+            }
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            flatten,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body `( ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    while iter.peek().is_some() {
+        let _ = take_attrs(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        skip_type(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+/// Parses the variants of an enum body `{ ... }`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while iter.peek().is_some() {
+        let attrs = take_attrs(&mut iter);
+        if let Some((key, _)) = attrs.first() {
+            panic!("unsupported variant attribute #[serde({key})]");
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                if n == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(n)
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+/// Parses the whole derive input into a [`Container`].
+fn parse_container(input: TokenStream) -> Container {
+    let mut iter = input.into_iter().peekable();
+    let entries = take_attrs(&mut iter);
+    let mut attrs = ContainerAttrs::default();
+    for (key, value) in entries {
+        match key.as_str() {
+            "transparent" => attrs.transparent = true,
+            "tag" => attrs.tag = value,
+            "rename_all" => attrs.rename_all = value,
+            other => panic!("unsupported container attribute #[serde({other})]"),
+        }
+    }
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = iter.next() else {
+        panic!("expected type name");
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the vendored serde derive");
+        }
+    }
+    let data = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::TupleStruct(0),
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Container {
+        name: name.to_string(),
+        attrs,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Case conversion.
+// ---------------------------------------------------------------------------
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        Some("camelCase") => {
+            let mut chars = name.chars();
+            match chars.next() {
+                Some(first) => first.to_ascii_lowercase().to_string() + chars.as_str(),
+                None => String::new(),
+            }
+        }
+        Some(other) => panic!("unsupported rename_all rule `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// Renders the `Value`-building statements for a list of fields, reading
+/// from expressions produced by `access` (e.g. `self.name` or a binding).
+fn gen_serialize_fields(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(&f.name);
+        if f.flatten {
+            out.push_str(&format!(
+                "match ::serde::__private::to_value(&{expr}).map_err({SER_ERR})? {{\n\
+                     ::serde::value::Value::Map(__m) => __fields.extend(__m),\n\
+                     _ => return ::core::result::Result::Err({SER_ERR}(\n\
+                         \"#[serde(flatten)] requires a map-shaped field\")),\n\
+                 }}\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "__fields.push((\"{name}\".to_string(), \
+                 ::serde::__private::to_value(&{expr}).map_err({SER_ERR})?));\n",
+                name = f.name
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the struct-literal field initializers deserializing from
+/// `__map`.
+fn gen_deserialize_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.flatten {
+            out.push_str(&format!(
+                "{}: ::serde::__private::flatten::<_, __D::Error>(&__map)?,\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name}: ::serde::__private::field::<_, __D::Error>(&__map, \"{name}\")?,\n",
+                name = f.name
+            ));
+        }
+    }
+    out
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => format!(
+            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> \
+                 = ::std::vec::Vec::new();\n\
+             {push}\
+             __serializer.serialize_value(::serde::value::Value::Map(__fields))",
+            push = gen_serialize_fields(fields, &|f| format!("self.{f}")),
+        ),
+        Data::TupleStruct(0) => "__serializer.serialize_unit()".to_string(),
+        Data::TupleStruct(1) => {
+            // Newtype / #[serde(transparent)]: delegate to the inner value.
+            "::serde::Serialize::serialize(&self.0, __serializer)".to_string()
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::to_value(&self.{i}).map_err({SER_ERR})?"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::value::Value::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let rule = c.attrs.rename_all.as_deref();
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = rename(vname, rule);
+                let arm = match (&v.kind, &c.attrs.tag) {
+                    (VariantKind::Unit, Some(tag)) => format!(
+                        "{name}::{vname} => {{\n\
+                             __fields.push((\"{tag}\".to_string(), \
+                                 ::serde::value::Value::Str(\"{wire}\".to_string())));\n\
+                         }}\n"
+                    ),
+                    (VariantKind::Unit, None) => format!(
+                        "{name}::{vname} => {{\n\
+                             return __serializer.serialize_str(\"{wire}\");\n\
+                         }}\n"
+                    ),
+                    (VariantKind::Newtype, Some(tag)) => format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                             __fields.push((\"{tag}\".to_string(), \
+                                 ::serde::value::Value::Str(\"{wire}\".to_string())));\n\
+                             match ::serde::__private::to_value(__f0).map_err({SER_ERR})? {{\n\
+                                 ::serde::value::Value::Map(__m) => __fields.extend(__m),\n\
+                                 __other => __fields.push((\"value\".to_string(), __other)),\n\
+                             }}\n\
+                         }}\n"
+                    ),
+                    (VariantKind::Newtype, None) => format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                             let __inner = ::serde::__private::to_value(__f0)\
+                                 .map_err({SER_ERR})?;\n\
+                             return __serializer.serialize_value(::serde::value::Value::Map(\
+                                 vec![(\"{wire}\".to_string(), __inner)]));\n\
+                         }}\n"
+                    ),
+                    (VariantKind::Struct(fields), tag) => {
+                        let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let push = gen_serialize_fields(fields, &|f| f.to_string());
+                        match tag {
+                            Some(tag) => format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     __fields.push((\"{tag}\".to_string(), \
+                                         ::serde::value::Value::Str(\"{wire}\".to_string())));\n\
+                                     {push}\
+                                 }}\n",
+                                binds = bindings.join(", "),
+                            ),
+                            None => format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     {push}\
+                                     let __inner = ::std::mem::take(&mut __fields);\n\
+                                     return __serializer.serialize_value(\
+                                         ::serde::value::Value::Map(vec![(\
+                                             \"{wire}\".to_string(), \
+                                             ::serde::value::Value::Map(__inner))]));\n\
+                                 }}\n",
+                                binds = bindings.join(", "),
+                            ),
+                        }
+                    }
+                    (VariantKind::Tuple(_), _) => {
+                        panic!("multi-field tuple enum variants are not supported")
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                 match self {{\n{arms}\n}}\n\
+                 __serializer.serialize_value(::serde::value::Value::Map(__fields))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 #[allow(unused_mut, unreachable_code, clippy::all)]\n\
+                 {{ {body} }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => format!(
+            "let __map = match __deserializer.take_value()? {{\n\
+                 ::serde::value::Value::Map(__m) => __m,\n\
+                 __other => return ::core::result::Result::Err({DE_ERR}(\
+                     format!(\"expected object for `{name}`, found {{}}\", __other.kind()))),\n\
+             }};\n\
+             ::core::result::Result::Ok({name} {{\n{fields}\n}})",
+            fields = gen_deserialize_fields(fields),
+        ),
+        Data::TupleStruct(0) => format!("::core::result::Result::Ok({name})"),
+        Data::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(\
+                 __deserializer)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    "::serde::__private::from_value::<_, __D::Error>(\
+                         __iter.next().ok_or_else(|| {DE_ERR_CALL}(\"array too short\"))?)?"
+                        .replace("{DE_ERR_CALL}", DE_ERR)
+                })
+                .collect();
+            format!(
+                "let __items = match __deserializer.take_value()? {{\n\
+                     ::serde::value::Value::Seq(__s) => __s,\n\
+                     __other => return ::core::result::Result::Err({DE_ERR}(\
+                         format!(\"expected array, found {{}}\", __other.kind()))),\n\
+                 }};\n\
+                 let mut __iter = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Data::Enum(variants) => {
+            let rule = c.attrs.rename_all.as_deref();
+            match &c.attrs.tag {
+                Some(tag) => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let wire = rename(vname, rule);
+                        let arm = match &v.kind {
+                            VariantKind::Unit => format!(
+                                "\"{wire}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                            ),
+                            VariantKind::Newtype => format!(
+                                "\"{wire}\" => {{\n\
+                                     let __inner = match ::serde::__private::lookup(\
+                                         &__map, \"value\") {{\n\
+                                         ::core::option::Option::Some(__v) => \
+                                             ::serde::__private::from_value::<_, __D::Error>(\
+                                                 __v.clone())?,\n\
+                                         ::core::option::Option::None => {{\n\
+                                             let __rest: ::std::vec::Vec<_> = __map.iter()\
+                                                 .filter(|(__k, _)| __k != \"{tag}\")\
+                                                 .cloned().collect();\n\
+                                             ::serde::__private::from_value::<_, __D::Error>(\
+                                                 ::serde::value::Value::Map(__rest))?\n\
+                                         }}\n\
+                                     }};\n\
+                                     ::core::result::Result::Ok({name}::{vname}(__inner))\n\
+                                 }}\n"
+                            ),
+                            VariantKind::Struct(fields) => format!(
+                                "\"{wire}\" => ::core::result::Result::Ok(\
+                                     {name}::{vname} {{\n{fields}\n}}),\n",
+                                fields = gen_deserialize_fields(fields),
+                            ),
+                            VariantKind::Tuple(_) => {
+                                panic!("multi-field tuple enum variants are not supported")
+                            }
+                        };
+                        arms.push_str(&arm);
+                    }
+                    format!(
+                        "let __map = match __deserializer.take_value()? {{\n\
+                             ::serde::value::Value::Map(__m) => __m,\n\
+                             __other => return ::core::result::Result::Err({DE_ERR}(\
+                                 format!(\"expected object for `{name}`, found {{}}\", \
+                                     __other.kind()))),\n\
+                         }};\n\
+                         let __tag: ::std::string::String = \
+                             ::serde::__private::field::<_, __D::Error>(&__map, \"{tag}\")?;\n\
+                         match __tag.as_str() {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err({DE_ERR}(\
+                                 format!(\"unknown `{name}` variant `{{}}`\", __other))),\n\
+                         }}",
+                        tag = tag,
+                    )
+                }
+                None => {
+                    let mut str_arms = String::new();
+                    let mut map_arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let wire = rename(vname, rule);
+                        match &v.kind {
+                            VariantKind::Unit => str_arms.push_str(&format!(
+                                "\"{wire}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                            )),
+                            VariantKind::Newtype => map_arms.push_str(&format!(
+                                "\"{wire}\" => ::core::result::Result::Ok({name}::{vname}(\
+                                     ::serde::__private::from_value::<_, __D::Error>(\
+                                         __inner)?)),\n"
+                            )),
+                            VariantKind::Struct(fields) => map_arms.push_str(&format!(
+                                "\"{wire}\" => {{\n\
+                                     let __map = match __inner {{\n\
+                                         ::serde::value::Value::Map(__m) => __m,\n\
+                                         __other => return ::core::result::Result::Err(\
+                                             {DE_ERR}(format!(\
+                                                 \"expected object variant, found {{}}\", \
+                                                 __other.kind()))),\n\
+                                     }};\n\
+                                     ::core::result::Result::Ok({name}::{vname} {{\n\
+                                         {fields}\n\
+                                     }})\n\
+                                 }}\n",
+                                fields = gen_deserialize_fields(fields),
+                            )),
+                            VariantKind::Tuple(_) => {
+                                panic!("multi-field tuple enum variants are not supported")
+                            }
+                        }
+                    }
+                    format!(
+                        "match __deserializer.take_value()? {{\n\
+                             ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {str_arms}\
+                                 __other => ::core::result::Result::Err({DE_ERR}(\
+                                     format!(\"unknown `{name}` variant `{{}}`\", __other))),\n\
+                             }},\n\
+                             ::serde::value::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__k, __inner) = __m.into_iter().next()\
+                                     .expect(\"length checked\");\n\
+                                 match __k.as_str() {{\n\
+                                     {map_arms}\
+                                     __other => ::core::result::Result::Err({DE_ERR}(\
+                                         format!(\"unknown `{name}` variant `{{}}`\", \
+                                             __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::core::result::Result::Err({DE_ERR}(\
+                                 format!(\"cannot deserialize `{name}` from {{}}\", \
+                                     __other.kind()))),\n\
+                         }}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_mut, unreachable_code, clippy::all)]\n\
+                 {{ {body} }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Serialize` for the supported container shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` for the supported container shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
