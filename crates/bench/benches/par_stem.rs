@@ -1,0 +1,30 @@
+//! Criterion bench for the multi-chain parallel StEM engine: fixed total
+//! kept-sample budget swept across chain counts, so the timings expose the
+//! parallel speedup (and its Amdahl burn-in ceiling) directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qni_bench::chain_scaling::ChainWorkload;
+use qni_core::chains::run_stem_parallel;
+
+fn bench_par_sweep(c: &mut Criterion) {
+    let workload = ChainWorkload {
+        tasks: 200,
+        fraction: 0.1,
+        samples_total: 64,
+        burn_in: 8,
+        seed: 7,
+    };
+    let masked = workload.build();
+    let mut group = c.benchmark_group("par_stem_vs_chains");
+    group.sample_size(10);
+    for &chains in &[1usize, 2, 4] {
+        let opts = workload.options_for(chains);
+        group.bench_with_input(BenchmarkId::from_parameter(chains), &opts, |b, opts| {
+            b.iter(|| run_stem_parallel(&masked, None, opts).expect("parallel stem"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_sweep);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Chain-scaling experiment: multi-chain StEM wall-clock speedup at
+//! K ∈ {1, 2, 4, 8} under a fixed total post-burn-in sample budget.
+//!
+//! Emits `results/BENCH_chains.json` (machine-readable, consumed by the
+//! CI `bench-smoke` job) and a console table. Two environment knobs:
+//!
+//! - `QNI_QUICK=1` — reduced workload for smoke runs.
+//! - `QNI_SPEEDUP_GATE=<f64>` — exit nonzero unless the K=4 point's
+//!   wall-clock speedup over K=1 meets the gate (e.g. `1.1`; CI uses a
+//!   generous threshold to tolerate runner noise).
+//!
+//! Usage: `cargo run --release -p qni-bench --bin chain_scaling`
+
+use qni_bench::chain_scaling::{run_experiment, ChainScalingReport, ChainWorkload};
+use std::process::ExitCode;
+
+const CHAIN_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() -> ExitCode {
+    let quick = qni_bench::quick_mode();
+    let workload = if quick {
+        ChainWorkload::quick()
+    } else {
+        ChainWorkload::default_full()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    println!(
+        "chain scaling on {} tasks ({}% observed), {} total kept samples, \
+         {} burn-in/chain, {} hw threads{}:",
+        workload.tasks,
+        workload.fraction * 100.0,
+        workload.samples_total,
+        workload.burn_in,
+        threads,
+        if quick { " [quick]" } else { "" }
+    );
+
+    let points = run_experiment(&workload, &CHAIN_COUNTS);
+    println!(
+        "  {:<7} {:>10} {:>9} {:>11} {:>13} {:>10} {:>8}",
+        "chains", "wall s", "speedup", "efficiency", "max split-R̂", "min ESS", "λ̂"
+    );
+    for p in &points {
+        println!(
+            "  K={:<5} {:>10.3} {:>8.2}x {:>11.2} {:>13.3} {:>10.1} {:>8.3}",
+            p.chains,
+            p.wall_secs,
+            p.speedup,
+            p.efficiency,
+            p.max_split_rhat,
+            p.min_ess,
+            p.lambda_hat
+        );
+    }
+
+    let report = ChainScalingReport {
+        bench: "chain_scaling".to_owned(),
+        quick,
+        available_parallelism: threads,
+        workload,
+        points,
+    };
+    let path = qni_bench::results_dir().join("BENCH_chains.json");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_chains.json");
+    println!("json: {}", path.display());
+
+    // Anti-regression gate for CI: K=4 must beat K=1 by the given factor.
+    if let Ok(gate) = std::env::var("QNI_SPEEDUP_GATE") {
+        let gate: f64 = gate.parse().expect("QNI_SPEEDUP_GATE must be a number");
+        if threads < 2 {
+            // A single hardware thread cannot show parallel speedup; the
+            // gate would only measure scheduler overhead.
+            println!("gate skipped: only {threads} hw thread(s) available");
+            return ExitCode::SUCCESS;
+        }
+        let k4 = report
+            .points
+            .iter()
+            .find(|p| p.chains == 4)
+            .expect("K=4 point");
+        if k4.speedup < gate {
+            eprintln!(
+                "FAIL: K=4 speedup {:.2}x is below the gate {gate:.2}x",
+                k4.speedup
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("gate ok: K=4 speedup {:.2}x >= {gate:.2}x", k4.speedup);
+    }
+    ExitCode::SUCCESS
+}

@@ -12,10 +12,14 @@
 //! - `one_percent` — the abstract's claim that 1% of trace data suffices.
 //! - `scaling_table` — §5.2's claim that sweep cost scales in the number
 //!   of unobserved arrivals, not the number of servers.
+//! - `chain_scaling` — wall-clock speedup of the multi-chain parallel
+//!   StEM engine at K ∈ {1, 2, 4, 8}, emitting `BENCH_chains.json` for
+//!   the CI anti-regression gate.
 //!
 //! Shared infrastructure lives here: replication runners, parallel
 //! mapping, and console tables. CSV outputs land in `results/`.
 
+pub mod chain_scaling;
 pub mod fig4;
 pub mod fig5;
 pub mod jobs;

@@ -17,6 +17,9 @@
 //! - [`mstep`]: closed-form exponential MLE from completed data.
 //! - [`stem`]: stochastic EM (§4) and a Monte-Carlo-EM variant, plus
 //!   posterior waiting-time estimation at the final parameters.
+//! - [`chains`]: the multi-chain parallel engine — K independent StEM
+//!   chains on scoped threads with deterministically derived RNG streams,
+//!   pooled into one estimate with split-R̂ / ESS convergence checks.
 //! - [`baseline`]: the §5.1 oracle baseline (mean observed service).
 //! - [`estimates`], [`localize`], [`diagnostics`]: evaluation, bottleneck
 //!   localization, and MCMC diagnostics.
@@ -46,6 +49,7 @@
 //! ```
 
 pub mod baseline;
+pub mod chains;
 pub mod diagnostics;
 pub mod error;
 pub mod estimates;
@@ -57,5 +61,7 @@ pub mod posterior;
 pub mod state;
 pub mod stem;
 
+pub use chains::{run_stem_parallel, ParallelStemOptions, ParallelStemResult};
+pub use diagnostics::ChainDiagnostics;
 pub use error::InferenceError;
 pub use state::GibbsState;

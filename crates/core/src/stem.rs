@@ -50,6 +50,11 @@ impl Default for StemOptions {
 
 impl StemOptions {
     /// A small, fast configuration for doc tests and smoke tests.
+    ///
+    /// This is the **single shared quick config**: every doctest in the
+    /// workspace and every derived quick constructor (e.g.
+    /// [`crate::chains::ParallelStemOptions::quick_test`]) routes through
+    /// it, so the iteration budget lives in exactly one place.
     pub fn quick_test() -> Self {
         StemOptions {
             iterations: 30,

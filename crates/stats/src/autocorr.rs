@@ -59,6 +59,87 @@ pub fn effective_sample_size(xs: &[f64]) -> Result<f64, StatsError> {
     Ok(n as f64 / (1.0 + 2.0 * sum_rho))
 }
 
+/// Gelman–Rubin variance components: within-chain variance `W` and the
+/// pooled estimate `var⁺ = (n−1)/n · W + B/n`.
+///
+/// All chains are truncated to the shortest common length `n`; requires
+/// ≥ 2 chains of length ≥ 2. `var⁺/W` is the squared potential scale
+/// reduction factor (R̂²); `W ≤ 0` with `var⁺ > 0` means constant chains
+/// stuck at different values (maximally unmixed).
+pub fn within_and_pooled_variance(chains: &[&[f64]]) -> Result<(f64, f64), StatsError> {
+    if chains.len() < 2 || chains.iter().any(|c| c.len() < 2) {
+        return Err(StatsError::EmptyData);
+    }
+    let m = chains.len() as f64;
+    let n = chains.iter().map(|c| c.len()).min().expect("non-empty");
+    let means: Vec<f64> = chains
+        .iter()
+        .map(|c| c[..n].iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / m;
+    let w = chains
+        .iter()
+        .zip(&means)
+        .map(|(c, mu)| c[..n].iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n - 1) as f64)
+        .sum::<f64>()
+        / m;
+    let b = n as f64 / (m - 1.0) * means.iter().map(|mu| (mu - grand).powi(2)).sum::<f64>();
+    let var_plus = (n - 1) as f64 / n as f64 * w + b / n as f64;
+    Ok((w, var_plus))
+}
+
+/// Combined effective sample size of several independent chains.
+///
+/// Every chain is truncated to the shortest common length; each truncated
+/// chain's ESS is computed with [`effective_sample_size`] and the results
+/// are summed, then — when two or more chains are given — the sum is
+/// deflated by `W / var⁺` (see [`within_and_pooled_variance`]; the factor
+/// is `1/R̂²`). For well-mixed chains the factor is ≈ 1 and independent
+/// chains contribute additively; for chains stuck at different modes,
+/// between-chain variance dominates `var⁺` and the pooled ESS collapses
+/// toward zero instead of overstating the information in the pooled
+/// estimate. This mirrors the multi-chain ESS of Gelman et al. (*Bayesian
+/// Data Analysis*, §11.5), which discounts by between-chain disagreement
+/// rather than summing per-chain values.
+///
+/// # Examples
+///
+/// ```
+/// use qni_stats::autocorr::multi_chain_ess;
+///
+/// let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+/// let b: Vec<f64> = (0..100).map(|i| (i as f64 * 1.3).cos()).collect();
+/// let pooled = multi_chain_ess(&[&a, &b]).unwrap();
+/// assert!(pooled > 0.0);
+/// ```
+pub fn multi_chain_ess(chains: &[&[f64]]) -> Result<f64, StatsError> {
+    if chains.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    let n = chains.iter().map(|c| c.len()).min().expect("non-empty");
+    let truncated: Vec<&[f64]> = chains.iter().map(|c| &c[..n]).collect();
+    let mut total = 0.0;
+    for c in &truncated {
+        total += effective_sample_size(c)?;
+    }
+    if truncated.len() < 2 {
+        return Ok(total);
+    }
+    let (w, var_plus) = within_and_pooled_variance(&truncated)?;
+    if var_plus <= 0.0 {
+        // All chains constant and identical: the per-chain values (1
+        // each) already say it.
+        return Ok(total);
+    }
+    if w <= 0.0 {
+        // Constant chains at different values: the pooled estimate
+        // carries no usable information.
+        return Ok(0.0);
+    }
+    // Cap at 1 — agreement cannot add information beyond the sum.
+    Ok(total * (w / var_plus).min(1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +186,76 @@ mod tests {
         assert!(autocovariance(&[], 0).is_err());
         assert!(autocovariance(&[1.0, 2.0], 2).is_err());
         assert!(effective_sample_size(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn multi_chain_ess_sums_well_mixed_chains() {
+        let mut rng = rng_from_seed(33);
+        let a: Vec<f64> = (0..2_000).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..2_000).map(|_| rng.random::<f64>()).collect();
+        let ea = effective_sample_size(&a).unwrap();
+        let eb = effective_sample_size(&b).unwrap();
+        let pooled = multi_chain_ess(&[&a, &b]).unwrap();
+        // Same-distribution chains: the between-chain discount is ≈ 1.
+        assert!(pooled <= ea + eb + 1e-9, "pooled={pooled} sum={}", ea + eb);
+        assert!(pooled > 0.9 * (ea + eb), "pooled={pooled} sum={}", ea + eb);
+        assert!(multi_chain_ess(&[]).is_err());
+        assert!(multi_chain_ess(&[&[1.0, 2.0][..]]).is_err());
+    }
+
+    #[test]
+    fn within_and_pooled_variance_components() {
+        // Two chains of variance 0.25 (alternating ±0.5 around their
+        // means) with means 0 and 10: W = 0.25, var⁺ dominated by B.
+        let a: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 10.0).collect();
+        let (w, var_plus) = within_and_pooled_variance(&[&a, &b]).unwrap();
+        assert!((w - 0.25252525).abs() < 1e-6, "w={w}");
+        assert!(var_plus > 10.0, "var_plus={var_plus}");
+        assert!(within_and_pooled_variance(&[&a]).is_err());
+        assert!(within_and_pooled_variance(&[&a, &[1.0][..]]).is_err());
+    }
+
+    #[test]
+    fn multi_chain_ess_truncates_to_common_length() {
+        // A long chain that drifts after the common prefix must not leak
+        // its full-length ESS into the pooled value: only the first
+        // min-length samples of each chain may count.
+        let mut rng = rng_from_seed(35);
+        let long: Vec<f64> = (0..5_000)
+            .map(|i| rng.random::<f64>() + if i >= 100 { 10.0 } else { 0.0 })
+            .collect();
+        let short: Vec<f64> = (0..100).map(|_| rng.random::<f64>()).collect();
+        let pooled = multi_chain_ess(&[&long, &short]).unwrap();
+        let prefix_sum =
+            effective_sample_size(&long[..100]).unwrap() + effective_sample_size(&short).unwrap();
+        assert!(
+            pooled <= prefix_sum + 1e-9,
+            "pooled={pooled} prefix_sum={prefix_sum}"
+        );
+    }
+
+    #[test]
+    fn multi_chain_ess_zero_for_constant_separated_chains() {
+        let pooled = multi_chain_ess(&[&[1.0; 10][..], &[2.0; 10][..]]).unwrap();
+        assert_eq!(pooled, 0.0);
+        // Identical constant chains: one effective draw per chain.
+        let pooled = multi_chain_ess(&[&[1.0; 10][..], &[1.0; 10][..]]).unwrap();
+        assert_eq!(pooled, 2.0);
+    }
+
+    #[test]
+    fn multi_chain_ess_collapses_for_separated_chains() {
+        // Two locally-uncorrelated chains stuck at different modes: each
+        // alone has ESS ≈ n, but the pooled estimate carries almost no
+        // information — the discount must crush the naive 2n sum.
+        let mut rng = rng_from_seed(34);
+        let a: Vec<f64> = (0..1_000).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..1_000).map(|_| rng.random::<f64>() + 10.0).collect();
+        let naive = effective_sample_size(&a).unwrap() + effective_sample_size(&b).unwrap();
+        let pooled = multi_chain_ess(&[&a, &b]).unwrap();
+        assert!(pooled < naive / 100.0, "pooled={pooled} naive={naive}");
     }
 }

@@ -54,8 +54,8 @@ qni — probabilistic inference in queueing networks
 USAGE:
   qni simulate --tiers 1,2,4 [--lambda 10] [--mu 5] [--tasks 1000]
                [--observe 0.1] [--seed 1] --out trace.jsonl
-  qni infer    --trace trace.jsonl [--iterations 200] [--seed 2]
-  qni localize --trace trace.jsonl [--iterations 200] [--seed 2]
+  qni infer    --trace trace.jsonl [--iterations 200] [--seed 2] [--chains 1]
+  qni localize --trace trace.jsonl [--iterations 200] [--seed 2] [--chains 1]
   qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -144,14 +144,50 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
     let masked = load_masked(flags)?;
     let iterations = get_usize(flags, "iterations", 200)?;
     let seed = get_usize(flags, "seed", 2)? as u64;
+    let chains = get_usize(flags, "chains", 1)?;
+    if chains == 0 {
+        return Err("--chains must be >= 1".into());
+    }
+    if iterations < 8 {
+        // burn_in = iterations/2 and the convergence diagnostics need at
+        // least 4 post-burn-in iterations per chain.
+        return Err(
+            "--iterations must be >= 8 (diagnostics need >= 4 post-burn-in iterations)".into(),
+        );
+    }
     let opts = StemOptions {
         iterations,
         burn_in: iterations / 2,
         waiting_sweeps: 20,
         ..StemOptions::default()
     };
-    let mut rng = rng_from_seed(seed);
-    let r = run_stem(&masked, None, &opts, &mut rng).map_err(|e| e.to_string())?;
+    // Every chain count (including 1) routes through the parallel engine,
+    // so diagnostics are always reported and every run uses the same
+    // seed-derivation scheme (chain k draws from split_seed(seed, k); to
+    // reproduce one chain, call the library's run_stem with that seed —
+    // a CLI run re-splits its --seed, so it starts a new chain family).
+    let popts = ParallelStemOptions {
+        stem: opts,
+        chains,
+        master_seed: seed,
+    };
+    let r = run_stem_parallel(&masked, None, &popts).map_err(|e| e.to_string())?;
+    println!("pooled over {chains} chain(s) (master seed {seed}, per-chain seeds via split_seed)");
+    let d = &r.diagnostics;
+    println!(
+        "convergence: max split-R̂ = {:.4} ({}), min pooled ESS = {:.1}",
+        d.max_split_rhat(),
+        if d.converged(1.05) {
+            "converged, < 1.05"
+        } else {
+            "NOT converged, >= 1.05 — rerun with more --iterations"
+        },
+        d.min_ess()
+    );
+    println!("{:<7} {:>12} {:>12}", "queue", "split-R̂", "pooled ESS");
+    for q in 0..d.split_rhat.len() {
+        println!("q{:<6} {:>12.4} {:>12.1}", q, d.split_rhat[q], d.ess[q]);
+    }
     println!("arrival rate λ̂ = {:.4}", r.rates[0]);
     println!(
         "{:<7} {:>12} {:>12} {:>12}",

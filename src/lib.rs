@@ -53,6 +53,8 @@ pub use qni_webapp as webapp;
 /// Commonly used items, importable with `use qni::prelude::*`.
 pub mod prelude {
     pub use qni_core::baseline::mean_observed_service;
+    pub use qni_core::chains::{run_stem_parallel, ParallelStemOptions, ParallelStemResult};
+    pub use qni_core::diagnostics::ChainDiagnostics;
     pub use qni_core::estimates::{absolute_errors, ground_truth_averages, ErrorField};
     pub use qni_core::init::InitStrategy;
     pub use qni_core::localize::{localize, slow_request_attribution, BottleneckKind};

@@ -61,6 +61,34 @@ fn simulate_then_infer_round_trip() {
 
     let out = qni()
         .args([
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "40",
+            "--seed",
+            "3",
+            "--chains",
+            "3",
+        ])
+        .output()
+        .expect("run infer --chains");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("pooled over 3 chain(s)"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("split-R̂"), "stdout: {stdout}");
+    assert!(stdout.contains("pooled ESS"), "stdout: {stdout}");
+    assert!(stdout.contains("arrival rate"), "stdout: {stdout}");
+
+    let out = qni()
+        .args([
             "localize",
             "--trace",
             trace.to_str().expect("utf8 path"),
