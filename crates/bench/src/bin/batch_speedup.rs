@@ -1,0 +1,75 @@
+//! Batched-vs-scalar speedup experiment: single-chain StEM wall-clock
+//! under `BatchMode::Grouped` vs `BatchMode::Scalar` on M/M/1, tandem-3,
+//! and fork-join workloads.
+//!
+//! Emits `results/BENCH_batch.json` (machine-readable, consumed by the CI
+//! `bench-smoke` job) and a console table. Two environment knobs:
+//!
+//! - `QNI_QUICK=1` — reduced workload for smoke runs.
+//! - `QNI_BATCH_GATE=<f64>` — exit nonzero unless the tandem-3 point's
+//!   batched speedup over scalar meets the gate (CI uses a generous
+//!   threshold — the batched path must simply not regress; the full local
+//!   run targets ≥ 1.3x).
+//!
+//! Usage: `cargo run --release -p qni-bench --bin batch_speedup`
+
+use qni_bench::batch_speedup::run_experiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = qni_bench::quick_mode();
+    println!(
+        "batched-vs-scalar arrival moves{}:",
+        if quick { " [quick]" } else { "" }
+    );
+    let report = run_experiment(quick);
+    println!(
+        "  {:<9} {:>9} {:>11} {:>12} {:>9} {:>10} {:>9} {:>9}",
+        "workload",
+        "free arr",
+        "scalar s",
+        "batched s",
+        "speedup",
+        "fallback%",
+        "λ̂ scal",
+        "λ̂ batch"
+    );
+    for p in &report.points {
+        println!(
+            "  {:<9} {:>9} {:>11.3} {:>12.3} {:>8.2}x {:>9.1} {:>9.3} {:>9.3}",
+            p.name,
+            p.free_arrivals,
+            p.scalar_secs,
+            p.batched_secs,
+            p.speedup,
+            p.fallback_fraction * 100.0,
+            p.lambda_scalar,
+            p.lambda_batched
+        );
+    }
+
+    let path = qni_bench::results_dir().join("BENCH_batch.json");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_batch.json");
+    println!("json: {}", path.display());
+
+    // Anti-regression gate for CI: batched must not be slower than scalar
+    // on the tandem-3 workload (modulo the gate's noise allowance).
+    if let Ok(gate) = std::env::var("QNI_BATCH_GATE") {
+        let gate: f64 = gate.parse().expect("QNI_BATCH_GATE must be a number");
+        let t3 = report
+            .points
+            .iter()
+            .find(|p| p.name == "tandem3")
+            .expect("tandem3 point");
+        if t3.speedup < gate {
+            eprintln!(
+                "FAIL: tandem3 batched speedup {:.2}x is below the gate {gate:.2}x",
+                t3.speedup
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("gate ok: tandem3 speedup {:.2}x >= {gate:.2}x", t3.speedup);
+    }
+    ExitCode::SUCCESS
+}

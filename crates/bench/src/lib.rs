@@ -15,10 +15,14 @@
 //! - `chain_scaling` — wall-clock speedup of the multi-chain parallel
 //!   StEM engine at K ∈ {1, 2, 4, 8}, emitting `BENCH_chains.json` for
 //!   the CI anti-regression gate.
+//! - `batch_speedup` — batched-vs-scalar arrival-move wall-clock on
+//!   M/M/1, tandem-3, and fork-join workloads, emitting
+//!   `BENCH_batch.json` for the CI anti-regression gate.
 //!
 //! Shared infrastructure lives here: replication runners, parallel
 //! mapping, and console tables. CSV outputs land in `results/`.
 
+pub mod batch_speedup;
 pub mod chain_scaling;
 pub mod fig4;
 pub mod fig5;

@@ -51,7 +51,9 @@ use qni_trace::MaskedLog;
 /// Options for [`run_stem_parallel`].
 #[derive(Debug, Clone)]
 pub struct ParallelStemOptions {
-    /// Per-chain StEM configuration (iterations, burn-in, init, …).
+    /// Per-chain StEM configuration (iterations, burn-in, init, and the
+    /// [`crate::gibbs::sweep::BatchMode`] arrival-move scheduling knob —
+    /// every chain sweeps with the same mode).
     pub stem: StemOptions,
     /// Number of independent chains (and worker threads).
     pub chains: usize,
@@ -88,6 +90,9 @@ impl ParallelStemOptions {
                 what: "need at least one chain",
             });
         }
+        // Surface the per-chain budget errors (including the empty
+        // kept-window case) before the stricter diagnostics bound.
+        self.stem.validate()?;
         if self.stem.iterations < self.stem.burn_in + 4 {
             return Err(InferenceError::BadOptions {
                 what: "need >= 4 post-burn-in iterations per chain for diagnostics",

@@ -41,6 +41,15 @@ pub enum InferenceError {
         /// What was wrong.
         what: &'static str,
     },
+    /// `burn_in >= iterations`: every iteration would be discarded and
+    /// the kept-sample window (point estimate, diagnostics) would be
+    /// empty.
+    EmptyKeptWindow {
+        /// Requested burn-in iterations.
+        burn_in: usize,
+        /// Requested total iterations.
+        iterations: usize,
+    },
     /// A model-layer error bubbled up.
     Model(qni_model::ModelError),
     /// A statistics-layer error bubbled up.
@@ -66,6 +75,14 @@ impl fmt::Display for InferenceError {
             }
             InferenceError::InitFailed(e) => write!(f, "initialization failed: {e}"),
             InferenceError::BadOptions { what } => write!(f, "bad options: {what}"),
+            InferenceError::EmptyKeptWindow {
+                burn_in,
+                iterations,
+            } => write!(
+                f,
+                "burn-in ({burn_in}) must be smaller than iterations ({iterations}): \
+                 no post-burn-in samples would be kept for the estimate"
+            ),
             InferenceError::Model(e) => write!(f, "model error: {e}"),
             InferenceError::Stats(e) => write!(f, "stats error: {e}"),
         }

@@ -50,6 +50,217 @@ impl ArrivalConditional {
     }
 }
 
+/// The raw ingredients of one arrival conditional: the support and the
+/// slope structure of the piecewise log-linear density, with no density
+/// built yet.
+///
+/// Produced by [`arrival_inputs`]; both the owned scalar path
+/// ([`arrival_conditional`]) and the batched engine
+/// ([`crate::gibbs::batch`]) turn these same inputs into segments via
+/// [`ArrivalInputs::assemble`], so the two paths are bit-identical by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalInputs {
+    /// Lower support bound `L`.
+    pub lower: f64,
+    /// Upper support bound `U`.
+    pub upper: f64,
+    /// Service rate of `e`'s queue (term 1).
+    pub mu1: f64,
+    /// Service rate of `π(e)`'s queue (terms 2 and 3).
+    pub mu2: f64,
+    /// Breakpoint `d_{ρ(e)}` at which term 1 (+µ1) activates. `None`
+    /// means the term is active over the **whole** support (no ρ(e), or
+    /// the aliased consecutive-revisit configuration).
+    pub term1_break: Option<f64>,
+    /// Breakpoint `a_N` at which term 3 (+µ2) activates, for
+    /// `N = ρ⁻¹(π(e))`. `None` means the term is **absent** (no `N`).
+    pub term3_break: Option<f64>,
+}
+
+impl ArrivalInputs {
+    /// Assembles the sorted interior breakpoints and per-segment slopes:
+    /// returns `(breaks, slopes, n)` where the live parts are
+    /// `breaks[..n]` and `slopes[..n + 1]`.
+    pub fn assemble(&self) -> ([f64; 2], [f64; 3], usize) {
+        // Log-density slope assembly: base −µ2 (term 2), +µ1 activating at
+        // d_{ρ(e)} (term 1), +µ2 activating at a_N (term 3).
+        let mut start_slope = -self.mu2;
+        let mut changes = [(0.0f64, 0.0f64); 2];
+        let mut n = 0usize;
+        match self.term1_break {
+            None => start_slope += self.mu1,
+            Some(b) if b <= self.lower => start_slope += self.mu1,
+            Some(b) if b < self.upper => {
+                changes[n] = (b, self.mu1);
+                n += 1;
+            }
+            Some(_) => {} // d_{ρ(e)} ≥ U: term 1 constant on the support.
+        }
+        match self.term3_break {
+            None => {}
+            Some(b) if b <= self.lower => start_slope += self.mu2,
+            Some(b) if b < self.upper => {
+                changes[n] = (b, self.mu2);
+                n += 1;
+            }
+            Some(_) => {}
+        }
+        if n == 2 && changes[0].0.total_cmp(&changes[1].0) == std::cmp::Ordering::Greater {
+            changes.swap(0, 1);
+        }
+        let breaks = [changes[0].0, changes[1].0];
+        let mut slopes = [start_slope, 0.0, 0.0];
+        for i in 0..n {
+            slopes[i + 1] = slopes[i] + changes[i].1;
+        }
+        (breaks, slopes, n)
+    }
+}
+
+/// The support classification of one arrival move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSupport {
+    /// The support is (numerically) a single point: the move is
+    /// deterministic, places the arrival at the first field, and consumes
+    /// no randomness. The second field is the recorded upper bound.
+    Point(f64, f64),
+    /// A proper interval with its slope structure.
+    Interval(ArrivalInputs),
+}
+
+/// The *structural* neighbourhood of one arrival move: every event whose
+/// time the conditional reads, resolved once from the ρ/π pointers.
+///
+/// Queue and task orders never change during time-resampling moves, so a
+/// resolved neighbourhood stays valid across sweeps (only
+/// [`qni_model::log::EventLog::reassign_queue`] invalidates it); the
+/// batched engine caches it per group and pays only
+/// [`inputs_from_neighbors`] — pure float reads — per move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalNeighbors {
+    /// The within-task predecessor π(e) whose departure is tied to `x`.
+    pub p: EventId,
+    /// The within-queue predecessor ρ(e).
+    pub rho_e: Option<EventId>,
+    /// ρ(π(e)): needed for `begin_service(π(e))`.
+    pub rho_p: Option<EventId>,
+    /// The within-queue successor ρ⁻¹(e).
+    pub succ: Option<EventId>,
+    /// `N = ρ⁻¹(π(e))`, excluding `e` itself (aliased in the
+    /// consecutive-revisit case; its service is then term 1).
+    pub next_at_p: Option<EventId>,
+    /// Whether `ρ(e) = π(e)` (the task revisits the same queue
+    /// back-to-back), collapsing term 1 to always-active.
+    pub self_follow: bool,
+}
+
+/// Resolves the neighbourhood of event `e`'s arrival move.
+///
+/// Errors if `e` is an initial event (its arrival is pinned at 0).
+pub fn resolve_neighbors(log: &EventLog, e: EventId) -> Result<ArrivalNeighbors, InferenceError> {
+    let p = log.pi(e).ok_or(InferenceError::BadMoveTarget {
+        event: e,
+        what: "initial events have no resampleable arrival",
+    })?;
+    let rho_e = log.rho(e);
+    Ok(ArrivalNeighbors {
+        p,
+        rho_e,
+        rho_p: log.rho(p),
+        succ: log.rho_inv(e),
+        next_at_p: log.rho_inv(p).filter(|&n| n != e),
+        self_follow: rho_e == Some(p),
+    })
+}
+
+/// Computes the support and slope structure of `e`'s conditional from a
+/// resolved neighbourhood — pure float reads, no pointer chasing, no
+/// allocation. `mu1`/`mu2` are the service rates of `e`'s and `π(e)`'s
+/// queues.
+///
+/// Errors if the current state leaves an empty support (which indicates
+/// constraint corruption — the sampler never produces such states).
+pub fn inputs_from_neighbors(
+    log: &EventLog,
+    e: EventId,
+    nb: &ArrivalNeighbors,
+    mu1: f64,
+    mu2: f64,
+) -> Result<ArrivalSupport, InferenceError> {
+    // Support bounds. `begin_service(p)` = max(a_p, d_{ρ(p)}), all fixed.
+    let a_p = log.arrival(nb.p);
+    let mut lower = match nb.rho_p {
+        Some(rp) => a_p.max(log.departure(rp)),
+        None => a_p,
+    };
+    if let Some(r) = nb.rho_e {
+        lower = lower.max(log.arrival(r));
+    }
+    let mut upper = log.departure(e);
+    if let Some(succ) = nb.succ {
+        upper = upper.min(log.arrival(succ));
+    }
+    if let Some(n) = nb.next_at_p {
+        upper = upper.min(log.departure(n));
+    }
+    if upper < lower {
+        if upper > lower - 1e-9 {
+            // Numerically pinched support: treat as a point.
+            return Ok(ArrivalSupport::Point(lower, lower));
+        }
+        return Err(InferenceError::EmptySupport {
+            event: e,
+            lower,
+            upper,
+        });
+    }
+    if upper - lower < DEGENERATE_WIDTH {
+        return Ok(ArrivalSupport::Point(lower, upper));
+    }
+
+    let term1_break = if nb.self_follow {
+        None // Active throughout: begin_service(e) = a_e itself.
+    } else {
+        nb.rho_e.map(|r| log.departure(r))
+    };
+    Ok(ArrivalSupport::Interval(ArrivalInputs {
+        lower,
+        upper,
+        mu1,
+        mu2,
+        term1_break,
+        term3_break: nb.next_at_p.map(|n| log.arrival(n)),
+    }))
+}
+
+/// Computes the support and slope structure of event `e`'s arrival
+/// conditional from the current log, allocation-free: resolves the
+/// neighbourhood and evaluates the bounds in one call.
+///
+/// `rates` holds the exponential rate of every queue indexed by
+/// [`qni_model::ids::QueueId`]; entry 0 is the arrival rate λ.
+///
+/// Errors if `e` is an initial event (its arrival is pinned at 0) or if
+/// the current state leaves an empty support (which indicates constraint
+/// corruption — the sampler never produces such states).
+pub fn arrival_inputs(
+    log: &EventLog,
+    rates: &[f64],
+    e: EventId,
+) -> Result<ArrivalSupport, InferenceError> {
+    let nb = resolve_neighbors(log, e)?;
+    if rates.len() != log.num_queues() {
+        return Err(InferenceError::RateShapeMismatch {
+            expected: log.num_queues(),
+            actual: rates.len(),
+        });
+    }
+    let mu1 = rates[log.queue_of(e).index()];
+    let mu2 = rates[log.queue_of(nb.p).index()];
+    inputs_from_neighbors(log, e, &nb, mu1, mu2)
+}
+
 /// Builds the conditional for resampling event `e`'s arrival.
 ///
 /// `rates` holds the exponential rate of every queue indexed by
@@ -63,94 +274,27 @@ pub fn arrival_conditional(
     rates: &[f64],
     e: EventId,
 ) -> Result<ArrivalConditional, InferenceError> {
-    let p = log.pi(e).ok_or(InferenceError::BadMoveTarget {
-        event: e,
-        what: "initial events have no resampleable arrival",
-    })?;
-    if rates.len() != log.num_queues() {
-        return Err(InferenceError::RateShapeMismatch {
-            expected: log.num_queues(),
-            actual: rates.len(),
-        });
-    }
-    let mu1 = rates[log.queue_of(e).index()];
-    let mu2 = rates[log.queue_of(p).index()];
-
-    let rho_e = log.rho(e);
-    let self_follow = rho_e == Some(p);
-    // The next arrival at π(e)'s queue, excluding `e` itself (aliased in
-    // the consecutive-revisit case; its service is then term 1).
-    let next_at_p = log.rho_inv(p).filter(|&n| n != e);
-
-    // Support bounds. `begin_service(p)` = max(a_p, d_{ρ(p)}), all fixed.
-    let mut lower = log.begin_service(p);
-    if let Some(r) = rho_e {
-        lower = lower.max(log.arrival(r));
-    }
-    let mut upper = log.departure(e);
-    if let Some(succ) = log.rho_inv(e) {
-        upper = upper.min(log.arrival(succ));
-    }
-    if let Some(n) = next_at_p {
-        upper = upper.min(log.departure(n));
-    }
-    if upper < lower {
-        if upper > lower - 1e-9 {
-            // Numerically pinched support: treat as a point.
-            return Ok(ArrivalConditional {
-                lower,
-                upper: lower,
-                density: None,
-            });
-        }
-        return Err(InferenceError::EmptySupport {
-            event: e,
-            lower,
-            upper,
-        });
-    }
-    if upper - lower < DEGENERATE_WIDTH {
-        return Ok(ArrivalConditional {
+    match arrival_inputs(log, rates, e)? {
+        ArrivalSupport::Point(lower, upper) => Ok(ArrivalConditional {
             lower,
             upper,
             density: None,
-        });
+        }),
+        ArrivalSupport::Interval(inputs) => {
+            let (breaks, slopes, n) = inputs.assemble();
+            let density = PiecewiseExpDensity::continuous_from_slopes(
+                inputs.lower,
+                inputs.upper,
+                &breaks[..n],
+                &slopes[..n + 1],
+            )?;
+            Ok(ArrivalConditional {
+                lower: inputs.lower,
+                upper: inputs.upper,
+                density: Some(density),
+            })
+        }
     }
-
-    // Log-density slope assembly: base −µ2 (term 2), +µ1 activating at
-    // d_{ρ(e)} (term 1), +µ2 activating at a_N (term 3).
-    let mut start_slope = -mu2;
-    let mut changes: Vec<(f64, f64)> = Vec::with_capacity(2);
-    let term1_break = if self_follow {
-        None // Active throughout: begin_service(e) = a_e itself.
-    } else {
-        rho_e.map(|r| log.departure(r))
-    };
-    match term1_break {
-        None => start_slope += mu1,
-        Some(b) if b <= lower => start_slope += mu1,
-        Some(b) if b < upper => changes.push((b, mu1)),
-        Some(_) => {} // d_{ρ(e)} ≥ U: term 1 constant on the support.
-    }
-    match next_at_p.map(|n| log.arrival(n)) {
-        None => {}
-        Some(b) if b <= lower => start_slope += mu2,
-        Some(b) if b < upper => changes.push((b, mu2)),
-        Some(_) => {}
-    }
-    changes.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let breaks: Vec<f64> = changes.iter().map(|c| c.0).collect();
-    let mut slopes = Vec::with_capacity(changes.len() + 1);
-    slopes.push(start_slope);
-    for &(_, delta) in &changes {
-        slopes.push(slopes.last().expect("non-empty") + delta);
-    }
-    let density = PiecewiseExpDensity::continuous_from_slopes(lower, upper, &breaks, &slopes)?;
-    Ok(ArrivalConditional {
-        lower,
-        upper,
-        density: Some(density),
-    })
 }
 
 /// Resamples event `e`'s arrival in place.

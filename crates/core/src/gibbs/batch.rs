@@ -1,0 +1,451 @@
+//! Batched same-queue arrival moves.
+//!
+//! A sweep spends almost all of its time in
+//! [`super::arrival::resample_arrival`], re-deriving the full
+//! neighbourhood (ρ/π pointer chases) and heap-allocating a fresh
+//! piecewise density for every unobserved event, every sweep. This module
+//! amortizes that cost across a *group*: all of a sweep's arrival moves
+//! at the same queue.
+//!
+//! Three levers, in decreasing order of payoff:
+//!
+//! 1. **Cached structure.** The neighbourhood of a move
+//!    ([`super::arrival::ArrivalNeighbors`]) and its conflict set are
+//!    purely structural — queue and task orders never change during
+//!    time-resampling moves — so they are resolved **once per state**
+//!    (in `build_group_structure`, invalidated only by queue
+//!    reassignment) and reused by every subsequent sweep. Per move, the
+//!    steady-state cost is [`super::arrival::inputs_from_neighbors`]:
+//!    pure float reads.
+//! 2. **Allocation-free densities.** Each conditional is built into a
+//!    reusable [`PiecewiseScratch`] instead of a fresh
+//!    [`qni_stats::piecewise::PiecewiseExpDensity`].
+//! 3. **Red-black waves.** Within a group, events at even and odd queue
+//!    positions form two *waves* (no two same-wave events are ρ-adjacent,
+//!    so same-wave moves almost never interact). Each wave recomputes its
+//!    cached bounds in one tight batch pass over the busy-period
+//!    structure — segment bounds, rate terms — and then samples every
+//!    member against those bounds.
+//!
+//! # Conflict sets and the fallback
+//!
+//! Moving event `g` sets `a_g` and the tied predecessor departure
+//! `d_{π(g)}`. Event `e`'s conditional reads the times of up to eight
+//! neighbours: the arrivals of `π(e)`, `ρ(e)`, `ρ⁻¹(e)` and
+//! `N = ρ⁻¹(π(e))`, and the departures of `ρ(π(e))`, `ρ(e)`, `e` and `N`
+//! — each departure owned by its successor `π⁻¹(·)`. In queue terms these
+//! are the *adjacent events inside `e`'s busy period* (the ρ-neighbours
+//! whose coupling the `max` terms encode) and the *tied predecessor
+//! departures* (the `π⁻¹` owners of each departure the density reads).
+//! Whenever a move earlier in the same wave touched one of them, the
+//! stale bounds are discarded and the event **falls back to the scalar
+//! path**: its conditional is recomputed from the live log. Wave parity
+//! eliminates the dominant coupling (ρ-adjacent events are always in
+//! opposite waves), but π-side couplings can still land in one wave —
+//! through same-queue task revisits, or through another task whose next
+//! hop arrives at the group's queue with matching parity (so the owner
+//! of a departure the density reads, e.g. `π⁻¹(ρ(π(e)))` or `π⁻¹(N)`,
+//! is itself a groupmate) — hence the conflict check stays on every
+//! move. The same conflict sets bound the future intra-trace sharding
+//! work: two arrival moves commute whenever neither is in the other's
+//! conflict set.
+//!
+//! # Correctness
+//!
+//! Every event is still drawn from its **exact** full conditional at the
+//! moment it is resampled — wave bounds are rebuilt from the live log and
+//! reused only when provably untouched — so the batched sweep is a valid
+//! Gibbs scan; only the scan *order* differs from the scalar sweep. When
+//! every group is a singleton the batched schedule, RNG consumption, and
+//! all arithmetic coincide with the scalar sweep bit-for-bit (see
+//! `tests/batch_gibbs.rs`).
+
+use crate::error::InferenceError;
+use crate::gibbs::arrival::{
+    inputs_from_neighbors, resolve_neighbors, ArrivalNeighbors, ArrivalSupport,
+};
+use qni_model::ids::EventId;
+use qni_model::log::EventLog;
+use qni_stats::piecewise::PiecewiseScratch;
+use rand::Rng;
+
+/// Sentinel for unused slots in a plan's conflict set.
+const NO_DEP: u32 = u32::MAX;
+/// Maximum number of conflict-set entries (see module docs).
+const MAX_DEPS: usize = 8;
+
+/// One event's move-invariant structure: neighbourhood, rate indices, and
+/// conflict set. Everything here survives across sweeps.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanShape {
+    /// The event to resample.
+    e: EventId,
+    /// Resolved neighbourhood (see [`ArrivalNeighbors`]).
+    nb: ArrivalNeighbors,
+    /// Queue index of `e` (rate term µ1).
+    qe: u32,
+    /// Queue index of `π(e)` (rate term µ2).
+    qp: u32,
+    /// Event indices whose times the conditional reads (`NO_DEP`-padded).
+    deps: [u32; MAX_DEPS],
+}
+
+/// A group's cached structure: its events split into red-black waves by
+/// queue-position parity. Built once per state by
+/// `build_group_structure`; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GroupStructure {
+    waves: [Vec<PlanShape>; 2],
+}
+
+/// Per-group resampling statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Arrival moves performed.
+    pub moves: usize,
+    /// Moves that recomputed their conditional from the live log because
+    /// an earlier same-wave move invalidated their cached bounds.
+    pub fallbacks: usize,
+}
+
+/// Reusable working memory of the batched engine.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Wave-local supports, aligned with the wave's shapes.
+    supports: Vec<ArrivalSupport>,
+    /// Per-event generation stamp of the last in-wave move touching it.
+    stamps: Vec<u32>,
+    /// Current wave generation (bumped by [`BatchScratch::begin_wave`]).
+    generation: u32,
+    /// Allocation-free piecewise-density workspace.
+    pw: PiecewiseScratch,
+}
+
+impl BatchScratch {
+    /// Starts a new wave: sizes the stamp table and opens a fresh
+    /// generation so stamps from previous waves are ignored.
+    fn begin_wave(&mut self, num_events: usize) {
+        if self.stamps.len() < num_events {
+            self.stamps.resize(num_events, 0);
+        }
+        if self.generation == u32::MAX {
+            // Generation wrap: reset all stamps once every ~4 billion
+            // waves rather than carrying ambiguity.
+            self.stamps.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    fn mark_moved(&mut self, e: EventId) {
+        self.stamps[e.index()] = self.generation;
+    }
+
+    fn is_conflicted(&self, shape: &PlanShape) -> bool {
+        shape
+            .deps
+            .iter()
+            .any(|&d| d != NO_DEP && self.stamps[d as usize] == self.generation)
+    }
+}
+
+/// Collects the conflict set of event `e` from its neighbourhood: every
+/// event whose arrival or (tied) departure the arrival conditional reads.
+fn conflict_set(log: &EventLog, e: EventId, nb: &ArrivalNeighbors) -> [u32; MAX_DEPS] {
+    let mut deps = [NO_DEP; MAX_DEPS];
+    let mut n = 0usize;
+    let mut push = |ev: Option<EventId>| {
+        if let Some(ev) = ev {
+            deps[n] = ev.index() as u32;
+            n += 1;
+        }
+    };
+    // a_p; d_{ρ(p)} via its owner π⁻¹(ρ(p)).
+    push(Some(nb.p));
+    push(nb.rho_p.and_then(|rp| log.pi_inv(rp)));
+    // a_{ρ(e)}; d_{ρ(e)} via π⁻¹(ρ(e)).
+    push(nb.rho_e);
+    push(nb.rho_e.and_then(|r| log.pi_inv(r)));
+    // d_e via π⁻¹(e).
+    push(log.pi_inv(e));
+    // a_{ρ⁻¹(e)}.
+    push(nb.succ);
+    // a_N; d_N via π⁻¹(N).
+    push(nb.next_at_p);
+    push(nb.next_at_p.and_then(|nn| log.pi_inv(nn)));
+    deps
+}
+
+/// Builds a group's cached structure: resolves every event's
+/// neighbourhood and conflict set, and splits the group into red-black
+/// waves by queue-position parity (preserving the input order within each
+/// wave). A singleton group yields one single-event wave, keeping its
+/// schedule slot aligned with the scalar sweep.
+pub(crate) fn build_group_structure(
+    log: &EventLog,
+    events: &[EventId],
+) -> Result<GroupStructure, InferenceError> {
+    let mut gs = GroupStructure::default();
+    for &e in events {
+        let nb = resolve_neighbors(log, e)?;
+        gs.waves[log.queue_position(e) % 2].push(PlanShape {
+            e,
+            nb,
+            qe: log.queue_of(e).index() as u32,
+            qp: log.queue_of(nb.p).index() as u32,
+            deps: conflict_set(log, e, &nb),
+        });
+    }
+    Ok(gs)
+}
+
+/// Resamples a same-queue group of arrival moves in place, wave by wave.
+///
+/// Each wave batch-recomputes its members' bounds from the live log (one
+/// tight pass over the cached structure), then samples every member
+/// against those bounds with a reusable density workspace, falling back
+/// to a live recompute for the rare member whose bounds an earlier
+/// same-wave move invalidated. RNG consumption per event is identical to
+/// the scalar [`super::arrival::resample_arrival`] (two uniforms per
+/// non-degenerate move, none for a point support).
+pub(crate) fn resample_group<R: Rng + ?Sized>(
+    log: &mut EventLog,
+    rates: &[f64],
+    group: &GroupStructure,
+    scratch: &mut BatchScratch,
+    rng: &mut R,
+) -> Result<GroupStats, InferenceError> {
+    let mut stats = GroupStats::default();
+    for wave in &group.waves {
+        if wave.is_empty() {
+            continue;
+        }
+        scratch.begin_wave(log.num_events());
+        // Batch pass: every wave member's support against the wave's
+        // entry state, in one loop over the cached structure.
+        scratch.supports.clear();
+        for shape in wave {
+            scratch.supports.push(inputs_from_neighbors(
+                log,
+                shape.e,
+                &shape.nb,
+                rates[shape.qe as usize],
+                rates[shape.qp as usize],
+            )?);
+        }
+        // Sample pass.
+        for (i, shape) in wave.iter().enumerate() {
+            let support = if scratch.is_conflicted(shape) {
+                // Scalar fallback: an earlier same-wave move touched one
+                // of this event's neighbours; recompute from the live log.
+                stats.fallbacks += 1;
+                inputs_from_neighbors(
+                    log,
+                    shape.e,
+                    &shape.nb,
+                    rates[shape.qe as usize],
+                    rates[shape.qp as usize],
+                )?
+            } else {
+                scratch.supports[i]
+            };
+            let x = match support {
+                ArrivalSupport::Point(lower, _) => lower,
+                ArrivalSupport::Interval(inputs) => {
+                    let (breaks, slopes, n) = inputs.assemble();
+                    scratch.pw.rebuild_continuous(
+                        inputs.lower,
+                        inputs.upper,
+                        &breaks[..n],
+                        &slopes[..n + 1],
+                    )?;
+                    scratch.pw.sample(rng)
+                }
+            };
+            log.set_transition_time(shape.e, x);
+            scratch.mark_moved(shape.e);
+            stats.moves += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::ids::{QueueId, StateId, TaskId};
+    use qni_model::log::EventLogBuilder;
+    use qni_stats::rng::rng_from_seed;
+
+    /// Three tasks through two queues (the arrival-move fixture of
+    /// `super::arrival`): every neighbour of the middle events exists.
+    fn rich_log() -> (EventLog, Vec<f64>) {
+        let mut b = EventLogBuilder::new(3, StateId(0));
+        b.add_task(
+            1.0,
+            &[
+                (StateId(1), QueueId(1), 1.0, 2.0),
+                (StateId(2), QueueId(2), 2.0, 2.5),
+            ],
+        )
+        .unwrap();
+        b.add_task(
+            1.2,
+            &[
+                (StateId(1), QueueId(1), 1.2, 2.6),
+                (StateId(2), QueueId(2), 2.6, 3.4),
+            ],
+        )
+        .unwrap();
+        b.add_task(
+            1.4,
+            &[
+                (StateId(1), QueueId(1), 1.4, 3.0),
+                (StateId(2), QueueId(2), 3.0, 4.0),
+            ],
+        )
+        .unwrap();
+        (b.build().unwrap(), vec![2.0, 3.0, 4.0])
+    }
+
+    fn resample(
+        log: &mut EventLog,
+        rates: &[f64],
+        events: &[EventId],
+        scratch: &mut BatchScratch,
+        seed: u64,
+    ) -> GroupStats {
+        let gs = build_group_structure(log, events).unwrap();
+        let mut rng = rng_from_seed(seed);
+        resample_group(log, rates, &gs, scratch, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn singleton_group_matches_scalar_resample_bitwise() {
+        let (log, rates) = rich_log();
+        for task in 0..3 {
+            for visit in 1..=2 {
+                let e = log.task_events(TaskId::from_index(task))[visit];
+                let mut scalar_log = log.clone();
+                let mut batched_log = log.clone();
+                let mut ra = rng_from_seed(7);
+                let x =
+                    crate::gibbs::arrival::resample_arrival(&mut scalar_log, &rates, e, &mut ra)
+                        .unwrap();
+                let mut scratch = BatchScratch::default();
+                let stats = resample(&mut batched_log, &rates, &[e], &mut scratch, 7);
+                assert_eq!(
+                    stats,
+                    GroupStats {
+                        moves: 1,
+                        fallbacks: 0
+                    }
+                );
+                assert_eq!(batched_log.arrival(e).to_bits(), x.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn group_is_bitwise_equal_to_sequential_scalar_in_wave_order() {
+        // Wave-order sequential scalar resampling is the reference kernel:
+        // the batched engine must match it exactly, cached bounds or not.
+        let (log, rates) = rich_log();
+        let events: Vec<EventId> = log.events_at_queue(QueueId(1)).to_vec();
+        for seed in 0..20u64 {
+            let mut scalar_log = log.clone();
+            let mut rng = rng_from_seed(seed);
+            // Wave order: even queue positions first, then odd.
+            for parity in 0..2 {
+                for &e in &events {
+                    if log.queue_position(e) % 2 == parity {
+                        crate::gibbs::arrival::resample_arrival(
+                            &mut scalar_log,
+                            &rates,
+                            e,
+                            &mut rng,
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            let mut batched_log = log.clone();
+            let mut scratch = BatchScratch::default();
+            resample(&mut batched_log, &rates, &events, &mut scratch, seed);
+            for e in log.event_ids() {
+                assert_eq!(
+                    scalar_log.arrival(e).to_bits(),
+                    batched_log.arrival(e).to_bits(),
+                    "seed {seed}: arrival of {e} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rho_adjacent_events_land_in_opposite_waves() {
+        let (log, rates) = rich_log();
+        let e1 = log.task_events(TaskId(1))[1];
+        let e2 = log.task_events(TaskId(2))[1];
+        assert_eq!(log.rho(e2), Some(e1));
+        let gs = build_group_structure(&log, &[e1, e2]).unwrap();
+        assert_eq!(gs.waves[0].len() + gs.waves[1].len(), 2);
+        assert_eq!(gs.waves[0].len(), 1, "ρ-adjacent events must split");
+        // No same-wave neighbours → no fallbacks.
+        let mut work = log.clone();
+        let mut scratch = BatchScratch::default();
+        let stats = resample(&mut work, &rates, &[e1, e2], &mut scratch, 3);
+        assert_eq!(stats.moves, 2);
+        assert_eq!(stats.fallbacks, 0);
+        qni_model::constraints::validate(&work).unwrap();
+    }
+
+    #[test]
+    fn same_wave_revisit_conflicts_and_falls_back() {
+        // Task B revisits queue 1 back-to-back with another task's event
+        // interleaved: B's two events sit at queue positions 0 and 2 (the
+        // same wave) and are π-coupled, so the second must detect the
+        // first one's move and fall back.
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        let tb = b
+            .add_task(
+                1.0,
+                &[
+                    (StateId(1), QueueId(1), 1.0, 1.5),
+                    (StateId(1), QueueId(1), 1.5, 3.0),
+                ],
+            )
+            .unwrap();
+        let tf = b
+            .add_task(1.1, &[(StateId(1), QueueId(1), 1.1, 2.6)])
+            .unwrap();
+        let log = b.build().unwrap();
+        qni_model::constraints::validate(&log).unwrap();
+        let rates = vec![1.0, 2.0];
+        let b1 = log.task_events(tb)[1];
+        let b2 = log.task_events(tb)[2];
+        let f = log.task_events(tf)[1];
+        assert_eq!(log.queue_position(b1), 0);
+        assert_eq!(log.queue_position(f), 1);
+        assert_eq!(log.queue_position(b2), 2);
+        let mut work = log.clone();
+        let mut scratch = BatchScratch::default();
+        let stats = resample(&mut work, &rates, &[b1, f, b2], &mut scratch, 9);
+        assert_eq!(stats.moves, 3);
+        assert_eq!(stats.fallbacks, 1, "π-coupled same-wave pair must conflict");
+        qni_model::constraints::validate(&work).unwrap();
+    }
+
+    #[test]
+    fn repeated_groups_preserve_validity() {
+        let (mut log, rates) = rich_log();
+        let q1: Vec<EventId> = log.events_at_queue(QueueId(1)).to_vec();
+        let gs = build_group_structure(&log, &q1).unwrap();
+        let mut scratch = BatchScratch::default();
+        let mut rng = rng_from_seed(5);
+        for _ in 0..500 {
+            resample_group(&mut log, &rates, &gs, &mut scratch, &mut rng).unwrap();
+            qni_model::constraints::validate(&log).unwrap();
+        }
+    }
+}

@@ -8,10 +8,14 @@
 //! - [`final_departure`]: resampling a task's exit time, which the paper's
 //!   event convention leaves as a separate free variable.
 //! - [`sweep`]: one full randomized sweep over all free variables.
+//! - [`batch`]: the batched same-queue arrival engine — groups a sweep's
+//!   arrival moves per queue and amortizes the conditional construction
+//!   across each group, with conflict-set fallback to the scalar path.
 //! - [`numeric`]: brute-force numerical conditionals used to validate the
 //!   closed forms in tests and benches.
 
 pub mod arrival;
+pub mod batch;
 pub mod final_departure;
 pub mod numeric;
 pub mod reassign;

@@ -64,4 +64,5 @@ pub mod stem;
 pub use chains::{run_stem_parallel, ParallelStemOptions, ParallelStemResult};
 pub use diagnostics::ChainDiagnostics;
 pub use error::InferenceError;
+pub use gibbs::sweep::BatchMode;
 pub use state::GibbsState;

@@ -9,7 +9,7 @@
 //! practitioner acts on ("is the db *significantly* slower?").
 
 use crate::error::InferenceError;
-use crate::gibbs::sweep::sweep;
+use crate::gibbs::sweep::{sweep_with_mode, BatchMode};
 use crate::state::GibbsState;
 use qni_stats::descriptive::quantile_sorted;
 use rand::Rng;
@@ -40,6 +40,8 @@ pub struct PosteriorOptions {
     pub samples: usize,
     /// Credible-interval mass (e.g. 0.9 for a 90% interval).
     pub ci_mass: f64,
+    /// Arrival-move scheduling (see [`crate::stem::StemOptions::batch`]).
+    pub batch: BatchMode,
 }
 
 impl Default for PosteriorOptions {
@@ -48,6 +50,7 @@ impl Default for PosteriorOptions {
             burn_in: 50,
             samples: 200,
             ci_mass: 0.9,
+            batch: BatchMode::default(),
         }
     }
 }
@@ -71,13 +74,13 @@ pub fn posterior_summaries<R: Rng + ?Sized>(
     }
     let q = state.log().num_queues();
     for _ in 0..opts.burn_in {
-        sweep(state, rng)?;
+        sweep_with_mode(state, opts.batch, rng)?;
     }
     let mut service: Vec<Vec<f64>> = vec![Vec::with_capacity(opts.samples); q];
     let mut waiting: Vec<Vec<f64>> = vec![Vec::with_capacity(opts.samples); q];
     let mut counts = vec![0usize; q];
     for _ in 0..opts.samples {
-        sweep(state, rng)?;
+        sweep_with_mode(state, opts.batch, rng)?;
         for (i, avg) in state.log().queue_averages().into_iter().enumerate() {
             counts[i] = avg.count;
             if avg.count > 0 {
@@ -147,6 +150,7 @@ mod tests {
             burn_in: 30,
             samples: 100,
             ci_mass: 0.95,
+            ..PosteriorOptions::default()
         };
         let post = posterior_summaries(&mut st, &opts, &mut rng).unwrap();
         // True mean services: 0.2 and 0.25; run at the true rates, the 95%
@@ -172,6 +176,7 @@ mod tests {
                 burn_in: 20,
                 samples: 80,
                 ci_mass: 0.9,
+                ..PosteriorOptions::default()
             };
             let post = posterior_summaries(&mut st, &opts, &mut rng).unwrap();
             post[1].service_ci.1 - post[1].service_ci.0

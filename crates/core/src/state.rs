@@ -1,10 +1,32 @@
 //! The mutable Gibbs sampler state.
 
 use crate::error::InferenceError;
+use crate::gibbs::batch::{BatchScratch, GroupStructure};
+use crate::gibbs::sweep::Move;
 use crate::init::{initialize_with, InitStrategy};
 use qni_model::ids::{EventId, TaskId};
 use qni_model::log::EventLog;
 use qni_trace::MaskedLog;
+
+/// Reusable per-state working memory for [`crate::gibbs::sweep`]: the
+/// sweep schedule buffer, the per-queue arrival-move groups of the batched
+/// engine, and the batched-move workspace. Everything here is *scratch* —
+/// it never affects sampler semantics, only allocation behavior.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SweepScratch {
+    /// Reused schedule buffer (cleared and refilled each sweep).
+    pub(crate) schedule: Vec<Move>,
+    /// Same-queue arrival-move group structures, in order of first
+    /// occurrence in `free_arrivals` (so singleton groups line up with
+    /// the scalar schedule). Rebuilt lazily when `groups_built` is false.
+    pub(crate) groups: Vec<GroupStructure>,
+    /// Whether `groups` reflects the current queue assignment of every
+    /// free arrival (queue reassignment moves invalidate it).
+    pub(crate) groups_built: bool,
+    /// Batched-move workspace (wave bounds, conflict stamps, density
+    /// scratch).
+    pub(crate) batch: BatchScratch,
+}
 
 /// Sampler state: a complete working event log plus current rates.
 ///
@@ -12,13 +34,15 @@ use qni_trace::MaskedLog;
 /// mutate it in place. Free-variable lists are fixed at construction.
 #[derive(Debug, Clone)]
 pub struct GibbsState {
-    log: EventLog,
-    rates: Vec<f64>,
-    free_arrivals: Vec<EventId>,
-    free_finals: Vec<EventId>,
+    pub(crate) log: EventLog,
+    pub(crate) rates: Vec<f64>,
+    pub(crate) free_arrivals: Vec<EventId>,
+    pub(crate) free_finals: Vec<EventId>,
     /// Tasks with no observed time at all, eligible for the rigid
     /// [`crate::gibbs::shift`] move.
-    shiftable_tasks: Vec<TaskId>,
+    pub(crate) shiftable_tasks: Vec<TaskId>,
+    /// Reusable sweep working memory (see [`SweepScratch`]).
+    pub(crate) scratch: SweepScratch,
 }
 
 impl GibbsState {
@@ -40,6 +64,7 @@ impl GibbsState {
             free_arrivals: masked.free_arrivals(),
             free_finals: masked.free_final_departures(),
             shiftable_tasks,
+            scratch: SweepScratch::default(),
         })
     }
 
@@ -64,6 +89,7 @@ impl GibbsState {
             free_arrivals,
             free_finals,
             shiftable_tasks: Vec::new(),
+            scratch: SweepScratch::default(),
         })
     }
 
@@ -89,8 +115,45 @@ impl GibbsState {
         unknown: &[EventId],
         rng: &mut R,
     ) -> Result<usize, InferenceError> {
+        // Reassignment can move events between queues, invalidating the
+        // cached per-queue arrival groups of the batched sweep.
+        self.scratch.groups_built = false;
         let GibbsState { log, rates, .. } = self;
         crate::gibbs::reassign::reassign_sweep(log, rates, fsm, unknown, rng)
+    }
+
+    /// Rebuilds the per-queue arrival-move group structures if stale: one
+    /// group per queue with at least one free arrival, events in
+    /// `free_arrivals` order, groups ordered by first occurrence (so that
+    /// when every group is a singleton, the batched schedule lines up
+    /// one-to-one with the scalar schedule). The resolved structures are
+    /// move-invariant and reused by every batched sweep until a queue
+    /// reassignment invalidates them.
+    pub(crate) fn ensure_arrival_groups(&mut self) -> Result<(), InferenceError> {
+        if self.scratch.groups_built {
+            return Ok(());
+        }
+        let mut group_of_queue = vec![u32::MAX; self.log.num_queues()];
+        let mut events_by_group: Vec<Vec<EventId>> = Vec::new();
+        for &e in &self.free_arrivals {
+            let slot = &mut group_of_queue[self.log.queue_of(e).index()];
+            if *slot == u32::MAX {
+                *slot = events_by_group.len() as u32;
+                events_by_group.push(vec![e]);
+            } else {
+                events_by_group[*slot as usize].push(e);
+            }
+        }
+        self.scratch.groups.clear();
+        for events in &events_by_group {
+            self.scratch
+                .groups
+                .push(crate::gibbs::batch::build_group_structure(
+                    &self.log, events,
+                )?);
+        }
+        self.scratch.groups_built = true;
+        Ok(())
     }
 
     /// Resamples one rigid task-shift move in place; returns `δ`.
@@ -106,11 +169,6 @@ impl GibbsState {
     /// The working event log.
     pub fn log(&self) -> &EventLog {
         &self.log
-    }
-
-    /// Mutable access for the move implementations.
-    pub(crate) fn log_mut(&mut self) -> &mut EventLog {
-        &mut self.log
     }
 
     /// Current per-queue rates (entry 0 is λ).

@@ -12,7 +12,7 @@
 //! µ̂ fixed".
 
 use crate::error::InferenceError;
-use crate::gibbs::sweep::sweep;
+use crate::gibbs::sweep::{sweep_with_mode, BatchMode};
 use crate::init::InitStrategy;
 use crate::mstep;
 use crate::state::GibbsState;
@@ -34,6 +34,11 @@ pub struct StemOptions {
     /// beyond the paper that sharply improves mixing for fully-unobserved
     /// tasks; disable only for ablation studies).
     pub shift_moves: bool,
+    /// How arrival moves are scheduled: batched same-queue groups
+    /// (default) or one conditional rebuild per move. See
+    /// [`crate::gibbs::batch`] for the engine and its correctness
+    /// guarantees.
+    pub batch: BatchMode,
 }
 
 impl Default for StemOptions {
@@ -44,6 +49,7 @@ impl Default for StemOptions {
             waiting_sweeps: 25,
             init: InitStrategy::default(),
             shift_moves: true,
+            batch: BatchMode::default(),
         }
     }
 }
@@ -62,13 +68,23 @@ impl StemOptions {
             waiting_sweeps: 5,
             init: InitStrategy::default(),
             shift_moves: true,
+            batch: BatchMode::default(),
         }
     }
 
-    fn validate(&self) -> Result<(), InferenceError> {
-        if self.iterations == 0 || self.burn_in >= self.iterations {
+    /// Checks the iteration budget: `iterations` must be positive and
+    /// `burn_in` strictly smaller, otherwise the kept-sample window would
+    /// be empty ([`InferenceError::EmptyKeptWindow`]).
+    pub fn validate(&self) -> Result<(), InferenceError> {
+        if self.iterations == 0 {
             return Err(InferenceError::BadOptions {
-                what: "need iterations > burn_in >= 0",
+                what: "need at least one StEM iteration",
+            });
+        }
+        if self.burn_in >= self.iterations {
+            return Err(InferenceError::EmptyKeptWindow {
+                burn_in: self.burn_in,
+                iterations: self.iterations,
             });
         }
         Ok(())
@@ -113,7 +129,7 @@ pub fn run_stem<R: Rng + ?Sized>(
     }
     let mut trace: Vec<Vec<f64>> = Vec::with_capacity(opts.iterations);
     for _ in 0..opts.iterations {
-        sweep(&mut state, rng)?;
+        sweep_with_mode(&mut state, opts.batch, rng)?;
         let mut rates = state.rates().to_vec();
         mstep::update_rates(&mut rates, state.log())?;
         state.set_rates(rates.clone())?;
@@ -137,7 +153,7 @@ pub fn run_stem<R: Rng + ?Sized>(
     let mut serv_acc = vec![0.0f64; q];
     let sweeps = opts.waiting_sweeps.max(1);
     for _ in 0..sweeps {
-        sweep(&mut state, rng)?;
+        sweep_with_mode(&mut state, opts.batch, rng)?;
         for (i, avg) in state.log().queue_averages().into_iter().enumerate() {
             if avg.count > 0 {
                 wait_acc[i] += avg.mean_waiting;
@@ -166,6 +182,8 @@ pub struct McemOptions {
     pub inner_sweeps: usize,
     /// Initialization strategy.
     pub init: InitStrategy,
+    /// Arrival-move scheduling (see [`StemOptions::batch`]).
+    pub batch: BatchMode,
 }
 
 impl Default for McemOptions {
@@ -174,6 +192,7 @@ impl Default for McemOptions {
             outer_iterations: 40,
             inner_sweeps: 10,
             init: InitStrategy::default(),
+            batch: BatchMode::default(),
         }
     }
 }
@@ -202,7 +221,7 @@ pub fn run_mcem<R: Rng + ?Sized>(
     for _ in 0..opts.outer_iterations {
         let mut acc = vec![(0.0f64, 0.0f64); q];
         for _ in 0..opts.inner_sweeps {
-            sweep(&mut state, rng)?;
+            sweep_with_mode(&mut state, opts.batch, rng)?;
             for (i, (n, sum)) in state
                 .log()
                 .service_sufficient_stats()
@@ -229,7 +248,7 @@ pub fn run_mcem<R: Rng + ?Sized>(
     let mut serv_acc = vec![0.0f64; q];
     let sweeps_n = opts.inner_sweeps;
     for _ in 0..sweeps_n {
-        sweep(&mut state, rng)?;
+        sweep_with_mode(&mut state, opts.batch, rng)?;
         for (i, avg) in state.log().queue_averages().into_iter().enumerate() {
             if avg.count > 0 {
                 wait_acc[i] += avg.mean_waiting;
@@ -272,17 +291,31 @@ pub fn heuristic_rates(masked: &MaskedLog) -> Vec<f64> {
     // Per-queue count and sum of observed response times.
     let mut resp = vec![(0usize, 0.0f64); q];
     for e in log.event_ids() {
-        if log.is_initial_event(e) || !masked.mask().arrival_observed(e) {
+        if log.is_initial_event(e) {
             continue;
         }
-        t_max = t_max.max(log.arrival(e));
+        let arrival_observed = masked.mask().arrival_observed(e);
+        if arrival_observed {
+            t_max = t_max.max(log.arrival(e));
+        }
         if masked.departure_pinned(e) {
-            // Both endpoints measured: the response time is data.
-            let r = log.departure(e) - log.arrival(e);
-            if r.is_finite() && r >= 0.0 {
-                let qi = log.queue_of(e).index();
-                resp[qi].0 += 1;
-                resp[qi].1 += r;
+            // A pinned departure is measured time too (directly, or via the
+            // successor's observed arrival): it must advance the span even
+            // when this event's own arrival is masked — otherwise a log
+            // with fully masked arrivals but pinned departures collapses
+            // to the uninformative fallback despite measurable throughput.
+            let d = log.departure(e);
+            if d.is_finite() {
+                t_max = t_max.max(d);
+            }
+            if arrival_observed {
+                // Both endpoints measured: the response time is data.
+                let r = d - log.arrival(e);
+                if r.is_finite() && r >= 0.0 {
+                    let qi = log.queue_of(e).index();
+                    resp[qi].0 += 1;
+                    resp[qi].1 += r;
+                }
             }
         }
     }
@@ -392,7 +425,7 @@ mod tests {
         let opts = McemOptions {
             outer_iterations: 25,
             inner_sweeps: 5,
-            init: InitStrategy::default(),
+            ..McemOptions::default()
         };
         let r = run_mcem(&m, None, &opts, &mut rng).unwrap();
         assert!((r.rates[0] - 2.0).abs() < 0.4, "λ̂={}", r.rates[0]);
@@ -425,6 +458,62 @@ mod tests {
         let r = heuristic_rates(&m);
         assert_eq!(r.len(), 3);
         assert!(r.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn heuristic_rates_use_pinned_departures_when_arrivals_masked() {
+        // Regression: arrivals fully masked, final departures observed.
+        // The span is measurable from the pinned departures, so the
+        // heuristic must not collapse to the `vec![1.0; q]` fallback.
+        use qni_trace::ObservedMask;
+        let bp = tandem(2.0, &[6.0, 8.0]).unwrap();
+        let mut rng = rng_from_seed(12);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, 200).unwrap(), &mut rng)
+            .unwrap();
+        let n_tasks = truth.num_tasks();
+        let mut mask = ObservedMask::unobserved(truth.num_events());
+        let mut d_max: f64 = 0.0;
+        for e in truth.event_ids() {
+            if truth.is_final_event(e) {
+                mask.observe_departure(e);
+                d_max = d_max.max(truth.departure(e));
+            }
+        }
+        let m = MaskedLog::new(truth, mask).unwrap();
+        assert_eq!(m.observed_arrival_fraction(), 0.0);
+        let r = heuristic_rates(&m);
+        assert_ne!(r, vec![1.0; 3], "must not hit the no-data fallback");
+        // λ estimate reflects the observed span.
+        let expected_lambda = n_tasks as f64 / d_max;
+        assert!(
+            (r[0] - expected_lambda).abs() < 1e-9,
+            "λ̂={} expected {expected_lambda}",
+            r[0]
+        );
+        // Service rates fall back to throughput bounds: positive, not 1.0
+        // by construction.
+        assert!(r[1] > 0.0 && r[2] > 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_empty_kept_window_with_clear_error() {
+        let opts = StemOptions {
+            iterations: 10,
+            burn_in: 10,
+            ..StemOptions::default()
+        };
+        let err = opts.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            InferenceError::EmptyKeptWindow {
+                burn_in: 10,
+                iterations: 10
+            }
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("burn-in (10)"), "{msg}");
+        assert!(msg.contains("iterations (10)"), "{msg}");
     }
 
     #[test]

@@ -83,6 +83,13 @@ impl EventLog {
         self.events[e.index()].state
     }
 
+    /// Position of `e` within its queue's arrival order (0-based): the
+    /// index such that `events_at_queue(queue_of(e))[pos] == e`. Fixed at
+    /// construction except across [`EventLog::reassign_queue`] calls.
+    pub fn queue_position(&self, e: EventId) -> usize {
+        self.pos_in_queue[e.index()] as usize
+    }
+
     /// Within-queue predecessor ρ(e): the previous arrival at `e`'s queue.
     pub fn rho(&self, e: EventId) -> Option<EventId> {
         let pos = self.pos_in_queue[e.index()] as usize;

@@ -52,6 +52,154 @@ impl Segment {
     }
 }
 
+/// Appends the segments of a *continuous* density on `[lower, upper]` to
+/// `out` (which is **not** cleared): interior breakpoints are clamped into
+/// the support, offsets are chosen so the log-density is continuous and
+/// anchored at `log f(lower) = 0`.
+///
+/// Shared by [`PiecewiseExpDensity::continuous_from_slopes`] and
+/// [`PiecewiseScratch::rebuild_continuous`] so both construction paths
+/// perform bit-identical arithmetic.
+fn push_continuous_segments(
+    lower: f64,
+    upper: f64,
+    breaks: &[f64],
+    slopes: &[f64],
+    out: &mut Vec<Segment>,
+) -> Result<(), StatsError> {
+    if slopes.len() != breaks.len() + 1 {
+        return Err(StatsError::BadParameter {
+            what: "slopes.len() must be breaks.len() + 1",
+        });
+    }
+    if !(lower.is_finite()) || lower >= upper {
+        return Err(StatsError::BadInterval {
+            lo: lower,
+            hi: upper,
+        });
+    }
+    if breaks.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StatsError::BadParameter {
+            what: "breakpoints must be sorted",
+        });
+    }
+    let mut offset = -slopes[0] * lower; // Anchor: log f(lower) = 0.
+    let mut lo = lower;
+    for (i, &s) in slopes.iter().enumerate() {
+        // Clamp the cut into the support; clamping preserves sortedness.
+        let hi = if i < breaks.len() {
+            let mut c = breaks[i].max(lower);
+            if upper.is_finite() {
+                c = c.min(upper);
+            }
+            c
+        } else {
+            upper
+        };
+        if hi > lo {
+            out.push(Segment {
+                lo,
+                hi,
+                offset,
+                slope: s,
+            });
+        }
+        // Continuity at the cut: offset' = offset + (s - s_next)·cut.
+        // An empty segment still shifts the anchor so downstream
+        // segments stay continuous with the density shape.
+        if i < breaks.len() {
+            offset += (s - slopes[i + 1]) * hi;
+            lo = lo.max(hi);
+        }
+    }
+    Ok(())
+}
+
+/// Validates `segments` in place (dropping empty ones, preserving order),
+/// fills `log_masses` and the normalized segment probabilities `probs`
+/// (both cleared first) and returns the log normalizer.
+///
+/// The probabilities reuse the exponentials the `log(Σ exp)` reduction
+/// computes anyway, so the sampling hot path never has to exponentiate.
+///
+/// Shared by [`PiecewiseExpDensity::new`] and
+/// [`PiecewiseScratch::rebuild_continuous`].
+fn finalize_segments(
+    segments: &mut Vec<Segment>,
+    log_masses: &mut Vec<f64>,
+    probs: &mut Vec<f64>,
+) -> Result<f64, StatsError> {
+    let mut kept = 0usize;
+    for i in 0..segments.len() {
+        let seg = segments[i];
+        if seg.lo.is_nan() || seg.hi.is_nan() || !seg.lo.is_finite() {
+            return Err(StatsError::BadInterval {
+                lo: seg.lo,
+                hi: seg.hi,
+            });
+        }
+        if seg.hi == f64::INFINITY && seg.slope >= 0.0 {
+            return Err(StatsError::BadParameter {
+                what: "half-infinite segment must have negative slope",
+            });
+        }
+        if seg.hi <= seg.lo {
+            continue;
+        }
+        segments[kept] = seg;
+        kept += 1;
+    }
+    segments.truncate(kept);
+    log_masses.clear();
+    log_masses.extend(segments.iter().map(Segment::log_mass));
+    // log_sum_exp, keeping the intermediate exponentials as the
+    // (unnormalized, then normalized) segment probabilities.
+    let m = log_masses.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    probs.clear();
+    if !m.is_finite() {
+        return Err(StatsError::EmptyDensity);
+    }
+    probs.extend(log_masses.iter().map(|&lm| (lm - m).exp()));
+    let sum: f64 = probs.iter().sum();
+    let log_norm = m + sum.ln();
+    if !log_norm.is_finite() {
+        return Err(StatsError::EmptyDensity);
+    }
+    for p in probs.iter_mut() {
+        *p /= sum;
+    }
+    Ok(log_norm)
+}
+
+/// Draws one sample from finalized parts: chooses a segment proportionally
+/// to its (precomputed) probability, then inverts the within-segment CDF.
+/// Two uniform draws, no exponentials outside the chosen segment's
+/// quantile.
+fn sample_segments<R: Rng + ?Sized>(segments: &[Segment], probs: &[f64], rng: &mut R) -> f64 {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    let mut chosen = segments.len() - 1;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            chosen = i;
+            break;
+        }
+    }
+    let v: f64 = rng.random();
+    segment_inv_cdf(&segments[chosen], v)
+}
+
+/// Normalized log-density at `x` over finalized parts.
+fn log_pdf_segments(segments: &[Segment], log_norm: f64, x: f64) -> f64 {
+    for seg in segments {
+        if x >= seg.lo && x < seg.hi {
+            return seg.offset + seg.slope * x - log_norm;
+        }
+    }
+    f64::NEG_INFINITY
+}
+
 /// A normalized piecewise log-linear density.
 ///
 /// # Examples
@@ -72,6 +220,8 @@ pub struct PiecewiseExpDensity {
     segments: Vec<Segment>,
     /// Per-segment log unnormalized mass, aligned with `segments`.
     log_masses: Vec<f64>,
+    /// Per-segment normalized probability, aligned with `segments`.
+    probs: Vec<f64>,
     /// Log normalizing constant (log of the sum of segment masses).
     log_norm: f64,
 }
@@ -83,32 +233,14 @@ impl PiecewiseExpDensity {
     /// if no segment carries positive mass, or if any segment is divergent
     /// (`hi = +inf` with `slope >= 0`) or malformed (NaN endpoints).
     pub fn new(segments: Vec<Segment>) -> Result<Self, StatsError> {
-        let mut kept = Vec::with_capacity(segments.len());
-        for seg in segments {
-            if seg.lo.is_nan() || seg.hi.is_nan() || !seg.lo.is_finite() {
-                return Err(StatsError::BadInterval {
-                    lo: seg.lo,
-                    hi: seg.hi,
-                });
-            }
-            if seg.hi == f64::INFINITY && seg.slope >= 0.0 {
-                return Err(StatsError::BadParameter {
-                    what: "half-infinite segment must have negative slope",
-                });
-            }
-            if seg.hi <= seg.lo {
-                continue;
-            }
-            kept.push(seg);
-        }
-        let log_masses: Vec<f64> = kept.iter().map(Segment::log_mass).collect();
-        let log_norm = log_sum_exp(&log_masses);
-        if !log_norm.is_finite() {
-            return Err(StatsError::EmptyDensity);
-        }
+        let mut segments = segments;
+        let mut log_masses = Vec::with_capacity(segments.len());
+        let mut probs = Vec::with_capacity(segments.len());
+        let log_norm = finalize_segments(&mut segments, &mut log_masses, &mut probs)?;
         Ok(PiecewiseExpDensity {
-            segments: kept,
+            segments,
             log_masses,
+            probs,
             log_norm,
         })
     }
@@ -129,54 +261,8 @@ impl PiecewiseExpDensity {
         breaks: &[f64],
         slopes: &[f64],
     ) -> Result<Self, StatsError> {
-        if slopes.len() != breaks.len() + 1 {
-            return Err(StatsError::BadParameter {
-                what: "slopes.len() must be breaks.len() + 1",
-            });
-        }
-        if !(lower.is_finite()) || lower >= upper {
-            return Err(StatsError::BadInterval {
-                lo: lower,
-                hi: upper,
-            });
-        }
-        if breaks.windows(2).any(|w| w[0] > w[1]) {
-            return Err(StatsError::BadParameter {
-                what: "breakpoints must be sorted",
-            });
-        }
-        // Clamp the cuts into the support; clamping preserves sortedness.
-        let cuts: Vec<f64> = breaks
-            .iter()
-            .map(|&b| {
-                let mut c = b.max(lower);
-                if upper.is_finite() {
-                    c = c.min(upper);
-                }
-                c
-            })
-            .collect();
         let mut segments = Vec::with_capacity(slopes.len());
-        let mut offset = -slopes[0] * lower; // Anchor: log f(lower) = 0.
-        let mut lo = lower;
-        for (i, &s) in slopes.iter().enumerate() {
-            let hi = if i < cuts.len() { cuts[i] } else { upper };
-            if hi > lo {
-                segments.push(Segment {
-                    lo,
-                    hi,
-                    offset,
-                    slope: s,
-                });
-            }
-            // Continuity at the cut: offset' = offset + (s - s_next)·cut.
-            // An empty segment still shifts the anchor so downstream
-            // segments stay continuous with the density shape.
-            if i < cuts.len() {
-                offset += (s - slopes[i + 1]) * cuts[i];
-                lo = lo.max(cuts[i]);
-            }
-        }
+        push_continuous_segments(lower, upper, breaks, slopes, &mut segments)?;
         PiecewiseExpDensity::new(segments)
     }
 
@@ -207,12 +293,7 @@ impl PiecewiseExpDensity {
 
     /// Normalized log-density at `x` (`-inf` outside the support).
     pub fn log_pdf(&self, x: f64) -> f64 {
-        for seg in &self.segments {
-            if x >= seg.lo && x < seg.hi {
-                return seg.offset + seg.slope * x - self.log_norm;
-            }
-        }
-        f64::NEG_INFINITY
+        log_pdf_segments(&self.segments, self.log_norm, x)
     }
 
     /// CDF at `x`, evaluated by summing full and partial segment masses.
@@ -246,18 +327,109 @@ impl PiecewiseExpDensity {
     /// Draws one sample: chooses a segment proportionally to its mass, then
     /// inverts the within-segment (truncated-)exponential CDF.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u: f64 = rng.random();
-        let mut acc = 0.0;
-        let mut chosen = self.segments.len() - 1;
-        for i in 0..self.segments.len() {
-            acc += self.segment_prob(i);
-            if u < acc {
-                chosen = i;
-                break;
+        sample_segments(&self.segments, &self.probs, rng)
+    }
+}
+
+/// A reusable, allocation-free workspace for building and sampling
+/// piecewise log-linear densities.
+///
+/// The Gibbs hot path builds one short-lived density per move;
+/// constructing a [`PiecewiseExpDensity`] there costs several heap
+/// allocations per move. `PiecewiseScratch` owns the segment and mass
+/// buffers and rebuilds them in place, so steady-state rebuilds are
+/// allocation-free while performing **bit-identical arithmetic** to
+/// [`PiecewiseExpDensity::continuous_from_slopes`] (both paths share the
+/// same internal builder), and [`PiecewiseScratch::sample`] consumes the
+/// RNG exactly like [`PiecewiseExpDensity::sample`].
+///
+/// # Examples
+///
+/// ```
+/// use qni_stats::piecewise::{PiecewiseExpDensity, PiecewiseScratch};
+/// use qni_stats::rng::rng_from_seed;
+///
+/// let mut scratch = PiecewiseScratch::new();
+/// scratch.rebuild_continuous(0.0, 2.0, &[1.0], &[-1.0, 0.0]).unwrap();
+/// let owned = PiecewiseExpDensity::continuous_from_slopes(0.0, 2.0, &[1.0], &[-1.0, 0.0])
+///     .unwrap();
+/// let (mut a, mut b) = (rng_from_seed(3), rng_from_seed(3));
+/// assert_eq!(scratch.sample(&mut a).to_bits(), owned.sample(&mut b).to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PiecewiseScratch {
+    segments: Vec<Segment>,
+    log_masses: Vec<f64>,
+    probs: Vec<f64>,
+    log_norm: f64,
+}
+
+impl PiecewiseScratch {
+    /// Creates an empty workspace (no density built yet).
+    pub fn new() -> Self {
+        PiecewiseScratch::default()
+    }
+
+    /// Rebuilds the workspace as the continuous density
+    /// [`PiecewiseExpDensity::continuous_from_slopes`] would construct,
+    /// reusing the internal buffers. On error the workspace is left empty
+    /// (sampling it would panic), never holding a stale density.
+    pub fn rebuild_continuous(
+        &mut self,
+        lower: f64,
+        upper: f64,
+        breaks: &[f64],
+        slopes: &[f64],
+    ) -> Result<(), StatsError> {
+        self.segments.clear();
+        self.log_masses.clear();
+        self.probs.clear();
+        let build = push_continuous_segments(lower, upper, breaks, slopes, &mut self.segments)
+            .and_then(|()| {
+                finalize_segments(&mut self.segments, &mut self.log_masses, &mut self.probs)
+            });
+        match build {
+            Ok(log_norm) => {
+                self.log_norm = log_norm;
+                Ok(())
+            }
+            Err(e) => {
+                self.segments.clear();
+                self.log_masses.clear();
+                self.probs.clear();
+                Err(e)
             }
         }
-        let v: f64 = rng.random();
-        segment_inv_cdf(&self.segments[chosen], v)
+    }
+
+    /// The segments of the current density (empty before the first
+    /// successful rebuild).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Log normalizing constant of the current density.
+    pub fn log_norm(&self) -> f64 {
+        self.log_norm
+    }
+
+    /// Normalized log-density at `x` (`-inf` outside the support).
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        log_pdf_segments(&self.segments, self.log_norm, x)
+    }
+
+    /// Draws one sample from the current density; RNG consumption is
+    /// identical to [`PiecewiseExpDensity::sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no density has been (successfully) built.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        assert!(
+            !self.segments.is_empty(),
+            "PiecewiseScratch::sample called before a successful rebuild"
+        );
+        sample_segments(&self.segments, &self.probs, rng)
     }
 }
 
@@ -423,6 +595,64 @@ mod tests {
             // Mass concentrates at the peak 1800.2.
             assert!((x - 1800.2).abs() < 0.05);
         }
+    }
+
+    #[test]
+    fn scratch_matches_owned_builder_bitwise() {
+        let cases: &[(f64, f64, &[f64], &[f64])] = &[
+            (0.0, 3.0, &[1.0, 2.0], &[1.0, 0.0, -2.0]),
+            (-1.0, 2.0, &[0.0, 1.0], &[3.0, -0.5, -4.0]),
+            (1.0, 2.0, &[1.0], &[5.0, -1.0]), // Empty first segment.
+            (0.0, 1.0, &[], &[0.0]),          // Uniform, no breakpoints.
+            (1800.0, 1800.5, &[1800.2], &[1000.0, -1000.0]),
+        ];
+        let mut scratch = PiecewiseScratch::new();
+        for &(lo, hi, breaks, slopes) in cases {
+            let owned =
+                PiecewiseExpDensity::continuous_from_slopes(lo, hi, breaks, slopes).expect("owned");
+            scratch
+                .rebuild_continuous(lo, hi, breaks, slopes)
+                .expect("scratch");
+            assert_eq!(scratch.segments(), owned.segments());
+            assert_eq!(scratch.log_norm().to_bits(), owned.log_norm().to_bits());
+            let mut ra = rng_from_seed(11);
+            let mut rb = rng_from_seed(11);
+            for _ in 0..50 {
+                let a = owned.sample(&mut ra);
+                let b = scratch.sample(&mut rb);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for &x in &[lo + 1e-6, 0.5 * (lo + hi), hi - 1e-6] {
+                assert_eq!(owned.log_pdf(x).to_bits(), scratch.log_pdf(x).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_and_clears_on_error() {
+        let mut scratch = PiecewiseScratch::new();
+        scratch
+            .rebuild_continuous(0.0, 1.0, &[], &[1.0])
+            .expect("first build");
+        assert_eq!(scratch.segments().len(), 1);
+        // Invalid rebuild: unsorted breakpoints.
+        assert!(scratch
+            .rebuild_continuous(0.0, 1.0, &[0.8, 0.2], &[1.0, 0.0, -1.0])
+            .is_err());
+        assert!(scratch.segments().is_empty());
+        // Divergent rebuild: infinite support with non-negative slope.
+        assert!(scratch
+            .rebuild_continuous(0.0, f64::INFINITY, &[], &[0.5])
+            .is_err());
+        assert!(scratch.segments().is_empty());
+        // Recovers after errors.
+        scratch
+            .rebuild_continuous(2.0, 4.0, &[3.0], &[0.5, -0.5])
+            .expect("rebuild after error");
+        assert_eq!(scratch.segments().len(), 2);
+        let mut rng = rng_from_seed(4);
+        let x = scratch.sample(&mut rng);
+        assert!((2.0..4.0).contains(&x));
     }
 
     #[test]

@@ -54,8 +54,10 @@ qni — probabilistic inference in queueing networks
 USAGE:
   qni simulate --tiers 1,2,4 [--lambda 10] [--mu 5] [--tasks 1000]
                [--observe 0.1] [--seed 1] --out trace.jsonl
-  qni infer    --trace trace.jsonl [--iterations 200] [--seed 2] [--chains 1]
-  qni localize --trace trace.jsonl [--iterations 200] [--seed 2] [--chains 1]
+  qni infer    --trace trace.jsonl [--iterations 200] [--burn-in N]
+               [--seed 2] [--chains 1] [--batch on|off]
+  qni localize --trace trace.jsonl [--iterations 200] [--burn-in N]
+               [--seed 2] [--chains 1] [--batch on|off]
   qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -143,24 +145,34 @@ fn load_masked(flags: &HashMap<String, String>) -> Result<MaskedLog, String> {
 fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(), String> {
     let masked = load_masked(flags)?;
     let iterations = get_usize(flags, "iterations", 200)?;
+    let burn_in = get_usize(flags, "burn-in", iterations / 2)?;
     let seed = get_usize(flags, "seed", 2)? as u64;
     let chains = get_usize(flags, "chains", 1)?;
+    let batch = match flags.get("batch").map(String::as_str) {
+        None | Some("on") => BatchMode::Grouped,
+        Some("off") => BatchMode::Scalar,
+        Some(v) => return Err(format!("--batch: expected `on` or `off`, got `{v}`")),
+    };
     if chains == 0 {
         return Err("--chains must be >= 1".into());
     }
     if iterations < 8 {
-        // burn_in = iterations/2 and the convergence diagnostics need at
-        // least 4 post-burn-in iterations per chain.
+        // The default burn_in = iterations/2 and the convergence
+        // diagnostics need at least 4 post-burn-in iterations per chain.
         return Err(
             "--iterations must be >= 8 (diagnostics need >= 4 post-burn-in iterations)".into(),
         );
     }
     let opts = StemOptions {
         iterations,
-        burn_in: iterations / 2,
+        burn_in,
         waiting_sweeps: 20,
+        batch,
         ..StemOptions::default()
     };
+    // Catches an empty kept-sample window (--burn-in >= --iterations) up
+    // front with a clear message instead of a confusing all-NaN table.
+    opts.validate().map_err(|e| e.to_string())?;
     // Every chain count (including 1) routes through the parallel engine,
     // so diagnostics are always reported and every run uses the same
     // seed-derivation scheme (chain k draws from split_seed(seed, k); to

@@ -103,6 +103,92 @@ fn simulate_then_infer_round_trip() {
 }
 
 #[test]
+fn infer_rejects_empty_kept_window_and_bad_batch_flag() {
+    let dir = std::env::temp_dir().join("qni-cli-batch-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let out = qni()
+        .args([
+            "simulate",
+            "--tiers",
+            "1,1",
+            "--lambda",
+            "4",
+            "--mu",
+            "6",
+            "--tasks",
+            "60",
+            "--observe",
+            "0.4",
+            "--seed",
+            "5",
+            "--out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    // --burn-in >= --iterations: clear error instead of an empty window.
+    let out = qni()
+        .args([
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "40",
+            "--burn-in",
+            "40",
+        ])
+        .output()
+        .expect("run infer");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("burn-in (40)") && stderr.contains("iterations (40)"),
+        "stderr: {stderr}"
+    );
+
+    // Invalid --batch value is rejected.
+    let out = qni()
+        .args([
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--batch",
+            "sometimes",
+        ])
+        .output()
+        .expect("run infer");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--batch"), "stderr: {stderr}");
+
+    // Explicit scalar mode and a custom burn-in both work end to end.
+    let out = qni()
+        .args([
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "40",
+            "--burn-in",
+            "10",
+            "--batch",
+            "off",
+        ])
+        .output()
+        .expect("run infer");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("arrival rate"), "stdout: {stdout}");
+}
+
+#[test]
 fn volume_reports_reduction() {
     let out = qni()
         .args([
