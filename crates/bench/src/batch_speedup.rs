@@ -19,7 +19,7 @@ use qni_model::topology::{single_queue, tandem, three_tier, Blueprint};
 use qni_sim::{Simulator, Workload};
 use qni_stats::rng::rng_from_seed;
 use qni_trace::{MaskedLog, ObservationScheme};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One topology + masking + iteration budget to measure.
@@ -110,7 +110,7 @@ pub fn workloads(quick: bool) -> Vec<BatchWorkload> {
 }
 
 /// One measurement: the same workload under both batch modes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchPoint {
     /// Workload identifier.
     pub name: String,
@@ -133,7 +133,7 @@ pub struct BatchPoint {
 }
 
 /// The full JSON report written to `BENCH_batch.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchSpeedupReport {
     /// Report schema / experiment name.
     pub bench: String,

@@ -1,0 +1,86 @@
+//! Cross-run benchmark regression check (see `qni_bench::compare`).
+//!
+//! Compares the current run's `BENCH_batch.json` / `BENCH_shard.json`
+//! against the previous successful CI run's downloaded artifact and
+//! exits nonzero on a regression. A missing or unreadable previous
+//! artifact is *not* an error — the absolute `QNI_*_GATE` gates in the
+//! bench binaries are the fallback for that case.
+//!
+//! Usage:
+//!   bench_compare --kind batch --current results/BENCH_batch.json \
+//!       --previous prev/BENCH_batch.json [--min-ratio 0.75]
+
+use qni_bench::compare::{compare_batch, compare_shard, Outcome, DEFAULT_MIN_RATIO};
+use std::process::ExitCode;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn read_report<T: for<'de> serde::Deserialize<'de>>(path: &str, what: &str) -> Result<T, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{what} `{path}` unreadable: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{what} `{path}` unparsable: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(kind), Some(current), Some(previous)) = (
+        flag(&args, "--kind"),
+        flag(&args, "--current"),
+        flag(&args, "--previous"),
+    ) else {
+        eprintln!("usage: bench_compare --kind batch|shard --current FILE --previous FILE [--min-ratio R]");
+        return ExitCode::FAILURE;
+    };
+    let min_ratio: f64 = flag(&args, "--min-ratio")
+        .map(|v| v.parse().expect("--min-ratio must be a number"))
+        .unwrap_or(DEFAULT_MIN_RATIO);
+
+    let outcome = match kind.as_str() {
+        "batch" => {
+            // The *current* report must parse — it was produced by this
+            // run. Only the previous one may be missing.
+            let cur = match read_report(&current, "current report") {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match read_report(&previous, "previous artifact") {
+                Ok(prev) => compare_batch(&cur, &prev, min_ratio),
+                Err(why) => Outcome::NoBaseline(why),
+            }
+        }
+        "shard" => {
+            let cur = match read_report(&current, "current report") {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match read_report(&previous, "previous artifact") {
+                Ok(prev) => compare_shard(&cur, &prev, min_ratio),
+                Err(why) => Outcome::NoBaseline(why),
+            }
+        }
+        other => {
+            eprintln!("error: --kind must be `batch` or `shard`, got `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("cross-run comparison ({kind}, min ratio {min_ratio}):");
+    for line in outcome.lines() {
+        println!("  {line}");
+    }
+    if outcome.is_regression() {
+        eprintln!("FAIL: benchmark regressed vs the previous run's artifact");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,80 @@
+//! Intra-trace sharding speedup experiment: single-chain StEM
+//! wall-clock at shard counts {1, 2, 4} on M/M/1, tandem-3, and
+//! fork-join workloads, with the per-workload deferred-move fraction.
+//!
+//! Emits `results/BENCH_shard.json` (machine-readable, consumed by the
+//! CI `bench-smoke` job and the cross-run `bench_compare` check) and a
+//! console table. Environment knobs:
+//!
+//! - `QNI_QUICK=1` — reduced workload for smoke runs.
+//! - `QNI_SHARD_GATE=<f64>` — exit nonzero unless the tandem-3 point's
+//!   shards=4 speedup over shards=1 meets the gate. Skipped
+//!   automatically on single-thread hosts (this dev container included):
+//!   with one hardware thread, shards=4 ≤ 1x by construction.
+//!
+//! Sharding is contractually byte-identical at every shard count; the
+//! experiment asserts λ̂ equality across shard counts as it measures.
+//!
+//! Usage: `cargo run --release -p qni-bench --bin shard_speedup`
+
+use qni_bench::shard_speedup::run_experiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = qni_bench::quick_mode();
+    println!(
+        "intra-trace sharded sweeps{}:",
+        if quick { " [quick]" } else { "" }
+    );
+    let report = run_experiment(quick);
+    println!("  host threads: {}", report.host_threads);
+    println!(
+        "  {:<9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "workload", "free arr", "s=1 s", "s=2 s", "s=4 s", "x2", "x4", "deferred%", "λ̂"
+    );
+    for p in &report.points {
+        println!(
+            "  {:<9} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>8.2}x {:>8.2}x {:>9.2} {:>9.3}",
+            p.name,
+            p.free_arrivals,
+            p.secs[0],
+            p.secs[1],
+            p.secs[2],
+            p.speedup[1],
+            p.speedup[2],
+            p.deferred_fraction * 100.0,
+            p.lambda
+        );
+    }
+
+    let path = qni_bench::results_dir().join("BENCH_shard.json");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_shard.json");
+    println!("json: {}", path.display());
+
+    // Anti-regression gate for CI: shards=4 must beat shards=1 on the
+    // tandem-3 workload. Meaningless on a single hardware thread, where
+    // the gate is skipped (the byte-identity λ̂ assertion still ran).
+    if let Ok(gate) = std::env::var("QNI_SHARD_GATE") {
+        let gate: f64 = gate.parse().expect("QNI_SHARD_GATE must be a number");
+        if report.host_threads < 2 {
+            println!(
+                "gate skipped: host has {} hardware thread(s); shards=4 cannot beat shards=1 here",
+                report.host_threads
+            );
+            return ExitCode::SUCCESS;
+        }
+        let t3 = report
+            .points
+            .iter()
+            .find(|p| p.name == "tandem3")
+            .expect("tandem3 point");
+        let speedup4 = *t3.speedup.last().expect("speedup entries");
+        if speedup4 < gate {
+            eprintln!("FAIL: tandem3 shards=4 speedup {speedup4:.2}x is below the gate {gate:.2}x");
+            return ExitCode::FAILURE;
+        }
+        println!("gate ok: tandem3 shards=4 speedup {speedup4:.2}x >= {gate:.2}x");
+    }
+    ExitCode::SUCCESS
+}

@@ -71,6 +71,7 @@ impl ChainWorkload {
             },
             chains,
             master_seed: self.seed,
+            thread_budget: None,
         }
     }
 

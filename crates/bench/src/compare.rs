@@ -1,0 +1,219 @@
+//! Cross-run benchmark comparison for CI.
+//!
+//! The `bench-smoke` job uploads `BENCH_batch.json` / `BENCH_shard.json`
+//! per run. The `bench_compare` binary downloads the previous successful
+//! run's artifacts and checks the current numbers against them, so
+//! regressions are caught against *history*, not just against the
+//! in-run baseline. When no previous artifact exists (first run, expired
+//! retention, forked PR without artifact access) the comparison is
+//! skipped — the absolute `QNI_BATCH_GATE` / `QNI_SHARD_GATE` gates in
+//! the bench binaries remain the fallback.
+//!
+//! Comparisons are deliberately tolerant: shared CI runners are noisy,
+//! so a point only fails when it drops below `min_ratio` (default
+//! [`DEFAULT_MIN_RATIO`]) of the previous run's speedup.
+
+use crate::batch_speedup::BatchSpeedupReport;
+use crate::shard_speedup::ShardSpeedupReport;
+
+/// Default fraction of the previous run's speedup the current run must
+/// retain. 0.75 tolerates heavy runner noise while still catching a
+/// real "parallelism silently turned off" regression (which shows up as
+/// a ~2x drop).
+pub const DEFAULT_MIN_RATIO: f64 = 0.75;
+
+/// The outcome of one cross-run comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// No previous artifact (or it was unreadable): nothing to compare.
+    NoBaseline(String),
+    /// Comparison ran; every point held up.
+    Ok(Vec<String>),
+    /// Comparison ran; at least one point regressed.
+    Regressed(Vec<String>),
+}
+
+impl Outcome {
+    /// Whether CI should fail on this outcome.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Outcome::Regressed(_))
+    }
+
+    /// Human-readable report lines.
+    pub fn lines(&self) -> Vec<String> {
+        match self {
+            Outcome::NoBaseline(why) => vec![format!("no baseline: {why} (comparison skipped)")],
+            Outcome::Ok(lines) | Outcome::Regressed(lines) => lines.clone(),
+        }
+    }
+}
+
+fn check_point(name: &str, current: f64, previous: f64, min_ratio: f64) -> (bool, String) {
+    let floor = previous * min_ratio;
+    let ok = current >= floor;
+    (
+        ok,
+        format!(
+            "{name}: speedup {current:.2}x vs previous {previous:.2}x (floor {floor:.2}x) — {}",
+            if ok { "ok" } else { "REGRESSED" }
+        ),
+    )
+}
+
+/// Compares two `BENCH_batch.json` reports: every workload present in
+/// both must retain `min_ratio` of its previous batched-vs-scalar
+/// speedup.
+pub fn compare_batch(
+    current: &BatchSpeedupReport,
+    previous: &BatchSpeedupReport,
+    min_ratio: f64,
+) -> Outcome {
+    let mut lines = Vec::new();
+    let mut regressed = false;
+    for cur in &current.points {
+        let Some(prev) = previous.points.iter().find(|p| p.name == cur.name) else {
+            lines.push(format!("{}: new workload, no previous point", cur.name));
+            continue;
+        };
+        let (ok, line) = check_point(&cur.name, cur.speedup, prev.speedup, min_ratio);
+        regressed |= !ok;
+        lines.push(line);
+    }
+    if regressed {
+        Outcome::Regressed(lines)
+    } else {
+        Outcome::Ok(lines)
+    }
+}
+
+/// Compares two `BENCH_shard.json` reports on the max-shard speedup of
+/// every workload present in both. Skipped entirely when either run was
+/// measured on a single-thread host (its speedups are ≤ 1 by
+/// construction, so a comparison would only measure noise).
+pub fn compare_shard(
+    current: &ShardSpeedupReport,
+    previous: &ShardSpeedupReport,
+    min_ratio: f64,
+) -> Outcome {
+    if current.host_threads < 2 || previous.host_threads < 2 {
+        return Outcome::NoBaseline(format!(
+            "shard speedups need a multi-core host (current: {} threads, previous: {})",
+            current.host_threads, previous.host_threads
+        ));
+    }
+    let mut lines = Vec::new();
+    let mut regressed = false;
+    for cur in &current.points {
+        let Some(prev) = previous.points.iter().find(|p| p.name == cur.name) else {
+            lines.push(format!("{}: new workload, no previous point", cur.name));
+            continue;
+        };
+        let (Some(&c), Some(&p)) = (cur.speedup.last(), prev.speedup.last()) else {
+            lines.push(format!("{}: empty speedup vector, skipped", cur.name));
+            continue;
+        };
+        let (ok, line) = check_point(&cur.name, c, p, min_ratio);
+        regressed |= !ok;
+        lines.push(line);
+    }
+    if regressed {
+        Outcome::Regressed(lines)
+    } else {
+        Outcome::Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch_speedup::BatchPoint;
+    use crate::shard_speedup::ShardPoint;
+
+    fn batch_report(speedup: f64) -> BatchSpeedupReport {
+        BatchSpeedupReport {
+            bench: "batch_speedup".into(),
+            quick: true,
+            reps: 1,
+            points: vec![BatchPoint {
+                name: "tandem3".into(),
+                free_arrivals: 100,
+                scalar_secs: 1.0,
+                batched_secs: 1.0 / speedup,
+                speedup,
+                fallback_fraction: 0.0,
+                lambda_scalar: 2.0,
+                lambda_batched: 2.0,
+            }],
+        }
+    }
+
+    fn shard_report(speedup4: f64, host_threads: usize) -> ShardSpeedupReport {
+        ShardSpeedupReport {
+            bench: "shard_speedup".into(),
+            quick: true,
+            reps: 1,
+            host_threads,
+            points: vec![ShardPoint {
+                name: "tandem3".into(),
+                free_arrivals: 1000,
+                shards: vec![1, 2, 4],
+                secs: vec![1.0, 0.7, 1.0 / speedup4],
+                speedup: vec![1.0, 1.4, speedup4],
+                deferred_fraction: 0.01,
+                lambda: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn batch_within_tolerance_passes() {
+        let out = compare_batch(&batch_report(1.3), &batch_report(1.5), DEFAULT_MIN_RATIO);
+        assert!(!out.is_regression(), "{:?}", out.lines());
+    }
+
+    #[test]
+    fn batch_large_drop_regresses() {
+        let out = compare_batch(&batch_report(0.9), &batch_report(1.5), DEFAULT_MIN_RATIO);
+        assert!(out.is_regression());
+    }
+
+    #[test]
+    fn shard_comparison_checks_max_shard_point() {
+        let out = compare_shard(
+            &shard_report(1.8, 4),
+            &shard_report(2.0, 4),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(!out.is_regression(), "{:?}", out.lines());
+        let out = compare_shard(
+            &shard_report(1.0, 4),
+            &shard_report(2.0, 4),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(out.is_regression());
+    }
+
+    #[test]
+    fn shard_comparison_skipped_on_single_core_hosts() {
+        let out = compare_shard(
+            &shard_report(0.8, 1),
+            &shard_report(2.0, 4),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(
+            !out.is_regression(),
+            "1-core current host must skip: {:?}",
+            out.lines()
+        );
+        assert!(matches!(out, Outcome::NoBaseline(_)));
+    }
+
+    #[test]
+    fn unknown_workloads_are_reported_not_failed() {
+        let mut prev = batch_report(1.5);
+        prev.points[0].name = "other".into();
+        let out = compare_batch(&batch_report(1.0), &prev, DEFAULT_MIN_RATIO);
+        assert!(!out.is_regression());
+        assert!(out.lines()[0].contains("no previous point"));
+    }
+}

@@ -18,16 +18,24 @@
 //! - `batch_speedup` — batched-vs-scalar arrival-move wall-clock on
 //!   M/M/1, tandem-3, and fork-join workloads, emitting
 //!   `BENCH_batch.json` for the CI anti-regression gate.
+//! - `shard_speedup` — intra-trace sharded sweeps at shard counts
+//!   {1, 2, 4} on giant single-chain traces, emitting
+//!   `BENCH_shard.json` (speedup + deferred-move fraction per
+//!   workload) for the CI gate.
+//! - `bench_compare` — cross-run regression check: compares the current
+//!   `BENCH_*.json` against the previous CI run's artifact.
 //!
 //! Shared infrastructure lives here: replication runners, parallel
 //! mapping, and console tables. CSV outputs land in `results/`.
 
 pub mod batch_speedup;
 pub mod chain_scaling;
+pub mod compare;
 pub mod fig4;
 pub mod fig5;
 pub mod jobs;
 pub mod scaling;
+pub mod shard_speedup;
 pub mod table;
 pub mod variance;
 

@@ -44,6 +44,7 @@
 
 use crate::diagnostics::{rate_trace_diagnostics, ChainDiagnostics};
 use crate::error::InferenceError;
+use crate::gibbs::shard::ShardMode;
 use crate::stem::{run_stem, StemOptions, StemResult};
 use qni_stats::rng::{rng_from_seed, split_seed};
 use qni_trace::MaskedLog;
@@ -51,14 +52,22 @@ use qni_trace::MaskedLog;
 /// Options for [`run_stem_parallel`].
 #[derive(Debug, Clone)]
 pub struct ParallelStemOptions {
-    /// Per-chain StEM configuration (iterations, burn-in, init, and the
-    /// [`crate::gibbs::sweep::BatchMode`] arrival-move scheduling knob —
-    /// every chain sweeps with the same mode).
+    /// Per-chain StEM configuration (iterations, burn-in, init, the
+    /// [`crate::gibbs::sweep::BatchMode`] arrival-move scheduling knob,
+    /// and the per-chain [`ShardMode`] — every chain sweeps with the
+    /// same modes).
     pub stem: StemOptions,
-    /// Number of independent chains (and worker threads).
+    /// Number of independent chains (and chain worker threads).
     pub chains: usize,
     /// Master seed from which every chain's stream is derived.
     pub master_seed: u64,
+    /// Optional total-thread budget shared between `chains × shards`:
+    /// when set, each chain's [`StemOptions::shard`] worker cap is
+    /// reduced so the whole run never asks for more than this many
+    /// threads (each chain always keeps at least one). Purely a
+    /// scheduling knob — capping never changes results, because every
+    /// shard count is bit-identical (see [`crate::gibbs::shard`]).
+    pub thread_budget: Option<usize>,
 }
 
 impl Default for ParallelStemOptions {
@@ -67,6 +76,7 @@ impl Default for ParallelStemOptions {
             stem: StemOptions::default(),
             chains: 4,
             master_seed: 0,
+            thread_budget: None,
         }
     }
 }
@@ -81,6 +91,17 @@ impl ParallelStemOptions {
             stem: StemOptions::quick_test(),
             chains: 2,
             master_seed: 0,
+            thread_budget: None,
+        }
+    }
+
+    /// The [`ShardMode`] each chain actually sweeps with: the configured
+    /// [`StemOptions::shard`], capped so `chains × shards` stays within
+    /// [`ParallelStemOptions::thread_budget`] when one is set.
+    pub fn effective_shard(&self) -> ShardMode {
+        match self.thread_budget {
+            Some(budget) => self.stem.shard.capped(budget, self.chains),
+            None => self.stem.shard,
         }
     }
 
@@ -88,6 +109,11 @@ impl ParallelStemOptions {
         if self.chains == 0 {
             return Err(InferenceError::BadOptions {
                 what: "need at least one chain",
+            });
+        }
+        if self.thread_budget == Some(0) {
+            return Err(InferenceError::BadOptions {
+                what: "thread budget must be >= 1",
             });
         }
         // Surface the per-chain budget errors (including the empty
@@ -141,13 +167,19 @@ pub fn run_stem_parallel(
     let chain_seeds: Vec<u64> = (0..opts.chains)
         .map(|k| split_seed(opts.master_seed, k as u64))
         .collect();
+    // Apply the shared thread budget: chains × shards never exceeds it.
+    // Bit-identical to the uncapped configuration, only the scheduling
+    // changes.
+    let mut stem_opts = opts.stem.clone();
+    stem_opts.shard = opts.effective_shard();
+    let stem_opts = &stem_opts;
     let results: Vec<Result<StemResult, InferenceError>> = std::thread::scope(|s| {
         let handles: Vec<_> = chain_seeds
             .iter()
             .map(|&seed| {
                 s.spawn(move || {
                     let mut rng = rng_from_seed(seed);
-                    run_stem(masked, initial_rates, &opts.stem, &mut rng)
+                    run_stem(masked, initial_rates, stem_opts, &mut rng)
                 })
             })
             .collect();
@@ -241,6 +273,7 @@ mod tests {
             },
             chains: 3,
             master_seed: 11,
+            thread_budget: None,
         };
         let r = run_stem_parallel(&m, None, &opts).unwrap();
         assert_eq!(r.chains.len(), 3);

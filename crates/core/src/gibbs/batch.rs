@@ -22,10 +22,14 @@
 //!    [`qni_stats::piecewise::PiecewiseExpDensity`].
 //! 3. **Red-black waves.** Within a group, events at even and odd queue
 //!    positions form two *waves* (no two same-wave events are ρ-adjacent,
-//!    so same-wave moves almost never interact). Each wave recomputes its
-//!    cached bounds in one tight batch pass over the busy-period
-//!    structure — segment bounds, rate terms — and then samples every
-//!    member against those bounds.
+//!    so same-wave moves almost never interact). Each wave runs a
+//!    draw-free **prepare phase** — a struct-of-arrays bounds pass
+//!    (`wave_bounds_kernel`, shaped for compiler auto-vectorization)
+//!    followed by per-member density construction — and then a serial
+//!    **drain** samples every member against the prepared slots. The
+//!    prepare phase is a pure function of the wave-entry log, which is
+//!    what lets [`crate::gibbs::shard`] fan it out across worker threads
+//!    without changing a single byte of output.
 //!
 //! # Conflict sets and the fallback
 //!
@@ -46,9 +50,11 @@
 //! hop arrives at the group's queue with matching parity (so the owner
 //! of a departure the density reads, e.g. `π⁻¹(ρ(π(e)))` or `π⁻¹(N)`,
 //! is itself a groupmate) — hence the conflict check stays on every
-//! move. The same conflict sets bound the future intra-trace sharding
-//! work: two arrival moves commute whenever neither is in the other's
-//! conflict set.
+//! move. The same conflict sets are what make intra-trace sharding
+//! ([`crate::gibbs::shard`]) safe: two arrival moves commute whenever
+//! neither is in the other's conflict set, and a move that does not
+//! commute with an earlier same-wave move is deferred to the drain's
+//! serial cleanup by exactly this check.
 //!
 //! # Correctness
 //!
@@ -62,8 +68,9 @@
 
 use crate::error::InferenceError;
 use crate::gibbs::arrival::{
-    inputs_from_neighbors, resolve_neighbors, ArrivalNeighbors, ArrivalSupport,
+    inputs_from_neighbors, resolve_neighbors, support_from_parts, ArrivalNeighbors, ArrivalSupport,
 };
+use crate::gibbs::shard::ShardMode;
 use qni_model::ids::EventId;
 use qni_model::log::EventLog;
 use qni_stats::piecewise::PiecewiseScratch;
@@ -108,6 +115,49 @@ pub struct GroupStats {
     pub fallbacks: usize,
 }
 
+/// Struct-of-arrays buffers for the wave bounds pass: one column per
+/// neighbourhood time the support reads, with ±∞ neutral elements for
+/// missing neighbours, plus the `lower`/`upper` output columns. Laying
+/// the pass out column-wise turns the bound arithmetic into straight
+/// `max`/`min` chains over equal-length slices
+/// ([`wave_bounds_kernel`]) that the compiler can auto-vectorize.
+#[derive(Debug, Clone, Default)]
+struct SoaBounds {
+    /// `a_{π(e)}` — always present.
+    a_p: Vec<f64>,
+    /// `d_{ρ(π(e))}`, or `-∞` when `π(e)` has no queue predecessor.
+    d_rho_p: Vec<f64>,
+    /// `a_{ρ(e)}`, or `-∞` when `e` has no queue predecessor.
+    a_rho_e: Vec<f64>,
+    /// `d_e` — always present.
+    d_e: Vec<f64>,
+    /// `a_{ρ⁻¹(e)}`, or `+∞` when `e` has no queue successor.
+    a_succ: Vec<f64>,
+    /// `d_N` for `N = ρ⁻¹(π(e))`, or `+∞` when absent.
+    d_n: Vec<f64>,
+    /// Output: support lower bounds.
+    lower: Vec<f64>,
+    /// Output: support upper bounds.
+    upper: Vec<f64>,
+}
+
+impl SoaBounds {
+    fn resize(&mut self, n: usize) {
+        for col in [
+            &mut self.a_p,
+            &mut self.d_rho_p,
+            &mut self.a_rho_e,
+            &mut self.d_e,
+            &mut self.a_succ,
+            &mut self.d_n,
+            &mut self.lower,
+            &mut self.upper,
+        ] {
+            col.resize(n, 0.0);
+        }
+    }
+}
+
 /// Reusable working memory of the batched engine.
 #[derive(Debug, Clone, Default)]
 pub struct BatchScratch {
@@ -117,8 +167,14 @@ pub struct BatchScratch {
     stamps: Vec<u32>,
     /// Current wave generation (bumped by [`BatchScratch::begin_wave`]).
     generation: u32,
-    /// Allocation-free piecewise-density workspace.
+    /// Allocation-free piecewise-density workspace for deferred
+    /// (conflicted) moves, which rebuild from the live log in the drain.
     pw: PiecewiseScratch,
+    /// Struct-of-arrays wave bounds buffers.
+    soa: SoaBounds,
+    /// Per-member density slots, aligned with the wave's shapes; built
+    /// by the (possibly sharded) prepare phase, sampled by the drain.
+    slots: Vec<PiecewiseScratch>,
 }
 
 impl BatchScratch {
@@ -147,6 +203,195 @@ impl BatchScratch {
             .iter()
             .any(|&d| d != NO_DEP && self.stamps[d as usize] == self.generation)
     }
+
+    /// Sizes the per-member buffers for a wave and hands out the
+    /// disjoint slices its prepare phase writes.
+    fn wave_bufs<'a>(&'a mut self, shapes: &'a [PlanShape]) -> WaveBufs<'a> {
+        let n = shapes.len();
+        self.soa.resize(n);
+        if self.supports.len() < n {
+            self.supports.resize(n, ArrivalSupport::Point(0.0, 0.0));
+        }
+        if self.slots.len() < n {
+            self.slots.resize_with(n, PiecewiseScratch::new);
+        }
+        WaveBufs {
+            shapes,
+            a_p: &mut self.soa.a_p[..n],
+            d_rho_p: &mut self.soa.d_rho_p[..n],
+            a_rho_e: &mut self.soa.a_rho_e[..n],
+            d_e: &mut self.soa.d_e[..n],
+            a_succ: &mut self.soa.a_succ[..n],
+            d_n: &mut self.soa.d_n[..n],
+            lower: &mut self.soa.lower[..n],
+            upper: &mut self.soa.upper[..n],
+            supports: &mut self.supports[..n],
+            slots: &mut self.slots[..n],
+        }
+    }
+}
+
+/// The per-member slices one wave's prepare phase writes: the SoA
+/// bounds columns plus the support and density slots. Chunks split off
+/// with [`WaveBufs::split_at`] are disjoint, so shard workers can fill
+/// them concurrently while sharing the frozen log read-only.
+pub(crate) struct WaveBufs<'a> {
+    shapes: &'a [PlanShape],
+    a_p: &'a mut [f64],
+    d_rho_p: &'a mut [f64],
+    a_rho_e: &'a mut [f64],
+    d_e: &'a mut [f64],
+    a_succ: &'a mut [f64],
+    d_n: &'a mut [f64],
+    lower: &'a mut [f64],
+    upper: &'a mut [f64],
+    supports: &'a mut [ArrivalSupport],
+    slots: &'a mut [PiecewiseScratch],
+}
+
+impl<'a> WaveBufs<'a> {
+    /// Number of wave members covered by these buffers.
+    pub(crate) fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Splits the buffers row-wise into `[..mid)` and `[mid..)` chunks.
+    pub(crate) fn split_at(self, mid: usize) -> (WaveBufs<'a>, WaveBufs<'a>) {
+        let (shapes_l, shapes_r) = self.shapes.split_at(mid);
+        let (a_p_l, a_p_r) = self.a_p.split_at_mut(mid);
+        let (d_rho_p_l, d_rho_p_r) = self.d_rho_p.split_at_mut(mid);
+        let (a_rho_e_l, a_rho_e_r) = self.a_rho_e.split_at_mut(mid);
+        let (d_e_l, d_e_r) = self.d_e.split_at_mut(mid);
+        let (a_succ_l, a_succ_r) = self.a_succ.split_at_mut(mid);
+        let (d_n_l, d_n_r) = self.d_n.split_at_mut(mid);
+        let (lower_l, lower_r) = self.lower.split_at_mut(mid);
+        let (upper_l, upper_r) = self.upper.split_at_mut(mid);
+        let (supports_l, supports_r) = self.supports.split_at_mut(mid);
+        let (slots_l, slots_r) = self.slots.split_at_mut(mid);
+        (
+            WaveBufs {
+                shapes: shapes_l,
+                a_p: a_p_l,
+                d_rho_p: d_rho_p_l,
+                a_rho_e: a_rho_e_l,
+                d_e: d_e_l,
+                a_succ: a_succ_l,
+                d_n: d_n_l,
+                lower: lower_l,
+                upper: upper_l,
+                supports: supports_l,
+                slots: slots_l,
+            },
+            WaveBufs {
+                shapes: shapes_r,
+                a_p: a_p_r,
+                d_rho_p: d_rho_p_r,
+                a_rho_e: a_rho_e_r,
+                d_e: d_e_r,
+                a_succ: a_succ_r,
+                d_n: d_n_r,
+                lower: lower_r,
+                upper: upper_r,
+                supports: supports_r,
+                slots: slots_r,
+            },
+        )
+    }
+}
+
+impl WaveBufs<'_> {
+    /// The struct-of-arrays wave bounds kernel: straight `max`/`min`
+    /// chains over equal-length columns, shaped for compiler
+    /// auto-vectorization. Operand order matches
+    /// [`inputs_from_neighbors`] exactly (missing neighbours are ±∞
+    /// neutral elements, which leave `max`/`min` results bit-identical
+    /// to skipping the operand).
+    fn wave_bounds_kernel(&mut self) {
+        let WaveBufs {
+            a_p,
+            d_rho_p,
+            a_rho_e,
+            d_e,
+            a_succ,
+            d_n,
+            lower,
+            upper,
+            ..
+        } = self;
+        let n = lower.len();
+        assert!(
+            a_p.len() == n
+                && d_rho_p.len() == n
+                && a_rho_e.len() == n
+                && d_e.len() == n
+                && a_succ.len() == n
+                && d_n.len() == n
+                && upper.len() == n
+        );
+        for i in 0..n {
+            lower[i] = a_p[i].max(d_rho_p[i]).max(a_rho_e[i]);
+            upper[i] = d_e[i].min(a_succ[i]).min(d_n[i]);
+        }
+    }
+}
+
+/// Prepares one chunk of a wave against the frozen wave-entry log:
+/// gathers the neighbourhood times into the SoA columns, runs the
+/// bounds kernel, classifies each member's support, and builds the
+/// interval members' densities into their slots. Pure with respect to
+/// the log and draw-free, so any partition of a wave into chunks — and
+/// any thread schedule running them — produces bit-identical buffers.
+pub(crate) fn prepare_chunk(
+    log: &EventLog,
+    rates: &[f64],
+    mut bufs: WaveBufs<'_>,
+) -> Result<(), InferenceError> {
+    for (i, shape) in bufs.shapes.iter().enumerate() {
+        let nb = &shape.nb;
+        bufs.a_p[i] = log.arrival(nb.p);
+        bufs.d_rho_p[i] = nb.rho_p.map_or(f64::NEG_INFINITY, |rp| log.departure(rp));
+        bufs.a_rho_e[i] = nb.rho_e.map_or(f64::NEG_INFINITY, |r| log.arrival(r));
+        bufs.d_e[i] = log.departure(shape.e);
+        bufs.a_succ[i] = nb.succ.map_or(f64::INFINITY, |s| log.arrival(s));
+        bufs.d_n[i] = nb.next_at_p.map_or(f64::INFINITY, |nn| log.departure(nn));
+    }
+    bufs.wave_bounds_kernel();
+    let WaveBufs {
+        shapes,
+        lower,
+        upper,
+        supports,
+        slots,
+        ..
+    } = bufs;
+    for (i, shape) in shapes.iter().enumerate() {
+        let nb = &shape.nb;
+        let term1_break = if nb.self_follow {
+            None
+        } else {
+            nb.rho_e.map(|r| log.departure(r))
+        };
+        let support = support_from_parts(
+            shape.e,
+            lower[i],
+            upper[i],
+            rates[shape.qe as usize],
+            rates[shape.qp as usize],
+            term1_break,
+            nb.next_at_p.map(|nn| log.arrival(nn)),
+        )?;
+        if let ArrivalSupport::Interval(inputs) = support {
+            let (breaks, slopes, n) = inputs.assemble();
+            slots[i].rebuild_continuous(
+                inputs.lower,
+                inputs.upper,
+                &breaks[..n],
+                &slopes[..n + 1],
+            )?;
+        }
+        supports[i] = support;
+    }
+    Ok(())
 }
 
 /// Collects the conflict set of event `e` from its neighbourhood: every
@@ -201,18 +446,22 @@ pub(crate) fn build_group_structure(
 
 /// Resamples a same-queue group of arrival moves in place, wave by wave.
 ///
-/// Each wave batch-recomputes its members' bounds from the live log (one
-/// tight pass over the cached structure), then samples every member
-/// against those bounds with a reusable density workspace, falling back
-/// to a live recompute for the rare member whose bounds an earlier
-/// same-wave move invalidated. RNG consumption per event is identical to
-/// the scalar [`super::arrival::resample_arrival`] (two uniforms per
-/// non-degenerate move, none for a point support).
+/// Each wave runs the (optionally sharded, see
+/// [`crate::gibbs::shard`]) prepare phase — the struct-of-arrays bounds
+/// pass plus per-member density construction against the wave's entry
+/// state — then a serial drain samples every member, deferring to a
+/// live conditional rebuild for the rare member whose cached state an
+/// earlier same-wave move invalidated. RNG consumption per event is
+/// identical to the scalar [`super::arrival::resample_arrival`] (two
+/// uniforms per non-degenerate move, none for a point support), and the
+/// drawn bytes are independent of `shard` (the prepare phase is
+/// draw-free and pure in the wave-entry log).
 pub(crate) fn resample_group<R: Rng + ?Sized>(
     log: &mut EventLog,
     rates: &[f64],
     group: &GroupStructure,
     scratch: &mut BatchScratch,
+    shard: ShardMode,
     rng: &mut R,
 ) -> Result<GroupStats, InferenceError> {
     let mut stats = GroupStats::default();
@@ -221,45 +470,41 @@ pub(crate) fn resample_group<R: Rng + ?Sized>(
             continue;
         }
         scratch.begin_wave(log.num_events());
-        // Batch pass: every wave member's support against the wave's
-        // entry state, in one loop over the cached structure.
-        scratch.supports.clear();
-        for shape in wave {
-            scratch.supports.push(inputs_from_neighbors(
-                log,
-                shape.e,
-                &shape.nb,
-                rates[shape.qe as usize],
-                rates[shape.qp as usize],
-            )?);
-        }
-        // Sample pass.
+        // Prepare phase: every wave member's support and density against
+        // the wave's entry state, chunked across shard workers.
+        crate::gibbs::shard::prepare_wave(log, rates, scratch.wave_bufs(wave), shard)?;
+        // Serial drain: draws, writes, and deferred-move cleanup.
         for (i, shape) in wave.iter().enumerate() {
-            let support = if scratch.is_conflicted(shape) {
-                // Scalar fallback: an earlier same-wave move touched one
-                // of this event's neighbours; recompute from the live log.
+            let x = if scratch.is_conflicted(shape) {
+                // Deferred move: an earlier same-wave move touched one of
+                // this event's neighbours; its prepared conditional is
+                // stale, so recompute it from the live log (the scalar
+                // fallback path — still the exact full conditional).
                 stats.fallbacks += 1;
-                inputs_from_neighbors(
+                let support = inputs_from_neighbors(
                     log,
                     shape.e,
                     &shape.nb,
                     rates[shape.qe as usize],
                     rates[shape.qp as usize],
-                )?
+                )?;
+                match support {
+                    ArrivalSupport::Point(lower, _) => lower,
+                    ArrivalSupport::Interval(inputs) => {
+                        let (breaks, slopes, n) = inputs.assemble();
+                        scratch.pw.rebuild_continuous(
+                            inputs.lower,
+                            inputs.upper,
+                            &breaks[..n],
+                            &slopes[..n + 1],
+                        )?;
+                        scratch.pw.sample(rng)
+                    }
+                }
             } else {
-                scratch.supports[i]
-            };
-            let x = match support {
-                ArrivalSupport::Point(lower, _) => lower,
-                ArrivalSupport::Interval(inputs) => {
-                    let (breaks, slopes, n) = inputs.assemble();
-                    scratch.pw.rebuild_continuous(
-                        inputs.lower,
-                        inputs.upper,
-                        &breaks[..n],
-                        &slopes[..n + 1],
-                    )?;
-                    scratch.pw.sample(rng)
+                match scratch.supports[i] {
+                    ArrivalSupport::Point(lower, _) => lower,
+                    ArrivalSupport::Interval(_) => scratch.slots[i].sample(rng),
                 }
             };
             log.set_transition_time(shape.e, x);
@@ -317,7 +562,7 @@ mod tests {
     ) -> GroupStats {
         let gs = build_group_structure(log, events).unwrap();
         let mut rng = rng_from_seed(seed);
-        resample_group(log, rates, &gs, scratch, &mut rng).unwrap()
+        resample_group(log, rates, &gs, scratch, ShardMode::Serial, &mut rng).unwrap()
     }
 
     #[test]
@@ -444,7 +689,15 @@ mod tests {
         let mut scratch = BatchScratch::default();
         let mut rng = rng_from_seed(5);
         for _ in 0..500 {
-            resample_group(&mut log, &rates, &gs, &mut scratch, &mut rng).unwrap();
+            resample_group(
+                &mut log,
+                &rates,
+                &gs,
+                &mut scratch,
+                ShardMode::Serial,
+                &mut rng,
+            )
+            .unwrap();
             qni_model::constraints::validate(&log).unwrap();
         }
     }

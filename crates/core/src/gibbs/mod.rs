@@ -11,6 +11,9 @@
 //! - [`batch`]: the batched same-queue arrival engine — groups a sweep's
 //!   arrival moves per queue and amortizes the conditional construction
 //!   across each group, with conflict-set fallback to the scalar path.
+//! - [`shard`]: intra-trace sharding — fans each wave's draw-free
+//!   prepare phase out across scoped worker threads, bit-identical to
+//!   the serial batched sweep at every shard count.
 //! - [`numeric`]: brute-force numerical conditionals used to validate the
 //!   closed forms in tests and benches.
 
@@ -19,5 +22,6 @@ pub mod batch;
 pub mod final_departure;
 pub mod numeric;
 pub mod reassign;
+pub mod shard;
 pub mod shift;
 pub mod sweep;

@@ -1,6 +1,7 @@
 //! Full Gibbs sweeps over all free variables.
 
 use crate::error::InferenceError;
+use crate::gibbs::shard::ShardMode;
 use crate::state::GibbsState;
 use qni_model::ids::EventId;
 use rand::seq::SliceRandom;
@@ -81,7 +82,7 @@ pub fn sweep<R: Rng + ?Sized>(
     schedule.extend(state.shiftable_tasks.iter().map(|&k| Move::Shift(k)));
     schedule.shuffle(rng);
     let mut stats = SweepStats::default();
-    let result = run_schedule(state, &schedule, rng, &mut stats);
+    let result = run_schedule(state, &schedule, ShardMode::Serial, rng, &mut stats);
     state.scratch.schedule = schedule;
     result?;
     debug_assert!(
@@ -103,6 +104,19 @@ pub fn sweep_batched<R: Rng + ?Sized>(
     state: &mut GibbsState,
     rng: &mut R,
 ) -> Result<SweepStats, InferenceError> {
+    sweep_batched_sharded(state, ShardMode::Serial, rng)
+}
+
+/// [`sweep_batched`] with each wave's prepare phase executed under
+/// `shard` (see [`crate::gibbs::shard`]). Bit-identical to
+/// [`sweep_batched`] for every [`ShardMode`]: sharding changes which
+/// threads compute the wave preparations, never the bytes they produce
+/// or the order the chain RNG is consumed in.
+pub fn sweep_batched_sharded<R: Rng + ?Sized>(
+    state: &mut GibbsState,
+    shard: ShardMode,
+    rng: &mut R,
+) -> Result<SweepStats, InferenceError> {
     state.ensure_arrival_groups()?;
     let mut schedule = std::mem::take(&mut state.scratch.schedule);
     schedule.clear();
@@ -111,7 +125,7 @@ pub fn sweep_batched<R: Rng + ?Sized>(
     schedule.extend(state.shiftable_tasks.iter().map(|&k| Move::Shift(k)));
     schedule.shuffle(rng);
     let mut stats = SweepStats::default();
-    let result = run_schedule(state, &schedule, rng, &mut stats);
+    let result = run_schedule(state, &schedule, shard, rng, &mut stats);
     state.scratch.schedule = schedule;
     result?;
     debug_assert!(
@@ -121,14 +135,42 @@ pub fn sweep_batched<R: Rng + ?Sized>(
     Ok(stats)
 }
 
+/// Validates a `(BatchMode, ShardMode)` combination: the shard mode
+/// itself must be well-formed, and sharding requires the batched
+/// (grouped) engine — the scalar sweep has no waves to shard. The
+/// single source of this rule for every option-carrying entry point
+/// (`StemOptions::validate`, `run_mcem`, `posterior_summaries`).
+pub(crate) fn validate_modes(batch: BatchMode, shard: ShardMode) -> Result<(), InferenceError> {
+    shard.validate()?;
+    if batch == BatchMode::Scalar && shard != ShardMode::Serial {
+        return Err(InferenceError::BadOptions {
+            what: "sharded sweeps require the batched (grouped) arrival scheduling",
+        });
+    }
+    Ok(())
+}
+
 /// Dispatches to [`sweep`] or [`sweep_batched`] by `mode`.
 pub fn sweep_with_mode<R: Rng + ?Sized>(
     state: &mut GibbsState,
     mode: BatchMode,
     rng: &mut R,
 ) -> Result<SweepStats, InferenceError> {
+    sweep_with_opts(state, mode, ShardMode::Serial, rng)
+}
+
+/// Dispatches by `mode` with the batched path's wave preparation run
+/// under `shard`. The scalar path has no waves to shard; it ignores
+/// `shard` (option validation upstream rejects the combination so it
+/// cannot be requested silently).
+pub fn sweep_with_opts<R: Rng + ?Sized>(
+    state: &mut GibbsState,
+    mode: BatchMode,
+    shard: ShardMode,
+    rng: &mut R,
+) -> Result<SweepStats, InferenceError> {
     match mode {
-        BatchMode::Grouped => sweep_batched(state, rng),
+        BatchMode::Grouped => sweep_batched_sharded(state, shard, rng),
         BatchMode::Scalar => sweep(state, rng),
     }
 }
@@ -138,6 +180,7 @@ pub fn sweep_with_mode<R: Rng + ?Sized>(
 fn run_schedule<R: Rng + ?Sized>(
     state: &mut GibbsState,
     schedule: &[Move],
+    shard: ShardMode,
     rng: &mut R,
     stats: &mut SweepStats,
 ) -> Result<(), InferenceError> {
@@ -163,7 +206,14 @@ fn run_schedule<R: Rng + ?Sized>(
                 stats.shift_moves += 1;
             }
             Move::Group(gi) => {
-                let g = super::batch::resample_group(log, rates, &groups[gi as usize], batch, rng)?;
+                let g = super::batch::resample_group(
+                    log,
+                    rates,
+                    &groups[gi as usize],
+                    batch,
+                    shard,
+                    rng,
+                )?;
                 stats.arrival_moves += g.moves;
                 stats.group_fallbacks += g.fallbacks;
                 stats.arrival_groups += 1;
@@ -190,9 +240,21 @@ pub fn sweeps_with_mode<R: Rng + ?Sized>(
     n: usize,
     rng: &mut R,
 ) -> Result<SweepStats, InferenceError> {
+    sweeps_with_opts(state, mode, ShardMode::Serial, n, rng)
+}
+
+/// Runs `n` sweeps under the given [`BatchMode`] and [`ShardMode`],
+/// returning cumulative statistics.
+pub fn sweeps_with_opts<R: Rng + ?Sized>(
+    state: &mut GibbsState,
+    mode: BatchMode,
+    shard: ShardMode,
+    n: usize,
+    rng: &mut R,
+) -> Result<SweepStats, InferenceError> {
     let mut total = SweepStats::default();
     for _ in 0..n {
-        total.absorb(sweep_with_mode(state, mode, rng)?);
+        total.absorb(sweep_with_opts(state, mode, shard, rng)?);
     }
     Ok(total)
 }

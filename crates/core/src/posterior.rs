@@ -9,7 +9,8 @@
 //! practitioner acts on ("is the db *significantly* slower?").
 
 use crate::error::InferenceError;
-use crate::gibbs::sweep::{sweep_with_mode, BatchMode};
+use crate::gibbs::shard::ShardMode;
+use crate::gibbs::sweep::{sweep_with_opts, BatchMode};
 use crate::state::GibbsState;
 use qni_stats::descriptive::quantile_sorted;
 use rand::Rng;
@@ -42,6 +43,8 @@ pub struct PosteriorOptions {
     pub ci_mass: f64,
     /// Arrival-move scheduling (see [`crate::stem::StemOptions::batch`]).
     pub batch: BatchMode,
+    /// Wave-prepare execution (see [`crate::stem::StemOptions::shard`]).
+    pub shard: ShardMode,
 }
 
 impl Default for PosteriorOptions {
@@ -51,6 +54,7 @@ impl Default for PosteriorOptions {
             samples: 200,
             ci_mass: 0.9,
             batch: BatchMode::default(),
+            shard: ShardMode::default(),
         }
     }
 }
@@ -72,16 +76,20 @@ pub fn posterior_summaries<R: Rng + ?Sized>(
             what: "ci_mass must be in (0, 1)",
         });
     }
+    crate::gibbs::sweep::validate_modes(opts.batch, opts.shard)?;
     let q = state.log().num_queues();
     for _ in 0..opts.burn_in {
-        sweep_with_mode(state, opts.batch, rng)?;
+        sweep_with_opts(state, opts.batch, opts.shard, rng)?;
     }
     let mut service: Vec<Vec<f64>> = vec![Vec::with_capacity(opts.samples); q];
     let mut waiting: Vec<Vec<f64>> = vec![Vec::with_capacity(opts.samples); q];
     let mut counts = vec![0usize; q];
+    // Reused per-sweep summary buffer (no allocation in the sample loop).
+    let mut avgs = Vec::new();
     for _ in 0..opts.samples {
-        sweep_with_mode(state, opts.batch, rng)?;
-        for (i, avg) in state.log().queue_averages().into_iter().enumerate() {
+        sweep_with_opts(state, opts.batch, opts.shard, rng)?;
+        state.log().queue_averages_into(&mut avgs);
+        for (i, avg) in avgs.iter().enumerate() {
             counts[i] = avg.count;
             if avg.count > 0 {
                 service[i].push(avg.mean_service);

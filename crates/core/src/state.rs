@@ -176,15 +176,16 @@ impl GibbsState {
         &self.rates
     }
 
-    /// Replaces the rates (the StEM M-step).
-    pub fn set_rates(&mut self, rates: Vec<f64>) -> Result<(), InferenceError> {
+    /// Replaces the rates (the StEM M-step), copying into the existing
+    /// buffer — no allocation in the per-iteration hot loop.
+    pub fn set_rates(&mut self, rates: &[f64]) -> Result<(), InferenceError> {
         if rates.len() != self.log.num_queues() {
             return Err(InferenceError::RateShapeMismatch {
                 expected: self.log.num_queues(),
                 actual: rates.len(),
             });
         }
-        self.rates = rates;
+        self.rates.copy_from_slice(rates);
         Ok(())
     }
 
@@ -261,8 +262,8 @@ mod tests {
     fn set_rates_validates_shape() {
         let m = masked();
         let mut state = GibbsState::new(&m, vec![2.0, 5.0], InitStrategy::default()).unwrap();
-        assert!(state.set_rates(vec![1.0]).is_err());
-        state.set_rates(vec![3.0, 4.0]).unwrap();
+        assert!(state.set_rates(&[1.0]).is_err());
+        state.set_rates(&[3.0, 4.0]).unwrap();
         assert_eq!(state.rates(), &[3.0, 4.0]);
     }
 

@@ -12,7 +12,8 @@
 //! µ̂ fixed".
 
 use crate::error::InferenceError;
-use crate::gibbs::sweep::{sweep_with_mode, BatchMode};
+use crate::gibbs::shard::ShardMode;
+use crate::gibbs::sweep::{sweep_with_opts, BatchMode};
 use crate::init::InitStrategy;
 use crate::mstep;
 use crate::state::GibbsState;
@@ -39,6 +40,11 @@ pub struct StemOptions {
     /// [`crate::gibbs::batch`] for the engine and its correctness
     /// guarantees.
     pub batch: BatchMode,
+    /// How each wave's prepare phase is executed: inline (default) or
+    /// sharded across worker threads. Pure performance knob — results
+    /// are bit-identical at every shard count (see
+    /// [`crate::gibbs::shard`]). Requires [`BatchMode::Grouped`].
+    pub shard: ShardMode,
 }
 
 impl Default for StemOptions {
@@ -50,6 +56,7 @@ impl Default for StemOptions {
             init: InitStrategy::default(),
             shift_moves: true,
             batch: BatchMode::default(),
+            shard: ShardMode::default(),
         }
     }
 }
@@ -69,12 +76,14 @@ impl StemOptions {
             init: InitStrategy::default(),
             shift_moves: true,
             batch: BatchMode::default(),
+            shard: ShardMode::default(),
         }
     }
 
     /// Checks the iteration budget: `iterations` must be positive and
     /// `burn_in` strictly smaller, otherwise the kept-sample window would
-    /// be empty ([`InferenceError::EmptyKeptWindow`]).
+    /// be empty ([`InferenceError::EmptyKeptWindow`]). Also rejects a
+    /// degenerate or inapplicable sharding configuration.
     pub fn validate(&self) -> Result<(), InferenceError> {
         if self.iterations == 0 {
             return Err(InferenceError::BadOptions {
@@ -87,7 +96,7 @@ impl StemOptions {
                 iterations: self.iterations,
             });
         }
-        Ok(())
+        crate::gibbs::sweep::validate_modes(self.batch, self.shard)
     }
 }
 
@@ -128,12 +137,14 @@ pub fn run_stem<R: Rng + ?Sized>(
         state = state.with_shiftable_tasks(Vec::new());
     }
     let mut trace: Vec<Vec<f64>> = Vec::with_capacity(opts.iterations);
+    // Reused M-step buffer: the only per-iteration allocation left is
+    // the recorded trace row itself.
+    let mut rates_buf = state.rates().to_vec();
     for _ in 0..opts.iterations {
-        sweep_with_mode(&mut state, opts.batch, rng)?;
-        let mut rates = state.rates().to_vec();
-        mstep::update_rates(&mut rates, state.log())?;
-        state.set_rates(rates.clone())?;
-        trace.push(rates);
+        sweep_with_opts(&mut state, opts.batch, opts.shard, rng)?;
+        mstep::update_rates(&mut rates_buf, state.log())?;
+        state.set_rates(&rates_buf)?;
+        trace.push(rates_buf.clone());
     }
     // Post-burn-in average.
     let kept = &trace[opts.burn_in..];
@@ -148,13 +159,15 @@ pub fn run_stem<R: Rng + ?Sized>(
         *v /= kept.len() as f64;
     }
     // Waiting-time phase at fixed µ̂.
-    state.set_rates(rates.clone())?;
+    state.set_rates(&rates)?;
     let mut wait_acc = vec![0.0f64; q];
     let mut serv_acc = vec![0.0f64; q];
+    let mut avgs = Vec::new();
     let sweeps = opts.waiting_sweeps.max(1);
     for _ in 0..sweeps {
-        sweep_with_mode(&mut state, opts.batch, rng)?;
-        for (i, avg) in state.log().queue_averages().into_iter().enumerate() {
+        sweep_with_opts(&mut state, opts.batch, opts.shard, rng)?;
+        state.log().queue_averages_into(&mut avgs);
+        for (i, avg) in avgs.iter().enumerate() {
             if avg.count > 0 {
                 wait_acc[i] += avg.mean_waiting;
                 serv_acc[i] += avg.mean_service;
@@ -184,6 +197,8 @@ pub struct McemOptions {
     pub init: InitStrategy,
     /// Arrival-move scheduling (see [`StemOptions::batch`]).
     pub batch: BatchMode,
+    /// Wave-prepare execution (see [`StemOptions::shard`]).
+    pub shard: ShardMode,
 }
 
 impl Default for McemOptions {
@@ -193,6 +208,7 @@ impl Default for McemOptions {
             inner_sweeps: 10,
             init: InitStrategy::default(),
             batch: BatchMode::default(),
+            shard: ShardMode::default(),
         }
     }
 }
@@ -211,6 +227,7 @@ pub fn run_mcem<R: Rng + ?Sized>(
             what: "MCEM needs positive outer iterations and inner sweeps",
         });
     }
+    crate::gibbs::sweep::validate_modes(opts.batch, opts.shard)?;
     let rates0 = match initial_rates {
         Some(r) => r.to_vec(),
         None => heuristic_rates(masked),
@@ -218,10 +235,11 @@ pub fn run_mcem<R: Rng + ?Sized>(
     let mut state = GibbsState::new(masked, rates0, opts.init)?;
     let q = state.log().num_queues();
     let mut trace = Vec::with_capacity(opts.outer_iterations);
+    let mut rates_buf = state.rates().to_vec();
     for _ in 0..opts.outer_iterations {
         let mut acc = vec![(0.0f64, 0.0f64); q];
         for _ in 0..opts.inner_sweeps {
-            sweep_with_mode(&mut state, opts.batch, rng)?;
+            sweep_with_opts(&mut state, opts.batch, opts.shard, rng)?;
             for (i, (n, sum)) in state
                 .log()
                 .service_sufficient_stats()
@@ -232,24 +250,25 @@ pub fn run_mcem<R: Rng + ?Sized>(
                 acc[i].1 += sum;
             }
         }
-        let mut rates = state.rates().to_vec();
-        for (r, m) in rates.iter_mut().zip(mstep::mle_rates_from_stats(&acc)) {
+        for (r, m) in rates_buf.iter_mut().zip(mstep::mle_rates_from_stats(&acc)) {
             if let Some(v) = m {
                 *r = v;
             }
         }
-        state.set_rates(rates.clone())?;
-        trace.push(rates);
+        state.set_rates(&rates_buf)?;
+        trace.push(rates_buf.clone());
     }
     let rates = trace.last().expect("at least one iteration").clone();
     // Waiting estimation identical to StEM.
-    state.set_rates(rates.clone())?;
+    state.set_rates(&rates)?;
     let mut wait_acc = vec![0.0f64; q];
     let mut serv_acc = vec![0.0f64; q];
+    let mut avgs = Vec::new();
     let sweeps_n = opts.inner_sweeps;
     for _ in 0..sweeps_n {
-        sweep_with_mode(&mut state, opts.batch, rng)?;
-        for (i, avg) in state.log().queue_averages().into_iter().enumerate() {
+        sweep_with_opts(&mut state, opts.batch, opts.shard, rng)?;
+        state.log().queue_averages_into(&mut avgs);
+        for (i, avg) in avgs.iter().enumerate() {
             if avg.count > 0 {
                 wait_acc[i] += avg.mean_waiting;
                 serv_acc[i] += avg.mean_service;

@@ -31,6 +31,7 @@ fn four_chains_seed7_byte_identical_across_invocations() {
             stem: StemOptions::quick_test(),
             chains: 4,
             master_seed: 7,
+            thread_budget: None,
         };
         run_stem_parallel(&masked, None, &opts).expect("parallel stem")
     };
@@ -65,6 +66,7 @@ fn four_chains_seed7_byte_identical_across_invocations() {
         stem: StemOptions::quick_test(),
         chains: 4,
         master_seed: 8,
+        thread_budget: None,
     };
     let c = run_stem_parallel(&masked, None, &opts).expect("parallel stem");
     assert_ne!(a.rates, c.rates);
@@ -82,6 +84,7 @@ fn rhat_near_one_on_well_mixed_mm1_trace() {
         },
         chains: 4,
         master_seed: 7,
+        thread_budget: None,
     };
     let r = run_stem_parallel(&masked, None, &opts).expect("parallel stem");
     let d = &r.diagnostics;
@@ -114,6 +117,7 @@ fn rhat_flags_deliberately_short_run() {
         },
         chains: 4,
         master_seed: 7,
+        thread_budget: None,
     };
     let r = run_stem_parallel(&masked, Some(&bad_start), &opts).expect("parallel stem");
     let d = &r.diagnostics;

@@ -297,20 +297,40 @@ impl EventLog {
     ///
     /// Queues with no events report `count == 0` and NaN means.
     pub fn queue_averages(&self) -> Vec<QueueAverages> {
-        let mut acc = vec![(0usize, 0.0f64, 0.0f64); self.num_queues()];
+        let mut out = Vec::new();
+        self.queue_averages_into(&mut out);
+        out
+    }
+
+    /// [`EventLog::queue_averages`] into a caller-owned buffer, so hot
+    /// loops that summarize the log once per sweep allocate nothing in
+    /// the steady state. `out` is cleared first; the computed values are
+    /// bit-identical to [`EventLog::queue_averages`].
+    pub fn queue_averages_into(&self, out: &mut Vec<QueueAverages>) {
+        out.clear();
+        out.resize(
+            self.num_queues(),
+            QueueAverages {
+                count: 0,
+                mean_service: 0.0,
+                mean_waiting: 0.0,
+            },
+        );
         for e in self.event_ids() {
-            let q = self.queue_of(e).index();
-            acc[q].0 += 1;
-            acc[q].1 += self.service_time(e);
-            acc[q].2 += self.waiting_time(e);
+            let a = &mut out[self.queue_of(e).index()];
+            a.count += 1;
+            a.mean_service += self.service_time(e);
+            a.mean_waiting += self.waiting_time(e);
         }
-        acc.into_iter()
-            .map(|(n, s, w)| QueueAverages {
-                count: n,
-                mean_service: if n > 0 { s / n as f64 } else { f64::NAN },
-                mean_waiting: if n > 0 { w / n as f64 } else { f64::NAN },
-            })
-            .collect()
+        for a in out.iter_mut() {
+            if a.count > 0 {
+                a.mean_service /= a.count as f64;
+                a.mean_waiting /= a.count as f64;
+            } else {
+                a.mean_service = f64::NAN;
+                a.mean_waiting = f64::NAN;
+            }
+        }
     }
 }
 

@@ -64,7 +64,7 @@ fn main() {
             .expect("reassign");
         let mut rates = state.rates().to_vec();
         qni::inference::mstep::update_rates(&mut rates, state.log()).expect("mstep");
-        state.set_rates(rates).expect("rates");
+        state.set_rates(&rates).expect("rates");
         if it >= burn {
             kept += 1;
             for &e in &unknown {

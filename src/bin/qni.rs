@@ -55,9 +55,11 @@ USAGE:
   qni simulate --tiers 1,2,4 [--lambda 10] [--mu 5] [--tasks 1000]
                [--observe 0.1] [--seed 1] --out trace.jsonl
   qni infer    --trace trace.jsonl [--iterations 200] [--burn-in N]
-               [--seed 2] [--chains 1] [--batch on|off]
+               [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
+               [--threads N]
   qni localize --trace trace.jsonl [--iterations 200] [--burn-in N]
-               [--seed 2] [--chains 1] [--batch on|off]
+               [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
+               [--threads N]
   qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -156,6 +158,25 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
     if chains == 0 {
         return Err("--chains must be >= 1".into());
     }
+    // Intra-trace sharding: split each chain's sweep across worker
+    // threads. A pure performance knob — results are byte-identical at
+    // every shard count — so the effective worker count is silently
+    // capped by a total-thread budget of chains × shards (defaulting to
+    // the host's parallelism, override with --threads).
+    let shards = get_usize(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    let shard = if shards == 1 {
+        ShardMode::Serial
+    } else {
+        ShardMode::Sharded(shards)
+    };
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = get_usize(flags, "threads", host_threads.max(chains))?;
+    if threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
     if iterations < 8 {
         // The default burn_in = iterations/2 and the convergence
         // diagnostics need at least 4 post-burn-in iterations per chain.
@@ -168,6 +189,7 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
         burn_in,
         waiting_sweeps: 20,
         batch,
+        shard,
         ..StemOptions::default()
     };
     // Catches an empty kept-sample window (--burn-in >= --iterations) up
@@ -182,9 +204,17 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
         stem: opts,
         chains,
         master_seed: seed,
+        thread_budget: Some(threads),
     };
     let r = run_stem_parallel(&masked, None, &popts).map_err(|e| e.to_string())?;
     println!("pooled over {chains} chain(s) (master seed {seed}, per-chain seeds via split_seed)");
+    if shards > 1 {
+        let effective = popts.effective_shard().workers();
+        println!(
+            "sharded sweeps: {shards} shard(s) requested, {effective} worker(s) per chain \
+             (thread budget {threads}); results are byte-identical at any shard count"
+        );
+    }
     let d = &r.diagnostics;
     println!(
         "convergence: max split-R̂ = {:.4} ({}), min pooled ESS = {:.1}",

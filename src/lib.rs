@@ -60,7 +60,7 @@ pub mod prelude {
     pub use qni_core::localize::{localize, slow_request_attribution, BottleneckKind};
     pub use qni_core::posterior::{posterior_summaries, PosteriorOptions};
     pub use qni_core::stem::{run_mcem, run_stem, McemOptions, StemOptions};
-    pub use qni_core::{BatchMode, GibbsState};
+    pub use qni_core::{BatchMode, GibbsState, ShardMode};
     pub use qni_model::ids::{EventId, QueueId, StateId, TaskId};
     pub use qni_model::log::EventLog;
     pub use qni_model::network::QueueingNetwork;

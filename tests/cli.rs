@@ -221,3 +221,89 @@ fn bad_usage_fails_with_help() {
     let out = qni().output().expect("run");
     assert!(!out.status.success());
 }
+
+#[test]
+fn shards_flag_is_byte_identical_and_validated() {
+    let dir = std::env::temp_dir().join("qni-cli-shard-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let out = qni()
+        .args([
+            "simulate",
+            "--tiers",
+            "1,1",
+            "--lambda",
+            "4",
+            "--mu",
+            "6",
+            "--tasks",
+            "100",
+            "--observe",
+            "0.2",
+            "--seed",
+            "9",
+            "--out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    // Sharding is a pure performance knob: every --shards value must
+    // print byte-identical estimates (only the shard banner differs).
+    let infer = |shards: &str| {
+        let out = qni()
+            .args([
+                "infer",
+                "--trace",
+                trace.to_str().expect("utf8 path"),
+                "--iterations",
+                "30",
+                "--seed",
+                "3",
+                "--shards",
+                shards,
+            ])
+            .output()
+            .expect("run infer --shards");
+        assert!(
+            out.status.success(),
+            "--shards {shards}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let table: Vec<String> = stdout
+            .lines()
+            .filter(|l| !l.starts_with("sharded sweeps:"))
+            .map(str::to_owned)
+            .collect();
+        (stdout, table)
+    };
+    let (base, base_table) = infer("1");
+    assert!(!base.contains("sharded sweeps:"), "stdout: {base}");
+    for shards in ["2", "4"] {
+        let (full, table) = infer(shards);
+        assert!(
+            full.contains("sharded sweeps:") && full.contains("byte-identical"),
+            "--shards {shards} should print the shard banner: {full}"
+        );
+        assert_eq!(table, base_table, "--shards {shards} changed the estimates");
+    }
+
+    // --shards 0 is a usage error, not a silent serial run.
+    let out = qni()
+        .args([
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "30",
+            "--shards",
+            "0",
+        ])
+        .output()
+        .expect("run infer --shards 0");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--shards must be >= 1"), "stderr: {stderr}");
+}
