@@ -1,16 +1,20 @@
 //! Cross-run benchmark regression check (see `qni_bench::compare`).
 //!
-//! Compares the current run's `BENCH_batch.json` / `BENCH_shard.json`
-//! against the previous successful CI run's downloaded artifact and
-//! exits nonzero on a regression. A missing or unreadable previous
-//! artifact is *not* an error — the absolute `QNI_*_GATE` gates in the
-//! bench binaries are the fallback for that case.
+//! Compares the current run's `BENCH_batch.json` / `BENCH_shard.json` /
+//! `BENCH_chains.json` / `BENCH_stream.json` against the previous
+//! successful CI run's downloaded artifact and exits nonzero on a
+//! regression. A missing or unreadable previous artifact is *not* an
+//! error — the absolute `QNI_*_GATE` gates in the bench binaries are
+//! the fallback for that case.
 //!
 //! Usage:
-//!   bench_compare --kind batch --current results/BENCH_batch.json \
+//!   bench_compare --kind batch|shard|chains|stream \
+//!       --current results/BENCH_batch.json \
 //!       --previous prev/BENCH_batch.json [--min-ratio 0.75]
 
-use qni_bench::compare::{compare_batch, compare_shard, Outcome, DEFAULT_MIN_RATIO};
+use qni_bench::compare::{
+    compare_batch, compare_chains, compare_shard, compare_stream, Outcome, DEFAULT_MIN_RATIO,
+};
 use std::process::ExitCode;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -25,6 +29,22 @@ fn read_report<T: for<'de> serde::Deserialize<'de>>(path: &str, what: &str) -> R
     serde_json::from_str(&text).map_err(|e| format!("{what} `{path}` unparsable: {e:?}"))
 }
 
+/// Runs one comparison kind: the *current* report must parse (it was
+/// produced by this run); only the previous one may be missing, which
+/// yields [`Outcome::NoBaseline`].
+fn run_compare<T: for<'de> serde::Deserialize<'de>>(
+    current: &str,
+    previous: &str,
+    min_ratio: f64,
+    f: impl Fn(&T, &T, f64) -> Outcome,
+) -> Result<Outcome, String> {
+    let cur: T = read_report(current, "current report")?;
+    Ok(match read_report::<T>(previous, "previous artifact") {
+        Ok(prev) => f(&cur, &prev, min_ratio),
+        Err(why) => Outcome::NoBaseline(why),
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(kind), Some(current), Some(previous)) = (
@@ -32,7 +52,10 @@ fn main() -> ExitCode {
         flag(&args, "--current"),
         flag(&args, "--previous"),
     ) else {
-        eprintln!("usage: bench_compare --kind batch|shard --current FILE --previous FILE [--min-ratio R]");
+        eprintln!(
+            "usage: bench_compare --kind batch|shard|chains|stream \
+             --current FILE --previous FILE [--min-ratio R]"
+        );
         return ExitCode::FAILURE;
     };
     let min_ratio: f64 = flag(&args, "--min-ratio")
@@ -40,36 +63,21 @@ fn main() -> ExitCode {
         .unwrap_or(DEFAULT_MIN_RATIO);
 
     let outcome = match kind.as_str() {
-        "batch" => {
-            // The *current* report must parse — it was produced by this
-            // run. Only the previous one may be missing.
-            let cur = match read_report(&current, "current report") {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match read_report(&previous, "previous artifact") {
-                Ok(prev) => compare_batch(&cur, &prev, min_ratio),
-                Err(why) => Outcome::NoBaseline(why),
-            }
-        }
-        "shard" => {
-            let cur = match read_report(&current, "current report") {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match read_report(&previous, "previous artifact") {
-                Ok(prev) => compare_shard(&cur, &prev, min_ratio),
-                Err(why) => Outcome::NoBaseline(why),
-            }
-        }
+        "batch" => run_compare(&current, &previous, min_ratio, compare_batch),
+        "shard" => run_compare(&current, &previous, min_ratio, compare_shard),
+        "chains" => run_compare(&current, &previous, min_ratio, compare_chains),
+        "stream" => run_compare(&current, &previous, min_ratio, compare_stream),
         other => {
-            eprintln!("error: --kind must be `batch` or `shard`, got `{other}`");
+            eprintln!(
+                "error: --kind must be `batch`, `shard`, `chains`, or `stream`, got `{other}`"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };

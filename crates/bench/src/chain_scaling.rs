@@ -15,11 +15,11 @@ use qni_model::topology::three_tier;
 use qni_sim::{Simulator, Workload};
 use qni_stats::rng::rng_from_seed;
 use qni_trace::{MaskedLog, ObservationScheme};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// The workload every measurement point runs on.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ChainWorkload {
     /// Tasks simulated through the 1-2-4 three-tier network.
     pub tasks: usize,
@@ -93,7 +93,7 @@ impl ChainWorkload {
 }
 
 /// One measurement point of the chain-scaling experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChainScalingPoint {
     /// Number of parallel chains.
     pub chains: usize,
@@ -115,7 +115,7 @@ pub struct ChainScalingPoint {
 }
 
 /// The full JSON report written to `BENCH_chains.json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChainScalingReport {
     /// Report schema / experiment name.
     pub bench: String,

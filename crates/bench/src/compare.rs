@@ -14,7 +14,9 @@
 //! [`DEFAULT_MIN_RATIO`]) of the previous run's speedup.
 
 use crate::batch_speedup::BatchSpeedupReport;
+use crate::chain_scaling::ChainScalingReport;
 use crate::shard_speedup::ShardSpeedupReport;
+use crate::stream_tracking::StreamTrackingReport;
 
 /// Default fraction of the previous run's speedup the current run must
 /// retain. 0.75 tolerates heavy runner noise while still catching a
@@ -123,11 +125,105 @@ pub fn compare_shard(
     }
 }
 
+/// Compares two `BENCH_chains.json` reports on the largest-K point's
+/// wall-clock speedup. Skipped when either run was measured on a
+/// single-thread host (multi-chain speedups are ≤ 1 by construction
+/// there, so a comparison would only measure noise) — the same rule as
+/// [`compare_shard`].
+pub fn compare_chains(
+    current: &ChainScalingReport,
+    previous: &ChainScalingReport,
+    min_ratio: f64,
+) -> Outcome {
+    if current.available_parallelism < 2 || previous.available_parallelism < 2 {
+        return Outcome::NoBaseline(format!(
+            "chain speedups need a multi-core host (current: {} threads, previous: {})",
+            current.available_parallelism, previous.available_parallelism
+        ));
+    }
+    let max_point = |r: &ChainScalingReport| {
+        r.points
+            .iter()
+            .max_by_key(|p| p.chains)
+            .map(|p| (p.chains, p.speedup))
+    };
+    let (Some((ck, c)), Some((pk, p))) = (max_point(current), max_point(previous)) else {
+        return Outcome::NoBaseline("a report has no measurement points".into());
+    };
+    if ck != pk {
+        return Outcome::NoBaseline(format!(
+            "chain counts differ (current max K={ck}, previous K={pk})"
+        ));
+    }
+    let (ok, line) = check_point(&format!("chains K={ck}"), c, p, min_ratio);
+    if ok {
+        Outcome::Ok(vec![line])
+    } else {
+        Outcome::Regressed(vec![line])
+    }
+}
+
+/// Smallest tracking error treated as meaningfully nonzero: below this,
+/// ratio comparisons would amplify Monte-Carlo dust into failures.
+const STREAM_ERR_FLOOR: f64 = 0.02;
+
+fn check_error_point(name: &str, current: f64, previous: f64, min_ratio: f64) -> (bool, String) {
+    // Tracking error: *lower* is better, so the ceiling is the previous
+    // error inflated by 1/min_ratio (floored to dodge near-zero noise).
+    let ceiling = previous.max(STREAM_ERR_FLOOR) / min_ratio;
+    let ok = current <= ceiling;
+    (
+        ok,
+        format!(
+            "{name}: mean tracking error {:.1}% vs previous {:.1}% (ceiling {:.1}%) — {}",
+            current * 100.0,
+            previous * 100.0,
+            ceiling * 100.0,
+            if ok { "ok" } else { "REGRESSED" }
+        ),
+    )
+}
+
+/// Compares two `BENCH_stream.json` reports on the warm and cold mean
+/// tracking errors (lower is better; the runs are fully seeded so the
+/// error itself is deterministic given an unchanged scenario).
+pub fn compare_stream(
+    current: &StreamTrackingReport,
+    previous: &StreamTrackingReport,
+    min_ratio: f64,
+) -> Outcome {
+    let mut lines = Vec::new();
+    let mut regressed = false;
+    for (cur, prev) in [
+        (&current.warm, &previous.warm),
+        (&current.cold, &previous.cold),
+    ] {
+        if !(cur.mean_rel_err.is_finite() && prev.mean_rel_err.is_finite()) {
+            lines.push(format!(
+                "{}: no eligible windows in one run, skipped",
+                cur.mode
+            ));
+            continue;
+        }
+        let (ok, line) =
+            check_error_point(&cur.mode, cur.mean_rel_err, prev.mean_rel_err, min_ratio);
+        regressed |= !ok;
+        lines.push(line);
+    }
+    if regressed {
+        Outcome::Regressed(lines)
+    } else {
+        Outcome::Ok(lines)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::batch_speedup::BatchPoint;
+    use crate::chain_scaling::{ChainScalingPoint, ChainWorkload};
     use crate::shard_speedup::ShardPoint;
+    use crate::stream_tracking::{FixedSummary, StreamScenario, TrackingSummary};
 
     fn batch_report(speedup: f64) -> BatchSpeedupReport {
         BatchSpeedupReport {
@@ -206,6 +302,108 @@ mod tests {
             out.lines()
         );
         assert!(matches!(out, Outcome::NoBaseline(_)));
+    }
+
+    fn chains_report(speedup4: f64, parallelism: usize) -> ChainScalingReport {
+        ChainScalingReport {
+            bench: "chain_scaling".into(),
+            quick: true,
+            available_parallelism: parallelism,
+            workload: ChainWorkload::quick(),
+            points: [1usize, 4]
+                .iter()
+                .map(|&k| ChainScalingPoint {
+                    chains: k,
+                    iterations_per_chain: 20,
+                    wall_secs: 1.0,
+                    speedup: if k == 1 { 1.0 } else { speedup4 },
+                    efficiency: 1.0,
+                    max_split_rhat: 1.0,
+                    min_ess: 50.0,
+                    lambda_hat: 10.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn stream_report(warm_err: f64, cold_err: f64) -> StreamTrackingReport {
+        let summary = |mode: &str, err: f64| TrackingSummary {
+            mode: mode.into(),
+            windows: 8,
+            eligible_windows: 6,
+            mean_rel_err: err,
+            max_rel_err: err * 1.5,
+            total_secs: 1.0,
+            mean_window_secs: 0.125,
+        };
+        StreamTrackingReport {
+            bench: "stream_tracking".into(),
+            quick: true,
+            scenario: StreamScenario::quick(),
+            tasks: 480,
+            warm: summary("warm", warm_err),
+            cold: summary("cold", cold_err),
+            fixed: FixedSummary {
+                lambda_hat: 4.0,
+                rel_err_seg1: 1.0,
+                rel_err_seg2: 0.33,
+                secs: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn chains_comparison_checks_max_k_and_skips_single_core() {
+        let out = compare_chains(
+            &chains_report(2.5, 4),
+            &chains_report(3.0, 4),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(!out.is_regression(), "{:?}", out.lines());
+        let out = compare_chains(
+            &chains_report(1.0, 4),
+            &chains_report(3.0, 4),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(out.is_regression());
+        let out = compare_chains(
+            &chains_report(0.8, 1),
+            &chains_report(3.0, 4),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(matches!(out, Outcome::NoBaseline(_)));
+    }
+
+    #[test]
+    fn stream_comparison_fails_on_error_growth_only() {
+        // Error shrank: fine.
+        let out = compare_stream(
+            &stream_report(0.05, 0.08),
+            &stream_report(0.08, 0.10),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(!out.is_regression(), "{:?}", out.lines());
+        // Error grew slightly within the ceiling: fine.
+        let out = compare_stream(
+            &stream_report(0.09, 0.08),
+            &stream_report(0.08, 0.08),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(!out.is_regression(), "{:?}", out.lines());
+        // Warm error blew up: regression.
+        let out = compare_stream(
+            &stream_report(0.20, 0.08),
+            &stream_report(0.08, 0.08),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(out.is_regression());
+        // Near-zero noise is floored, not failed.
+        let out = compare_stream(
+            &stream_report(0.02, 0.02),
+            &stream_report(0.005, 0.005),
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(!out.is_regression(), "{:?}", out.lines());
     }
 
     #[test]

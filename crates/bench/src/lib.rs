@@ -22,6 +22,10 @@
 //!   {1, 2, 4} on giant single-chain traces, emitting
 //!   `BENCH_shard.json` (speedup + deferred-move fraction per
 //!   workload) for the CI gate.
+//! - `stream_tracking` — streaming windowed StEM vs. the fixed-log
+//!   engine on a piecewise-constant workload, emitting
+//!   `BENCH_stream.json` (tracking error + per-window wall time, warm
+//!   vs. cold starts) and the `stream_trajectory.csv` artifact.
 //! - `bench_compare` — cross-run regression check: compares the current
 //!   `BENCH_*.json` against the previous CI run's artifact.
 //!
@@ -36,6 +40,7 @@ pub mod fig5;
 pub mod jobs;
 pub mod scaling;
 pub mod shard_speedup;
+pub mod stream_tracking;
 pub mod table;
 pub mod variance;
 

@@ -45,7 +45,8 @@
 use crate::diagnostics::{rate_trace_diagnostics, ChainDiagnostics};
 use crate::error::InferenceError;
 use crate::gibbs::shard::ShardMode;
-use crate::stem::{run_stem, StemOptions, StemResult};
+use crate::init::WarmTimes;
+use crate::stem::{run_stem_warm, StemOptions, StemResult};
 use qni_stats::rng::{rng_from_seed, split_seed};
 use qni_trace::MaskedLog;
 
@@ -152,7 +153,7 @@ pub struct ParallelStemResult {
 
 /// Runs `opts.chains` independent StEM chains in parallel and pools them.
 ///
-/// Each chain is a full [`run_stem`] invocation on its own scoped thread
+/// Each chain is a full [`crate::stem::run_stem`] invocation on its own scoped thread
 /// with its own derived RNG stream; see the module docs for the seeding
 /// scheme and determinism guarantees. The pooled `rates` average the
 /// chains' post-burn-in means; `diagnostics` reports per-queue split-R̂
@@ -161,6 +162,19 @@ pub struct ParallelStemResult {
 pub fn run_stem_parallel(
     masked: &MaskedLog,
     initial_rates: Option<&[f64]>,
+    opts: &ParallelStemOptions,
+) -> Result<ParallelStemResult, InferenceError> {
+    run_stem_parallel_warm(masked, initial_rates, None, opts)
+}
+
+/// [`run_stem_parallel`] with optional warm-start initialization targets
+/// shared by every chain (see [`crate::init::WarmTimes`]). Warm targets
+/// only move each chain's starting point; chain seeds, pooling, and
+/// diagnostics are unchanged.
+pub fn run_stem_parallel_warm(
+    masked: &MaskedLog,
+    initial_rates: Option<&[f64]>,
+    warm: Option<&WarmTimes>,
     opts: &ParallelStemOptions,
 ) -> Result<ParallelStemResult, InferenceError> {
     opts.validate()?;
@@ -179,7 +193,7 @@ pub fn run_stem_parallel(
             .map(|&seed| {
                 s.spawn(move || {
                     let mut rng = rng_from_seed(seed);
-                    run_stem(masked, initial_rates, stem_opts, &mut rng)
+                    run_stem_warm(masked, initial_rates, warm, stem_opts, &mut rng)
                 })
             })
             .collect();
@@ -226,6 +240,7 @@ pub fn run_stem_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stem::run_stem;
     use qni_model::topology::tandem;
     use qni_sim::{Simulator, Workload};
     use qni_trace::ObservationScheme;

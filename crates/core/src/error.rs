@@ -54,6 +54,8 @@ pub enum InferenceError {
     Model(qni_model::ModelError),
     /// A statistics-layer error bubbled up.
     Stats(qni_stats::StatsError),
+    /// A trace-layer error bubbled up (windowing, serialization).
+    Trace(qni_trace::TraceError),
 }
 
 impl fmt::Display for InferenceError {
@@ -85,6 +87,7 @@ impl fmt::Display for InferenceError {
             ),
             InferenceError::Model(e) => write!(f, "model error: {e}"),
             InferenceError::Stats(e) => write!(f, "stats error: {e}"),
+            InferenceError::Trace(e) => write!(f, "trace error: {e}"),
         }
     }
 }
@@ -106,6 +109,12 @@ impl From<qni_stats::StatsError> for InferenceError {
 impl From<qni_lp::LpError> for InferenceError {
     fn from(e: qni_lp::LpError) -> Self {
         InferenceError::InitFailed(e)
+    }
+}
+
+impl From<qni_trace::TraceError> for InferenceError {
+    fn from(e: qni_trace::TraceError) -> Self {
+        InferenceError::Trace(e)
     }
 }
 

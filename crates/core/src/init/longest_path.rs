@@ -1,6 +1,7 @@
 //! Longest-path initialization over the slot constraint DAG.
 
 use super::slots::{SlotKind, SlotMap};
+use super::WarmTimes;
 use crate::error::InferenceError;
 use qni_lp::diffcon::DiffSystem;
 use qni_model::log::EventLog;
@@ -11,13 +12,16 @@ use qni_trace::MaskedLog;
 /// 1. Build one node per slot, edges for `arr ≤ dep`, per-queue FIFO
 ///    departure order, and per-queue arrival order; fix observed slots.
 /// 2. Solve for the feasibility box `[min, max]` per slot.
-/// 3. Walk slots in topological order, setting each free slot to
-///    `begin_service + 1/rate` (when `use_targets`) clamped into
-///    `[max(preds), max_v]`, or to its minimal value otherwise.
+/// 3. Walk slots in topological order, setting each free slot to its
+///    warm-start target if one is set, else `begin_service + 1/rate`
+///    (when `use_targets`), clamped into `[max(preds), max_v]` — or to
+///    its minimal value when `use_targets` is off (warm targets are
+///    ignored there: the minimal completion is for worst-case studies).
 pub fn initialize(
     masked: &MaskedLog,
     rates: &[f64],
     use_targets: bool,
+    warm: Option<&WarmTimes>,
 ) -> Result<EventLog, InferenceError> {
     let mut log = masked.scrubbed_log();
     let slots = SlotMap::build(&log);
@@ -56,7 +60,7 @@ pub fn initialize(
         }
         let lower_now = preds[v].iter().map(|&u| value[u]).fold(0.0f64, f64::max);
         let x = if use_targets {
-            let desired = desired_value(&log, &slots, rates, v);
+            let desired = desired_value(&log, &slots, rates, warm, v);
             desired.clamp(lower_now, sol.max[v])
         } else {
             lower_now.max(sol.min[v])
@@ -67,9 +71,25 @@ pub fn initialize(
     Ok(log)
 }
 
-/// Target value for a free slot: service begins at `begin_service` of the
-/// event whose departure this slot holds, plus the target mean service.
-fn desired_value(log: &EventLog, slots: &SlotMap, rates: &[f64], v: usize) -> f64 {
+/// Target value for a free slot: the warm-start time if one is carried
+/// for this slot, else service begins at `begin_service` of the event
+/// whose departure this slot holds, plus the target mean service.
+fn desired_value(
+    log: &EventLog,
+    slots: &SlotMap,
+    rates: &[f64],
+    warm: Option<&WarmTimes>,
+    v: usize,
+) -> f64 {
+    if let Some(w) = warm {
+        let t = match slots.kind(v) {
+            SlotKind::Arrival(e) => w.transition[e.index()],
+            SlotKind::Final(e) => w.final_departure[e.index()],
+        };
+        if t.is_finite() {
+            return t;
+        }
+    }
     let owner = match slots.kind(v) {
         // An arrival slot holds d_{π(e)}: the serviced event is π(e).
         SlotKind::Arrival(e) => log.pi(e).expect("non-initial events have π"),

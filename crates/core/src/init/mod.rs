@@ -29,6 +29,66 @@ use crate::error::InferenceError;
 use qni_model::log::EventLog;
 use qni_trace::MaskedLog;
 
+/// Per-event *warm-start* targets for initialization: preferred values
+/// for free times, carried over from a previous run on an overlapping
+/// log (the streaming engine's window-to-window Gibbs-state handoff).
+///
+/// `NaN` means "no preference" — the strategy's own target (e.g. the
+/// rate-derived service time) applies. Finite entries are treated as
+/// *desired* values, not constraints: the longest-path forward sweep
+/// clamps each into its feasibility box, so a warm target can never
+/// produce an infeasible log. Targets are honored by
+/// [`InitStrategy::LongestPath`] with `use_targets = true` (the
+/// default); the minimal-completion and LP strategies ignore them.
+#[derive(Debug, Clone)]
+pub struct WarmTimes {
+    /// Desired transition time `a_e = d_{π(e)}` per event (indexed by
+    /// event id; entries for initial or observed events are ignored).
+    pub transition: Vec<f64>,
+    /// Desired final departure per event (only entries for task-final
+    /// events are meaningful).
+    pub final_departure: Vec<f64>,
+}
+
+impl WarmTimes {
+    /// A no-preference table for `n` events (all `NaN`).
+    pub fn empty(n: usize) -> Self {
+        WarmTimes {
+            transition: vec![f64::NAN; n],
+            final_departure: vec![f64::NAN; n],
+        }
+    }
+
+    /// Sets the desired transition time of `e`.
+    pub fn set_transition(&mut self, e: qni_model::ids::EventId, t: f64) {
+        self.transition[e.index()] = t;
+    }
+
+    /// Sets the desired final departure of `e`.
+    pub fn set_final_departure(&mut self, e: qni_model::ids::EventId, t: f64) {
+        self.final_departure[e.index()] = t;
+    }
+
+    /// Number of events covered.
+    pub fn len(&self) -> usize {
+        self.transition.len()
+    }
+
+    /// Whether the table covers zero events.
+    pub fn is_empty(&self) -> bool {
+        self.transition.is_empty()
+    }
+
+    /// Number of finite (expressed) preferences.
+    pub fn num_set(&self) -> usize {
+        self.transition
+            .iter()
+            .chain(&self.final_departure)
+            .filter(|t| t.is_finite())
+            .count()
+    }
+}
+
 /// How to initialize the free times.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitStrategy {
@@ -65,6 +125,22 @@ pub fn initialize_with(
     rates: &[f64],
     strategy: InitStrategy,
 ) -> Result<EventLog, InferenceError> {
+    initialize_warm(masked, rates, strategy, None)
+}
+
+/// [`initialize_with`] with optional per-event [`WarmTimes`] targets.
+///
+/// Warm targets replace the rate-derived desired value of the
+/// longest-path forward sweep wherever they are finite; they are clamped
+/// into the feasibility box exactly like rate targets, so the result is
+/// always constraint-valid regardless of how stale the carried times
+/// are. Errors if a warm table's shape disagrees with the log.
+pub fn initialize_warm(
+    masked: &MaskedLog,
+    rates: &[f64],
+    strategy: InitStrategy,
+    warm: Option<&WarmTimes>,
+) -> Result<EventLog, InferenceError> {
     let truth_shape = masked.ground_truth();
     if rates.len() != truth_shape.num_queues() {
         return Err(InferenceError::RateShapeMismatch {
@@ -72,9 +148,18 @@ pub fn initialize_with(
             actual: rates.len(),
         });
     }
+    if let Some(w) = warm {
+        if w.transition.len() != truth_shape.num_events()
+            || w.final_departure.len() != truth_shape.num_events()
+        {
+            return Err(InferenceError::BadOptions {
+                what: "warm-start times must cover every event of the log",
+            });
+        }
+    }
     let log = match strategy {
         InitStrategy::LongestPath { use_targets } => {
-            longest_path::initialize(masked, rates, use_targets)?
+            longest_path::initialize(masked, rates, use_targets, warm)?
         }
         InitStrategy::Lp => lp::initialize(masked, rates)?,
     };
@@ -227,5 +312,52 @@ mod tests {
             initialize(&masked, &[1.0]),
             Err(InferenceError::RateShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn warm_targets_are_reproduced_where_feasible() {
+        // Initialize once, treat the result as a "previous Gibbs state",
+        // and re-initialize warm: every free time must come back exactly
+        // (the carried values are feasible by construction).
+        let (masked, rates) = masked_case(0.3, 60, 9);
+        let first = initialize_with(&masked, &rates, InitStrategy::default()).unwrap();
+        let n = masked.ground_truth().num_events();
+        let mut warm = super::WarmTimes::empty(n);
+        for e in masked.free_arrivals() {
+            warm.set_transition(e, first.arrival(e));
+        }
+        for e in masked.free_final_departures() {
+            warm.set_final_departure(e, first.departure(e));
+        }
+        assert!(warm.num_set() > 0);
+        assert_eq!(warm.len(), n);
+        let second =
+            initialize_warm(&masked, &rates, InitStrategy::default(), Some(&warm)).unwrap();
+        qni_model::constraints::validate(&second).unwrap();
+        for e in second.event_ids() {
+            assert_eq!(
+                second.arrival(e).to_bits(),
+                first.arrival(e).to_bits(),
+                "arrival of {e} not reproduced by warm init"
+            );
+            assert_eq!(second.departure(e).to_bits(), first.departure(e).to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_targets_shape_checked_and_clamped() {
+        let (masked, rates) = masked_case(0.3, 20, 10);
+        // Wrong shape is rejected.
+        let bad = super::WarmTimes::empty(3);
+        assert!(initialize_warm(&masked, &rates, InitStrategy::default(), Some(&bad)).is_err());
+        // Grossly infeasible targets (all zero) still yield a valid log:
+        // the forward sweep clamps them into the feasibility box.
+        let n = masked.ground_truth().num_events();
+        let mut warm = super::WarmTimes::empty(n);
+        for e in masked.free_arrivals() {
+            warm.set_transition(e, 0.0);
+        }
+        let log = initialize_warm(&masked, &rates, InitStrategy::default(), Some(&warm)).unwrap();
+        qni_model::constraints::validate(&log).unwrap();
     }
 }

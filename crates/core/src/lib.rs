@@ -20,6 +20,9 @@
 //! - [`chains`]: the multi-chain parallel engine — K independent StEM
 //!   chains on scoped threads with deterministically derived RNG streams,
 //!   pooled into one estimate with split-R̂ / ESS convergence checks.
+//! - [`stream`]: the streaming engine — StEM over overlapping time
+//!   windows of the trace, each warm-started from the previous window,
+//!   tracking *time-varying* rates as a [`stream::RateTrajectory`].
 //! - [`baseline`]: the §5.1 oracle baseline (mean observed service).
 //! - [`estimates`], [`localize`], [`diagnostics`]: evaluation, bottleneck
 //!   localization, and MCMC diagnostics.
@@ -60,6 +63,7 @@ pub mod mstep;
 pub mod posterior;
 pub mod state;
 pub mod stem;
+pub mod stream;
 
 pub use chains::{run_stem_parallel, ParallelStemOptions, ParallelStemResult};
 pub use diagnostics::ChainDiagnostics;
@@ -67,3 +71,4 @@ pub use error::InferenceError;
 pub use gibbs::shard::ShardMode;
 pub use gibbs::sweep::BatchMode;
 pub use state::GibbsState;
+pub use stream::{run_stream, RateTrajectory, StreamOptions, WindowEstimate};

@@ -3,7 +3,7 @@
 use crate::error::InferenceError;
 use crate::gibbs::batch::{BatchScratch, GroupStructure};
 use crate::gibbs::sweep::Move;
-use crate::init::{initialize_with, InitStrategy};
+use crate::init::InitStrategy;
 use qni_model::ids::{EventId, TaskId};
 use qni_model::log::EventLog;
 use qni_trace::MaskedLog;
@@ -53,7 +53,20 @@ impl GibbsState {
         rates: Vec<f64>,
         strategy: InitStrategy,
     ) -> Result<Self, InferenceError> {
-        let log = initialize_with(masked, &rates, strategy)?;
+        Self::new_warm(masked, rates, strategy, None)
+    }
+
+    /// [`GibbsState::new`] with optional warm-start targets for the free
+    /// times (see [`crate::init::WarmTimes`]): carried times are used as
+    /// initialization targets where feasible, which is how the streaming
+    /// engine hands a window's final Gibbs state to the next window.
+    pub fn new_warm(
+        masked: &MaskedLog,
+        rates: Vec<f64>,
+        strategy: InitStrategy,
+        warm: Option<&crate::init::WarmTimes>,
+    ) -> Result<Self, InferenceError> {
+        let log = crate::init::initialize_warm(masked, &rates, strategy, warm)?;
         let shiftable_tasks = (0..log.num_tasks())
             .map(TaskId::from_index)
             .filter(|&k| crate::gibbs::shift::task_fully_free(masked, k))

@@ -114,6 +114,11 @@ pub struct StemResult {
     pub sampled_service: Vec<f64>,
     /// The per-iteration rate trace (one vector per iteration).
     pub rate_trace: Vec<Vec<f64>>,
+    /// The final imputed event log (the Gibbs chain's last state, after
+    /// the waiting-time phase). This is what the streaming engine carries
+    /// into the next window's warm start; it is *moved* out of the
+    /// sampler state, so keeping it costs nothing.
+    pub final_log: qni_model::log::EventLog,
 }
 
 /// Runs stochastic EM on a masked log.
@@ -127,12 +132,27 @@ pub fn run_stem<R: Rng + ?Sized>(
     opts: &StemOptions,
     rng: &mut R,
 ) -> Result<StemResult, InferenceError> {
+    run_stem_warm(masked, initial_rates, None, opts, rng)
+}
+
+/// [`run_stem`] with optional warm-start initialization targets for the
+/// free times (see [`crate::init::WarmTimes`]). Warm targets only shape
+/// the chain's *starting point* — the stationary distribution and every
+/// conditional are unchanged — so they buy faster burn-in on a log that
+/// overlaps a previously fitted one without biasing the estimate.
+pub fn run_stem_warm<R: Rng + ?Sized>(
+    masked: &MaskedLog,
+    initial_rates: Option<&[f64]>,
+    warm: Option<&crate::init::WarmTimes>,
+    opts: &StemOptions,
+    rng: &mut R,
+) -> Result<StemResult, InferenceError> {
     opts.validate()?;
     let rates0 = match initial_rates {
         Some(r) => r.to_vec(),
         None => heuristic_rates(masked),
     };
-    let mut state = GibbsState::new(masked, rates0, opts.init)?;
+    let mut state = GibbsState::new_warm(masked, rates0, opts.init, warm)?;
     if !opts.shift_moves {
         state = state.with_shiftable_tasks(Vec::new());
     }
@@ -183,6 +203,7 @@ pub fn run_stem<R: Rng + ?Sized>(
         mean_waiting,
         sampled_service,
         rate_trace: trace,
+        final_log: state.log,
     })
 }
 
@@ -281,6 +302,7 @@ pub fn run_mcem<R: Rng + ?Sized>(
         sampled_service: serv_acc.into_iter().map(|s| s / sweeps_n as f64).collect(),
         rates,
         rate_trace: trace,
+        final_log: state.log,
     })
 }
 

@@ -1,0 +1,537 @@
+//! Online/streaming StEM: windowed inference over a live trace.
+//!
+//! The fixed-log engine ([`crate::stem`]) estimates *one* rate vector
+//! from a whole trace — exactly wrong for live traffic whose arrival
+//! rate drifts over the day (the deployment regime of Sutton & Jordan's
+//! Bayesian follow-up). This module consumes a trace as a sequence of
+//! overlapping `(width, stride)` time windows
+//! ([`qni_trace::window::WindowSchedule`]) and runs one multi-chain StEM
+//! fit per window, emitting a [`RateTrajectory`]: per-window λ̂/µ̂ plus the
+//! usual split-R̂/ESS diagnostics.
+//!
+//! # Warm starts
+//!
+//! With [`StreamOptions::warm_start`] on (the default), window `w+1` is
+//! warm-started from window `w`:
+//!
+//! - the previous window's **pooled rate estimate** becomes the next
+//!   window's initial rates (and the init strategy's service targets),
+//! - the previous window's **final Gibbs state** — chain 0's last
+//!   imputed log — is carried into the next window's initialization as
+//!   per-event [`crate::init::WarmTimes`] targets for the tasks the two
+//!   overlapping windows share, rebased onto the new window's clock and
+//!   clamped into feasibility.
+//!
+//! Warm starts change only where each chain *begins*; conditionals and
+//! the stationary distribution are untouched, so they accelerate
+//! per-window burn-in without biasing the trajectory.
+//!
+//! # Determinism
+//!
+//! Window `w` seeds its chain family from
+//! `split_seed(master_seed, w)`, and each chain `k` inside the window
+//! draws from `split_seed(split_seed(master_seed, w), k)` via
+//! [`crate::chains::run_stem_parallel`]. The whole stream is therefore
+//! byte-reproducible for a fixed master seed at *any*
+//! [`crate::gibbs::shard::ShardMode`]/chain-count configuration, and bit-identical across
+//! shard counts (sharding never changes bytes). Chain count, like in the
+//! fixed-log engine, selects a different (equally reproducible) pooled
+//! estimate family. [`RateTrajectory::fingerprint`] exposes the
+//! deterministic bit content (everything except wall-clock times) for
+//! byte-identity tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use qni_core::stream::{run_stream, StreamOptions};
+//! use qni_sim::{Simulator, Workload};
+//! use qni_stats::rng::rng_from_seed;
+//! use qni_trace::{ObservationScheme, WindowSchedule};
+//!
+//! let bp = qni_model::topology::tandem(2.0, &[8.0]).unwrap();
+//! let mut rng = rng_from_seed(7);
+//! // Arrival rate switches from 2 to 4 halfway through.
+//! let workload = Workload::piecewise_constant(vec![2.0, 4.0], vec![20.0], 40.0).unwrap();
+//! let truth = Simulator::new(&bp.network).run(&workload, &mut rng).unwrap();
+//! let masked = ObservationScheme::task_sampling(0.5)
+//!     .unwrap()
+//!     .apply(truth, &mut rng)
+//!     .unwrap();
+//! let schedule = WindowSchedule::new(20.0, 20.0).unwrap();
+//! let traj = run_stream(&masked, &schedule, &StreamOptions::quick_test()).unwrap();
+//! assert!(traj.windows.len() >= 2);
+//! assert!(traj.windows[0].rates[0] > 0.0);
+//! ```
+
+use crate::chains::{run_stem_parallel_warm, ParallelStemOptions};
+use crate::error::InferenceError;
+use crate::init::WarmTimes;
+use crate::stem::StemOptions;
+use qni_model::log::EventLog;
+use qni_stats::rng::split_seed;
+use qni_trace::window::{slice_windows, WindowSchedule, WindowedLog};
+use qni_trace::MaskedLog;
+use serde::Serialize;
+
+/// Options for [`run_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Per-window StEM configuration (iterations, burn-in, init,
+    /// [`crate::gibbs::sweep::BatchMode`], [`crate::gibbs::shard::ShardMode`]).
+    pub stem: StemOptions,
+    /// Independent chains per window (pooled as in [`crate::chains`]).
+    pub chains: usize,
+    /// Master seed; window `w` derives `split_seed(master_seed, w)`.
+    pub master_seed: u64,
+    /// Optional total-thread budget shared between `chains × shards`
+    /// within each window (see
+    /// [`crate::chains::ParallelStemOptions::thread_budget`]).
+    pub thread_budget: Option<usize>,
+    /// Whether each window is warm-started from the previous window's
+    /// rate estimates and final Gibbs state (see the module docs). Off
+    /// means every window starts cold from [`crate::stem::heuristic_rates`].
+    pub warm_start: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            stem: StemOptions::default(),
+            chains: 1,
+            master_seed: 0,
+            thread_budget: None,
+            warm_start: true,
+        }
+    }
+}
+
+impl StreamOptions {
+    /// A small, fast configuration for doc tests and smoke tests,
+    /// routed through the shared [`StemOptions::quick_test`] budget.
+    pub fn quick_test() -> Self {
+        StreamOptions {
+            stem: StemOptions::quick_test(),
+            ..StreamOptions::default()
+        }
+    }
+
+    /// Validates the configuration (mirrors the per-window
+    /// [`crate::chains`] requirements so errors surface before the first
+    /// window runs).
+    pub fn validate(&self) -> Result<(), InferenceError> {
+        if self.chains == 0 {
+            return Err(InferenceError::BadOptions {
+                what: "need at least one chain",
+            });
+        }
+        if self.thread_budget == Some(0) {
+            return Err(InferenceError::BadOptions {
+                what: "thread budget must be >= 1",
+            });
+        }
+        self.stem.validate()?;
+        if self.stem.iterations < self.stem.burn_in + 4 {
+            return Err(InferenceError::BadOptions {
+                what: "need >= 4 post-burn-in iterations per chain for diagnostics",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One window's estimate in a [`RateTrajectory`].
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowEstimate {
+    /// Window index in the schedule.
+    pub index: usize,
+    /// Window start on the original trace's clock (inclusive).
+    pub start: f64,
+    /// Window end on the original trace's clock (exclusive).
+    pub end: f64,
+    /// Tasks owned by the window.
+    pub tasks: usize,
+    /// Events in the window's log.
+    pub events: usize,
+    /// Free (resampled) variables in the window.
+    pub free_variables: usize,
+    /// Whether this window was warm-started from the previous one.
+    pub warm_started: bool,
+    /// Whether the estimate was *carried* from the previous window
+    /// because this window owned no tasks (rates repeat, diagnostics are
+    /// NaN).
+    pub carried: bool,
+    /// Pooled rate estimates per queue (entry 0 is λ̂).
+    pub rates: Vec<f64>,
+    /// Pooled mean service estimates `1/µ̂_q`.
+    pub mean_service: Vec<f64>,
+    /// Per-queue split-R̂ of the window's chains.
+    pub split_rhat: Vec<f64>,
+    /// Per-queue pooled ESS of the window's chains.
+    pub ess: Vec<f64>,
+    /// Wall-clock seconds spent fitting the window. The only
+    /// non-deterministic field; excluded from
+    /// [`RateTrajectory::fingerprint`].
+    pub wall_secs: f64,
+}
+
+/// The output of a streaming run: one [`WindowEstimate`] per scheduled
+/// window, in window order.
+#[derive(Debug, Clone, Serialize)]
+pub struct RateTrajectory {
+    /// Queue count (including `q0`) of every per-queue vector.
+    pub num_queues: usize,
+    /// The schedule's window width.
+    pub width: f64,
+    /// The schedule's stride.
+    pub stride: f64,
+    /// Master seed the stream derived every window seed from.
+    pub master_seed: u64,
+    /// Chains pooled per window.
+    pub chains: usize,
+    /// Whether warm starts were enabled.
+    pub warm_start: bool,
+    /// Per-window estimates.
+    pub windows: Vec<WindowEstimate>,
+}
+
+impl RateTrajectory {
+    /// The per-window λ̂ series (entry 0 of each window's rates).
+    pub fn lambda_trace(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.rates[0]).collect()
+    }
+
+    /// The trajectory's deterministic bit content: `to_bits` of every
+    /// estimate field of every window (rates, mean service, split-R̂,
+    /// ESS, spans), excluding only wall-clock times. Two runs with the
+    /// same trace, schedule, and options must produce equal
+    /// fingerprints; see the [module docs](self) for the guarantee.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut bits = Vec::new();
+        for w in &self.windows {
+            bits.push(w.start.to_bits());
+            bits.push(w.end.to_bits());
+            bits.push(w.tasks as u64);
+            bits.push(w.free_variables as u64);
+            for v in w
+                .rates
+                .iter()
+                .chain(&w.mean_service)
+                .chain(&w.split_rhat)
+                .chain(&w.ess)
+            {
+                bits.push(v.to_bits());
+            }
+        }
+        bits
+    }
+
+    /// Writes the trajectory as CSV: one row per window with the span,
+    /// size, diagnostics summary, and every per-queue rate
+    /// (`rate_q0` is λ̂).
+    pub fn to_csv<W: std::io::Write>(&self, out: W) -> Result<(), InferenceError> {
+        let mut header: Vec<String> = [
+            "window",
+            "start",
+            "end",
+            "tasks",
+            "events",
+            "warm_started",
+            "carried",
+            "max_split_rhat",
+            "min_ess",
+            "wall_secs",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        for q in 0..self.num_queues {
+            header.push(format!("rate_q{q}"));
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut w = qni_trace::csv::CsvWriter::new(out, &header_refs)?;
+        for win in &self.windows {
+            let max_rhat = win.split_rhat.iter().copied().fold(f64::NAN, f64::max);
+            let min_ess = win.ess.iter().copied().fold(f64::INFINITY, f64::min);
+            let mut row = vec![
+                win.index.to_string(),
+                format!("{}", win.start),
+                format!("{}", win.end),
+                win.tasks.to_string(),
+                win.events.to_string(),
+                win.warm_started.to_string(),
+                win.carried.to_string(),
+                format!("{max_rhat}"),
+                format!("{min_ess}"),
+                format!("{}", win.wall_secs),
+            ];
+            row.extend(win.rates.iter().map(|r| format!("{r}")));
+            w.row(&row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the next window's warm-start targets from the previous
+/// window's final Gibbs log: every free time of a task shared by both
+/// windows is targeted at its previously imputed value, rebased onto the
+/// new window's clock.
+fn carry_warm_times(
+    prev: &WindowedLog,
+    prev_final: &EventLog,
+    cur: &WindowedLog,
+    total_events: usize,
+) -> WarmTimes {
+    // Original-trace event id -> previous window's local id.
+    let mut prev_local: Vec<Option<u32>> = vec![None; total_events];
+    for (pe, oe) in prev.event_mapping() {
+        prev_local[oe.index()] = Some(pe.index() as u32);
+    }
+    let shift = prev.start - cur.start;
+    let cur_log = cur.masked().ground_truth();
+    let mut warm = WarmTimes::empty(cur.num_events());
+    for (we, oe) in cur.event_mapping() {
+        let Some(pe) = prev_local[oe.index()] else {
+            continue;
+        };
+        let pe = qni_model::ids::EventId::from_index(pe as usize);
+        if !cur_log.is_initial_event(we) && !cur.masked().mask().arrival_observed(we) {
+            warm.set_transition(we, prev_final.arrival(pe) + shift);
+        }
+        if cur_log.is_final_event(we) && !cur.masked().mask().departure_observed(we) {
+            warm.set_final_departure(we, prev_final.departure(pe) + shift);
+        }
+    }
+    warm
+}
+
+/// Runs streaming StEM over `masked` under the window `schedule`.
+///
+/// Every scheduled window yields one [`WindowEstimate`], including
+/// windows that own no task (their estimate is carried forward so the
+/// trajectory always aligns with the schedule). See the
+/// [module docs](self) for warm-start semantics and the determinism
+/// contract.
+pub fn run_stream(
+    masked: &MaskedLog,
+    schedule: &WindowSchedule,
+    opts: &StreamOptions,
+) -> Result<RateTrajectory, InferenceError> {
+    opts.validate()?;
+    let windows = slice_windows(masked, schedule)?;
+    let num_queues = masked.ground_truth().num_queues();
+    let total_events = masked.ground_truth().num_events();
+    let mut out = Vec::with_capacity(windows.len());
+    // Previous fitted window: (window, chain-0 final log, pooled rates).
+    let mut prev: Option<(WindowedLog, EventLog, Vec<f64>)> = None;
+    for window in windows {
+        let start = std::time::Instant::now();
+        if window.num_tasks() == 0 {
+            let rates = prev
+                .as_ref()
+                .map(|(_, _, r)| r.clone())
+                .unwrap_or_else(|| vec![f64::NAN; num_queues]);
+            out.push(WindowEstimate {
+                index: window.index,
+                start: window.start,
+                end: window.end,
+                tasks: 0,
+                events: 0,
+                free_variables: 0,
+                warm_started: false,
+                carried: true,
+                mean_service: rates.iter().map(|r| 1.0 / r).collect(),
+                rates,
+                split_rhat: vec![f64::NAN; num_queues],
+                ess: vec![f64::NAN; num_queues],
+                wall_secs: start.elapsed().as_secs_f64(),
+            });
+            continue;
+        }
+        let popts = ParallelStemOptions {
+            stem: opts.stem.clone(),
+            chains: opts.chains,
+            master_seed: split_seed(opts.master_seed, window.index as u64),
+            thread_budget: opts.thread_budget,
+        };
+        let (initial_rates, warm) = match (&prev, opts.warm_start) {
+            (Some((pw, pfinal, prates)), true) => (
+                Some(prates.clone()),
+                Some(carry_warm_times(pw, pfinal, &window, total_events)),
+            ),
+            _ => (None, None),
+        };
+        let mut r = run_stem_parallel_warm(
+            window.masked(),
+            initial_rates.as_deref(),
+            warm.as_ref(),
+            &popts,
+        )?;
+        let free =
+            window.masked().free_arrivals().len() + window.masked().free_final_departures().len();
+        out.push(WindowEstimate {
+            index: window.index,
+            start: window.start,
+            end: window.end,
+            tasks: window.num_tasks(),
+            events: window.num_events(),
+            free_variables: free,
+            warm_started: warm.is_some(),
+            carried: false,
+            rates: r.rates.clone(),
+            mean_service: r.mean_service.clone(),
+            split_rhat: r.diagnostics.split_rhat.clone(),
+            ess: r.diagnostics.ess.clone(),
+            wall_secs: start.elapsed().as_secs_f64(),
+        });
+        // Chain 0 donates the Gibbs state carried into the next window;
+        // the pooled rates donate the next initial rates.
+        let donor = r.chains.swap_remove(0).final_log;
+        prev = Some((window, donor, r.rates));
+    }
+    Ok(RateTrajectory {
+        num_queues,
+        width: schedule.width(),
+        stride: schedule.stride(),
+        master_seed: opts.master_seed,
+        chains: opts.chains,
+        warm_start: opts.warm_start,
+        windows: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+    use qni_trace::ObservationScheme;
+
+    fn piecewise_masked(seed: u64) -> MaskedLog {
+        let bp = tandem(2.0, &[10.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let workload = Workload::piecewise_constant(vec![2.0, 5.0], vec![30.0], 60.0).unwrap();
+        let truth = Simulator::new(&bp.network)
+            .run(&workload, &mut rng)
+            .unwrap();
+        ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn options_validation() {
+        let bad = StreamOptions {
+            chains: 0,
+            ..StreamOptions::quick_test()
+        };
+        assert!(bad.validate().is_err());
+        let bad = StreamOptions {
+            thread_budget: Some(0),
+            ..StreamOptions::quick_test()
+        };
+        assert!(bad.validate().is_err());
+        let bad = StreamOptions {
+            stem: StemOptions {
+                iterations: 10,
+                burn_in: 8,
+                ..StemOptions::quick_test()
+            },
+            ..StreamOptions::quick_test()
+        };
+        assert!(bad.validate().is_err());
+        assert!(StreamOptions::quick_test().validate().is_ok());
+    }
+
+    #[test]
+    fn trajectory_shapes_and_alignment() {
+        let masked = piecewise_masked(1);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let opts = StreamOptions::quick_test();
+        let traj = run_stream(&masked, &schedule, &opts).unwrap();
+        assert_eq!(traj.num_queues, 2);
+        assert!(traj.windows.len() >= 5, "windows={}", traj.windows.len());
+        for (i, w) in traj.windows.iter().enumerate() {
+            assert_eq!(w.index, i);
+            assert!((w.start - i as f64 * 10.0).abs() < 1e-12);
+            assert!((w.end - w.start - 20.0).abs() < 1e-12);
+            assert_eq!(w.rates.len(), 2);
+            assert_eq!(w.split_rhat.len(), 2);
+            if !w.carried {
+                assert!(w.rates.iter().all(|r| r.is_finite() && *r > 0.0));
+            }
+        }
+        assert_eq!(traj.lambda_trace().len(), traj.windows.len());
+        // Later windows (rate 5 segment) see a clearly higher λ̂ than
+        // early ones (rate 2 segment).
+        let first = traj.windows.first().unwrap().rates[0];
+        let last_full = traj
+            .windows
+            .iter()
+            .rev()
+            .find(|w| !w.carried && w.end <= 60.0)
+            .unwrap();
+        assert!(
+            last_full.rates[0] > first,
+            "λ̂ should rise: first={first} last={}",
+            last_full.rates[0]
+        );
+    }
+
+    #[test]
+    fn warm_start_flags_and_cold_mode() {
+        let masked = piecewise_masked(2);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let warm = run_stream(&masked, &schedule, &StreamOptions::quick_test()).unwrap();
+        assert!(!warm.windows[0].warm_started, "first window has no donor");
+        assert!(warm.windows[1].warm_started);
+        let cold = run_stream(
+            &masked,
+            &schedule,
+            &StreamOptions {
+                warm_start: false,
+                ..StreamOptions::quick_test()
+            },
+        )
+        .unwrap();
+        assert!(cold.windows.iter().all(|w| !w.warm_started));
+        // Warm and cold chains consume the same RNG streams but start at
+        // different states: trajectories differ.
+        assert_ne!(warm.fingerprint(), cold.fingerprint());
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_seed_sensitive() {
+        let masked = piecewise_masked(3);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let opts = StreamOptions::quick_test();
+        let a = run_stream(&masked, &schedule, &opts).unwrap();
+        let b = run_stream(&masked, &schedule, &opts).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = run_stream(
+            &masked,
+            &schedule,
+            &StreamOptions {
+                master_seed: 99,
+                ..StreamOptions::quick_test()
+            },
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn csv_renders_one_row_per_window() {
+        let masked = piecewise_masked(4);
+        let schedule = WindowSchedule::new(30.0, 30.0).unwrap();
+        let traj = run_stream(&masked, &schedule, &StreamOptions::quick_test()).unwrap();
+        let mut buf = Vec::new();
+        traj.to_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), traj.windows.len() + 1);
+        assert!(lines[0].starts_with("window,start,end,tasks"));
+        assert!(lines[0].ends_with("rate_q0,rate_q1"), "{}", lines[0]);
+    }
+}

@@ -1,7 +1,9 @@
 //! Open-loop arrival processes.
 
 use crate::error::SimError;
-use qni_stats::point_process::{homogeneous_poisson, homogeneous_poisson_n, linear_ramp_poisson};
+use qni_stats::point_process::{
+    homogeneous_poisson, homogeneous_poisson_n, linear_ramp_poisson, piecewise_constant_poisson,
+};
 use rand::Rng;
 
 /// An open-loop workload: how task entry times are generated.
@@ -40,6 +42,21 @@ pub enum Workload {
         /// Rate at `horizon`.
         end_rate: f64,
         /// Horizon of the ramp.
+        horizon: f64,
+    },
+    /// Poisson arrivals whose rate is piecewise constant with abrupt
+    /// switchpoints — the canonical *time-varying* workload a fixed-log
+    /// estimator cannot fit (it reports one blended rate), built for the
+    /// streaming engine's windowed tracking.
+    PiecewiseConstant {
+        /// Per-segment rates; `rates[i]` applies on
+        /// `[switchpoints[i-1], switchpoints[i])` (segment 0 starts at 0,
+        /// the last segment ends at `horizon`).
+        rates: Vec<f64>,
+        /// Strictly increasing switch times inside `(0, horizon)`;
+        /// exactly `rates.len() - 1` entries.
+        switchpoints: Vec<f64>,
+        /// End of the workload; arrivals beyond it are not generated.
         horizon: f64,
     },
     /// Explicit entry times (must be sorted, non-negative).
@@ -99,6 +116,46 @@ impl Workload {
         })
     }
 
+    /// Piecewise-constant workload: `rates[i]` applies between
+    /// `switchpoints[i-1]` and `switchpoints[i]` (0 and `horizon` at the
+    /// ends). Needs one more rate than switchpoints, strictly increasing
+    /// switchpoints inside `(0, horizon)`, and positive finite rates.
+    pub fn piecewise_constant(
+        rates: Vec<f64>,
+        switchpoints: Vec<f64>,
+        horizon: f64,
+    ) -> Result<Self, SimError> {
+        if rates.is_empty() || rates.len() != switchpoints.len() + 1 {
+            return Err(SimError::BadWorkload {
+                what: "piecewise workload needs exactly one more rate than switchpoints",
+            });
+        }
+        if rates.iter().any(|r| !(r.is_finite() && *r > 0.0)) {
+            return Err(SimError::BadWorkload {
+                what: "piecewise rates must be positive and finite",
+            });
+        }
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimError::BadWorkload {
+                what: "horizon must be positive",
+            });
+        }
+        if switchpoints.windows(2).any(|w| w[0] >= w[1])
+            || switchpoints
+                .iter()
+                .any(|s| !(s.is_finite() && *s > 0.0 && *s < horizon))
+        {
+            return Err(SimError::BadWorkload {
+                what: "switchpoints must be strictly increasing inside (0, horizon)",
+            });
+        }
+        Ok(Workload::PiecewiseConstant {
+            rates,
+            switchpoints,
+            horizon,
+        })
+    }
+
     /// Explicit entry times.
     pub fn fixed(times: Vec<f64>) -> Result<Self, SimError> {
         if times.is_empty() {
@@ -129,6 +186,16 @@ impl Workload {
                 end_rate,
                 horizon,
             } => Ok(linear_ramp_poisson(*start_rate, *end_rate, *horizon, rng)?),
+            Workload::PiecewiseConstant {
+                rates,
+                switchpoints,
+                horizon,
+            } => Ok(piecewise_constant_poisson(
+                rates,
+                switchpoints,
+                *horizon,
+                rng,
+            )?),
             Workload::Fixed { times } => Ok(times.clone()),
         }
     }
@@ -162,6 +229,29 @@ mod tests {
         let w = Workload::fixed(vec![0.0, 1.0, 2.5]).unwrap();
         let t = w.sample(&mut rng_from_seed(2)).unwrap();
         assert_eq!(t, vec![0.0, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn piecewise_constructor_validates() {
+        assert!(Workload::piecewise_constant(vec![], vec![], 10.0).is_err());
+        assert!(Workload::piecewise_constant(vec![1.0, 2.0], vec![], 10.0).is_err());
+        assert!(Workload::piecewise_constant(vec![1.0, 0.0], vec![5.0], 10.0).is_err());
+        assert!(Workload::piecewise_constant(vec![1.0, 2.0], vec![10.0], 10.0).is_err());
+        assert!(Workload::piecewise_constant(vec![1.0, 2.0, 3.0], vec![6.0, 5.0], 10.0).is_err());
+        assert!(Workload::piecewise_constant(vec![1.0, 2.0], vec![5.0], 0.0).is_err());
+        assert!(Workload::piecewise_constant(vec![1.0, 2.0], vec![5.0], 10.0).is_ok());
+    }
+
+    #[test]
+    fn piecewise_switches_density() {
+        let w = Workload::piecewise_constant(vec![2.0, 10.0], vec![100.0], 200.0).unwrap();
+        let t = w.sample(&mut rng_from_seed(9)).unwrap();
+        assert!(t.windows(2).all(|p| p[0] <= p[1]));
+        let before = t.iter().filter(|&&x| x < 100.0).count() as f64;
+        let after = t.len() as f64 - before;
+        // Expected 200 vs 1000; ratio 0.2 with generous noise headroom.
+        let ratio = before / after;
+        assert!((ratio - 0.2).abs() < 0.08, "ratio={ratio}");
     }
 
     #[test]

@@ -88,6 +88,71 @@ pub fn inhomogeneous_poisson<R: Rng + ?Sized, F: Fn(f64) -> f64>(
     Ok(kept)
 }
 
+/// Samples a piecewise-constant Poisson process.
+///
+/// Segment `i` has rate `rates[i]` and covers `[breakpoints[i-1],
+/// breakpoints[i])` (with `breakpoints[-1] = 0` and the final segment
+/// running to `t_end`), so `rates.len() == breakpoints.len() + 1`. By
+/// the independent-increments property the restriction of a Poisson
+/// process to an interval is a Poisson process of the same rate, so each
+/// segment is sampled *exactly* — gap sampling per segment, no thinning
+/// — and the concatenation is the inhomogeneous process.
+///
+/// Breakpoints must be strictly increasing and lie inside `(0, t_end)`;
+/// every rate must be positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use qni_stats::point_process::piecewise_constant_poisson;
+/// use qni_stats::rng::rng_from_seed;
+///
+/// let mut rng = rng_from_seed(1);
+/// // Rate 2 on [0, 50), rate 6 on [50, 100).
+/// let times = piecewise_constant_poisson(&[2.0, 6.0], &[50.0], 100.0, &mut rng).unwrap();
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn piecewise_constant_poisson<R: Rng + ?Sized>(
+    rates: &[f64],
+    breakpoints: &[f64],
+    t_end: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, StatsError> {
+    if !(t_end.is_finite() && t_end > 0.0) {
+        return Err(StatsError::BadInterval { lo: 0.0, hi: t_end });
+    }
+    if rates.len() != breakpoints.len() + 1 {
+        return Err(StatsError::BadParameter {
+            what: "piecewise process needs exactly one more rate than breakpoints",
+        });
+    }
+    for pair in breakpoints.windows(2) {
+        if pair[0] >= pair[1] {
+            return Err(StatsError::BadInterval {
+                lo: pair[0],
+                hi: pair[1],
+            });
+        }
+    }
+    if let (Some(&first), Some(&last)) = (breakpoints.first(), breakpoints.last()) {
+        if !(first > 0.0 && last < t_end && first.is_finite() && last.is_finite()) {
+            return Err(StatsError::BadInterval {
+                lo: first,
+                hi: last,
+            });
+        }
+    }
+    let mut times = Vec::new();
+    let mut seg_start = 0.0;
+    for (i, &rate) in rates.iter().enumerate() {
+        let seg_end = breakpoints.get(i).copied().unwrap_or(t_end);
+        let seg = homogeneous_poisson(rate, seg_end - seg_start, rng)?;
+        times.extend(seg.into_iter().map(|t| seg_start + t));
+        seg_start = seg_end;
+    }
+    Ok(times)
+}
+
 /// Samples a linear-ramp Poisson process whose rate rises from `r0` at
 /// `t = 0` to `r1` at `t = t_end`.
 pub fn linear_ramp_poisson<R: Rng + ?Sized>(
@@ -155,5 +220,41 @@ mod tests {
         assert!(homogeneous_poisson(0.0, 1.0, &mut rng).is_err());
         assert!(homogeneous_poisson(1.0, 0.0, &mut rng).is_err());
         assert!(linear_ramp_poisson(0.0, 0.0, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn piecewise_segment_counts_match_rates() {
+        let mut rng = rng_from_seed(46);
+        let times = piecewise_constant_poisson(&[2.0, 8.0], &[500.0], 1_000.0, &mut rng).unwrap();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        let first = times.iter().filter(|&&t| t < 500.0).count() as f64;
+        let second = times.len() as f64 - first;
+        // Poisson(1000) / Poisson(4000): 5 sigma each.
+        assert!((first - 1_000.0).abs() < 160.0, "first={first}");
+        assert!((second - 4_000.0).abs() < 320.0, "second={second}");
+        assert!(*times.last().unwrap() < 1_000.0);
+    }
+
+    #[test]
+    fn piecewise_single_segment_matches_homogeneous() {
+        // With no breakpoints the sampler must consume the RNG exactly
+        // like the homogeneous process.
+        let a = piecewise_constant_poisson(&[3.0], &[], 200.0, &mut rng_from_seed(47)).unwrap();
+        let b = homogeneous_poisson(3.0, 200.0, &mut rng_from_seed(47)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn piecewise_validation() {
+        let mut rng = rng_from_seed(48);
+        // Shape mismatch.
+        assert!(piecewise_constant_poisson(&[1.0], &[5.0], 10.0, &mut rng).is_err());
+        // Unsorted breakpoints.
+        assert!(piecewise_constant_poisson(&[1.0, 2.0, 3.0], &[6.0, 5.0], 10.0, &mut rng).is_err());
+        // Breakpoint outside (0, t_end).
+        assert!(piecewise_constant_poisson(&[1.0, 2.0], &[0.0], 10.0, &mut rng).is_err());
+        assert!(piecewise_constant_poisson(&[1.0, 2.0], &[10.0], 10.0, &mut rng).is_err());
+        // Non-positive rate in a segment.
+        assert!(piecewise_constant_poisson(&[1.0, 0.0], &[5.0], 10.0, &mut rng).is_err());
     }
 }

@@ -17,6 +17,11 @@ pub enum TraceError {
         /// Window end.
         until: f64,
     },
+    /// A sliding-window schedule (or its application) was invalid.
+    BadSchedule {
+        /// What was wrong.
+        what: &'static str,
+    },
     /// An I/O error during trace reading/writing.
     Io(std::io::Error),
     /// A serialization error.
@@ -38,6 +43,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::BadWindow { from, until } => {
                 write!(f, "invalid window [{from}, {until})")
+            }
+            TraceError::BadSchedule { what } => {
+                write!(f, "invalid window schedule: {what}")
             }
             TraceError::Io(e) => write!(f, "I/O error: {e}"),
             TraceError::Serde(e) => write!(f, "serialization error: {e}"),

@@ -17,6 +17,8 @@
 //!   (which justifies the fixed-arrival-order assumption of the sampler).
 //! - [`record`]: serializable per-event trace records with JSONL
 //!   round-tripping.
+//! - [`window`]: sliding `(width, stride)` time windows over a masked
+//!   log — the unit of work of the streaming StEM engine.
 //! - [`csv`]: a minimal CSV writer used by the experiment harness.
 
 pub mod counter;
@@ -26,7 +28,9 @@ pub mod mask;
 pub mod observe;
 pub mod record;
 pub mod volume;
+pub mod window;
 
 pub use error::TraceError;
 pub use mask::{MaskedLog, ObservedMask};
 pub use observe::ObservationScheme;
+pub use window::{slice_windows, WindowSchedule, WindowedLog};

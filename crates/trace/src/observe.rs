@@ -25,8 +25,15 @@ pub enum ObservationScheme {
     },
     /// Observe all events of tasks that *enter* within a time window —
     /// models "turn tracing on for five minutes".
+    ///
+    /// The window is half-open, `[from, until)`, on the task's system
+    /// entry time: an entry exactly at `from` **is** observed, an entry
+    /// exactly at `until` is **not** (it belongs to the next window when
+    /// windows tile the axis — the same convention as
+    /// [`crate::window::WindowSchedule`]). A window that contains no
+    /// entry is valid and observes nothing.
     TimeWindow {
-        /// Window start (task entry time).
+        /// Window start (task entry time, inclusive).
         from: f64,
         /// Window end (exclusive).
         until: f64,
@@ -50,7 +57,11 @@ impl ObservationScheme {
         Ok(ObservationScheme::EventSampling { fraction })
     }
 
-    /// Time-window scheme with validation.
+    /// Time-window scheme with validation. The window is half-open,
+    /// `[from, until)` on task entry times (see
+    /// [`ObservationScheme::TimeWindow`]); `from == until` is rejected —
+    /// a zero-width window can never observe anything, so asking for one
+    /// is almost surely a caller bug rather than an intentional no-op.
     pub fn time_window(from: f64, until: f64) -> Result<Self, TraceError> {
         if !(from.is_finite() && until.is_finite() && until > from) {
             return Err(TraceError::BadWindow { from, until });
@@ -219,6 +230,65 @@ mod tests {
             let first_real = gt.task_events(k)[1];
             assert_eq!(ml.mask().arrival_observed(first_real), inside);
         }
+    }
+
+    #[test]
+    fn time_window_boundary_convention_is_half_open() {
+        use qni_model::ids::{QueueId, StateId};
+        use qni_model::log::EventLogBuilder;
+        // Entries exactly at 1.0 (the window start), 2.0 (inside), and
+        // 3.0 (the window end): [1, 3) must take the first two only.
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        for &t in &[1.0, 2.0, 3.0] {
+            b.add_task(t, &[(StateId(1), QueueId(1), t, t + 0.25)])
+                .unwrap();
+        }
+        let log = b.build().unwrap();
+        let ml = ObservationScheme::time_window(1.0, 3.0)
+            .unwrap()
+            .apply(log, &mut rng_from_seed(20))
+            .unwrap();
+        let gt = ml.ground_truth();
+        let first_real = |k: usize| gt.task_events(TaskId::from_index(k))[1];
+        assert!(
+            ml.mask().arrival_observed(first_real(0)),
+            "entry == from must be inside the window"
+        );
+        assert!(ml.mask().arrival_observed(first_real(1)));
+        assert!(
+            !ml.mask().arrival_observed(first_real(2)),
+            "entry == until must be outside the window"
+        );
+    }
+
+    #[test]
+    fn time_window_empty_and_whole_log_windows() {
+        let t = truth(60, 21);
+        let horizon = (0..t.num_tasks())
+            .map(|k| t.task_entry(TaskId::from_index(k)))
+            .fold(0.0f64, f64::max);
+        // A window past every entry observes nothing (but is valid).
+        let ml = ObservationScheme::time_window(horizon + 1.0, horizon + 2.0)
+            .unwrap()
+            .apply(t.clone(), &mut rng_from_seed(22))
+            .unwrap();
+        assert_eq!(ml.observed_arrival_fraction(), 0.0);
+        // A window covering every entry observes every task fully.
+        let ml = ObservationScheme::time_window(0.0, horizon + 1.0)
+            .unwrap()
+            .apply(t, &mut rng_from_seed(23))
+            .unwrap();
+        assert_eq!(ml.observed_arrival_fraction(), 1.0);
+        assert!(ml.free_arrivals().is_empty());
+    }
+
+    #[test]
+    fn time_window_rejects_degenerate_ranges() {
+        // from == until: zero-width windows are almost surely a bug.
+        assert!(ObservationScheme::time_window(2.0, 2.0).is_err());
+        assert!(ObservationScheme::time_window(3.0, 2.0).is_err());
+        assert!(ObservationScheme::time_window(f64::NAN, 2.0).is_err());
+        assert!(ObservationScheme::time_window(0.0, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! Sliding time windows over a masked log — the input of streaming
+//! inference.
+//!
+//! A [`WindowSchedule`] cuts the time axis into overlapping half-open
+//! windows `[k·stride, k·stride + width)`; [`slice_windows`] materializes
+//! each as a self-contained [`WindowedLog`]. The slicing convention
+//! mirrors [`crate::observe::ObservationScheme::TimeWindow`]:
+//!
+//! - **Task ownership is by system entry.** A task belongs to the window
+//!   whose half-open span contains its entry time (the arrival into the
+//!   system). An entry exactly on a window's start is inside; exactly on
+//!   its end is in the next window.
+//! - **Whole tasks ride along.** Events of a task that straddles the
+//!   window's end boundary stay with the entry-owning window, and their
+//!   boundary-crossing departures stay pinned to the task — so every
+//!   window is a complete constraint system (π/ρ pointers never reference
+//!   a neighbouring window) and can be handed to inference on its own.
+//! - **Each window gets its own clock.** All times are rebased by the
+//!   window start, so a window's q0 interarrival gaps (and hence its λ̂)
+//!   are local to the window rather than accumulating the absolute time
+//!   since the trace began. Rebasing is exact (a single subtraction per
+//!   time), so two overlapping windows agree bit-for-bit on the shared
+//!   suffix structure up to that shift.
+//!
+//! Mask bits are copied verbatim: an arrival observed in the full trace
+//! is observed in every window that contains it, and free times stay
+//! free. Slicing uses ground-truth entry times for *membership* only —
+//! the paper's event counters make the existence and count of tasks
+//! structural knowledge even when their times are unobserved.
+
+use crate::error::TraceError;
+use crate::mask::{MaskedLog, ObservedMask};
+use qni_model::ids::{EventId, TaskId};
+use qni_model::log::EventLogBuilder;
+
+/// A `(width, stride)` sliding-window schedule.
+///
+/// Window `k` spans `[k·stride, k·stride + width)`. `stride < width`
+/// yields overlapping windows (the usual streaming configuration, and
+/// what gives warm starts shared tasks to reuse); `stride == width`
+/// tiles the axis; `stride > width` subsamples it (tasks entering
+/// between windows belong to none).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSchedule {
+    width: f64,
+    stride: f64,
+}
+
+impl WindowSchedule {
+    /// Creates a schedule with validation: both `width` and `stride` must
+    /// be positive and finite.
+    pub fn new(width: f64, stride: f64) -> Result<Self, TraceError> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(TraceError::BadSchedule {
+                what: "window width must be positive and finite",
+            });
+        }
+        if !(stride.is_finite() && stride > 0.0) {
+            return Err(TraceError::BadSchedule {
+                what: "window stride must be positive and finite",
+            });
+        }
+        Ok(WindowSchedule { width, stride })
+    }
+
+    /// The window width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The stride between consecutive window starts.
+    pub fn stride(&self) -> f64 {
+        self.stride
+    }
+
+    /// The `[start, end)` spans covering `[0, horizon]`: windows start at
+    /// `0, stride, 2·stride, …` while the start does not exceed
+    /// `horizon`, so every entry time in `[0, horizon]` lies in at least
+    /// one window whenever `stride <= width`.
+    pub fn spans(&self, horizon: f64) -> Vec<(f64, f64)> {
+        let mut spans = Vec::new();
+        let mut k = 0usize;
+        loop {
+            let start = k as f64 * self.stride;
+            if k > 0 && start > horizon {
+                break;
+            }
+            spans.push((start, start + self.width));
+            k += 1;
+        }
+        spans
+    }
+}
+
+/// One window of a masked log: a self-contained [`MaskedLog`] on the
+/// window's local clock, plus the mapping back to the original trace.
+#[derive(Debug, Clone)]
+pub struct WindowedLog {
+    /// Position of the window in the schedule (0-based).
+    pub index: usize,
+    /// Window start on the original trace's clock (inclusive).
+    pub start: f64,
+    /// Window end on the original trace's clock (exclusive).
+    pub end: f64,
+    masked: MaskedLog,
+    orig_events: Vec<EventId>,
+    orig_tasks: Vec<TaskId>,
+}
+
+impl WindowedLog {
+    /// The window's self-contained masked log (times rebased so the
+    /// window starts at 0).
+    pub fn masked(&self) -> &MaskedLog {
+        &self.masked
+    }
+
+    /// Number of tasks owned by the window.
+    pub fn num_tasks(&self) -> usize {
+        self.orig_tasks.len()
+    }
+
+    /// Number of events in the window's log.
+    pub fn num_events(&self) -> usize {
+        self.orig_events.len()
+    }
+
+    /// Maps a window-local event id back to the original trace's event.
+    pub fn original_event(&self, e: EventId) -> EventId {
+        self.orig_events[e.index()]
+    }
+
+    /// Maps a window-local task id back to the original trace's task.
+    pub fn original_task(&self, k: TaskId) -> TaskId {
+        self.orig_tasks[k.index()]
+    }
+
+    /// Window-local event ids paired with their original-trace ids, in
+    /// window event order.
+    pub fn event_mapping(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.orig_events
+            .iter()
+            .enumerate()
+            .map(|(i, &orig)| (EventId::from_index(i), orig))
+    }
+}
+
+/// Slices a masked log into the schedule's windows.
+///
+/// Tasks are assigned by entry time under the half-open `[start, end)`
+/// convention documented at the [module level](self); windows that own
+/// no task are still emitted (with an empty log), so the trajectory's
+/// window indices always line up with the schedule. Errors if the trace
+/// has no tasks.
+pub fn slice_windows(
+    masked: &MaskedLog,
+    schedule: &WindowSchedule,
+) -> Result<Vec<WindowedLog>, TraceError> {
+    let truth = masked.ground_truth();
+    if truth.num_tasks() == 0 {
+        return Err(TraceError::BadSchedule {
+            what: "cannot window a trace with no tasks",
+        });
+    }
+    let entries: Vec<f64> = (0..truth.num_tasks())
+        .map(|k| truth.task_entry(TaskId::from_index(k)))
+        .collect();
+    let horizon = entries.iter().copied().fold(0.0f64, f64::max);
+    let initial_state = truth.state_of(truth.task_events(TaskId::from_index(0))[0]);
+    let spans = schedule.spans(horizon);
+    // Bin tasks into their owning windows in one pass: a task entering at
+    // `t` can only belong to windows whose index lies in
+    // `[(t - width)/stride, t/stride]`, so the scan per task is
+    // O(overlap factor), not O(windows). The index range is widened by
+    // one on each side against float rounding; the exact half-open span
+    // check decides membership. Task ids are visited in increasing
+    // order, so each bin stays in task-id order.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    for (k, &entry) in entries.iter().enumerate() {
+        let lo = ((entry - schedule.width()) / schedule.stride()).floor() as isize - 1;
+        let hi = (entry / schedule.stride()).floor() as isize + 1;
+        for i in lo.max(0)..=hi.min(spans.len() as isize - 1) {
+            let (start, end) = spans[i as usize];
+            if entry >= start && entry < end {
+                members[i as usize].push(k);
+            }
+        }
+    }
+    let mut windows = Vec::new();
+    for (index, ((start, end), member_tasks)) in spans.into_iter().zip(members).enumerate() {
+        let mut builder = EventLogBuilder::new(truth.num_queues(), initial_state);
+        let mut orig_events = Vec::new();
+        let mut orig_tasks = Vec::new();
+        let mut flags: Vec<(bool, bool)> = Vec::new();
+        for k in member_tasks {
+            let entry = entries[k];
+            let k = TaskId::from_index(k);
+            let events = truth.task_events(k);
+            let visits: Vec<_> = events[1..]
+                .iter()
+                .map(|&e| {
+                    (
+                        truth.state_of(e),
+                        truth.queue_of(e),
+                        truth.arrival(e) - start,
+                        truth.departure(e) - start,
+                    )
+                })
+                .collect();
+            builder
+                .add_task(entry - start, &visits)
+                .map_err(|_| TraceError::ShapeMismatch {
+                    expected: visits.len(),
+                    actual: 0,
+                })?;
+            orig_tasks.push(k);
+            for &e in events {
+                orig_events.push(e);
+                flags.push((
+                    masked.mask().arrival_observed(e),
+                    masked.mask().departure_observed(e),
+                ));
+            }
+        }
+        let log = builder.build().map_err(|_| TraceError::ShapeMismatch {
+            expected: orig_events.len(),
+            actual: 0,
+        })?;
+        let mut mask = ObservedMask::unobserved(log.num_events());
+        for (i, &(a, d)) in flags.iter().enumerate() {
+            let e = EventId::from_index(i);
+            if a {
+                mask.observe_arrival(e);
+            }
+            if d {
+                mask.observe_departure(e);
+            }
+        }
+        windows.push(WindowedLog {
+            index,
+            start,
+            end,
+            masked: MaskedLog::new(log, mask)?,
+            orig_events,
+            orig_tasks,
+        });
+    }
+    Ok(windows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::ObservationScheme;
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+
+    fn masked(n: usize, seed: u64) -> MaskedLog {
+        let bp = tandem(2.0, &[6.0, 8.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, n).unwrap(), &mut rng)
+            .unwrap();
+        ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(WindowSchedule::new(0.0, 1.0).is_err());
+        assert!(WindowSchedule::new(-1.0, 1.0).is_err());
+        assert!(WindowSchedule::new(1.0, 0.0).is_err());
+        assert!(WindowSchedule::new(f64::NAN, 1.0).is_err());
+        assert!(WindowSchedule::new(1.0, f64::INFINITY).is_err());
+        let s = WindowSchedule::new(4.0, 2.0).unwrap();
+        assert_eq!(s.width(), 4.0);
+        assert_eq!(s.stride(), 2.0);
+    }
+
+    #[test]
+    fn spans_cover_horizon() {
+        let s = WindowSchedule::new(4.0, 2.0).unwrap();
+        let spans = s.spans(5.0);
+        assert_eq!(spans, vec![(0.0, 4.0), (2.0, 6.0), (4.0, 8.0)]);
+        // A start exactly on the horizon is still emitted (covers the
+        // last entry); the next one is not.
+        let spans = s.spans(4.0);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[2], (4.0, 8.0));
+    }
+
+    #[test]
+    fn every_task_lands_in_some_window_when_overlapping() {
+        let ml = masked(120, 1);
+        let s = WindowSchedule::new(10.0, 5.0).unwrap();
+        let windows = slice_windows(&ml, &s).unwrap();
+        let total_owned: usize = windows
+            .iter()
+            .step_by(2) // Non-overlapping subset: starts 0, 10, 20, …
+            .map(WindowedLog::num_tasks)
+            .sum();
+        assert_eq!(total_owned, ml.ground_truth().num_tasks());
+    }
+
+    #[test]
+    fn windows_are_rebased_and_self_contained() {
+        let ml = masked(100, 2);
+        let s = WindowSchedule::new(12.0, 6.0).unwrap();
+        for w in slice_windows(&ml, &s).unwrap() {
+            let log = w.masked().ground_truth();
+            assert_eq!(log.num_tasks(), w.num_tasks());
+            qni_model::constraints::validate(log).unwrap();
+            for k in 0..log.num_tasks() {
+                let k = TaskId::from_index(k);
+                let entry = log.task_entry(k);
+                // Local clock: entries lie in [0, width).
+                assert!(
+                    (0.0..s.width()).contains(&entry),
+                    "window {} entry {entry} outside [0, {})",
+                    w.index,
+                    s.width()
+                );
+                // The original task's entry is the rebased one.
+                let orig = w.original_task(k);
+                let orig_entry = ml.ground_truth().task_entry(orig);
+                assert!((orig_entry - (w.start + entry)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_bits_and_times_carry_over() {
+        let ml = masked(80, 3);
+        let s = WindowSchedule::new(15.0, 15.0).unwrap();
+        for w in slice_windows(&ml, &s).unwrap() {
+            let log = w.masked().ground_truth();
+            for (we, oe) in w.event_mapping() {
+                assert_eq!(
+                    w.masked().mask().arrival_observed(we),
+                    ml.mask().arrival_observed(oe),
+                    "arrival bit of {oe} changed"
+                );
+                assert_eq!(
+                    w.masked().mask().departure_observed(we),
+                    ml.mask().departure_observed(oe),
+                );
+                assert_eq!(log.queue_of(we), ml.ground_truth().queue_of(oe));
+                if !log.is_initial_event(we) {
+                    let shifted = ml.ground_truth().arrival(oe) - w.start;
+                    assert!((log.arrival(we) - shifted).abs() < 1e-12);
+                }
+                let shifted = ml.ground_truth().departure(oe) - w.start;
+                assert!((log.departure(we) - shifted).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_entry_goes_to_the_owning_window() {
+        use qni_model::ids::{QueueId, StateId};
+        // Entries exactly at 0.0, 5.0 (a boundary), and 7.5.
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        for &t in &[0.0, 5.0, 7.5] {
+            b.add_task(t, &[(StateId(1), QueueId(1), t, t + 0.5)])
+                .unwrap();
+        }
+        let log = b.build().unwrap();
+        let n = log.num_events();
+        let ml = MaskedLog::new(log, ObservedMask::fully_observed(n)).unwrap();
+        let s = WindowSchedule::new(5.0, 5.0).unwrap();
+        let windows = slice_windows(&ml, &s).unwrap();
+        // [0,5): the t=0 task only. [5,10): the boundary task and 7.5.
+        assert_eq!(windows[0].num_tasks(), 1);
+        assert_eq!(windows[1].num_tasks(), 2);
+        assert_eq!(windows[1].original_task(TaskId(0)), TaskId(1));
+    }
+
+    #[test]
+    fn empty_windows_are_emitted_and_empty_traces_rejected() {
+        use qni_model::ids::{QueueId, StateId};
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(0.5, &[(StateId(1), QueueId(1), 0.5, 1.0)])
+            .unwrap();
+        b.add_task(9.5, &[(StateId(1), QueueId(1), 9.5, 10.0)])
+            .unwrap();
+        let log = b.build().unwrap();
+        let n = log.num_events();
+        let ml = MaskedLog::new(log, ObservedMask::fully_observed(n)).unwrap();
+        let s = WindowSchedule::new(3.0, 3.0).unwrap();
+        let windows = slice_windows(&ml, &s).unwrap();
+        // Starts 0, 3, 6, 9: the middle two own nothing but still exist.
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[1].num_tasks(), 0);
+        assert_eq!(windows[2].num_tasks(), 0);
+        assert_eq!(windows[1].num_events(), 0);
+        assert_eq!(windows[3].num_tasks(), 1);
+
+        let empty = EventLogBuilder::new(2, StateId(0)).build().unwrap();
+        let ml = MaskedLog::new(empty, ObservedMask::unobserved(0)).unwrap();
+        assert!(slice_windows(&ml, &s).is_err());
+    }
+
+    #[test]
+    fn straddling_tasks_keep_their_late_events() {
+        use qni_model::ids::{QueueId, StateId};
+        // One task entering at 4.9 whose service runs to 12.0 — far past
+        // the [0, 5) window end.
+        let mut b = EventLogBuilder::new(2, StateId(0));
+        b.add_task(4.9, &[(StateId(1), QueueId(1), 4.9, 12.0)])
+            .unwrap();
+        let log = b.build().unwrap();
+        let n = log.num_events();
+        let ml = MaskedLog::new(log, ObservedMask::fully_observed(n)).unwrap();
+        let s = WindowSchedule::new(5.0, 5.0).unwrap();
+        let windows = slice_windows(&ml, &s).unwrap();
+        assert_eq!(windows[0].num_tasks(), 1);
+        let wlog = windows[0].masked().ground_truth();
+        let last = wlog.task_events(TaskId(0))[1];
+        // Departure pinned past the boundary, on the window clock.
+        assert!((wlog.departure(last) - 12.0).abs() < 1e-12);
+    }
+}

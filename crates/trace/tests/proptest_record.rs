@@ -1,0 +1,142 @@
+//! Property-based end-to-end round-trip of the trace record layer:
+//! `to_records` → `write_jsonl` → `read_jsonl` → `from_records` must
+//! reproduce the original [`MaskedLog`] exactly — mask bits, pinned
+//! times (bitwise: the JSONL writer uses shortest-round-trip float
+//! formatting), queue ids, and task structure — across random
+//! topologies and masks.
+
+use proptest::prelude::*;
+use qni_model::ids::{EventId, QueueId, StateId};
+use qni_model::log::{EventLog, EventLogBuilder};
+use qni_trace::record::{from_records, read_jsonl, to_records, write_jsonl};
+use qni_trace::{MaskedLog, ObservedMask};
+
+/// A randomly generated multi-queue task set: per task, an entry gap and
+/// a visit list of `(queue, wait-ish gap, service gap)` hops.
+type RawTasks = Vec<(f64, Vec<(usize, f64, f64)>)>;
+
+/// Strategy: 1–8 tasks over a 2–5 queue network, visits 1–4 hops long.
+fn raw_tasks(num_queues: usize) -> impl Strategy<Value = RawTasks> {
+    collection::vec(
+        (
+            0.01f64..3.0, // Entry gap to the previous task.
+            collection::vec((1..num_queues, 0.0f64..1.5, 0.01f64..2.0), 1usize..4),
+        ),
+        1usize..8,
+    )
+}
+
+/// Builds a log from raw tasks: times accumulate along each task, so the
+/// builder's per-task monotonicity always holds (cross-task queue order
+/// is whatever it is — the record layer must round-trip any such log).
+fn build_log(num_queues: usize, raw: &RawTasks) -> EventLog {
+    let mut b = EventLogBuilder::new(num_queues, StateId(0));
+    let mut entry = 0.0f64;
+    for (gap, hops) in raw {
+        entry += gap;
+        let mut t = entry;
+        let visits: Vec<_> = hops
+            .iter()
+            .map(|&(q, wait, service)| {
+                let arrival = t;
+                t += wait + service;
+                (StateId(q as u32), QueueId(q as u32), arrival, t)
+            })
+            .collect();
+        b.add_task(entry, &visits).expect("valid task");
+    }
+    b.build().expect("buildable")
+}
+
+/// Applies 2-bit mask codes (bit 0: arrival, bit 1: departure) per event.
+fn build_mask(log: &EventLog, codes: &[u8]) -> ObservedMask {
+    let mut mask = ObservedMask::unobserved(log.num_events());
+    for e in log.event_ids() {
+        let code = codes[e.index() % codes.len()];
+        if code & 1 != 0 {
+            mask.observe_arrival(e);
+        }
+        if code & 2 != 0 {
+            mask.observe_departure(e);
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn jsonl_round_trip_reproduces_masked_log(
+        (num_queues, raw, codes) in (2usize..6).prop_flat_map(|q| {
+            (Just(q), raw_tasks(q), collection::vec(0u8..4, 1usize..32))
+        })
+    ) {
+        let log = build_log(num_queues, &raw);
+        let mask = build_mask(&log, &codes);
+        let original = MaskedLog::new(log, mask).expect("masked log");
+
+        let records = to_records(original.ground_truth(), original.mask());
+        prop_assert_eq!(records.len(), original.ground_truth().num_events());
+        let mut buf = Vec::new();
+        write_jsonl(&original, &mut buf).expect("write");
+        let read_back = read_jsonl(std::io::Cursor::new(&buf)).expect("read");
+        // The streamed records equal the in-memory extraction.
+        prop_assert_eq!(&read_back, &records);
+
+        let rebuilt = from_records(&read_back, num_queues).expect("rebuild");
+        let (a, b) = (original.ground_truth(), rebuilt.ground_truth());
+        prop_assert_eq!(a.num_events(), b.num_events());
+        prop_assert_eq!(a.num_tasks(), b.num_tasks());
+        prop_assert_eq!(a.num_queues(), b.num_queues());
+        for e in a.event_ids() {
+            // Bitwise time equality: JSONL floats are shortest-round-trip.
+            prop_assert_eq!(a.arrival(e).to_bits(), b.arrival(e).to_bits());
+            prop_assert_eq!(a.departure(e).to_bits(), b.departure(e).to_bits());
+            prop_assert_eq!(a.queue_of(e), b.queue_of(e));
+            prop_assert_eq!(a.task_of(e), b.task_of(e));
+            prop_assert_eq!(a.state_of(e), b.state_of(e));
+            // Mask bits (including the forced-observed initial arrivals).
+            prop_assert_eq!(
+                original.mask().arrival_observed(e),
+                rebuilt.mask().arrival_observed(e)
+            );
+            prop_assert_eq!(
+                original.mask().departure_observed(e),
+                rebuilt.mask().departure_observed(e)
+            );
+        }
+        // Derived free-variable structure agrees too.
+        prop_assert_eq!(original.free_arrivals(), rebuilt.free_arrivals());
+        prop_assert_eq!(
+            original.free_final_departures(),
+            rebuilt.free_final_departures()
+        );
+    }
+
+    #[test]
+    fn scrubbed_views_agree_after_round_trip(
+        (num_queues, raw, codes) in (2usize..5).prop_flat_map(|q| {
+            (Just(q), raw_tasks(q), collection::vec(0u8..4, 1usize..16))
+        })
+    ) {
+        // What inference actually consumes is the scrubbed log; NaN
+        // patterns must survive the disk round trip exactly.
+        let log = build_log(num_queues, &raw);
+        let mask = build_mask(&log, &codes);
+        let original = MaskedLog::new(log, mask).expect("masked log");
+        let mut buf = Vec::new();
+        write_jsonl(&original, &mut buf).expect("write");
+        let rebuilt = from_records(
+            &read_jsonl(std::io::Cursor::new(&buf)).expect("read"),
+            num_queues,
+        )
+        .expect("rebuild");
+        let (sa, sb) = (original.scrubbed_log(), rebuilt.scrubbed_log());
+        for e in sa.event_ids() {
+            let e2 = EventId::from_index(e.index());
+            prop_assert_eq!(sa.arrival(e).is_nan(), sb.arrival(e2).is_nan());
+            prop_assert_eq!(sa.departure(e).is_nan(), sb.departure(e2).is_nan());
+        }
+    }
+}

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "infer" => cmd_infer(&flags, false),
         "localize" => cmd_infer(&flags, true),
+        "stream" => cmd_stream(&flags),
         "volume" => cmd_volume(&flags),
         "--help" | "help" => {
             println!("{USAGE}");
@@ -60,6 +61,10 @@ USAGE:
   qni localize --trace trace.jsonl [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
                [--threads N]
+  qni stream   --trace trace.jsonl --window W --stride S
+               [--warm-start on|off] [--iterations 200] [--burn-in N]
+               [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
+               [--threads N] [--out traj.csv] [--json traj.json]
   qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -144,8 +149,22 @@ fn load_masked(flags: &HashMap<String, String>) -> Result<MaskedLog, String> {
     qni::trace::record::from_records(&records, num_queues).map_err(|e| e.to_string())
 }
 
-fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(), String> {
-    let masked = load_masked(flags)?;
+/// The engine knobs shared by `infer`, `localize`, and `stream`.
+struct EngineFlags {
+    opts: StemOptions,
+    chains: usize,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+}
+
+/// Parses and validates the shared engine flags (`--iterations`,
+/// `--burn-in`, `--seed`, `--chains`, `--batch`, `--shards`,
+/// `--threads`).
+fn parse_engine_flags(
+    flags: &HashMap<String, String>,
+    waiting_sweeps: usize,
+) -> Result<EngineFlags, String> {
     let iterations = get_usize(flags, "iterations", 200)?;
     let burn_in = get_usize(flags, "burn-in", iterations / 2)?;
     let seed = get_usize(flags, "seed", 2)? as u64;
@@ -187,7 +206,7 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
     let opts = StemOptions {
         iterations,
         burn_in,
-        waiting_sweeps: 20,
+        waiting_sweeps,
         batch,
         shard,
         ..StemOptions::default()
@@ -195,6 +214,24 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
     // Catches an empty kept-sample window (--burn-in >= --iterations) up
     // front with a clear message instead of a confusing all-NaN table.
     opts.validate().map_err(|e| e.to_string())?;
+    Ok(EngineFlags {
+        opts,
+        chains,
+        seed,
+        shards,
+        threads,
+    })
+}
+
+fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(), String> {
+    let masked = load_masked(flags)?;
+    let EngineFlags {
+        opts,
+        chains,
+        seed,
+        shards,
+        threads,
+    } = parse_engine_flags(flags, 20)?;
     // Every chain count (including 1) routes through the parallel engine,
     // so diagnostics are always reported and every run uses the same
     // seed-derivation scheme (chain k draws from split_seed(seed, k); to
@@ -252,6 +289,100 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
                 d.kind
             );
         }
+    }
+    Ok(())
+}
+
+fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
+    let masked = load_masked(flags)?;
+    let width: f64 = flags
+        .get("window")
+        .ok_or("stream requires --window W")?
+        .parse()
+        .map_err(|_| "--window: bad number".to_owned())?;
+    let stride: f64 = flags
+        .get("stride")
+        .ok_or("stream requires --stride S")?
+        .parse()
+        .map_err(|_| "--stride: bad number".to_owned())?;
+    if !(width.is_finite() && width > 0.0) {
+        return Err("--window must be > 0".into());
+    }
+    if !(stride.is_finite() && stride > 0.0) {
+        return Err("--stride must be > 0".into());
+    }
+    let warm_start = match flags.get("warm-start").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(v) => return Err(format!("--warm-start: expected `on` or `off`, got `{v}`")),
+    };
+    // waiting_sweeps = 1: per-window fits do not report waiting times;
+    // one fixed-rate sweep keeps the chain state fresh for the next
+    // window's warm start.
+    let EngineFlags {
+        opts,
+        chains,
+        seed,
+        shards: _,
+        threads,
+    } = parse_engine_flags(flags, 1)?;
+    let schedule = WindowSchedule::new(width, stride).map_err(|e| e.to_string())?;
+    let sopts = StreamOptions {
+        stem: opts,
+        chains,
+        master_seed: seed,
+        thread_budget: Some(threads),
+        warm_start,
+    };
+    let traj = run_stream(&masked, &schedule, &sopts).map_err(|e| e.to_string())?;
+    println!(
+        "streaming over {} window(s) (width {width}, stride {stride}, warm-start {}, \
+         {chains} chain(s), master seed {seed}; window w seeds via split_seed(seed, w))",
+        traj.windows.len(),
+        if warm_start { "on" } else { "off" },
+    );
+    println!(
+        "{:<7} {:>16} {:>7} {:>10} {:>12} {:>10}",
+        "window", "span", "tasks", "λ̂", "max split-R̂", "min ESS"
+    );
+    for w in &traj.windows {
+        let max_rhat = w.split_rhat.iter().copied().fold(f64::NAN, f64::max);
+        let min_ess = w.ess.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "w{:<6} [{:>6.1},{:>6.1}) {:>7} {:>10.4} {:>12.4} {:>10.1}{}",
+            w.index,
+            w.start,
+            w.end,
+            w.tasks,
+            w.rates[0],
+            max_rhat,
+            min_ess,
+            if w.carried {
+                "  (carried: empty window)"
+            } else {
+                ""
+            }
+        );
+    }
+    // Per-queue service-rate trajectories, one line per queue.
+    for q in 1..traj.num_queues {
+        let series: Vec<String> = traj
+            .windows
+            .iter()
+            .map(|w| format!("{:.3}", w.rates[q]))
+            .collect();
+        println!("µ̂ q{q}: [{}]", series.join(", "));
+    }
+    if let Some(path) = flags.get("out") {
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        traj.to_csv(std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote trajectory CSV to {path}");
+    }
+    if let Some(path) = flags.get("json") {
+        let json = serde_json::to_string(&traj).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        eprintln!("wrote trajectory JSON to {path}");
     }
     Ok(())
 }

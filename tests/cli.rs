@@ -189,6 +189,124 @@ fn infer_rejects_empty_kept_window_and_bad_batch_flag() {
 }
 
 #[test]
+fn stream_happy_path_rejections_and_shard_identity() {
+    let dir = std::env::temp_dir().join("qni-cli-stream-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let out = qni()
+        .args([
+            "simulate",
+            "--tiers",
+            "1,1",
+            "--lambda",
+            "4",
+            "--mu",
+            "8",
+            "--tasks",
+            "150",
+            "--observe",
+            "0.4",
+            "--seed",
+            "9",
+            "--out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    // Happy path: per-window table, CSV and JSON outputs.
+    let csv = dir.join("traj.csv");
+    let json = dir.join("traj.json");
+    let out = qni()
+        .args([
+            "stream",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+            "--out",
+            csv.to_str().expect("utf8 path"),
+            "--json",
+            json.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run stream");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("streaming over"), "stdout: {stdout}");
+    assert!(stdout.contains("warm-start on"), "stdout: {stdout}");
+    assert!(stdout.contains("w0"), "stdout: {stdout}");
+    assert!(stdout.contains("split-R̂"), "stdout: {stdout}");
+    let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(
+        csv_text.starts_with("window,start,end,tasks"),
+        "csv: {csv_text}"
+    );
+    assert!(csv_text.lines().count() > 2, "csv: {csv_text}");
+    let json_text = std::fs::read_to_string(&json).expect("json written");
+    assert!(json_text.contains("\"windows\""), "json: {json_text}");
+
+    // Sharding is a pure performance knob for streaming too: stdout must
+    // be byte-identical across --shards (wall times are not printed).
+    let stream_stdout = |extra: &[&str]| {
+        let mut args = vec![
+            "stream",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+        ];
+        args.extend_from_slice(extra);
+        let out = qni().args(&args).output().expect("run stream");
+        assert!(
+            out.status.success(),
+            "{:?}: {}",
+            extra,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let base = stream_stdout(&[]);
+    assert_eq!(base, stream_stdout(&["--shards", "2"]));
+
+    // Rejections: zero stride, non-positive width, --warm-start typos.
+    let reject = |args: &[&str], needle: &str| {
+        let mut full = vec!["stream", "--trace", trace.to_str().expect("utf8 path")];
+        full.extend_from_slice(args);
+        let out = qni().args(&full).output().expect("run stream");
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+    };
+    reject(&["--window", "10", "--stride", "0"], "--stride must be > 0");
+    reject(&["--window", "0", "--stride", "5"], "--window must be > 0");
+    reject(&["--window", "-3", "--stride", "5"], "--window must be > 0");
+    reject(
+        &["--window", "10", "--stride", "5", "--warm-start", "maybe"],
+        "--warm-start",
+    );
+    reject(&["--stride", "5"], "--window");
+    reject(&["--window", "10"], "--stride");
+}
+
+#[test]
 fn volume_reports_reduction() {
     let out = qni()
         .args([
