@@ -26,6 +26,14 @@ use qni_trace::{MaskedLog, ObservationScheme, WindowSchedule};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// Monotonic seconds since the first call — the wall clock injected into
+/// [`StreamOptions::clock`] so `qni-core` itself stays wall-clock-free.
+fn monotonic_secs() -> f64 {
+    use std::sync::OnceLock;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
 /// The piecewise-constant M/M/1 scenario every point runs on.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamScenario {
@@ -240,6 +248,7 @@ pub fn run_experiment(quick: bool) -> (StreamTrackingReport, RateTrajectory, Rat
         master_seed: scenario.seed,
         thread_budget: None,
         warm_start: warm,
+        clock: Some(monotonic_secs),
     };
 
     let start = Instant::now();

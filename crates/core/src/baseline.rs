@@ -52,7 +52,7 @@ pub fn task_fully_observed(masked: &MaskedLog, k: TaskId) -> bool {
     let all_arrivals = events[1..]
         .iter()
         .all(|&e| masked.mask().arrival_observed(e));
-    let last = *events.last().expect("tasks are non-empty");
+    let last = *events.last().expect("tasks are non-empty"); // qni-lint: allow(QNI-E002) — TaskLog validates tasks non-empty at construction
     all_arrivals && masked.mask().departure_observed(last)
 }
 

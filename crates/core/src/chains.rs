@@ -199,7 +199,7 @@ pub fn run_stem_parallel_warm(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("chain thread panicked"))
+            .map(|h| h.join().expect("chain thread panicked")) // qni-lint: allow(QNI-E002) — re-raising a panicked chain thread is the intended failure mode
             .collect()
     });
     let chains = results.into_iter().collect::<Result<Vec<_>, _>>()?;

@@ -66,7 +66,7 @@ pub fn split_potential_scale_reduction(chains: &[Vec<f64>]) -> Result<f64, Infer
             what: "split-R̂ needs at least one chain",
         });
     }
-    let n = chains.iter().map(Vec::len).min().expect("non-empty");
+    let n = chains.iter().map(Vec::len).min().expect("non-empty"); // qni-lint: allow(QNI-E002) — caller contract: diagnostics run on at least one chain
     let half = n / 2;
     if half < 2 {
         return Err(InferenceError::BadOptions {

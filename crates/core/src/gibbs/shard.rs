@@ -162,7 +162,7 @@ pub(crate) fn prepare_wave(
         return crate::gibbs::batch::prepare_chunk(log, rates, bufs);
     }
     let mut chunks = split_even(bufs, workers).into_iter();
-    let leader_chunk = chunks.next().expect("at least one chunk");
+    let leader_chunk = chunks.next().expect("at least one chunk"); // qni-lint: allow(QNI-E002) — chunks(n) with n >= 1 always yields a first chunk
     let results: Vec<Result<(), InferenceError>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .map(|chunk| s.spawn(move || crate::gibbs::batch::prepare_chunk(log, rates, chunk)))
@@ -175,7 +175,7 @@ pub(crate) fn prepare_wave(
             .chain(
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked")),
+                    .map(|h| h.join().expect("shard worker panicked")), // qni-lint: allow(QNI-E002) — re-raising a panicked shard worker is the intended failure mode
             )
             .collect()
     });

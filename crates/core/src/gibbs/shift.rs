@@ -62,7 +62,7 @@ pub fn task_fully_free(masked: &qni_trace::MaskedLog, k: TaskId) -> bool {
     let arrivals_free = events[1..]
         .iter()
         .all(|&e| !masked.mask().arrival_observed(e));
-    let last = *events.last().expect("tasks are non-empty");
+    let last = *events.last().expect("tasks are non-empty"); // qni-lint: allow(QNI-E002) — TaskLog validates tasks non-empty at construction
     arrivals_free && !masked.mask().departure_observed(last)
 }
 
@@ -184,10 +184,11 @@ pub fn shift_conditional(
     let mut slopes = Vec::with_capacity(live.len() + 1);
     slopes.push(base_slope);
     for &(_, delta) in &live {
-        slopes.push(slopes.last().expect("non-empty") + delta);
+        slopes.push(slopes.last().expect("non-empty") + delta); // qni-lint: allow(QNI-E002) — slopes is seeded with one element above
     }
     // An unbounded upper support requires a decaying final slope; the last
     // task's entry-gap term (−λ) guarantees it, but guard anyway.
+    // qni-lint: allow(QNI-E002) — slopes is seeded with one element above
     if upper.is_infinite() && *slopes.last().expect("non-empty") >= 0.0 {
         return Err(InferenceError::BadMoveTarget {
             event: events[0],
@@ -209,7 +210,7 @@ pub fn apply_shift(log: &mut EventLog, k: TaskId, delta: f64) {
         let a = log.arrival(e);
         log.set_transition_time(e, a + delta);
     }
-    let last = *events.last().expect("tasks are non-empty");
+    let last = *events.last().expect("tasks are non-empty"); // qni-lint: allow(QNI-E002) — TaskLog validates tasks non-empty at construction
     let d = log.departure(last);
     log.set_final_departure(last, d + delta);
 }

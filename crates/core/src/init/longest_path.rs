@@ -92,7 +92,7 @@ fn desired_value(
     }
     let owner = match slots.kind(v) {
         // An arrival slot holds d_{π(e)}: the serviced event is π(e).
-        SlotKind::Arrival(e) => log.pi(e).expect("non-initial events have π"),
+        SlotKind::Arrival(e) => log.pi(e).expect("non-initial events have π"), // qni-lint: allow(QNI-E002) — arrival slots exist only for non-initial events
         SlotKind::Final(e) => e,
     };
     let mu = rates[log.queue_of(owner).index()];

@@ -73,6 +73,25 @@ use qni_trace::window::{slice_windows, WindowSchedule, WindowedLog};
 use qni_trace::MaskedLog;
 use serde::Serialize;
 
+/// A monotonic-seconds source for per-window timing. `qni-core` itself
+/// never reads the wall clock (the byte-reproducibility contract is
+/// lint-enforced: QNI-D001); binaries that want real
+/// [`WindowEstimate::wall_secs`] inject one, e.g.
+///
+/// ```ignore
+/// fn secs() -> f64 {
+///     use std::sync::OnceLock;
+///     use std::time::Instant;
+///     static START: OnceLock<Instant> = OnceLock::new();
+///     START.get_or_init(Instant::now).elapsed().as_secs_f64()
+/// }
+/// let opts = StreamOptions { clock: Some(secs), ..StreamOptions::default() };
+/// ```
+///
+/// Only *differences* of the returned values are used, so any monotonic
+/// epoch works.
+pub type ClockFn = fn() -> f64;
+
 /// Options for [`run_stream`].
 #[derive(Debug, Clone)]
 pub struct StreamOptions {
@@ -91,6 +110,11 @@ pub struct StreamOptions {
     /// rate estimates and final Gibbs state (see the module docs). Off
     /// means every window starts cold from [`crate::stem::heuristic_rates`].
     pub warm_start: bool,
+    /// Optional injected clock for [`WindowEstimate::wall_secs`]. With
+    /// `None` (the default) every `wall_secs` is `0.0` — timing is a
+    /// caller concern, and a library-side clock read would violate the
+    /// determinism contract ([`ClockFn`] shows the caller-side recipe).
+    pub clock: Option<ClockFn>,
 }
 
 impl Default for StreamOptions {
@@ -101,6 +125,7 @@ impl Default for StreamOptions {
             master_seed: 0,
             thread_budget: None,
             warm_start: true,
+            clock: None,
         }
     }
 }
@@ -168,7 +193,9 @@ pub struct WindowEstimate {
     pub split_rhat: Vec<f64>,
     /// Per-queue pooled ESS of the window's chains.
     pub ess: Vec<f64>,
-    /// Wall-clock seconds spent fitting the window. The only
+    /// Seconds spent fitting the window, measured by the injected
+    /// [`StreamOptions::clock`] (`0.0` when no clock is provided — the
+    /// library itself never reads the wall clock). The only potentially
     /// non-deterministic field; excluded from
     /// [`RateTrajectory::fingerprint`].
     pub wall_secs: f64,
@@ -323,8 +350,9 @@ pub fn run_stream(
     let mut out = Vec::with_capacity(windows.len());
     // Previous fitted window: (window, chain-0 final log, pooled rates).
     let mut prev: Option<(WindowedLog, EventLog, Vec<f64>)> = None;
+    let now = || opts.clock.map_or(0.0, |c| c());
     for window in windows {
-        let start = std::time::Instant::now();
+        let start = now();
         if window.num_tasks() == 0 {
             let rates = prev
                 .as_ref()
@@ -343,7 +371,7 @@ pub fn run_stream(
                 rates,
                 split_rhat: vec![f64::NAN; num_queues],
                 ess: vec![f64::NAN; num_queues],
-                wall_secs: start.elapsed().as_secs_f64(),
+                wall_secs: now() - start,
             });
             continue;
         }
@@ -381,7 +409,7 @@ pub fn run_stream(
             mean_service: r.mean_service.clone(),
             split_rhat: r.diagnostics.split_rhat.clone(),
             ess: r.diagnostics.ess.clone(),
-            wall_secs: start.elapsed().as_secs_f64(),
+            wall_secs: now() - start,
         });
         // Chain 0 donates the Gibbs state carried into the next window;
         // the pooled rates donate the next initial rates.

@@ -1,0 +1,186 @@
+//! Per-crate rule scoping.
+//!
+//! Which rule families apply where is workspace policy, declared here
+//! in one place — *not* scattered through source files as allow
+//! directives. Library crates carry the full determinism and
+//! error-discipline contract; binaries and the experiment harness are
+//! allowed to read the clock and panic on bad input, but nobody gets to
+//! compare floats exactly.
+
+use crate::rules::RuleId;
+use std::path::PathBuf;
+
+/// Which rule families run for a crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilySet {
+    /// D-rules: determinism (wall clock, RNG sources, hash iteration).
+    pub determinism: bool,
+    /// N-rules: numerical soundness.
+    pub numerics: bool,
+    /// E-rules: error discipline (no panicking constructs).
+    pub errors: bool,
+}
+
+impl FamilySet {
+    /// Everything on — the library-crate contract.
+    pub const LIBRARY: FamilySet = FamilySet {
+        determinism: true,
+        numerics: true,
+        errors: true,
+    };
+
+    /// Numerics only — binaries and benches may time and panic, but
+    /// float comparison hygiene is universal.
+    pub const NUMERICS_ONLY: FamilySet = FamilySet {
+        determinism: false,
+        numerics: true,
+        errors: false,
+    };
+
+    /// Whether a given rule's family is enabled.
+    pub fn enables(&self, rule: RuleId) -> bool {
+        match rule.family() {
+            'D' => self.determinism,
+            'N' => self.numerics,
+            'E' => self.errors,
+            // L-rules (directive hygiene) always run: a malformed or
+            // stale directive is wrong wherever it is.
+            _ => true,
+        }
+    }
+}
+
+/// One crate (or source tree) to scan.
+#[derive(Debug, Clone)]
+pub struct CrateConfig {
+    /// Crate name as reported in diagnostics.
+    pub name: &'static str,
+    /// Source root, relative to the workspace root. Only `.rs` files
+    /// under this directory are scanned (so `tests/`, `benches/`, and
+    /// `examples/` trees — integration-test code — are out of scope by
+    /// construction).
+    pub src: &'static str,
+    /// Enabled rule families.
+    pub families: FamilySet,
+}
+
+/// The workspace scan policy: every first-party crate, with its
+/// contract level.
+///
+/// - The six library crates (`qni-core`, `qni-stats`, `qni-model`,
+///   `qni-trace`, `qni-sim`, `qni-lp`) plus `qni-lint` itself carry the
+///   full contract.
+/// - The root facade/CLI, `qni-webapp` (the experiment testbed), and
+///   `qni-bench` (the measurement harness — it exists to read the
+///   clock) are exempt from D- and E-rules *here, by policy*, not by
+///   scattered allow directives.
+/// - Vendored stand-ins under `vendor/` are third-party API surface and
+///   are not scanned at all.
+pub fn workspace_crates() -> Vec<CrateConfig> {
+    vec![
+        CrateConfig {
+            name: "qni",
+            src: "src",
+            families: FamilySet::NUMERICS_ONLY,
+        },
+        CrateConfig {
+            name: "qni-core",
+            src: "crates/core/src",
+            families: FamilySet::LIBRARY,
+        },
+        CrateConfig {
+            name: "qni-lp",
+            src: "crates/lp/src",
+            families: FamilySet::LIBRARY,
+        },
+        CrateConfig {
+            name: "qni-model",
+            src: "crates/model/src",
+            families: FamilySet::LIBRARY,
+        },
+        CrateConfig {
+            name: "qni-sim",
+            src: "crates/sim/src",
+            families: FamilySet::LIBRARY,
+        },
+        CrateConfig {
+            name: "qni-stats",
+            src: "crates/stats/src",
+            families: FamilySet::LIBRARY,
+        },
+        CrateConfig {
+            name: "qni-trace",
+            src: "crates/trace/src",
+            families: FamilySet::LIBRARY,
+        },
+        CrateConfig {
+            name: "qni-lint",
+            src: "crates/lint/src",
+            families: FamilySet::LIBRARY,
+        },
+        CrateConfig {
+            name: "qni-webapp",
+            src: "crates/webapp/src",
+            families: FamilySet::NUMERICS_ONLY,
+        },
+        CrateConfig {
+            name: "qni-bench",
+            src: "crates/bench/src",
+            families: FamilySet::NUMERICS_ONLY,
+        },
+    ]
+}
+
+/// Resolves the workspace root: walks up from `start` to the first
+/// directory containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &std::path::Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_set_enables_all_families() {
+        assert!(FamilySet::LIBRARY.enables(RuleId::D001));
+        assert!(FamilySet::LIBRARY.enables(RuleId::N001));
+        assert!(FamilySet::LIBRARY.enables(RuleId::E001));
+        assert!(FamilySet::LIBRARY.enables(RuleId::L001));
+    }
+
+    #[test]
+    fn numerics_only_still_polices_directives() {
+        assert!(!FamilySet::NUMERICS_ONLY.enables(RuleId::D001));
+        assert!(!FamilySet::NUMERICS_ONLY.enables(RuleId::E003));
+        assert!(FamilySet::NUMERICS_ONLY.enables(RuleId::N002));
+        assert!(FamilySet::NUMERICS_ONLY.enables(RuleId::L002));
+    }
+
+    #[test]
+    fn the_six_library_crates_carry_the_full_contract() {
+        let crates = workspace_crates();
+        for name in [
+            "qni-core",
+            "qni-stats",
+            "qni-model",
+            "qni-trace",
+            "qni-sim",
+            "qni-lp",
+        ] {
+            let c = crates
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from scan policy"));
+            assert_eq!(c.families, FamilySet::LIBRARY, "{name}");
+        }
+    }
+}

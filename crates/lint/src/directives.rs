@@ -1,0 +1,204 @@
+//! `// qni-lint: allow(RULE_ID) — reason` directives.
+//!
+//! Every suppression is inline, names the rule it silences, and must
+//! carry a reason — so the allowlist *is* the review record. Syntax:
+//!
+//! ```text
+//! // qni-lint: allow(QNI-E002) — slots are filled for every event by construction
+//! // qni-lint: allow(QNI-E001, QNI-E002) - ASCII dash separators work too
+//! ```
+//!
+//! Binding: a trailing directive (code before it on the same line)
+//! applies to its own line; a standalone directive line applies to the
+//! *next* line. A directive with no reason, an unknown rule ID, or an
+//! unparseable body is QNI-L001; a well-formed directive that suppressed
+//! nothing in its run is QNI-L002 (stale allows must not accumulate).
+//! The L-rules themselves are not suppressible.
+
+use crate::lexer::Comment;
+use crate::rules::RuleId;
+
+/// A parsed, well-formed allow directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rules this directive suppresses.
+    pub rules: Vec<RuleId>,
+    /// The required justification text.
+    pub reason: String,
+    /// Line the directive comment starts on.
+    pub line: usize,
+    /// Column of the comment.
+    pub col: usize,
+    /// The source line the directive applies to.
+    pub target_line: usize,
+}
+
+/// A directive that failed to parse (reported as QNI-L001).
+#[derive(Debug, Clone)]
+pub struct MalformedDirective {
+    /// Line of the directive comment.
+    pub line: usize,
+    /// Column of the directive comment.
+    pub col: usize,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// The directives found in one file's comments.
+#[derive(Debug, Clone, Default)]
+pub struct Directives {
+    /// Well-formed directives.
+    pub allows: Vec<AllowDirective>,
+    /// Malformed ones (each becomes a QNI-L001 diagnostic).
+    pub malformed: Vec<MalformedDirective>,
+}
+
+/// The marker that introduces a directive inside a comment.
+const MARKER: &str = "qni-lint:";
+
+/// Extracts directives from a file's comments.
+pub fn parse_directives(comments: &[Comment]) -> Directives {
+    let mut out = Directives::default();
+    for c in comments {
+        // Doc comments are documentation, not pragmas: rustdoc prose
+        // (and doctest code) showing the directive syntax must not
+        // create live directives.
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        if c.text.starts_with("/**") || c.text.starts_with("/*!") {
+            continue;
+        }
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        let body = c.text[pos + MARKER.len()..].trim();
+        let target_line = if c.code_before_on_line {
+            c.line
+        } else {
+            c.line + 1
+        };
+        match parse_body(body) {
+            Ok((rules, reason)) => out.allows.push(AllowDirective {
+                rules,
+                reason,
+                line: c.line,
+                col: c.col,
+                target_line,
+            }),
+            Err(problem) => out.malformed.push(MalformedDirective {
+                line: c.line,
+                col: c.col,
+                problem,
+            }),
+        }
+    }
+    out
+}
+
+/// Parses `allow(ID[, ID…]) <sep> reason`.
+fn parse_body(body: &str) -> Result<(Vec<RuleId>, String), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("expected `allow(…)` after `{MARKER}`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` list".to_owned())?;
+    let mut rules = Vec::new();
+    for raw in rest[..close].split(',') {
+        let name = raw.trim();
+        let rule = RuleId::parse(name).ok_or_else(|| format!("unknown rule `{name}`"))?;
+        if !rule.suppressible() {
+            return Err(format!("rule {rule} cannot be suppressed"));
+        }
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err("empty rule list".to_owned());
+    }
+    // The reason: everything after the closing paren, minus a leading
+    // separator (em dash, hyphen run, or colon). Required.
+    let mut reason = rest[close + 1..].trim_start();
+    for sep in ["—", "–", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r.trim_start();
+            break;
+        }
+    }
+    // Block-comment directives may carry the comment terminator.
+    let reason = reason.trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return Err(
+            "missing reason — write `allow(RULE) — why this exception is sound`".to_owned(),
+        );
+    }
+    Ok((rules, reason.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directives(src: &str) -> Directives {
+        parse_directives(&lex(src).comments)
+    }
+
+    #[test]
+    fn trailing_directive_targets_own_line() {
+        let d = directives("let x = y.expect(\"z\"); // qni-lint: allow(QNI-E002) — proven\n");
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].target_line, 1);
+        assert_eq!(d.allows[0].rules, [RuleId::E002]);
+        assert_eq!(d.allows[0].reason, "proven");
+    }
+
+    #[test]
+    fn standalone_directive_targets_next_line() {
+        let d = directives("// qni-lint: allow(QNI-E001) - invariant holds\nlet x = y.unwrap();");
+        assert_eq!(d.allows[0].target_line, 2);
+    }
+
+    #[test]
+    fn multi_rule_list() {
+        let d = directives("// qni-lint: allow(QNI-E001, QNI-E002) — both reviewed\n");
+        assert_eq!(d.allows[0].rules, [RuleId::E001, RuleId::E002]);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let d = directives("// qni-lint: allow(QNI-E001)\n");
+        assert_eq!(d.allows.len(), 0);
+        assert_eq!(d.malformed.len(), 1);
+        assert!(d.malformed[0].problem.contains("missing reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let d = directives("// qni-lint: allow(QNI-Z999) — whatever\n");
+        assert!(d.malformed[0].problem.contains("unknown rule"));
+    }
+
+    #[test]
+    fn l_rules_cannot_be_suppressed() {
+        let d = directives("// qni-lint: allow(QNI-L002) — trying to silence the police\n");
+        assert!(d.malformed[0].problem.contains("cannot be suppressed"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_pragmas() {
+        let d = directives("/// qni-lint: allow(QNI-E001) — doc example\nfn f() {}");
+        assert!(d.allows.is_empty() && d.malformed.is_empty());
+    }
+
+    #[test]
+    fn non_directive_comments_ignored() {
+        let d = directives("// plain comment about qni-lint the tool\nlet x = 1;");
+        // Mentions the tool by name, but lacks the marker's colon form.
+        assert!(d.allows.is_empty() && d.malformed.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! The lint engine: file walking, per-file scanning, suppression, and
+//! report assembly.
+
+use crate::config::{workspace_crates, CrateConfig};
+use crate::directives::parse_directives;
+use crate::error::LintError;
+use crate::lexer::lex;
+use crate::report::{Diagnostic, LintReport};
+use crate::rules::{determinism, errors, numerics, RuleId};
+use crate::scan::{test_spans, Finding};
+use std::path::{Path, PathBuf};
+
+/// Lints the whole workspace rooted at `root` under the default scan
+/// policy ([`workspace_crates`]).
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    lint_filtered(root, None)
+}
+
+/// Lints the workspace, restricted to files whose workspace-relative
+/// path starts with one of `filters` (empty filter list = everything).
+/// Crate scoping still comes from the policy, so pointing the CLI at
+/// one file applies exactly the rules that CI would.
+pub fn lint_paths(root: &Path, filters: &[String]) -> Result<LintReport, LintError> {
+    lint_filtered(root, Some(filters))
+}
+
+fn lint_filtered(root: &Path, filters: Option<&[String]>) -> Result<LintReport, LintError> {
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut suppressions_used = 0usize;
+    for krate in workspace_crates() {
+        let src_root = root.join(krate.src);
+        if !src_root.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_root, &mut files)?;
+        for path in files {
+            let rel = relative_display(root, &path);
+            if let Some(filters) = filters {
+                let keep = filters.is_empty()
+                    || filters.iter().any(|f| {
+                        let f = f.trim_start_matches("./");
+                        rel.starts_with(f)
+                    });
+                if !keep {
+                    continue;
+                }
+            }
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| LintError::Io(format!("{}: {e}", path.display())))?;
+            files_scanned += 1;
+            let (mut file_diags, used) = lint_source(&krate, &rel, &source);
+            suppressions_used += used;
+            diagnostics.append(&mut file_diags);
+        }
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(LintReport {
+        diagnostics,
+        files_scanned,
+        suppressions_used,
+    })
+}
+
+/// Lints one source text under a crate's policy. Pure (no filesystem) —
+/// this is the entry point the fixture tests and proptests drive.
+/// Returns the diagnostics plus the number of allow directives that
+/// suppressed at least one finding.
+pub fn lint_source(krate: &CrateConfig, file: &str, source: &str) -> (Vec<Diagnostic>, usize) {
+    let lexed = lex(source);
+    let skip = test_spans(&lexed.tokens);
+    let mut findings: Vec<Finding> = Vec::new();
+    if krate.families.determinism {
+        findings.extend(determinism::scan(&lexed.tokens, &skip));
+    }
+    if krate.families.numerics {
+        findings.extend(numerics::scan(&lexed.tokens, &skip));
+    }
+    if krate.families.errors {
+        findings.extend(errors::scan(&lexed.tokens, &skip));
+    }
+    // Where an N002 finding and an E-finding land on the same token
+    // (`partial_cmp(..).unwrap()`), the sharper N002 message wins.
+    let n002_tokens: Vec<usize> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::N002)
+        .map(|f| f.token_idx)
+        .collect();
+    findings.retain(|f| {
+        !(matches!(f.rule, RuleId::E001 | RuleId::E002) && n002_tokens.contains(&f.token_idx))
+    });
+
+    let directives = parse_directives(&lexed.comments);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: usize| -> String {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    };
+
+    let mut used = vec![false; directives.allows.len()];
+    let mut out = Vec::new();
+    for f in findings {
+        let tok = &lexed.tokens[f.token_idx];
+        let suppressed = directives
+            .allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.target_line == tok.line && a.rules.contains(&f.rule));
+        if let Some((i, _)) = suppressed {
+            used[i] = true;
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            rule: f.rule,
+            severity: f.rule.severity(),
+            message: f.message,
+            snippet: snippet(tok.line),
+            krate: krate.name.to_owned(),
+        });
+    }
+    // Directive hygiene (QNI-L001/L002) applies in every crate.
+    for m in &directives.malformed {
+        out.push(Diagnostic {
+            file: file.to_owned(),
+            line: m.line,
+            col: m.col,
+            rule: RuleId::L001,
+            severity: RuleId::L001.severity(),
+            message: format!("malformed allow directive: {}", m.problem),
+            snippet: snippet(m.line),
+            krate: krate.name.to_owned(),
+        });
+    }
+    for (i, a) in directives.allows.iter().enumerate() {
+        if !used[i] {
+            let rules: Vec<&str> = a.rules.iter().map(|r| r.as_str()).collect();
+            out.push(Diagnostic {
+                file: file.to_owned(),
+                line: a.line,
+                col: a.col,
+                rule: RuleId::L002,
+                severity: RuleId::L002.severity(),
+                message: format!(
+                    "allow({}) suppresses nothing on line {}; remove the stale directive",
+                    rules.join(", "),
+                    a.target_line
+                ),
+                snippet: snippet(a.line),
+                krate: krate.name.to_owned(),
+            });
+        }
+    }
+    let used_count = used.iter().filter(|u| **u).count();
+    (out, used_count)
+}
+
+/// Recursively collects `.rs` files under `dir`, in sorted order — the
+/// lint's own output must be deterministic, and `read_dir` order is
+/// filesystem-dependent.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| LintError::Io(format!("{}: {e}", dir.display())))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative display path with `/` separators (stable across
+/// platforms, so reports and fixtures compare bytewise).
+fn relative_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FamilySet;
+
+    fn lib_crate() -> CrateConfig {
+        CrateConfig {
+            name: "fixture",
+            src: "src",
+            families: FamilySet::LIBRARY,
+        }
+    }
+
+    fn diags(source: &str) -> Vec<Diagnostic> {
+        lint_source(&lib_crate(), "src/f.rs", source).0
+    }
+
+    #[test]
+    fn suppression_consumes_and_counts() {
+        let src = "fn f(m: Option<u32>) -> u32 {\n    // qni-lint: allow(QNI-E001) — checked by caller\n    m.unwrap()\n}\n";
+        let (d, used) = lint_source(&lib_crate(), "src/f.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let d = diags("// qni-lint: allow(QNI-E001) — nothing here\nfn f() {}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::L002);
+    }
+
+    #[test]
+    fn wrong_rule_in_allow_does_not_suppress() {
+        let src = "fn f(m: Option<u32>) -> u32 {\n    m.unwrap() // qni-lint: allow(QNI-E002) — wrong rule\n}\n";
+        let d = diags(src);
+        // The unwrap still fires (E001), and the directive is unused (L002).
+        assert!(d.iter().any(|x| x.rule == RuleId::E001));
+        assert!(d.iter().any(|x| x.rule == RuleId::L002));
+    }
+
+    #[test]
+    fn n002_beats_e001_on_same_token() {
+        let src =
+            "fn f(a: f64, b: f64) -> std::cmp::Ordering {\n    a.partial_cmp(&b).unwrap()\n}\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::N002);
+    }
+
+    #[test]
+    fn numerics_only_crate_skips_d_and_e() {
+        let krate = CrateConfig {
+            name: "bench",
+            src: "src",
+            families: FamilySet::NUMERICS_ONLY,
+        };
+        let src = "fn f(m: Option<u32>) { let t = Instant::now(); m.unwrap(); let _ = t; }\n";
+        let (d, _) = lint_source(&krate, "src/b.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_snippet() {
+        let d = diags("fn f(m: Option<u32>) -> u32 {\n    m.unwrap()\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].col), (2, 7));
+        assert_eq!(d[0].snippet, "m.unwrap()");
+    }
+}

@@ -1,0 +1,28 @@
+//! Error type for the lint engine.
+
+/// Failures of the lint *run* itself (rule violations are not errors —
+/// they are the report's payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// Filesystem failure while walking or reading sources.
+    Io(String),
+    /// JSON report rendering failed.
+    Json(String),
+    /// The workspace root could not be located.
+    NoWorkspaceRoot,
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(msg) => write!(f, "io error: {msg}"),
+            LintError::Json(msg) => write!(f, "json error: {msg}"),
+            LintError::NoWorkspaceRoot => write!(
+                f,
+                "could not find the workspace root (a directory with Cargo.toml and crates/)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}

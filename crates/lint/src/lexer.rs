@@ -1,0 +1,635 @@
+//! Hand-rolled Rust lexer for the lint engine.
+//!
+//! The container has no crates.io access, so `qni-lint` cannot lean on
+//! `syn` or `proc-macro2`; instead this module tokenizes Rust source
+//! directly. It is *not* a full grammar — the rule scanners only need a
+//! token stream that is exactly right about one thing: **what is code
+//! and what is not**. A forbidden pattern inside a string literal, raw
+//! string, char literal, doc comment, or block comment must never reach
+//! a rule scanner (pinned by `tests/proptest_lexer.rs`), and the allow
+//! directives that suppress rules live *in* comments, so comments are
+//! lexed losslessly rather than discarded.
+//!
+//! Coverage beyond the basics that matters for correctness here:
+//!
+//! - raw strings with arbitrary `#` fences (`r##"…"##`), byte and C
+//!   string prefixes (`b"…"`, `br#"…"#`, `c"…"`, `cr"…"`),
+//! - raw identifiers (`r#type` is an identifier, not a raw string),
+//! - lifetimes vs. char literals (`'a>` vs `'a'`),
+//! - nested block comments (`/* /* */ */`),
+//! - float vs. integer vs. tuple-index lexing (`1.0` is a float, `1.` is
+//!   a float, `1.max(2)` is an integer plus a method call, `x.0.1` is
+//!   two tuple indexes, `0..n` is an integer plus a range operator).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, with the `r#`
+    /// prefix stripped so `r#fn` compares equal to `fn`).
+    Ident,
+    /// Integer literal (any base, any suffix except `f32`/`f64`).
+    Int,
+    /// Float literal (decimal point, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br"…"`, `c"…"`, `cr"…"` — content is opaque to rule scanners.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Operator or punctuation, longest-match (`==`, `!=`, `::`, …).
+    Op,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind of the token.
+    pub kind: TokenKind,
+    /// Token text. For [`TokenKind::Str`]/[`TokenKind::Char`] this is
+    /// the full literal including quotes and prefixes; for raw
+    /// identifiers the `r#` prefix is stripped.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+/// One comment with its position and layout context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line on which the comment starts.
+    pub line: usize,
+    /// 1-based column of the comment's first character.
+    pub col: usize,
+    /// Whether any code token precedes the comment on its start line
+    /// (distinguishes trailing `code(); // note` comments from
+    /// standalone comment lines — allow directives bind differently).
+    pub code_before_on_line: bool,
+}
+
+/// The lexer's output: code tokens and comments, each in source order.
+#[derive(Debug, Clone, Default)]
+pub struct LexOutput {
+    /// Code tokens (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Comments (line and block, doc and plain).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `source`. Unterminated strings/comments are tolerated (the
+/// rest of the file becomes one literal/comment token): the linter must
+/// degrade gracefully on code that `rustc` would reject anyway.
+pub fn lex(source: &str) -> LexOutput {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: LexOutput,
+    last_code_line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            src: source,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: LexOutput::default(),
+            last_code_line: 0,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn slice_from(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
+        self.last_code_line = line.max(self.last_code_line);
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> LexOutput {
+        // A shebang line is skipped wholesale (only legal at byte 0).
+        if self.src.starts_with("#!") && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(line, col),
+                _ if c.is_ascii_digit() => self.number(line, col),
+                '"' => self.string_literal(0, line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                _ => self.operator(line, col),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize, col: usize) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.slice_from(start);
+        self.out.comments.push(Comment {
+            text,
+            line,
+            col,
+            code_before_on_line: self.last_code_line == line,
+        });
+    }
+
+    fn block_comment(&mut self, line: usize, col: usize) {
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = self.slice_from(start);
+        self.out.comments.push(Comment {
+            text,
+            line,
+            col,
+            code_before_on_line: self.last_code_line == line,
+        });
+    }
+
+    /// Identifier, keyword, raw identifier, or a string/char literal
+    /// with an identifier-like prefix (`r"…"`, `b'…'`, `br#"…"#`, …).
+    fn ident_or_prefixed_literal(&mut self, line: usize, col: usize) {
+        // Raw-string / byte / C-string prefixes. Longest first.
+        for prefix in ["br", "cr", "b", "c", "r"] {
+            if self.matches_word_prefix(prefix) {
+                let after = prefix.chars().count();
+                match self.peek(after) {
+                    Some('"') => {
+                        for _ in 0..after {
+                            self.bump();
+                        }
+                        if prefix.ends_with('r') {
+                            self.raw_string_body(line, col);
+                        } else {
+                            self.string_literal(after, line, col);
+                        }
+                        return;
+                    }
+                    Some('#') if prefix.ends_with('r') => {
+                        // Could be r#"…"# (raw string) or r#ident (raw
+                        // identifier). Hashes followed by a quote mean a
+                        // raw string.
+                        let mut k = after;
+                        while self.peek(k) == Some('#') {
+                            k += 1;
+                        }
+                        if self.peek(k) == Some('"') {
+                            for _ in 0..after {
+                                self.bump();
+                            }
+                            self.raw_string_body(line, col);
+                            return;
+                        }
+                        if prefix == "r" && k == after + 1 {
+                            // Raw identifier r#foo: strip the prefix so
+                            // keyword comparison still works.
+                            self.bump();
+                            self.bump();
+                            let start = self.pos;
+                            self.consume_ident();
+                            let text = self.slice_from(start);
+                            self.push_token(TokenKind::Ident, text, line, col);
+                            return;
+                        }
+                    }
+                    Some('\'') if !prefix.ends_with('r') => {
+                        for _ in 0..after {
+                            self.bump();
+                        }
+                        self.char_literal_body(line, col);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let start = self.pos;
+        self.consume_ident();
+        let text = self.slice_from(start);
+        self.push_token(TokenKind::Ident, text, line, col);
+    }
+
+    /// Whether the word at the cursor starts with `prefix` (chars).
+    fn matches_word_prefix(&self, prefix: &str) -> bool {
+        prefix
+            .chars()
+            .enumerate()
+            .all(|(i, p)| self.peek(i) == Some(p))
+    }
+
+    fn consume_ident(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Ordinary (escaped) string literal. `back` is how many chars of
+    /// prefix before the cursor belong to the literal.
+    fn string_literal(&mut self, back: usize, line: usize, col: usize) {
+        let start = self.pos - back;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        let text = self.slice_from(start);
+        self.push_token(TokenKind::Str, text, line, col);
+    }
+
+    /// Raw string body starting at the `#`s or quote (prefix consumed).
+    fn raw_string_body(&mut self, line: usize, col: usize) {
+        let start = self.pos;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` hashes.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text = self.slice_from(start);
+        self.push_token(TokenKind::Str, text, line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        // 'a' is a char, 'a is a lifetime; disambiguate by whether the
+        // identifier after the quote is immediately followed by a quote.
+        if let Some(c1) = self.peek(1) {
+            if is_ident_start(c1) {
+                let mut k = 2;
+                while self.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                if self.peek(k) != Some('\'') {
+                    // Lifetime.
+                    let start = self.pos;
+                    self.bump();
+                    self.consume_ident();
+                    let text = self.slice_from(start);
+                    self.push_token(TokenKind::Lifetime, text, line, col);
+                    return;
+                }
+            }
+        }
+        self.char_literal_body(line, col);
+    }
+
+    fn char_literal_body(&mut self, line: usize, col: usize) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        let text = self.slice_from(start);
+        self.push_token(TokenKind::Char, text, line, col);
+    }
+
+    fn number(&mut self, line: usize, col: usize) {
+        let start = self.pos;
+        let mut is_float = false;
+        // A number directly after `.` is a tuple index (`x.0`, `x.0.1`):
+        // digits only, never a float.
+        if matches!(self.out.tokens.last(), Some(t) if t.kind == TokenKind::Op && t.text == ".") {
+            self.consume_digits();
+            let text = self.slice_from(start);
+            self.push_token(TokenKind::Int, text, line, col);
+            return;
+        }
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b' | 'X')) {
+            // Radix literal: digits (liberally) plus underscores.
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.bump();
+            }
+            let text = self.slice_from(start);
+            self.push_token(TokenKind::Int, text, line, col);
+            return;
+        }
+        self.consume_digits();
+        // Decimal point: only when followed by a digit, end-of-number
+        // context, or nothing — `1.max()` and `0..n` keep the int.
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    is_float = true;
+                    self.bump();
+                    self.consume_digits();
+                }
+                Some(c) if is_ident_start(c) || c == '.' => {}
+                _ => {
+                    // `1.` trailing-dot float (e.g. `(1., 2.)`).
+                    is_float = true;
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let direct_digit = sign.is_some_and(|c| c.is_ascii_digit());
+            let signed_digit =
+                matches!(sign, Some('+' | '-')) && digit.is_some_and(|c| c.is_ascii_digit());
+            if direct_digit || signed_digit {
+                is_float = true;
+                self.bump();
+                if signed_digit {
+                    self.bump();
+                }
+                self.consume_digits();
+            }
+        }
+        // Suffix (`u32`, `f64`, …).
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix = self.slice_from(suffix_start);
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        let text = self.slice_from(start);
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push_token(kind, text, line, col);
+    }
+
+    fn consume_digits(&mut self) {
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+    }
+
+    fn operator(&mut self, line: usize, col: usize) {
+        const THREE: [&str; 4] = ["<<=", ">>=", "..=", "..."];
+        const TWO: [&str; 18] = [
+            "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<", ">>", "+=", "-=",
+            "*=", "/=", "%=", "^=",
+        ];
+        for op in THREE {
+            if self.matches_word_prefix(op) {
+                for _ in 0..3 {
+                    self.bump();
+                }
+                self.push_token(TokenKind::Op, op.to_owned(), line, col);
+                return;
+            }
+        }
+        for op in TWO {
+            if self.matches_word_prefix(op) {
+                self.bump();
+                self.bump();
+                self.push_token(TokenKind::Op, op.to_owned(), line, col);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push_token(TokenKind::Op, c.to_string(), line, col);
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = kinds("let x = a.unwrap();");
+        assert_eq!(t[0], (TokenKind::Ident, "let".to_owned()));
+        assert_eq!(t[3], (TokenKind::Ident, "a".to_owned()));
+        assert_eq!(t[4], (TokenKind::Op, ".".to_owned()));
+        assert_eq!(t[5], (TokenKind::Ident, "unwrap".to_owned()));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let out = lex(r#"let s = "a.unwrap() == 1.0"; s"#);
+        assert!(out
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || t.text != "unwrap"));
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let out = lex(r###"let s = r#"thread_rng() "quoted" panic!"#; x"###);
+        let strs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("thread_rng"));
+        assert_eq!(out.tokens.last().map(|t| t.text.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let t = kinds("fn r#type() {}");
+        assert_eq!(t[1], (TokenKind::Ident, "type".to_owned()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let t = kinds(r##"(b"x", br#"y"#, c"z", cr"w", b'q')"##);
+        let n_str = t.iter().filter(|(k, _)| *k == TokenKind::Str).count();
+        let n_char = t.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!((n_str, n_char), (4, 1));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let u = '_'; let l: &'_ str = x; }");
+        let lifetimes = t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let chars = t.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!((lifetimes, chars), (3, 2));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(out.tokens.len(), 2);
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_tuple_index() {
+        assert_eq!(kinds("1.0")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1_000.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.max(2)")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0..n")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokenKind::Int);
+        // x.0.1 — two tuple indexes, no floats.
+        assert!(kinds("x.0.1").iter().all(|(k, _)| *k != TokenKind::Float));
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        let t = kinds("a == b != c <= d ..= e :: f");
+        let ops: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Op)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "<=", "..=", "::"]);
+    }
+
+    #[test]
+    fn comment_layout_flags() {
+        let out = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert!(out.comments[0].code_before_on_line);
+        assert!(!out.comments[1].code_before_on_line);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("ab\n  cd");
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_loop() {
+        let out = lex("let s = \"oops");
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Diagnostics and report rendering (human and JSON).
+
+use crate::rules::{RuleId, Severity};
+use serde::Serialize;
+
+/// One finding, fully positioned and self-describing.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (characters).
+    pub col: usize,
+    /// Stable rule ID (`QNI-D001`, …).
+    pub rule: RuleId,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// Site-specific message.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Crate the file belongs to.
+    pub krate: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col` prefix used in human output.
+    pub fn location(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}: [{}] {}", self.location(), self.rule, self.message)?;
+        write!(f, "    {}", self.snippet)
+    }
+}
+
+/// The result of one lint run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    /// All diagnostics, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of allow directives honored (suppressed at least one
+    /// finding).
+    pub suppressions_used: usize,
+}
+
+impl LintReport {
+    /// Whether the run found any unsuppressed violation that fails the
+    /// build.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            // A trailing blank line between diagnostics keeps multi-hit
+            // output scannable.
+            let _ = writeln!(out, "{d}\n");
+        }
+        let _ = writeln!(
+            out,
+            "qni-lint: {} violation(s) in {} file(s) scanned ({} reviewed suppression(s))",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.suppressions_used,
+        );
+        out
+    }
+
+    /// Renders the machine-readable JSON report (stable field names;
+    /// diagnostics in deterministic order).
+    pub fn render_json(&self) -> Result<String, crate::error::LintError> {
+        serde_json::to_string(self).map_err(|e| crate::error::LintError::Json(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            file: "crates/core/src/x.rs".to_owned(),
+            line: 3,
+            col: 9,
+            rule: RuleId::E001,
+            severity: Severity::Error,
+            message: "`.unwrap()` panics in library code".to_owned(),
+            snippet: "let v = m.unwrap();".to_owned(),
+            krate: "qni-core".to_owned(),
+        }
+    }
+
+    #[test]
+    fn display_has_location_rule_and_snippet() {
+        let s = sample().to_string();
+        assert!(s.contains("crates/core/src/x.rs:3:9"));
+        assert!(s.contains("QNI-E001"));
+        assert!(s.contains("let v = m.unwrap();"));
+    }
+
+    #[test]
+    fn json_report_is_machine_readable() {
+        let r = LintReport {
+            diagnostics: vec![sample()],
+            files_scanned: 1,
+            suppressions_used: 0,
+        };
+        let json = r.render_json().expect("serializes");
+        assert!(json.contains("\"rule\":\"QNI-E001\""));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(r.has_errors());
+    }
+}

@@ -1,0 +1,160 @@
+//! D-family scanners: wall-clock reads, nondeterministic RNG sources,
+//! and `HashMap`/`HashSet` iteration.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleId;
+use crate::scan::{ident, is_op, Finding};
+
+/// Names whose mere appearance in library code is a determinism bug.
+const RNG_SOURCES: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Iteration methods that observe a hash collection's (randomized)
+/// order.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// Runs all D-rules over the token stream. `skip[i]` marks tokens
+/// inside `#[cfg(test)]` / `#[test]` items.
+pub fn scan(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tracked = tracked_hash_bindings(tokens);
+    for i in 0..tokens.len() {
+        if skip[i] {
+            continue;
+        }
+        // QNI-D001: `Instant::now` / `SystemTime::now`.
+        if matches!(ident(tokens, i), Some("Instant" | "SystemTime"))
+            && is_op(tokens, i + 1, "::")
+            && ident(tokens, i + 2) == Some("now")
+        {
+            out.push(Finding {
+                rule: RuleId::D001,
+                token_idx: i,
+                message: format!(
+                    "`{}::now()` reads the wall clock in a library crate",
+                    tokens[i].text
+                ),
+            });
+        }
+        // QNI-D002: OS-entropy / thread-local RNG sources.
+        if let Some(name) = ident(tokens, i) {
+            if RNG_SOURCES.contains(&name) {
+                out.push(Finding {
+                    rule: RuleId::D002,
+                    token_idx: i,
+                    message: format!(
+                        "`{name}` draws nondeterministic randomness; derive streams from an \
+                         explicit seed via `qni_stats::rng`"
+                    ),
+                });
+            }
+        }
+        // QNI-D003 (a): iteration method on a tracked hash binding.
+        if let Some(name) = ident(tokens, i) {
+            if tracked.iter().any(|t| t == name)
+                && is_op(tokens, i + 1, ".")
+                && ident(tokens, i + 2).is_some_and(|m| ITER_METHODS.contains(&m))
+            {
+                out.push(Finding {
+                    rule: RuleId::D003,
+                    token_idx: i + 2,
+                    message: format!(
+                        "`{name}.{}()` iterates a HashMap/HashSet in hash order",
+                        tokens[i + 2].text
+                    ),
+                });
+            }
+        }
+        // QNI-D003 (b): `for … in <tracked>` loops.
+        if ident(tokens, i) == Some("for") {
+            if let Some(f) = for_loop_over_tracked(tokens, i, &tracked) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Collects identifiers that are lexically bound to a `HashMap` /
+/// `HashSet`: type ascriptions (`x: HashMap<…>` — also covers fn params
+/// and struct fields) and `let`-bindings initialized from an associated
+/// function (`let x = HashMap::new()`). A heuristic, not type
+/// inference — but one that covers how these types actually get
+/// introduced, and misses only aliased or deeply nested uses (which the
+/// clean-fixture corpus keeps honest).
+fn tracked_hash_bindings(tokens: &[Token]) -> Vec<String> {
+    let mut tracked = Vec::new();
+    for i in 0..tokens.len() {
+        if !matches!(ident(tokens, i), Some("HashMap" | "HashSet")) {
+            continue;
+        }
+        // Walk back over a path prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && is_op(tokens, j - 1, "::") && tokens[j - 2].kind == TokenKind::Ident {
+            j -= 2;
+        }
+        // Type ascription: `name : [&] [mut] Path`.
+        let mut k = j;
+        while k >= 1 && (is_op(tokens, k - 1, "&") || ident(tokens, k - 1) == Some("mut")) {
+            k -= 1;
+        }
+        if k >= 2 && is_op(tokens, k - 1, ":") && tokens[k - 2].kind == TokenKind::Ident {
+            tracked.push(tokens[k - 2].text.clone());
+            continue;
+        }
+        // Initializer: `let [mut] name = Path :: …`.
+        if j >= 2 && is_op(tokens, j - 1, "=") && tokens[j - 2].kind == TokenKind::Ident {
+            let name = j - 2;
+            let before = name.checked_sub(1).map(|b| tokens[b].text.as_str());
+            if matches!(before, Some("let" | "mut")) {
+                tracked.push(tokens[name].text.clone());
+            }
+        }
+    }
+    tracked.sort();
+    tracked.dedup();
+    tracked
+}
+
+/// Detects `for <pat> in [&] [mut] <tracked> {` — iteration over the
+/// collection itself (method-call iteration is handled separately).
+fn for_loop_over_tracked(tokens: &[Token], for_idx: usize, tracked: &[String]) -> Option<Finding> {
+    // Find the `in` keyword at bracket depth 0 (the pattern may contain
+    // tuples: `for (k, v) in …`).
+    let mut depth = 0i32;
+    let mut j = for_idx + 1;
+    loop {
+        let t = tokens.get(j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Op, "(" | "[") => depth += 1,
+            (TokenKind::Op, ")" | "]") => depth -= 1,
+            (TokenKind::Ident, "in") if depth == 0 => break,
+            (TokenKind::Op, "{" | ";") => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Expression: strip leading `&` / `mut`, then require a bare
+    // tracked identifier followed by the loop body brace.
+    let mut k = j + 1;
+    while is_op(tokens, k, "&") || ident(tokens, k) == Some("mut") {
+        k += 1;
+    }
+    let name = ident(tokens, k)?;
+    if tracked.iter().any(|t| t == name) && is_op(tokens, k + 1, "{") {
+        return Some(Finding {
+            rule: RuleId::D003,
+            token_idx: k,
+            message: format!("`for … in {name}` iterates a HashMap/HashSet in hash order"),
+        });
+    }
+    None
+}

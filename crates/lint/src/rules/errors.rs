@@ -1,0 +1,56 @@
+//! E-family scanners: panicking constructs in library code.
+
+use crate::lexer::Token;
+use crate::rules::RuleId;
+use crate::scan::{ident, is_op, Finding};
+
+/// Runs all E-rules. `skip[i]` marks test-code tokens.
+///
+/// `.unwrap()` / `.expect()` sites that are the tail of a
+/// `partial_cmp(..)` chain are *not* flagged here — QNI-N002 owns them
+/// (the engine drops E-findings that collide with an N002 finding at
+/// the same token, so the sharper message wins).
+pub fn scan(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if skip[i] {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — the dot requirement keeps
+        // `unwrap_or`, `unwrap_or_else`, and local functions that happen
+        // to be named `unwrap` honest (identifiers tokenize whole).
+        if is_op(tokens, i, ".") {
+            match ident(tokens, i + 1) {
+                Some("unwrap") if is_op(tokens, i + 2, "(") => out.push(Finding {
+                    rule: RuleId::E001,
+                    token_idx: i + 1,
+                    message: "`.unwrap()` panics in library code; return a typed error".to_owned(),
+                }),
+                Some("expect") if is_op(tokens, i + 2, "(") => out.push(Finding {
+                    rule: RuleId::E002,
+                    token_idx: i + 1,
+                    message: "`.expect(..)` panics in library code; return a typed error or \
+                              carry a reviewed allow directive"
+                        .to_owned(),
+                }),
+                _ => {}
+            }
+        }
+        // `panic!` / `todo!` / `unimplemented!` invocations. `assert!`
+        // and `debug_assert!` are deliberately not flagged: they are
+        // contract checks on internal invariants, not error paths.
+        if matches!(ident(tokens, i), Some("panic" | "todo" | "unimplemented"))
+            && is_op(tokens, i + 1, "!")
+        {
+            out.push(Finding {
+                rule: RuleId::E003,
+                token_idx: i,
+                message: format!(
+                    "`{}!` aborts the caller; surface the failure as a typed error",
+                    tokens[i].text
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,236 @@
+//! The rule catalog: stable IDs, severities, rationale text, and the
+//! per-family token scanners.
+//!
+//! Families:
+//!
+//! - **D — determinism** ([`determinism`]): wall-clock reads,
+//!   nondeterministic RNG sources, and `HashMap`/`HashSet` iteration are
+//!   forbidden in library crates. These are the rules that make the
+//!   workspace's byte-reproducibility contract *machine-checked*: every
+//!   seeded run must be bit-identical at any `--shards`/`--chains`
+//!   configuration, so no library path may consult the clock, the OS
+//!   entropy pool, or a randomized iteration order.
+//! - **N — numerics** ([`numerics`]): exact float equality against
+//!   non-sentinel constants and `partial_cmp(..).unwrap()` are forbidden
+//!   everywhere; use `qni_stats::approx` and `f64::total_cmp`.
+//! - **E — error discipline** ([`errors`]): `.unwrap()` / `.expect()` /
+//!   `panic!`-family macros are forbidden in library crates outside
+//!   `#[cfg(test)]` code; invariants that genuinely cannot fail carry a
+//!   reviewed `// qni-lint: allow(…) — reason` directive instead.
+//! - **L — lint hygiene**: malformed or unused allow directives (emitted
+//!   by the [`crate::directives`] layer, not a scanner; not
+//!   suppressible).
+
+pub mod determinism;
+pub mod errors;
+pub mod numerics;
+
+/// Stable identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // Variant meaning is the catalog entry below.
+pub enum RuleId {
+    D001,
+    D002,
+    D003,
+    N001,
+    N002,
+    E001,
+    E002,
+    E003,
+    L001,
+    L002,
+}
+
+/// How severe a violation of a rule is. Every shipped rule is
+/// [`Severity::Error`] — the CI contract is "no unsuppressed
+/// violations", and a severity that did not fail the build would let
+/// exceptions accumulate unreviewed. The variant exists so a future
+/// advisory rule does not need a schema change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run (nonzero exit).
+    Error,
+    /// Reported but does not fail the run.
+    Warning,
+}
+
+impl RuleId {
+    /// Every rule, in catalog order.
+    pub const ALL: [RuleId; 10] = [
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::N001,
+        RuleId::N002,
+        RuleId::E001,
+        RuleId::E002,
+        RuleId::E003,
+        RuleId::L001,
+        RuleId::L002,
+    ];
+
+    /// The stable textual ID (`QNI-D001`, …) used in reports and in
+    /// allow directives.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D001 => "QNI-D001",
+            RuleId::D002 => "QNI-D002",
+            RuleId::D003 => "QNI-D003",
+            RuleId::N001 => "QNI-N001",
+            RuleId::N002 => "QNI-N002",
+            RuleId::E001 => "QNI-E001",
+            RuleId::E002 => "QNI-E002",
+            RuleId::E003 => "QNI-E003",
+            RuleId::L001 => "QNI-L001",
+            RuleId::L002 => "QNI-L002",
+        }
+    }
+
+    /// Parses a textual ID (as written in an allow directive).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// One-line summary of what the rule forbids.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D001 => "wall-clock read (`Instant::now`/`SystemTime::now`) in a library crate",
+            RuleId::D002 => {
+                "nondeterministic randomness (`thread_rng`/`from_entropy`/`OsRng`) in a library crate"
+            }
+            RuleId::D003 => "iteration over a `HashMap`/`HashSet` in a library crate",
+            RuleId::N001 => "exact float `==`/`!=` against a non-sentinel constant",
+            RuleId::N002 => "`partial_cmp(..).unwrap()`/`.expect(..)` on floats",
+            RuleId::E001 => "`.unwrap()` in library code outside tests",
+            RuleId::E002 => "`.expect(..)` in library code outside tests",
+            RuleId::E003 => "`panic!`/`todo!`/`unimplemented!` in library code outside tests",
+            RuleId::L001 => "malformed `qni-lint: allow` directive",
+            RuleId::L002 => "allow directive that suppresses nothing",
+        }
+    }
+
+    /// Why the rule exists — the contract it enforces.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            RuleId::D001 => {
+                "Seeded runs must be byte-reproducible at any shards/chains configuration; a \
+                 wall-clock read in a library path either leaks into results or tempts \
+                 time-dependent control flow. Inject a clock from the binary instead (see \
+                 `qni_core::stream::StreamOptions::clock`)."
+            }
+            RuleId::D002 => {
+                "All randomness must flow from an explicit `u64` seed through \
+                 `qni_stats::rng::{rng_from_seed, split_seed}`; OS-entropy or thread-local RNGs \
+                 make every downstream estimate irreproducible."
+            }
+            RuleId::D003 => {
+                "`HashMap`/`HashSet` iteration order is randomized per process; iterating one in \
+                 a library path reorders floating-point reductions and RNG consumption, silently \
+                 breaking bit-identity. Use `BTreeMap`/`BTreeSet`, `Vec`, or index by dense ids."
+            }
+            RuleId::N001 => {
+                "`==`/`!=` against a non-sentinel float constant is almost always a \
+                 rounding-hazard bug (and `== f64::NAN` is always false). Compare with a \
+                 tolerance via `qni_stats::approx::{approx_eq, close}`. Exact comparisons \
+                 against `0.0` and `f64::INFINITY`/`NEG_INFINITY` are recognized sentinel \
+                 checks and exempt."
+            }
+            RuleId::N002 => {
+                "`partial_cmp` returns `None` on NaN, so `.unwrap()` on it is a latent panic in \
+                 exactly the runs that are already numerically wrong. Use `f64::total_cmp` (the \
+                 workspace-wide idiom) or handle the NaN case."
+            }
+            RuleId::E001 => {
+                "Library crates return `Result` with typed errors; `.unwrap()` turns a \
+                 recoverable condition into an abort in the caller's process. If the invariant \
+                 truly cannot fail, document it with an allow directive and its reason."
+            }
+            RuleId::E002 => {
+                "Same contract as QNI-E001: `.expect()` panics in library code. An invariant \
+                 message is not error handling — either return an error or carry a reviewed \
+                 allow directive explaining why failure is impossible."
+            }
+            RuleId::E003 => {
+                "`panic!`, `todo!`, and `unimplemented!` abort the caller. Library paths must \
+                 surface failures as typed errors (`assert!`-style contract checks on internal \
+                 invariants are permitted and not flagged)."
+            }
+            RuleId::L001 => {
+                "Every suppression must name a known rule and carry a reason \
+                 (`// qni-lint: allow(QNI-E002) — why it cannot fail`); an unexplained allow is \
+                 an unreviewed exception."
+            }
+            RuleId::L002 => {
+                "An allow directive that no longer suppresses anything is stale documentation; \
+                 remove it so the allowlist stays an accurate inventory of reviewed exceptions."
+            }
+        }
+    }
+
+    /// The rule's severity (currently [`Severity::Error`] for all).
+    pub fn severity(self) -> Severity {
+        Severity::Error
+    }
+
+    /// Whether an allow directive may suppress this rule. The L-rules
+    /// police the directives themselves and cannot be allowed away.
+    pub fn suppressible(self) -> bool {
+        !matches!(self, RuleId::L001 | RuleId::L002)
+    }
+
+    /// The family letter (`'D'`, `'N'`, `'E'`, `'L'`).
+    pub fn family(self) -> char {
+        match self {
+            RuleId::D001 | RuleId::D002 | RuleId::D003 => 'D',
+            RuleId::N001 | RuleId::N002 => 'N',
+            RuleId::E001 | RuleId::E002 | RuleId::E003 => 'E',
+            RuleId::L001 | RuleId::L002 => 'L',
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// JSON reports carry the stable textual forms, not variant names.
+impl serde::Serialize for RuleId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl serde::Serialize for Severity {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(RuleId::parse("QNI-X999"), None);
+    }
+
+    #[test]
+    fn catalog_is_complete() {
+        for r in RuleId::ALL {
+            assert!(!r.summary().is_empty());
+            assert!(!r.rationale().is_empty());
+            assert!("DNEL".contains(r.family()));
+        }
+        assert!(!RuleId::L001.suppressible());
+        assert!(RuleId::E001.suppressible());
+    }
+}

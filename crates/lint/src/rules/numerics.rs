@@ -1,0 +1,146 @@
+//! N-family scanners: exact float comparisons and NaN-unsafe ordering.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleId;
+use crate::scan::{ident, is_op, matching_close, Finding};
+
+/// Runs all N-rules. `skip[i]` marks test-code tokens.
+pub fn scan(tokens: &[Token], skip: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if skip[i] {
+            continue;
+        }
+        if tokens[i].kind == TokenKind::Op && (tokens[i].text == "==" || tokens[i].text == "!=") {
+            scan_float_eq(tokens, i, &mut out);
+        }
+        if ident(tokens, i) == Some("partial_cmp") && is_op(tokens, i.wrapping_sub(1), ".") {
+            scan_partial_cmp(tokens, i, &mut out);
+        }
+    }
+    out
+}
+
+/// What a comparison operand lexically is, when it is recognizably a
+/// float.
+enum FloatOperand {
+    /// A float literal with its parsed value.
+    Literal(f64),
+    /// A `f64::`/`f32::` associated constant, by name.
+    Const(&'static str),
+}
+
+/// QNI-N001. The scanner is a heuristic over the tokens *adjacent* to
+/// the operator (full expression typing is out of scope for a lexer):
+/// it fires when either side is a float literal or an `f64::`/`f32::`
+/// constant. Exact comparisons against `0.0` and against
+/// `INFINITY`/`NEG_INFINITY` are sentinel checks — the workspace's
+/// numeric kernels use them to skip structurally-zero terms and detect
+/// saturated log-domain values — and are exempt. NaN comparisons get a
+/// sharper message: they are vacuous, not merely fragile.
+fn scan_float_eq(tokens: &[Token], op_idx: usize, out: &mut Vec<Finding>) {
+    let operand = right_operand(tokens, op_idx).or_else(|| left_operand(tokens, op_idx));
+    let Some(operand) = operand else {
+        return;
+    };
+    let op = &tokens[op_idx].text;
+    let message = match operand {
+        FloatOperand::Const("NAN") => format!(
+            "`{op} f64::NAN` is always {} — use `.is_nan()`",
+            if op == "==" { "false" } else { "true" }
+        ),
+        FloatOperand::Const("INFINITY" | "NEG_INFINITY") => return, // sentinel
+        FloatOperand::Const(name) => format!(
+            "exact float `{op}` against `{name}`; compare with a tolerance \
+             (`qni_stats::approx`)"
+        ),
+        FloatOperand::Literal(0.0) => return, // sentinel (matches -0.0 too)
+        FloatOperand::Literal(_) => format!(
+            "exact float `{op}` against a constant; compare with a tolerance \
+             (`qni_stats::approx::approx_eq`)"
+        ),
+    };
+    out.push(Finding {
+        rule: RuleId::N001,
+        token_idx: op_idx,
+        message,
+    });
+}
+
+/// The operand starting right of the operator, if recognizably float.
+fn right_operand(tokens: &[Token], op_idx: usize) -> Option<FloatOperand> {
+    let mut j = op_idx + 1;
+    if is_op(tokens, j, "-") {
+        j += 1;
+    }
+    if tokens.get(j)?.kind == TokenKind::Float {
+        return parse_float(&tokens[j].text).map(FloatOperand::Literal);
+    }
+    // `f64 :: CONST` (optionally `std :: f64 :: CONST`).
+    if ident(tokens, j) == Some("std") && is_op(tokens, j + 1, "::") {
+        j += 2;
+    }
+    if matches!(ident(tokens, j), Some("f64" | "f32")) && is_op(tokens, j + 1, "::") {
+        return float_const(ident(tokens, j + 2)?).map(FloatOperand::Const);
+    }
+    None
+}
+
+/// The operand ending left of the operator, if recognizably float.
+fn left_operand(tokens: &[Token], op_idx: usize) -> Option<FloatOperand> {
+    let k = op_idx.checked_sub(1)?;
+    if tokens[k].kind == TokenKind::Float {
+        return parse_float(&tokens[k].text).map(FloatOperand::Literal);
+    }
+    if k >= 2 && is_op(tokens, k - 1, "::") && matches!(ident(tokens, k - 2), Some("f64" | "f32")) {
+        return float_const(ident(tokens, k)?).map(FloatOperand::Const);
+    }
+    None
+}
+
+/// Recognized `f64::`/`f32::` associated constants.
+fn float_const(name: &str) -> Option<&'static str> {
+    const CONSTS: [&str; 7] = [
+        "NAN",
+        "INFINITY",
+        "NEG_INFINITY",
+        "EPSILON",
+        "MIN",
+        "MAX",
+        "MIN_POSITIVE",
+    ];
+    CONSTS.into_iter().find(|c| *c == name)
+}
+
+/// Parses a float literal's text (underscores and `f32`/`f64` suffixes
+/// stripped).
+fn parse_float(text: &str) -> Option<f64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let cleaned = cleaned
+        .strip_suffix("f64")
+        .or_else(|| cleaned.strip_suffix("f32"))
+        .unwrap_or(&cleaned);
+    cleaned.parse().ok()
+}
+
+/// QNI-N002: `.partial_cmp(…).unwrap()` / `.expect(…)`.
+fn scan_partial_cmp(tokens: &[Token], pc_idx: usize, out: &mut Vec<Finding>) {
+    if !is_op(tokens, pc_idx + 1, "(") {
+        return;
+    }
+    let Some(close) = matching_close(tokens, pc_idx + 1) else {
+        return;
+    };
+    if is_op(tokens, close + 1, ".")
+        && matches!(ident(tokens, close + 2), Some("unwrap" | "expect"))
+    {
+        out.push(Finding {
+            rule: RuleId::N002,
+            token_idx: close + 2,
+            message: format!(
+                "`partial_cmp(..).{}()` panics on NaN; use `f64::total_cmp`",
+                tokens[close + 2].text
+            ),
+        });
+    }
+}

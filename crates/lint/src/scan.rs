@@ -1,0 +1,171 @@
+//! Shared scanning machinery: token-slice helpers, the raw [`Finding`]
+//! type the rule scanners emit, and `#[cfg(test)]` span detection.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleId;
+
+/// A raw rule hit, positioned by token index (the engine turns it into
+/// a [`crate::report::Diagnostic`] with file/line/col/snippet context).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Index into the token stream of the offending token.
+    pub token_idx: usize,
+    /// Site-specific message.
+    pub message: String,
+}
+
+/// The identifier text at `idx`, if that token is an identifier.
+pub fn ident(tokens: &[Token], idx: usize) -> Option<&str> {
+    match tokens.get(idx) {
+        Some(t) if t.kind == TokenKind::Ident => Some(&t.text),
+        _ => None,
+    }
+}
+
+/// Whether the token at `idx` is the operator `op`.
+pub fn is_op(tokens: &[Token], idx: usize, op: &str) -> bool {
+    matches!(tokens.get(idx), Some(t) if t.kind == TokenKind::Op && t.text == op)
+}
+
+/// Index of the delimiter closing the one at `open_idx` (`(`/`[`/`{`),
+/// or `None` if unbalanced.
+pub fn matching_close(tokens: &[Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Marks every token belonging to a `#[cfg(test)]` or `#[test]` item:
+/// the attribute itself plus the item it decorates, up to the item's
+/// closing brace (for `mod tests { … }`, `fn …() { … }`, `impl … { … }`)
+/// or terminating semicolon (for `#[cfg(test)] use …;`). Doctests need
+/// no handling here — they live inside doc comments, which the lexer
+/// never presents as code.
+pub fn test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut skip = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(after_attr) = test_attribute_end(tokens, i) {
+            let end = item_end(tokens, after_attr).unwrap_or(tokens.len());
+            for s in skip.iter_mut().take(end.min(tokens.len())).skip(i) {
+                *s = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    skip
+}
+
+/// If a test-marking attribute (`#[cfg(test)]`, `#[cfg(all(test, …))]`,
+/// `#[test]`) starts at `idx`, returns the index one past its `]`.
+fn test_attribute_end(tokens: &[Token], idx: usize) -> Option<usize> {
+    if !is_op(tokens, idx, "#") || !is_op(tokens, idx + 1, "[") {
+        return None;
+    }
+    let close = matching_close(tokens, idx + 1)?;
+    let body = &tokens[idx + 2..close];
+    let is_test = match ident(body, 0) {
+        Some("test") => body.len() == 1,
+        // Any cfg predicate mentioning `test` (cfg(test),
+        // cfg(all(test, feature = "x")), …) marks test-only code.
+        Some("cfg") => body
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "test"),
+        _ => false,
+    };
+    is_test.then_some(close + 1)
+}
+
+/// The end (exclusive token index) of the item starting at `idx`:
+/// skips any further attributes, then runs to the first `;` at depth 0
+/// or through the first brace-block.
+fn item_end(tokens: &[Token], mut idx: usize) -> Option<usize> {
+    // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod t {}`).
+    while is_op(tokens, idx, "#") && is_op(tokens, idx + 1, "[") {
+        idx = matching_close(tokens, idx + 1)? + 1;
+    }
+    let mut depth = 0i64;
+    let mut k = idx;
+    while let Some(t) = tokens.get(k) {
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => return Some(k + 1),
+                "{" => return matching_close(tokens, k).map(|c| c + 1),
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_skipped() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn live2() {}";
+        let out = lex(src);
+        let skip = test_spans(&out.tokens);
+        let unwraps: Vec<bool> = out
+            .tokens
+            .iter()
+            .zip(&skip)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+        // Code after the test mod is live again.
+        let live2 = out.tokens.iter().position(|t| t.text == "live2");
+        assert_eq!(live2.map(|i| skip[i]), Some(false));
+    }
+
+    #[test]
+    fn test_fn_and_cfg_use_are_skipped() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\n#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let out = lex(src);
+        let skip = test_spans(&out.tokens);
+        let hm = out.tokens.iter().position(|t| t.text == "HashMap");
+        assert_eq!(hm.map(|i| skip[i]), Some(true));
+        let uw = out.tokens.iter().position(|t| t.text == "unwrap");
+        assert_eq!(uw.map(|i| skip[i]), Some(true));
+        let live = out.tokens.iter().position(|t| t.text == "live");
+        assert_eq!(live.map(|i| skip[i]), Some(false));
+    }
+
+    #[test]
+    fn stacked_attributes_are_covered() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn f() { p.unwrap(); } }";
+        let out = lex(src);
+        let skip = test_spans(&out.tokens);
+        assert!(skip.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn matching_close_handles_nesting() {
+        let out = lex("f(a(b), c[d{e}])");
+        assert_eq!(matching_close(&out.tokens, 1), Some(out.tokens.len() - 1));
+        assert_eq!(matching_close(&out.tokens, 3), Some(5));
+    }
+}

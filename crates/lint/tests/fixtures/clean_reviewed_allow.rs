@@ -1,0 +1,6 @@
+// Clean: the one violation present carries a reviewed, reasoned allow
+// directive, so the file lints clean and the suppression is counted.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().expect("validated non-empty") // qni-lint: allow(QNI-E002) — caller checks emptiness first
+}

@@ -1,0 +1,15 @@
+// Clean: exact comparisons against the sentinel values 0.0 and
+// ±INFINITY are the workspace's structural-zero and saturation checks,
+// exempt from QNI-N001 by design.
+
+pub fn classify(x: f64) -> &'static str {
+    if x == 0.0 {
+        "zero"
+    } else if x == f64::INFINITY || x == f64::NEG_INFINITY {
+        "saturated"
+    } else if x != 0.0 && x.is_finite() {
+        "finite"
+    } else {
+        "nan"
+    }
+}

@@ -1,0 +1,23 @@
+// Clean: every forbidden pattern below is inert — inside a string, a
+// raw string, a char, a comment, or documentation. A lexer that is
+// sloppy about literal boundaries flags all of them.
+
+// Instant::now() and thread_rng() in a line comment do nothing.
+
+/* Block comment: x.unwrap(); panic!("boom"); a == 1.5 */
+
+/// Doc comments may show the syntax under discussion:
+/// `Instant::now()`, `.unwrap()`, even `// qni-lint: allow(QNI-E001)`.
+pub fn messages() -> Vec<String> {
+    vec![
+        "Instant::now() is forbidden".to_string(),
+        "call .unwrap() and .expect(\"msg\") carefully".to_string(),
+        r#"panic!("with a raw string payload")"#.to_string(),
+        r##"nested fence: r#"thread_rng()"# stays inert"##.to_string(),
+        String::from("for (k, v) in map.iter() { a == 1.5 }"),
+    ]
+}
+
+pub fn delimiters() -> [char; 2] {
+    ['"', '\'']
+}

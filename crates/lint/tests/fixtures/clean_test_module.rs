@@ -1,0 +1,25 @@
+// Clean: everything inside `#[cfg(test)]` / `#[test]` items is out of
+// scope for the D- and E-families — tests may panic and may read the
+// clock.
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        let t = std::time::Instant::now();
+        assert_eq!(double(2), "4".parse().unwrap());
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_on_purpose() {
+        panic!("tests may panic");
+    }
+}

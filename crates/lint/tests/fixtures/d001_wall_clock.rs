@@ -1,0 +1,6 @@
+// Seeded violation: QNI-D001 (wall-clock read) on the Instant::now call.
+
+pub fn stamp() -> f64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,6 @@
+// Seeded violation: QNI-D002 (nondeterministic randomness source).
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next()
+}

@@ -1,0 +1,12 @@
+// Seeded violation: QNI-D003 (hash-order iteration) via a `for` loop
+// over the collection itself.
+
+use std::collections::HashSet;
+
+pub fn total(seen: HashSet<u64>) -> u64 {
+    let mut sum = 0;
+    for v in &seen {
+        sum += v;
+    }
+    sum
+}

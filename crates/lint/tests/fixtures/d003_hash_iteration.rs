@@ -1,0 +1,7 @@
+// Seeded violation: QNI-D003 (hash-order iteration) on `counts.keys()`.
+
+use std::collections::HashMap;
+
+pub fn first_key(counts: &HashMap<String, u64>) -> Option<&String> {
+    counts.keys().next()
+}

@@ -1,0 +1,5 @@
+// Seeded violation: QNI-E001 (`.unwrap()` in library code).
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

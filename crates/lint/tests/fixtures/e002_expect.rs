@@ -1,0 +1,5 @@
+// Seeded violation: QNI-E002 (`.expect(..)` in library code).
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().expect("non-empty input")
+}

@@ -1,0 +1,8 @@
+// Seeded violation: QNI-E003 (`panic!` in library code).
+
+pub fn checked(x: i64) -> i64 {
+    if x < 0 {
+        panic!("negative input");
+    }
+    x
+}

@@ -1,0 +1,7 @@
+// Seeded violation: QNI-L001 — the directive below has no reason, so it
+// is malformed (and the unwrap it fails to cover still fires as E001).
+
+pub fn head(xs: &[u64]) -> u64 {
+    // qni-lint: allow(QNI-E001)
+    *xs.first().unwrap()
+}

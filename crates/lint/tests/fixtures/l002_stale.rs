@@ -1,0 +1,7 @@
+// Seeded violation: QNI-L002 — a well-formed directive that suppresses
+// nothing.
+
+pub fn double(x: u64) -> u64 {
+    // qni-lint: allow(QNI-E001) — left behind after a refactor
+    x * 2
+}

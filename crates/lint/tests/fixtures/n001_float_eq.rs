@@ -1,0 +1,6 @@
+// Seeded violation: QNI-N001 (exact float comparison against a
+// non-sentinel constant).
+
+pub fn converged(rate: f64) -> bool {
+    rate == 1.5
+}

@@ -1,0 +1,6 @@
+// Seeded violation: QNI-N002 (NaN-unsafe ordering). The `.unwrap()`
+// here reports as N002, not E001: the sharper message wins the dedup.
+
+pub fn sort_rates(rates: &mut [f64]) {
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

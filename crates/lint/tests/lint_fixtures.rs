@@ -1,0 +1,132 @@
+//! Fixture corpus: each seeded-violation fixture must report exactly its
+//! rule, every clean fixture must report nothing, and the `qni-lint`
+//! binary must exit nonzero on the violations and zero on the clean set.
+
+use qni_lint::config::{CrateConfig, FamilySet};
+use qni_lint::engine::lint_source;
+use qni_lint::{Diagnostic, RuleId};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn lint_fixture(name: &str) -> (Vec<Diagnostic>, usize) {
+    let krate = CrateConfig {
+        name: "fixture",
+        src: "src",
+        families: FamilySet::LIBRARY,
+    };
+    lint_source(&krate, &format!("src/{name}"), &fixture(name))
+}
+
+/// The seeded-violation corpus: file → exactly these rules, in order.
+const SEEDED: &[(&str, &[RuleId])] = &[
+    ("d001_wall_clock.rs", &[RuleId::D001]),
+    ("d002_entropy.rs", &[RuleId::D002]),
+    ("d003_hash_iteration.rs", &[RuleId::D003]),
+    ("d003_for_loop.rs", &[RuleId::D003]),
+    ("n001_float_eq.rs", &[RuleId::N001]),
+    ("n002_partial_cmp.rs", &[RuleId::N002]),
+    ("e001_unwrap.rs", &[RuleId::E001]),
+    ("e002_expect.rs", &[RuleId::E002]),
+    ("e003_panic.rs", &[RuleId::E003]),
+    ("l001_malformed.rs", &[RuleId::E001, RuleId::L001]),
+    ("l002_stale.rs", &[RuleId::L002]),
+];
+
+const CLEAN: &[&str] = &[
+    "clean_sentinels.rs",
+    "clean_strings_and_comments.rs",
+    "clean_test_module.rs",
+    "clean_reviewed_allow.rs",
+];
+
+#[test]
+fn every_rule_has_a_fixture_that_triggers_it() {
+    let mut covered: Vec<RuleId> = SEEDED.iter().flat_map(|(_, r)| r.iter().copied()).collect();
+    covered.sort();
+    covered.dedup();
+    assert_eq!(covered, RuleId::ALL, "rule without a seeded fixture");
+}
+
+#[test]
+fn seeded_fixtures_report_exactly_their_rule() {
+    for (name, want) in SEEDED {
+        let (diags, _) = lint_fixture(name);
+        let mut got: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+        got.sort();
+        assert_eq!(&got, want, "{name}: {diags:?}");
+    }
+}
+
+#[test]
+fn clean_fixtures_report_nothing() {
+    for name in CLEAN {
+        let (diags, _) = lint_fixture(name);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+    }
+}
+
+#[test]
+fn reviewed_allow_counts_as_a_used_suppression() {
+    let (diags, used) = lint_fixture("clean_reviewed_allow.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(used, 1);
+}
+
+#[test]
+fn diagnostics_point_at_the_seeded_line() {
+    let (diags, _) = lint_fixture("d001_wall_clock.rs");
+    assert_eq!(diags.len(), 1);
+    // The `Instant::now()` call sits on line 4 of the fixture.
+    assert_eq!(diags[0].line, 4, "{:?}", diags[0]);
+    assert!(diags[0].snippet.contains("Instant::now"));
+}
+
+/// Runs the `qni-lint` binary against a throwaway workspace containing
+/// one source file; returns (exit code, stdout).
+fn run_bin_on(source: &str) -> (i32, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "qni-lint-fixture-{}-{:p}",
+        std::process::id(),
+        &source
+    ));
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(src.join("lib.rs"), source).expect("write source");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_qni-lint"))
+        .args(["--root", dir.to_str().expect("utf-8 tmp path")])
+        .output()
+        .expect("spawn qni-lint");
+    std::fs::remove_dir_all(&dir).ok();
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_seeded_violation() {
+    for (name, want) in SEEDED {
+        let (code, stdout) = run_bin_on(&fixture(name));
+        assert_eq!(code, 1, "{name}: expected failing exit\n{stdout}");
+        assert!(
+            stdout.contains(want[0].as_str()),
+            "{name}: report does not mention {}\n{stdout}",
+            want[0]
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_fixtures() {
+    for name in CLEAN {
+        let (code, stdout) = run_bin_on(&fixture(name));
+        assert_eq!(code, 0, "{name}: expected clean exit\n{stdout}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property test: forbidden patterns embedded in string literals, raw
+//! strings, chars, or comments are inert — the lexer must never let a
+//! rule fire on text that is not code.
+
+use proptest::prelude::*;
+use qni_lint::config::{CrateConfig, FamilySet};
+use qni_lint::engine::lint_source;
+
+/// Rule-triggering snippets (each would fire if lexed as code).
+const FORBIDDEN: &[&str] = &[
+    "Instant::now()",
+    "SystemTime::now()",
+    "thread_rng()",
+    "OsRng.fill_bytes(buf)",
+    "x.unwrap()",
+    "x.expect(\\\"msg\\\")",
+    "panic!(oops)",
+    "a.partial_cmp(&b).unwrap()",
+    "a == 1.5",
+    "qni-lint: allow(QNI-E001)",
+];
+
+/// Embeds `payload` in a non-code context, yielding a complete source
+/// file that must lint clean. Escapes in `FORBIDDEN` are written for the
+/// plain-string context; raw-string contexts strip the backslashes.
+fn embed(context: usize, payload: &str) -> String {
+    let raw = payload.replace('\\', "");
+    match context {
+        0 => format!("pub fn f() -> &'static str {{\n    \"{payload}\"\n}}\n"),
+        1 => format!("pub fn f() -> &'static str {{\n    r#\"{raw}\"#\n}}\n"),
+        2 => format!("pub fn f() -> &'static str {{\n    r##\"{raw}\"##\n}}\n"),
+        3 => format!("// {raw}\npub fn f() {{}}\n"),
+        4 => format!("/* {raw} */\npub fn f() {{}}\n"),
+        5 => format!("/// {raw}\npub fn f() {{}}\n"),
+        6 => format!("/* outer /* {raw} */ still a comment */\npub fn f() {{}}\n"),
+        _ => format!("pub const C: &str = \"prefix {payload} suffix\";\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn forbidden_text_in_literals_and_comments_never_flags(
+        picks in collection::vec((0usize..8, 0usize..FORBIDDEN.len()), 1..=4),
+    ) {
+        let krate = CrateConfig {
+            name: "fixture",
+            src: "src",
+            families: FamilySet::LIBRARY,
+        };
+        for (context, which) in picks {
+            // A directive inside a live (non-doc) comment is not inert —
+            // comments are exactly where directives live — so route the
+            // directive payload to a string context there.
+            let payload = FORBIDDEN[which];
+            let context = if payload.contains("qni-lint") && matches!(context, 3 | 4 | 6) {
+                context % 3
+            } else {
+                context
+            };
+            let source = embed(context, payload);
+            let (diags, _) = lint_source(&krate, "src/p.rs", &source);
+            prop_assert!(
+                diags.is_empty(),
+                "context {} flagged inert text: {:?}\nsource:\n{}",
+                context,
+                diags,
+                source
+            );
+        }
+    }
+}

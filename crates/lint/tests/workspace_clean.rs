@@ -1,0 +1,24 @@
+//! The workspace at HEAD lints clean: the acceptance gate for the rule
+//! catalog and the reviewed allowlist. A regression here means either a
+//! new violation landed or a directive went stale.
+
+use std::path::Path;
+
+#[test]
+fn workspace_at_head_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up");
+    let report = qni_lint::lint_workspace(root).expect("lint run");
+    assert!(
+        report.files_scanned > 50,
+        "scanned only {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        report.render_human()
+    );
+}

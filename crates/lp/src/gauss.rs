@@ -31,7 +31,7 @@ pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, Lp
         // Partial pivot: largest magnitude in this column.
         let pivot = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("non-empty range");
+            .expect("non-empty range"); // qni-lint: allow(QNI-E002) — pivot search range k..n is non-empty while k < n
         if a[pivot][col].abs() < 1e-12 {
             return Err(LpError::Infeasible);
         }

@@ -128,7 +128,7 @@ pub fn validate_with_tol(log: &EventLog, tol: f64) -> Result<(), Violation> {
                 });
             }
         } else {
-            let p = log.pi(e).expect("non-initial events have a predecessor");
+            let p = log.pi(e).expect("non-initial events have a predecessor"); // qni-lint: allow(QNI-E002) — loop skips initial events, so pi(e) exists
             let dp = log.departure(p);
             if (a - dp).abs() > tol {
                 return Err(Violation::TransitionMismatch {

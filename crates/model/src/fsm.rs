@@ -189,7 +189,7 @@ fn weighted_choice<T: Copy, R: Rng + ?Sized>(pairs: &[(T, f64)], rng: &mut R) ->
             return v;
         }
     }
-    pairs.last().expect("non-empty distribution").0
+    pairs.last().expect("non-empty distribution").0 // qni-lint: allow(QNI-E002) — FSM validation rejects empty transition distributions
 }
 
 /// Incremental builder for [`Fsm`].

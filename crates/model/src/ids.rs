@@ -30,7 +30,7 @@ macro_rules! define_id {
             /// Panics if `i` exceeds `u32::MAX`.
             #[inline]
             pub fn from_index(i: usize) -> Self {
-                $name(u32::try_from(i).expect("id overflow"))
+                $name(u32::try_from(i).expect("id overflow")) // qni-lint: allow(QNI-E002) — arenas are bounds-checked well below u32::MAX entries
             }
         }
 

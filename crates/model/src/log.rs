@@ -169,7 +169,7 @@ impl EventLog {
     pub fn task_exit(&self, k: TaskId) -> f64 {
         let last = *self.task_order[k.index()]
             .last()
-            .expect("tasks are non-empty");
+            .expect("tasks are non-empty"); // qni-lint: allow(QNI-E002) — TaskLog validates tasks non-empty at construction
         self.departure(last)
     }
 
@@ -204,7 +204,7 @@ impl EventLog {
     pub fn set_transition_time(&mut self, e: EventId, t: f64) {
         let p = self
             .pi(e)
-            .expect("set_transition_time requires a within-task predecessor");
+            .expect("set_transition_time requires a within-task predecessor"); // qni-lint: allow(QNI-E002) — documented precondition of this crate-internal setter
         self.events[e.index()].arrival = t;
         self.events[p.index()].departure = t;
     }

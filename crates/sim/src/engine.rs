@@ -207,7 +207,7 @@ impl<'a> Simulator<'a> {
                     let (task, visit) = qs
                         .in_service
                         .take()
-                        .expect("service completion for an idle queue");
+                        .expect("service completion for an idle queue"); // qni-lint: allow(QNI-E002) — completions are only scheduled for busy queues
                     records[task][visit].departure = time;
                     // Route the task onward.
                     if visit + 1 < routes[task].len() {

@@ -92,7 +92,7 @@ pub fn analyze(net: &QueueingNetwork) -> Result<JacksonAnalysis, SimError> {
         }
     }
     let mut b = vec![0.0; m];
-    b[index_of(fsm.initial()).expect("initial is transient")] = 1.0;
+    b[index_of(fsm.initial()).expect("initial is transient")] = 1.0; // qni-lint: allow(QNI-E002) — FSM validation guarantees the initial state is transient
     let v_states = solve_dense(a, b).map_err(|_| SimError::BadWorkload {
         what: "FSM visit equations are singular",
     })?;

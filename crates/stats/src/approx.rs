@@ -1,0 +1,111 @@
+//! Tolerance-based float comparison.
+//!
+//! The workspace lint (`qni-lint`, rule QNI-N001) forbids exact `==` /
+//! `!=` between floats except against the sentinels `0.0` and
+//! `±INFINITY`: exact equality of computed values is almost never the
+//! intended predicate after rounding. This module is the sanctioned
+//! replacement — a combined absolute/relative tolerance test, plus a
+//! default-tolerance convenience for the common case.
+//!
+//! # Examples
+//!
+//! ```
+//! use qni_stats::approx::{approx_eq, close};
+//!
+//! let x = 0.1_f64 + 0.2;
+//! assert!(x != 0.3); // exact equality fails after rounding...
+//! assert!(close(x, 0.3)); // ...the tolerance test is what was meant
+//! assert!(approx_eq(1e12, 1e12 + 1.0, 0.0, 1e-9));
+//! ```
+
+/// Default absolute tolerance used by [`close`]: guards comparisons near
+/// zero, where a relative test degenerates.
+pub const DEFAULT_ABS_TOL: f64 = 1e-12;
+
+/// Default relative tolerance used by [`close`]: ~1e4 ULPs at unit
+/// scale, loose enough to absorb accumulated rounding across the
+/// samplers' log-domain round trips.
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// Whether `a` and `b` agree within `abs_tol` *or* within `rel_tol`
+/// relative to the larger magnitude.
+///
+/// The predicate is `|a − b| ≤ max(abs_tol, rel_tol · max(|a|, |b|))`,
+/// the standard combined test: the absolute leg handles values near
+/// zero, the relative leg scales with magnitude. Edge cases:
+///
+/// - any NaN input compares unequal (like `==`),
+/// - two infinities of the same sign compare equal,
+/// - tolerances are clamped up to `0.0`, so negative tolerances behave
+///   as exact comparison.
+pub fn approx_eq(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return a.is_infinite() && b.is_infinite() && a.is_sign_positive() == b.is_sign_positive();
+    }
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs());
+    diff <= abs_tol.max(0.0).max(rel_tol.max(0.0) * scale)
+}
+
+/// [`approx_eq`] with the workspace default tolerances
+/// ([`DEFAULT_ABS_TOL`], [`DEFAULT_REL_TOL`]).
+pub fn close(a: f64, b: f64) -> bool {
+    approx_eq(a, b, DEFAULT_ABS_TOL, DEFAULT_REL_TOL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulated_rounding_is_close() {
+        let x = 0.1_f64 + 0.2;
+        assert!(x != 0.3);
+        assert!(close(x, 0.3));
+        assert!(close(0.3, x));
+    }
+
+    #[test]
+    fn distinct_values_are_not_close() {
+        assert!(!close(1.0, 1.0 + 1e-6));
+        assert!(!close(0.0, 1e-9));
+        assert!(!approx_eq(1.0, 2.0, 0.5, 0.0));
+    }
+
+    #[test]
+    fn absolute_leg_handles_near_zero() {
+        assert!(close(1e-13, -1e-13));
+        assert!(approx_eq(0.0, 5e-7, 1e-6, 0.0));
+        assert!(!approx_eq(0.0, 5e-7, 1e-8, 0.0));
+    }
+
+    #[test]
+    fn relative_leg_scales_with_magnitude() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 0.0, 1e-9));
+        assert!(!approx_eq(1e12, 1e12 + 1e6, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn nan_never_compares_equal() {
+        assert!(!close(f64::NAN, f64::NAN));
+        assert!(!close(f64::NAN, 0.0));
+        assert!(!approx_eq(0.0, f64::NAN, f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn infinities_compare_by_sign() {
+        assert!(close(f64::INFINITY, f64::INFINITY));
+        assert!(close(f64::NEG_INFINITY, f64::NEG_INFINITY));
+        assert!(!close(f64::INFINITY, f64::NEG_INFINITY));
+        assert!(!close(f64::INFINITY, 1e300));
+    }
+
+    #[test]
+    fn negative_tolerances_degrade_to_exact() {
+        assert!(approx_eq(1.5, 1.5, -1.0, -1.0));
+        assert!(!approx_eq(1.5, 1.5 + 1e-15, -1.0, -1.0));
+    }
+}

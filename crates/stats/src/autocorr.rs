@@ -71,7 +71,7 @@ pub fn within_and_pooled_variance(chains: &[&[f64]]) -> Result<(f64, f64), Stats
         return Err(StatsError::EmptyData);
     }
     let m = chains.len() as f64;
-    let n = chains.iter().map(|c| c.len()).min().expect("non-empty");
+    let n = chains.iter().map(|c| c.len()).min().expect("non-empty"); // qni-lint: allow(QNI-E002) — caller contract: diagnostics run on at least one chain
     let means: Vec<f64> = chains
         .iter()
         .map(|c| c[..n].iter().sum::<f64>() / n as f64)
@@ -116,7 +116,7 @@ pub fn multi_chain_ess(chains: &[&[f64]]) -> Result<f64, StatsError> {
     if chains.is_empty() {
         return Err(StatsError::EmptyData);
     }
-    let n = chains.iter().map(|c| c.len()).min().expect("non-empty");
+    let n = chains.iter().map(|c| c.len()).min().expect("non-empty"); // qni-lint: allow(QNI-E002) — caller contract: diagnostics run on at least one chain
     let truncated: Vec<&[f64]> = chains.iter().map(|c| &c[..n]).collect();
     let mut total = 0.0;
     for c in &truncated {

@@ -148,7 +148,7 @@ impl ServiceDistribution {
             ServiceDistribution::Exponential(e) => e.sample(rng),
             ServiceDistribution::Deterministic { value } => *value,
             ServiceDistribution::Erlang { k, rate } => {
-                let e = Exponential::new(*rate).expect("validated");
+                let e = Exponential::new(*rate).expect("validated"); // qni-lint: allow(QNI-E002) — rates were validated when the distribution was built
                 (0..*k).map(|_| e.sample(rng)).sum()
             }
             ServiceDistribution::HyperExponential { weights, rates } => {
@@ -157,11 +157,12 @@ impl ServiceDistribution {
                 for (w, r) in weights.iter().zip(rates) {
                     acc += w;
                     if u < acc {
+                        // qni-lint: allow(QNI-E002) — rates were validated when the distribution was built
                         return Exponential::new(*r).expect("validated").sample(rng);
                     }
                 }
-                Exponential::new(*rates.last().expect("non-empty"))
-                    .expect("validated")
+                Exponential::new(*rates.last().expect("non-empty")) // qni-lint: allow(QNI-E002) — constructor rejects empty rate lists
+                    .expect("validated") // qni-lint: allow(QNI-E002) — rates were validated when the distribution was built
                     .sample(rng)
             }
             ServiceDistribution::LogNormal { mu, sigma } => {

@@ -20,6 +20,8 @@
 //! - [`descriptive`], [`histogram`], [`ks`], [`autocorr`]: summary
 //!   statistics, histograms, Kolmogorov–Smirnov distances, and MCMC
 //!   diagnostics used by tests and by the experiment harness.
+//! - [`approx`]: tolerance-based float comparison — the sanctioned
+//!   alternative to exact `==` on floats (lint rule QNI-N001).
 //! - [`point_process`]: homogeneous and inhomogeneous (thinned) Poisson
 //!   process samplers that drive open-loop workloads.
 //!
@@ -35,6 +37,7 @@
 //! assert!(x >= 0.0);
 //! ```
 
+pub mod approx;
 pub mod autocorr;
 pub mod descriptive;
 pub mod distributions;

@@ -444,10 +444,10 @@ fn segment_inv_cdf(seg: &Segment, p: f64) -> f64 {
         return seg.lo + p * w;
     }
     if seg.slope < 0.0 {
-        let t = TruncatedExp::new(-seg.slope, w).expect("validated segment");
+        let t = TruncatedExp::new(-seg.slope, w).expect("validated segment"); // qni-lint: allow(QNI-E002) — segment slope and width were validated when the density was built
         seg.lo + t.inv_cdf(p)
     } else {
-        let t = TruncatedExp::new(seg.slope, w).expect("validated segment");
+        let t = TruncatedExp::new(seg.slope, w).expect("validated segment"); // qni-lint: allow(QNI-E002) — segment slope and width were validated when the density was built
         seg.hi - t.inv_cdf(1.0 - p)
     }
 }

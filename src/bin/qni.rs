@@ -21,6 +21,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `lint` takes a valueless `--json` flag and positional paths, so it
+    // bypasses the strict `--flag value` parser used by the other
+    // subcommands.
+    if cmd == "lint" {
+        return cmd_lint(rest);
+    }
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -65,7 +71,8 @@ USAGE:
                [--warm-start on|off] [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
                [--threads N] [--out traj.csv] [--json traj.json]
-  qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]";
+  qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]
+  qni lint     [--json] [path-prefix ...]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -333,6 +340,7 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         master_seed: seed,
         thread_budget: Some(threads),
         warm_start,
+        clock: Some(monotonic_secs),
     };
     let traj = run_stream(&masked, &schedule, &sopts).map_err(|e| e.to_string())?;
     println!(
@@ -385,6 +393,75 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         eprintln!("wrote trajectory JSON to {path}");
     }
     Ok(())
+}
+
+/// Monotonic seconds since the first call — the wall clock injected into
+/// [`StreamOptions::clock`] so `qni-core` itself stays wall-clock-free.
+fn monotonic_secs() -> f64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// `qni lint [--json] [path-prefix ...]` — run the workspace static
+/// analysis (same engine and scan policy as the `qni-lint` CI binary).
+/// Exits 0 when clean, 1 on unsuppressed violations, 2 on usage or I/O
+/// errors.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut filters: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" => {
+                println!("usage: qni lint [--json] [path-prefix ...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown lint flag `{other}`");
+                return ExitCode::from(2);
+            }
+            path => filters.push(path.to_owned()),
+        }
+    }
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read the current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match qni_lint::config::find_workspace_root(&cwd) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate the workspace root (Cargo.toml + crates/)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match qni_lint::lint_paths(&root, &filters) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        match report.render_json() {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_volume(flags: &HashMap<String, String>) -> Result<(), String> {

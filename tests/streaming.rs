@@ -62,6 +62,7 @@ fn windowed_lambda_tracks_segments_where_fixed_log_cannot() {
         master_seed: 7,
         thread_budget: None,
         warm_start: true,
+        clock: None,
     };
     let traj = run_stream(&masked, &schedule, &opts).expect("stream");
     let mut eligible = [0usize; 2];
@@ -128,6 +129,7 @@ fn stream_trajectory_byte_identity_across_runs_shards_and_chains() {
             master_seed: 7,
             thread_budget: None,
             warm_start: true,
+            clock: None,
         };
         run_stream(&masked, &schedule, &opts).expect("stream")
     };
@@ -165,6 +167,7 @@ fn stream_trajectory_byte_identity_across_runs_shards_and_chains() {
         master_seed: 8,
         thread_budget: None,
         warm_start: true,
+        clock: None,
     };
     let b = run_stream(&masked, &schedule, &opts).expect("stream");
     assert_ne!(a.fingerprint(), b.fingerprint());
@@ -184,6 +187,7 @@ fn warm_and_cold_streams_are_distinct_but_both_reproducible() {
             master_seed: 11,
             thread_budget: None,
             warm_start: warm,
+            clock: None,
         };
         run_stream(&masked, &schedule, &opts).expect("stream")
     };
