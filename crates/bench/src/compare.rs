@@ -1,22 +1,33 @@
 //! Cross-run benchmark comparison for CI.
 //!
-//! The `bench-smoke` job uploads `BENCH_batch.json` / `BENCH_shard.json`
-//! per run. The `bench_compare` binary downloads the previous successful
-//! run's artifacts and checks the current numbers against them, so
-//! regressions are caught against *history*, not just against the
-//! in-run baseline. When no previous artifact exists (first run, expired
-//! retention, forked PR without artifact access) the comparison is
-//! skipped — the absolute `QNI_BATCH_GATE` / `QNI_SHARD_GATE` gates in
-//! the bench binaries remain the fallback.
+//! The `bench-smoke` job uploads its `BENCH_*.json` reports per run. The
+//! `bench_compare` binary checks the current numbers against history, so
+//! regressions are caught across runs, not just against the in-run
+//! baseline. Two modes:
+//!
+//! - **Pairwise** (`--previous`): compare against the single previous
+//!   successful run's artifact. One noisy previous run skews the floor.
+//! - **Rolling history** (`--history-dir`): keep the last `K` accepted
+//!   reports in a directory (itself round-tripped as a CI artifact) and
+//!   compare each headline metric against the *rolling median* of its
+//!   history — robust to individual noisy runs in a way the pairwise
+//!   check is not. After a passing comparison the current report is
+//!   appended to the directory and the oldest entries pruned to `K`.
+//!
+//! When no history exists (first run, expired retention, forked PR
+//! without artifact access) the comparison is skipped — the absolute
+//! `QNI_BATCH_GATE` / `QNI_SHARD_GATE` gates in the bench binaries
+//! remain the fallback.
 //!
 //! Comparisons are deliberately tolerant: shared CI runners are noisy,
 //! so a point only fails when it drops below `min_ratio` (default
-//! [`DEFAULT_MIN_RATIO`]) of the previous run's speedup.
+//! [`DEFAULT_MIN_RATIO`]) of the reference value.
 
 use crate::batch_speedup::BatchSpeedupReport;
 use crate::chain_scaling::ChainScalingReport;
 use crate::shard_speedup::ShardSpeedupReport;
 use crate::stream_tracking::StreamTrackingReport;
+use std::path::{Path, PathBuf};
 
 /// Default fraction of the previous run's speedup the current run must
 /// retain. 0.75 tolerates heavy runner noise while still catching a
@@ -217,6 +228,195 @@ pub fn compare_stream(
     }
 }
 
+// ---------------------------------------------------------------------
+// Rolling-history mode.
+// ---------------------------------------------------------------------
+
+/// Default number of historical reports kept per benchmark kind.
+pub const DEFAULT_KEEP: usize = 10;
+
+/// One headline scalar extracted from a report, comparable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable name (workload or mode), used to match across runs.
+    pub name: String,
+    /// The scalar (a speedup, or a tracking error).
+    pub value: f64,
+    /// `true` for error-like metrics where smaller is better.
+    pub lower_is_better: bool,
+}
+
+impl Metric {
+    fn speedup(name: impl Into<String>, value: f64) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            lower_is_better: false,
+        }
+    }
+
+    fn error(name: impl Into<String>, value: f64) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            lower_is_better: true,
+        }
+    }
+}
+
+/// Headline metrics of a batch-speedup report: per-workload speedup.
+pub fn batch_metrics(r: &BatchSpeedupReport) -> Vec<Metric> {
+    r.points
+        .iter()
+        .map(|p| Metric::speedup(&p.name, p.speedup))
+        .collect()
+}
+
+/// Headline metrics of a shard-speedup report: per-workload max-shard
+/// speedup. Empty on a single-thread host (speedups are ≤ 1 by
+/// construction there — recording them would poison the median).
+pub fn shard_metrics(r: &ShardSpeedupReport) -> Vec<Metric> {
+    if r.host_threads < 2 {
+        return Vec::new();
+    }
+    r.points
+        .iter()
+        .filter_map(|p| {
+            p.speedup
+                .last()
+                .map(|&s| Metric::speedup(format!("{} (max shards)", p.name), s))
+        })
+        .collect()
+}
+
+/// Headline metric of a chain-scaling report: the largest-K speedup,
+/// keyed by K so runs with different sweep sizes never cross-compare.
+/// Empty on a single-thread host.
+pub fn chains_metrics(r: &ChainScalingReport) -> Vec<Metric> {
+    if r.available_parallelism < 2 {
+        return Vec::new();
+    }
+    r.points
+        .iter()
+        .max_by_key(|p| p.chains)
+        .map(|p| vec![Metric::speedup(format!("chains K={}", p.chains), p.speedup)])
+        .unwrap_or_default()
+}
+
+/// Headline metrics of a stream-tracking report: warm and cold mean
+/// tracking errors (lower is better; seeded, so deterministic given an
+/// unchanged scenario).
+pub fn stream_metrics(r: &StreamTrackingReport) -> Vec<Metric> {
+    [&r.warm, &r.cold]
+        .into_iter()
+        .filter(|t| t.mean_rel_err.is_finite())
+        .map(|t| Metric::error(&t.mode, t.mean_rel_err))
+        .collect()
+}
+
+/// Median of a nonempty sample (mean of the middle pair when even).
+/// Returns `None` on an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    })
+}
+
+/// Compares the current run's headline metrics against the rolling
+/// median of the same metric across historical runs. A metric with no
+/// history is reported but never fails; an entirely empty history is
+/// [`Outcome::NoBaseline`].
+pub fn compare_to_history(current: &[Metric], history: &[Vec<Metric>], min_ratio: f64) -> Outcome {
+    if history.is_empty() {
+        return Outcome::NoBaseline("history directory holds no prior reports".into());
+    }
+    let mut lines = Vec::new();
+    let mut regressed = false;
+    for m in current {
+        let past: Vec<f64> = history
+            .iter()
+            .filter_map(|run| {
+                run.iter()
+                    .find(|h| h.name == m.name && h.lower_is_better == m.lower_is_better)
+                    .map(|h| h.value)
+            })
+            .collect();
+        let Some(med) = median(&past) else {
+            lines.push(format!("{}: new metric, no history", m.name));
+            continue;
+        };
+        let runs = past.len();
+        let (ok, line) = if m.lower_is_better {
+            let (ok, line) = check_error_point(&m.name, m.value, med, min_ratio);
+            (ok, format!("{line} [median of {runs} run(s)]"))
+        } else {
+            let (ok, line) = check_point(&m.name, m.value, med, min_ratio);
+            (ok, format!("{line} [median of {runs} run(s)]"))
+        };
+        regressed |= !ok;
+        lines.push(line);
+    }
+    if regressed {
+        Outcome::Regressed(lines)
+    } else {
+        Outcome::Ok(lines)
+    }
+}
+
+/// Lists history files for one kind (`BENCH_<kind>.<index>.json`),
+/// sorted by ascending index. Files that don't match the pattern are
+/// ignored, so the directory can hold several kinds side by side.
+pub fn history_entries(dir: &Path, kind: &str) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let prefix = format!("BENCH_{kind}.");
+    let mut entries = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(middle) = name
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        if let Ok(index) = middle.parse::<u64>() {
+            entries.push((index, path));
+        }
+    }
+    entries.sort_by_key(|&(index, _)| index);
+    Ok(entries)
+}
+
+/// Appends the current report to the history directory under the next
+/// free index and prunes the oldest entries down to `keep`. Returns the
+/// path written.
+pub fn append_history(
+    dir: &Path,
+    kind: &str,
+    report_json: &str,
+    keep: usize,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let entries = history_entries(dir, kind)?;
+    let next = entries.last().map_or(0, |&(index, _)| index + 1);
+    let path = dir.join(format!("BENCH_{kind}.{next:06}.json"));
+    std::fs::write(&path, report_json)?;
+    let total = entries.len() + 1;
+    for (_, old) in entries.iter().take(total.saturating_sub(keep.max(1))) {
+        std::fs::remove_file(old)?;
+    }
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +604,80 @@ mod tests {
             DEFAULT_MIN_RATIO,
         );
         assert!(!out.is_regression(), "{:?}", out.lines());
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert!(median(&[]).is_none());
+        assert!((median(&[3.0, 1.0, 2.0]).expect("odd") - 2.0).abs() < 1e-12);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]).expect("even") - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_comparison_uses_rolling_median() {
+        let hist: Vec<Vec<Metric>> = [1.4, 1.5, 0.2, 1.6]
+            .iter()
+            .map(|&s| batch_metrics(&batch_report(s)))
+            .collect();
+        // Median of {1.4, 1.5, 0.2, 1.6} is 1.45 — the one noisy 0.2 run
+        // does not drag the floor down the way a pairwise check would.
+        let ok = compare_to_history(&batch_metrics(&batch_report(1.2)), &hist, DEFAULT_MIN_RATIO);
+        assert!(!ok.is_regression(), "{:?}", ok.lines());
+        let bad = compare_to_history(&batch_metrics(&batch_report(0.9)), &hist, DEFAULT_MIN_RATIO);
+        assert!(bad.is_regression(), "{:?}", bad.lines());
+        // Empty history skips; a new metric name is reported, not failed.
+        assert!(matches!(
+            compare_to_history(&batch_metrics(&batch_report(1.0)), &[], DEFAULT_MIN_RATIO),
+            Outcome::NoBaseline(_)
+        ));
+    }
+
+    #[test]
+    fn history_comparison_respects_lower_is_better() {
+        let hist: Vec<Vec<Metric>> = [0.06, 0.08, 0.07]
+            .iter()
+            .map(|&e| stream_metrics(&stream_report(e, e)))
+            .collect();
+        let ok = compare_to_history(
+            &stream_metrics(&stream_report(0.08, 0.08)),
+            &hist,
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(!ok.is_regression(), "{:?}", ok.lines());
+        let bad = compare_to_history(
+            &stream_metrics(&stream_report(0.20, 0.07)),
+            &hist,
+            DEFAULT_MIN_RATIO,
+        );
+        assert!(bad.is_regression(), "{:?}", bad.lines());
+    }
+
+    #[test]
+    fn single_core_reports_contribute_no_metrics() {
+        assert!(shard_metrics(&shard_report(2.0, 1)).is_empty());
+        assert!(chains_metrics(&chains_report(2.0, 1)).is_empty());
+        assert_eq!(shard_metrics(&shard_report(2.0, 4)).len(), 1);
+    }
+
+    #[test]
+    fn history_files_rotate_and_prune() {
+        let dir = std::env::temp_dir().join(format!(
+            "qni_bench_hist_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for i in 0..5 {
+            let json = format!("{{\"run\":{i}}}");
+            append_history(&dir, "batch", &json, 3).expect("append");
+        }
+        // Another kind in the same directory is untouched by pruning.
+        append_history(&dir, "stream", "{}", 3).expect("append other kind");
+        let entries = history_entries(&dir, "batch").expect("list");
+        let indices: Vec<u64> = entries.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, vec![2, 3, 4], "oldest pruned, order kept");
+        assert_eq!(history_entries(&dir, "stream").expect("list").len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

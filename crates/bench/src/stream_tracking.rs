@@ -248,6 +248,8 @@ pub fn run_experiment(quick: bool) -> (StreamTrackingReport, RateTrajectory, Rat
         master_seed: scenario.seed,
         thread_budget: None,
         warm_start: warm,
+        warm_burn_in: None,
+        occupancy_carry: true,
         clock: Some(monotonic_secs),
     };
 

@@ -22,7 +22,12 @@
 //!   pooled into one estimate with split-R̂ / ESS convergence checks.
 //! - [`stream`]: the streaming engine — StEM over overlapping time
 //!   windows of the trace, each warm-started from the previous window,
-//!   tracking *time-varying* rates as a [`stream::RateTrajectory`].
+//!   tracking *time-varying* rates as a [`stream::RateTrajectory`];
+//!   exposed both as whole-trace replay ([`stream::run_stream`]) and as
+//!   the incremental [`stream::StreamEngine`].
+//! - [`watch`]: live-tail monitoring — tail a growing JSONL trace,
+//!   close windows as the stream guarantees them complete, fit each with
+//!   the incremental engine; byte-identical to replaying the final file.
 //! - [`baseline`]: the §5.1 oracle baseline (mean observed service).
 //! - [`estimates`], [`localize`], [`diagnostics`]: evaluation, bottleneck
 //!   localization, and MCMC diagnostics.
@@ -64,6 +69,7 @@ pub mod posterior;
 pub mod state;
 pub mod stem;
 pub mod stream;
+pub mod watch;
 
 pub use chains::{run_stem_parallel, ParallelStemOptions, ParallelStemResult};
 pub use diagnostics::ChainDiagnostics;
@@ -71,4 +77,5 @@ pub use error::InferenceError;
 pub use gibbs::shard::ShardMode;
 pub use gibbs::sweep::BatchMode;
 pub use state::GibbsState;
-pub use stream::{run_stream, RateTrajectory, StreamOptions, WindowEstimate};
+pub use stream::{run_stream, RateTrajectory, StreamEngine, StreamOptions, WindowEstimate};
+pub use watch::{run_watch, StepReport, WatchSession};

@@ -24,7 +24,33 @@
 //!
 //! Warm starts change only where each chain *begins*; conditionals and
 //! the stationary distribution are untouched, so they accelerate
-//! per-window burn-in without biasing the trajectory.
+//! per-window burn-in without biasing the trajectory. With
+//! [`StreamOptions::warm_burn_in`] set, warm-started windows also run a
+//! *shorter* burn-in than the cold first window — the carried Gibbs
+//! state is already near stationarity, so burn-in is amortized across
+//! the stream instead of re-paid per window.
+//!
+//! # Cross-window server occupancy
+//!
+//! With [`StreamOptions::occupancy_carry`] on (the default), each
+//! window is augmented before fitting with the server time its
+//! predecessor's non-shared tasks still occupy past the window start
+//! ([`qni_trace::window::occupancy_carry`]): small strides would
+//! otherwise let every window start with idle servers, biasing µ̂
+//! optimistic. The injected carry tasks add one q0 event each, so the
+//! engine rescales the reported λ̂ by `real/(real+carry)`; the carried
+//! pooled rates handed to the next window's warm start stay
+//! uncorrected (they parameterize the sampler, not the report).
+//!
+//! # Replay vs. live
+//!
+//! [`run_stream`] replays a complete in-memory trace. The same
+//! machinery is exposed incrementally as [`StreamEngine`]: push each
+//! [`WindowedLog`] as it closes (e.g. from
+//! [`qni_trace::window::LiveSlicer`]) and take the identical trajectory
+//! at the end — `run_stream` itself is a thin wrapper that slices and
+//! pushes, so replay and live ingestion are byte-identical by
+//! construction.
 //!
 //! # Determinism
 //!
@@ -69,7 +95,7 @@ use crate::init::WarmTimes;
 use crate::stem::StemOptions;
 use qni_model::log::EventLog;
 use qni_stats::rng::split_seed;
-use qni_trace::window::{slice_windows, WindowSchedule, WindowedLog};
+use qni_trace::window::{occupancy_carry, slice_windows, WindowSchedule, WindowedLog};
 use qni_trace::MaskedLog;
 use serde::Serialize;
 
@@ -110,6 +136,17 @@ pub struct StreamOptions {
     /// rate estimates and final Gibbs state (see the module docs). Off
     /// means every window starts cold from [`crate::stem::heuristic_rates`].
     pub warm_start: bool,
+    /// Burn-in override for *warm-started* windows. `None` (the
+    /// default) keeps [`StemOptions::burn_in`] everywhere; `Some(b)`
+    /// amortizes burn-in across the stream: the cold first window pays
+    /// the full budget, every warm window only `b` sweeps (its chains
+    /// start from the previous window's imputed state, already near
+    /// stationarity). Must leave at least 4 post-burn-in iterations.
+    pub warm_burn_in: Option<usize>,
+    /// Whether to carry cross-window server occupancy (see the module
+    /// docs). On by default; turning it off reproduces the pre-carry
+    /// per-window-independent estimates.
+    pub occupancy_carry: bool,
     /// Optional injected clock for [`WindowEstimate::wall_secs`]. With
     /// `None` (the default) every `wall_secs` is `0.0` — timing is a
     /// caller concern, and a library-side clock read would violate the
@@ -125,6 +162,8 @@ impl Default for StreamOptions {
             master_seed: 0,
             thread_budget: None,
             warm_start: true,
+            warm_burn_in: None,
+            occupancy_carry: true,
             clock: None,
         }
     }
@@ -160,6 +199,13 @@ impl StreamOptions {
                 what: "need >= 4 post-burn-in iterations per chain for diagnostics",
             });
         }
+        if let Some(b) = self.warm_burn_in {
+            if self.stem.iterations < b + 4 {
+                return Err(InferenceError::BadOptions {
+                    what: "warm burn-in must leave >= 4 post-burn-in iterations",
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -177,6 +223,10 @@ pub struct WindowEstimate {
     pub tasks: usize,
     /// Events in the window's log.
     pub events: usize,
+    /// Occupancy carry tasks injected ahead of the fit (see
+    /// [`StreamOptions::occupancy_carry`]); the reported λ̂ is already
+    /// rescaled to exclude their q0 events.
+    pub carry_tasks: usize,
     /// Free (resampled) variables in the window.
     pub free_variables: usize,
     /// Whether this window was warm-started from the previous one.
@@ -238,6 +288,7 @@ impl RateTrajectory {
             bits.push(w.start.to_bits());
             bits.push(w.end.to_bits());
             bits.push(w.tasks as u64);
+            bits.push(w.carry_tasks as u64);
             bits.push(w.free_variables as u64);
             for v in w
                 .rates
@@ -250,6 +301,21 @@ impl RateTrajectory {
             }
         }
         bits
+    }
+
+    /// A 16-hex-digit digest of [`RateTrajectory::fingerprint`] (FNV-1a
+    /// over the bit words), printable on one line — what `qni watch` and
+    /// `qni stream` emit so byte-identity across the two ingestion paths
+    /// can be asserted by comparing stdout.
+    pub fn fingerprint_digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in self.fingerprint() {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        format!("{h:016x}")
     }
 
     /// Writes the trajectory as CSV: one row per window with the span,
@@ -302,22 +368,26 @@ impl RateTrajectory {
 /// window's final Gibbs log: every free time of a task shared by both
 /// windows is targeted at its previously imputed value, rebased onto the
 /// new window's clock.
-fn carry_warm_times(
-    prev: &WindowedLog,
-    prev_final: &EventLog,
-    cur: &WindowedLog,
-    total_events: usize,
-) -> WarmTimes {
-    // Original-trace event id -> previous window's local id.
-    let mut prev_local: Vec<Option<u32>> = vec![None; total_events];
+fn carry_warm_times(prev: &WindowedLog, prev_final: &EventLog, cur: &WindowedLog) -> WarmTimes {
+    // Original-trace event id -> previous window's local id. Sized by
+    // the largest original id the previous window saw, so the live path
+    // needs no whole-trace event count.
+    let table_len = prev
+        .event_mapping()
+        .map(|(_, oe)| oe.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut prev_local: Vec<Option<u32>> = vec![None; table_len];
     for (pe, oe) in prev.event_mapping() {
         prev_local[oe.index()] = Some(pe.index() as u32);
     }
     let shift = prev.start - cur.start;
     let cur_log = cur.masked().ground_truth();
-    let mut warm = WarmTimes::empty(cur.num_events());
+    // Sized by the full log (carry events included) — carry events are
+    // fully observed, so they simply never gain a target.
+    let mut warm = WarmTimes::empty(cur_log.num_events());
     for (we, oe) in cur.event_mapping() {
-        let Some(pe) = prev_local[oe.index()] else {
+        let Some(pe) = prev_local.get(oe.index()).copied().flatten() else {
             continue;
         };
         let pe = qni_model::ids::EventId::from_index(pe as usize);
@@ -331,7 +401,228 @@ fn carry_warm_times(
     warm
 }
 
-/// Runs streaming StEM over `masked` under the window `schedule`.
+/// State carried from the last fitted window into the next one.
+#[derive(Debug)]
+struct PrevWindow {
+    /// The fitted window (carry tasks included).
+    window: WindowedLog,
+    /// Chain 0's final imputed Gibbs log on that window.
+    final_log: EventLog,
+    /// Uncorrected pooled rates — the sampler-facing warm-start values.
+    pooled: Vec<f64>,
+    /// λ̂-corrected rates as reported — what carried (empty-window)
+    /// estimates repeat.
+    reported: Vec<f64>,
+}
+
+/// The incremental streaming engine: the persistent cross-window state
+/// of a streaming StEM run ([`run_stream`] is a thin replay wrapper
+/// around it).
+///
+/// Push each [`WindowedLog`] as it closes — in schedule order, empty
+/// windows included — and the engine fits it warm-started from its own
+/// carried state (previous pooled rates, previous final Gibbs log,
+/// carried server occupancy), appending one [`WindowEstimate`] per
+/// push. Because the engine never looks at anything but the pushed
+/// window and its own state, a live tail that closes windows
+/// incrementally produces exactly the bytes of a replay over the
+/// complete trace.
+#[derive(Debug)]
+pub struct StreamEngine {
+    opts: StreamOptions,
+    schedule: WindowSchedule,
+    num_queues: usize,
+    prev: Option<PrevWindow>,
+    windows: Vec<WindowEstimate>,
+}
+
+impl StreamEngine {
+    /// Creates an engine for one stream. `num_queues` is the trace's
+    /// total queue count including q0 (every pushed window must agree).
+    pub fn new(
+        schedule: WindowSchedule,
+        num_queues: usize,
+        opts: StreamOptions,
+    ) -> Result<Self, InferenceError> {
+        opts.validate()?;
+        if num_queues < 2 {
+            return Err(InferenceError::BadOptions {
+                what: "stream needs at least q0 plus one service queue",
+            });
+        }
+        Ok(StreamEngine {
+            opts,
+            schedule,
+            num_queues,
+            prev: None,
+            windows: Vec::new(),
+        })
+    }
+
+    /// The estimates of every window pushed so far, in window order.
+    pub fn estimates(&self) -> &[WindowEstimate] {
+        &self.windows
+    }
+
+    /// Number of windows fitted so far.
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Fits one closed window and appends its estimate (returned by
+    /// reference). Windows must arrive in schedule order, empty ones
+    /// included — exactly what [`qni_trace::window::LiveSlicer`] emits.
+    pub fn push_window(&mut self, window: WindowedLog) -> Result<&WindowEstimate, InferenceError> {
+        if window.index != self.windows.len() {
+            return Err(InferenceError::BadOptions {
+                what: "windows must be pushed in schedule order, none skipped",
+            });
+        }
+        if window.masked().ground_truth().num_queues() != self.num_queues {
+            return Err(InferenceError::BadOptions {
+                what: "window queue count disagrees with the stream's",
+            });
+        }
+        let clock = self.opts.clock;
+        let now = move || clock.map_or(0.0, |c| c());
+        let t0 = now();
+        if window.num_tasks() == 0 {
+            let rates = self
+                .prev
+                .as_ref()
+                .map(|p| p.reported.clone())
+                .unwrap_or_else(|| vec![f64::NAN; self.num_queues]);
+            // An empty window never touches `prev`: the next fitted
+            // window warm-starts from the last *fitted* one.
+            self.windows.push(WindowEstimate {
+                index: window.index,
+                start: window.start,
+                end: window.end,
+                tasks: 0,
+                events: 0,
+                carry_tasks: 0,
+                free_variables: 0,
+                warm_started: false,
+                carried: true,
+                mean_service: rates.iter().map(|r| 1.0 / r).collect(),
+                rates,
+                split_rhat: vec![f64::NAN; self.num_queues],
+                ess: vec![f64::NAN; self.num_queues],
+                wall_secs: now() - t0,
+            });
+            return self.windows.last().ok_or(InferenceError::BadOptions {
+                what: "window list empty after push",
+            });
+        }
+        // Inject the carried server occupancy before fitting.
+        let window = match (&self.prev, self.opts.occupancy_carry) {
+            (Some(p), true) => {
+                let carry = occupancy_carry(&p.window, &p.final_log, &window);
+                window.with_occupancy(&carry)?
+            }
+            _ => window,
+        };
+        let (initial_rates, warm) = match (&self.prev, self.opts.warm_start) {
+            (Some(p), true) => (
+                Some(p.pooled.clone()),
+                Some(carry_warm_times(&p.window, &p.final_log, &window)),
+            ),
+            _ => (None, None),
+        };
+        let mut stem = self.opts.stem.clone();
+        if warm.is_some() {
+            if let Some(b) = self.opts.warm_burn_in {
+                // Amortized burn-in: warm chains start near stationarity.
+                stem.burn_in = b;
+            }
+        }
+        let popts = ParallelStemOptions {
+            stem,
+            chains: self.opts.chains,
+            master_seed: split_seed(self.opts.master_seed, window.index as u64),
+            thread_budget: self.opts.thread_budget,
+        };
+        let mut r = run_stem_parallel_warm(
+            window.masked(),
+            initial_rates.as_deref(),
+            warm.as_ref(),
+            &popts,
+        )?;
+        let free =
+            window.masked().free_arrivals().len() + window.masked().free_final_departures().len();
+        // Each carry task adds one synthetic q0 event with a zero
+        // interarrival gap, inflating the M-step's λ̂ = count/gap-sum by
+        // exactly (real+carry)/real — undo that in the report. The µ̂
+        // side needs no correction (the carried busy time is real work).
+        let mut rates = r.rates.clone();
+        let mut mean_service = r.mean_service.clone();
+        let (real, carry) = (window.num_tasks(), window.carry_tasks());
+        if carry > 0 {
+            let scale = real as f64 / (real + carry) as f64;
+            rates[0] *= scale;
+            mean_service[0] /= scale;
+        }
+        self.windows.push(WindowEstimate {
+            index: window.index,
+            start: window.start,
+            end: window.end,
+            tasks: window.num_tasks(),
+            events: window.num_events(),
+            carry_tasks: carry,
+            free_variables: free,
+            warm_started: warm.is_some(),
+            carried: false,
+            rates: rates.clone(),
+            mean_service,
+            split_rhat: r.diagnostics.split_rhat.clone(),
+            ess: r.diagnostics.ess.clone(),
+            wall_secs: now() - t0,
+        });
+        // Chain 0 donates the Gibbs state carried into the next window;
+        // the uncorrected pooled rates donate the next initial rates.
+        let donor = r.chains.swap_remove(0).final_log;
+        self.prev = Some(PrevWindow {
+            window,
+            final_log: donor,
+            pooled: r.rates,
+            reported: rates,
+        });
+        self.windows.last().ok_or(InferenceError::BadOptions {
+            what: "window list empty after push",
+        })
+    }
+
+    /// Consumes the engine, yielding the trajectory of every pushed
+    /// window.
+    pub fn into_trajectory(self) -> RateTrajectory {
+        RateTrajectory {
+            num_queues: self.num_queues,
+            width: self.schedule.width(),
+            stride: self.schedule.stride(),
+            master_seed: self.opts.master_seed,
+            chains: self.opts.chains,
+            warm_start: self.opts.warm_start,
+            windows: self.windows,
+        }
+    }
+
+    /// The trajectory built so far, without consuming the engine (used
+    /// for periodic emission while a live tail is still running).
+    pub fn trajectory_snapshot(&self) -> RateTrajectory {
+        RateTrajectory {
+            num_queues: self.num_queues,
+            width: self.schedule.width(),
+            stride: self.schedule.stride(),
+            master_seed: self.opts.master_seed,
+            chains: self.opts.chains,
+            warm_start: self.opts.warm_start,
+            windows: self.windows.clone(),
+        }
+    }
+}
+
+/// Runs streaming StEM over `masked` under the window `schedule` by
+/// replay: slice every window, push each through a [`StreamEngine`].
 ///
 /// Every scheduled window yields one [`WindowEstimate`], including
 /// windows that own no task (their estimate is carried forward so the
@@ -343,88 +634,12 @@ pub fn run_stream(
     schedule: &WindowSchedule,
     opts: &StreamOptions,
 ) -> Result<RateTrajectory, InferenceError> {
-    opts.validate()?;
-    let windows = slice_windows(masked, schedule)?;
     let num_queues = masked.ground_truth().num_queues();
-    let total_events = masked.ground_truth().num_events();
-    let mut out = Vec::with_capacity(windows.len());
-    // Previous fitted window: (window, chain-0 final log, pooled rates).
-    let mut prev: Option<(WindowedLog, EventLog, Vec<f64>)> = None;
-    let now = || opts.clock.map_or(0.0, |c| c());
-    for window in windows {
-        let start = now();
-        if window.num_tasks() == 0 {
-            let rates = prev
-                .as_ref()
-                .map(|(_, _, r)| r.clone())
-                .unwrap_or_else(|| vec![f64::NAN; num_queues]);
-            out.push(WindowEstimate {
-                index: window.index,
-                start: window.start,
-                end: window.end,
-                tasks: 0,
-                events: 0,
-                free_variables: 0,
-                warm_started: false,
-                carried: true,
-                mean_service: rates.iter().map(|r| 1.0 / r).collect(),
-                rates,
-                split_rhat: vec![f64::NAN; num_queues],
-                ess: vec![f64::NAN; num_queues],
-                wall_secs: now() - start,
-            });
-            continue;
-        }
-        let popts = ParallelStemOptions {
-            stem: opts.stem.clone(),
-            chains: opts.chains,
-            master_seed: split_seed(opts.master_seed, window.index as u64),
-            thread_budget: opts.thread_budget,
-        };
-        let (initial_rates, warm) = match (&prev, opts.warm_start) {
-            (Some((pw, pfinal, prates)), true) => (
-                Some(prates.clone()),
-                Some(carry_warm_times(pw, pfinal, &window, total_events)),
-            ),
-            _ => (None, None),
-        };
-        let mut r = run_stem_parallel_warm(
-            window.masked(),
-            initial_rates.as_deref(),
-            warm.as_ref(),
-            &popts,
-        )?;
-        let free =
-            window.masked().free_arrivals().len() + window.masked().free_final_departures().len();
-        out.push(WindowEstimate {
-            index: window.index,
-            start: window.start,
-            end: window.end,
-            tasks: window.num_tasks(),
-            events: window.num_events(),
-            free_variables: free,
-            warm_started: warm.is_some(),
-            carried: false,
-            rates: r.rates.clone(),
-            mean_service: r.mean_service.clone(),
-            split_rhat: r.diagnostics.split_rhat.clone(),
-            ess: r.diagnostics.ess.clone(),
-            wall_secs: now() - start,
-        });
-        // Chain 0 donates the Gibbs state carried into the next window;
-        // the pooled rates donate the next initial rates.
-        let donor = r.chains.swap_remove(0).final_log;
-        prev = Some((window, donor, r.rates));
+    let mut engine = StreamEngine::new(*schedule, num_queues, opts.clone())?;
+    for window in slice_windows(masked, schedule)? {
+        engine.push_window(window)?;
     }
-    Ok(RateTrajectory {
-        num_queues,
-        width: schedule.width(),
-        stride: schedule.stride(),
-        master_seed: opts.master_seed,
-        chains: opts.chains,
-        warm_start: opts.warm_start,
-        windows: out,
-    })
+    Ok(engine.into_trajectory())
 }
 
 #[cfg(test)]
@@ -547,6 +762,85 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn engine_pushes_match_replay_bit_for_bit() {
+        let masked = piecewise_masked(5);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let opts = StreamOptions::quick_test();
+        let replay = run_stream(&masked, &schedule, &opts).unwrap();
+        let mut engine = StreamEngine::new(schedule, 2, opts).unwrap();
+        for window in slice_windows(&masked, &schedule).unwrap() {
+            engine.push_window(window).unwrap();
+        }
+        assert_eq!(engine.num_windows(), replay.windows.len());
+        let live = engine.into_trajectory();
+        assert_eq!(live.fingerprint(), replay.fingerprint());
+        assert_eq!(live.fingerprint_digest(), replay.fingerprint_digest());
+    }
+
+    #[test]
+    fn engine_rejects_out_of_order_and_mismatched_windows() {
+        let masked = piecewise_masked(5);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let mut windows = slice_windows(&masked, &schedule).unwrap();
+        let mut engine = StreamEngine::new(schedule, 2, StreamOptions::quick_test()).unwrap();
+        let second = windows.remove(1);
+        assert!(engine.push_window(second).is_err(), "skipped window 0");
+        assert!(StreamEngine::new(schedule, 1, StreamOptions::quick_test()).is_err());
+    }
+
+    #[test]
+    fn occupancy_carry_rescales_lambda_and_is_opt_out() {
+        let masked = piecewise_masked(6);
+        // Small stride: plenty of straddling work to carry.
+        let schedule = WindowSchedule::new(20.0, 5.0).unwrap();
+        let carried = run_stream(&masked, &schedule, &StreamOptions::quick_test()).unwrap();
+        let without = run_stream(
+            &masked,
+            &schedule,
+            &StreamOptions {
+                occupancy_carry: false,
+                ..StreamOptions::quick_test()
+            },
+        )
+        .unwrap();
+        assert!(
+            carried.windows.iter().any(|w| w.carry_tasks > 0),
+            "expected at least one carried-occupancy window"
+        );
+        assert!(without.windows.iter().all(|w| w.carry_tasks == 0));
+        assert_ne!(carried.fingerprint(), without.fingerprint());
+        // λ̂ stays finite and positive despite the synthetic q0 events.
+        for w in carried.windows.iter().filter(|w| !w.carried) {
+            assert!(w.rates[0].is_finite() && w.rates[0] > 0.0);
+        }
+        // Each mode is individually reproducible.
+        let carried2 = run_stream(&masked, &schedule, &StreamOptions::quick_test()).unwrap();
+        assert_eq!(carried.fingerprint(), carried2.fingerprint());
+    }
+
+    #[test]
+    fn warm_burn_in_amortizes_and_validates() {
+        let bad = StreamOptions {
+            warm_burn_in: Some(StemOptions::quick_test().iterations),
+            ..StreamOptions::quick_test()
+        };
+        assert!(bad.validate().is_err());
+        let masked = piecewise_masked(7);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let opts = StreamOptions {
+            warm_burn_in: Some(1),
+            ..StreamOptions::quick_test()
+        };
+        let a = run_stream(&masked, &schedule, &opts).unwrap();
+        let b = run_stream(&masked, &schedule, &opts).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // The shortened burn-in changes which sweeps are averaged, so it
+        // is a genuinely different (still reproducible) estimator.
+        let full = run_stream(&masked, &schedule, &StreamOptions::quick_test()).unwrap();
+        assert_ne!(a.fingerprint(), full.fingerprint());
     }
 
     #[test]

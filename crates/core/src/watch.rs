@@ -1,0 +1,372 @@
+//! Live-tail monitoring: the long-running `qni watch` engine.
+//!
+//! [`WatchSession`] composes the three live-path pieces end to end:
+//!
+//! - [`qni_trace::tail::TailReader`] — polls the growing JSONL trace,
+//!   reassembling partial lines and detecting truncation/rotation;
+//! - [`qni_trace::window::LiveSlicer`] — turns the record stream into
+//!   closed [`qni_trace::window::WindowedLog`]s with bounded memory
+//!   (tasks retire as their last owning window closes);
+//! - [`crate::stream::StreamEngine`] — fits each closed window
+//!   warm-started from its own carried state.
+//!
+//! One [`WatchSession::step`] is one poll: read whatever was appended,
+//! close whatever windows the new entries complete, fit them, and report
+//! progress ([`StepReport`]: lag, resident windows, buffered tasks).
+//! [`WatchSession::finish`] flushes the stream's tail and yields the
+//! final [`RateTrajectory`] — byte-identical to [`crate::stream::run_stream`]
+//! replaying the completed file, because every stage (slicing, window
+//! construction, per-window seeding) is shared with the replay path.
+//!
+//! # Shutdown and pacing
+//!
+//! The library is wall-clock-free (QNI-D001): [`run_watch`] drives a
+//! session with an *injected* sleeper and an *injected* stop flag — the
+//! SIGTERM-style shutdown hook. Binaries pass `std::thread::sleep` and
+//! flip the flag from a signal handler or another thread; tests pass a
+//! no-op sleeper and flip the flag deterministically. The driver also
+//! stops by itself after a configurable run of idle polls (no new
+//! bytes), which is how the CLI's `--idle-polls` bounds a soak run.
+
+use crate::error::InferenceError;
+use crate::stream::{RateTrajectory, StreamEngine, StreamOptions, WindowEstimate};
+use qni_trace::tail::TailReader;
+use qni_trace::window::{LiveSlicer, WindowSchedule};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One live-tail monitoring session over a growing JSONL trace.
+#[derive(Debug)]
+pub struct WatchSession {
+    tail: TailReader,
+    slicer: LiveSlicer,
+    engine: StreamEngine,
+    records_seen: usize,
+    peak_open_spans: usize,
+    peak_buffered_tasks: usize,
+}
+
+/// What one [`WatchSession::step`] did and where the session stands.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Records parsed from this poll's appended bytes.
+    pub new_records: usize,
+    /// Windows closed (and fitted) by this step.
+    pub windows_closed: usize,
+    /// Total windows fitted so far.
+    pub total_windows: usize,
+    /// Latest entry watermark seen by the slicer (`None` before the
+    /// first task).
+    pub watermark: Option<f64>,
+    /// End of the most recently closed window.
+    pub last_closed_end: Option<f64>,
+    /// Trace-time lag of the monitor: watermark minus the last closed
+    /// window end (watermark itself before any window closes). Under
+    /// steady flow this stays below `width + stride`.
+    pub lag: Option<f64>,
+    /// Schedule spans currently open (started, not yet closed) —
+    /// bounded by `width/stride + 1` regardless of trace length.
+    pub open_spans: usize,
+    /// Tasks buffered in the slicer.
+    pub buffered_tasks: usize,
+    /// Byte offset consumed from the tailed file.
+    pub offset: u64,
+}
+
+impl WatchSession {
+    /// Opens a session tailing `path` from its start. The file does not
+    /// need to exist yet. `num_queues` is the trace's total queue count
+    /// including q0 (the same value `qni stream` infers from a complete
+    /// file — a live tail cannot infer it from a prefix).
+    pub fn new<P: AsRef<Path>>(
+        path: P,
+        schedule: WindowSchedule,
+        num_queues: usize,
+        opts: StreamOptions,
+    ) -> Result<Self, InferenceError> {
+        Ok(WatchSession {
+            tail: TailReader::new(path),
+            slicer: LiveSlicer::new(schedule, num_queues)?,
+            engine: StreamEngine::new(schedule, num_queues, opts)?,
+            records_seen: 0,
+            peak_open_spans: 0,
+            peak_buffered_tasks: 0,
+        })
+    }
+
+    /// One poll: ingest appended records, fit every window they close.
+    pub fn step(&mut self) -> Result<StepReport, InferenceError> {
+        let records = self.tail.poll()?;
+        let new_records = records.len();
+        self.records_seen += new_records;
+        let mut windows_closed = 0usize;
+        for rec in records {
+            for window in self.slicer.push(rec)? {
+                self.engine.push_window(window)?;
+                windows_closed += 1;
+            }
+        }
+        self.peak_open_spans = self.peak_open_spans.max(self.slicer.open_spans());
+        self.peak_buffered_tasks = self.peak_buffered_tasks.max(self.slicer.buffered_tasks());
+        Ok(self.report(new_records, windows_closed))
+    }
+
+    fn report(&self, new_records: usize, windows_closed: usize) -> StepReport {
+        let watermark = self.slicer.watermark();
+        let last_closed_end = self.slicer.last_closed_end();
+        StepReport {
+            new_records,
+            windows_closed,
+            total_windows: self.engine.num_windows(),
+            watermark,
+            last_closed_end,
+            lag: watermark.map(|w| w - last_closed_end.unwrap_or(0.0)),
+            open_spans: self.slicer.open_spans(),
+            buffered_tasks: self.slicer.buffered_tasks(),
+            offset: self.tail.offset(),
+        }
+    }
+
+    /// Estimates of every window fitted so far, in window order.
+    pub fn estimates(&self) -> &[WindowEstimate] {
+        self.engine.estimates()
+    }
+
+    /// The trajectory built so far (for periodic emission mid-run).
+    pub fn trajectory_snapshot(&self) -> RateTrajectory {
+        self.engine.trajectory_snapshot()
+    }
+
+    /// Total records ingested.
+    pub fn records_seen(&self) -> usize {
+        self.records_seen
+    }
+
+    /// Peak resident (open) window count over the session's lifetime —
+    /// the bounded-memory gate of the soak test.
+    pub fn peak_open_spans(&self) -> usize {
+        self.peak_open_spans
+    }
+
+    /// Peak buffered task count over the session's lifetime.
+    pub fn peak_buffered_tasks(&self) -> usize {
+        self.peak_buffered_tasks
+    }
+
+    /// Declares the trace complete: one final poll, then every remaining
+    /// window is closed, fitted, and folded into the returned
+    /// trajectory. Byte-identical to a [`crate::stream::run_stream`]
+    /// replay of the final file with the same options.
+    pub fn finish(mut self) -> Result<RateTrajectory, InferenceError> {
+        let records = self.tail.poll()?;
+        for rec in records {
+            for window in self.slicer.push(rec)? {
+                self.engine.push_window(window)?;
+            }
+        }
+        for window in self.slicer.finish()? {
+            self.engine.push_window(window)?;
+        }
+        Ok(self.engine.into_trajectory())
+    }
+}
+
+/// Drives a [`WatchSession`] until the injected `stop` flag is raised or
+/// `idle_poll_limit` consecutive polls bring no new bytes (pass `None`
+/// to poll forever and rely on the flag alone). `sleep` paces the polls
+/// — binaries pass a real `std::thread::sleep` closure, tests a no-op —
+/// and `on_step` observes the session after every step (print progress,
+/// dump periodic snapshots, enforce lag gates; the estimates fitted by
+/// the step are `session.estimates()[report.total_windows -
+/// report.windows_closed..]`). Returns the number of steps taken; call
+/// [`WatchSession::finish`] afterwards for the final trajectory.
+///
+/// The stop flag is the SIGTERM-style shutdown hook: raise it from a
+/// signal handler or another thread and the loop exits cleanly after
+/// the in-flight step, never mid-window.
+pub fn run_watch<S, F>(
+    session: &mut WatchSession,
+    stop: &AtomicBool,
+    idle_poll_limit: Option<usize>,
+    mut sleep: S,
+    mut on_step: F,
+) -> Result<usize, InferenceError>
+where
+    S: FnMut(),
+    F: FnMut(&WatchSession, &StepReport),
+{
+    let mut steps = 0usize;
+    let mut idle = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        let report = session.step()?;
+        steps += 1;
+        on_step(session, &report);
+        if report.new_records == 0 && report.windows_closed == 0 {
+            idle += 1;
+            if idle_poll_limit.is_some_and(|limit| idle >= limit) {
+                break;
+            }
+        } else {
+            idle = 0;
+        }
+        if !stop.load(Ordering::SeqCst) {
+            sleep();
+        }
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::run_stream;
+    use qni_trace::record::{to_records, write_jsonl};
+    use qni_trace::{MaskedLog, ObservationScheme};
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn piecewise_masked(seed: u64) -> MaskedLog {
+        use qni_sim::{Simulator, Workload};
+        use qni_stats::rng::rng_from_seed;
+        let bp = qni_model::topology::tandem(2.0, &[10.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let workload = Workload::piecewise_constant(vec![2.0, 5.0], vec![30.0], 60.0).unwrap();
+        let truth = Simulator::new(&bp.network)
+            .run(&workload, &mut rng)
+            .unwrap();
+        ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap()
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qni-watch-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    /// The tentpole pin at the library level: a session fed by
+    /// incremental appends produces the trajectory of a replay over the
+    /// final file, byte for byte, while the resident window count stays
+    /// bounded.
+    #[test]
+    fn watch_matches_replay_and_stays_bounded() {
+        let masked = piecewise_masked(21);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let opts = StreamOptions::quick_test();
+        let replay = run_stream(&masked, &schedule, &opts).unwrap();
+
+        let mut bytes = Vec::new();
+        write_jsonl(&masked, &mut bytes).unwrap();
+        let path = tmp_path("pin");
+        let _ = std::fs::remove_file(&path);
+        let mut session =
+            WatchSession::new(&path, schedule, masked.ground_truth().num_queues(), opts).unwrap();
+        // Appends arrive in seven slices, interleaved with steps; the
+        // first step happens before the file even exists.
+        assert_eq!(session.step().unwrap().new_records, 0);
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        let n = bytes.len();
+        let mut wrote = 0usize;
+        for i in 1..=7 {
+            let end = n * i / 7;
+            f.write_all(&bytes[wrote..end]).unwrap();
+            f.flush().unwrap();
+            wrote = end;
+            session.step().unwrap();
+        }
+        let report = session.step().unwrap();
+        assert_eq!(report.offset, n as u64);
+        assert!(report.total_windows > 0, "no window closed mid-stream");
+        assert!(session.peak_open_spans() <= 3, "width/stride + 1 bound");
+        let live = session.finish().unwrap();
+        assert_eq!(live.fingerprint(), replay.fingerprint());
+        assert_eq!(live.fingerprint_digest(), replay.fingerprint_digest());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_watch_honors_stop_flag_and_idle_limit() {
+        let masked = piecewise_masked(22);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let path = tmp_path("driver");
+        let mut bytes = Vec::new();
+        write_jsonl(&masked, &mut bytes).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Idle limit: everything is already on disk, so after one
+        // productive step the driver sees 3 idle polls and stops.
+        let mut session = WatchSession::new(
+            &path,
+            schedule,
+            masked.ground_truth().num_queues(),
+            StreamOptions::quick_test(),
+        )
+        .unwrap();
+        let stop = AtomicBool::new(false);
+        let mut sleeps = 0usize;
+        let mut seen_windows = 0usize;
+        let steps = run_watch(
+            &mut session,
+            &stop,
+            Some(3),
+            || sleeps += 1,
+            |s, r| {
+                seen_windows += r.windows_closed;
+                assert_eq!(s.estimates().len(), r.total_windows);
+            },
+        )
+        .unwrap();
+        assert_eq!(steps, 4, "1 productive + 3 idle");
+        assert!(seen_windows > 0);
+        assert_eq!(seen_windows, session.estimates().len());
+
+        // Stop flag: raised before the first poll, the driver never
+        // steps.
+        let mut session = WatchSession::new(
+            &path,
+            schedule,
+            masked.ground_truth().num_queues(),
+            StreamOptions::quick_test(),
+        )
+        .unwrap();
+        let stop = AtomicBool::new(true);
+        let steps = run_watch(&mut session, &stop, None, || (), |_, _| ()).unwrap();
+        assert_eq!(steps, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Records arriving one at a time (the pathological slow writer)
+    /// still reproduce the replay bytes.
+    #[test]
+    fn single_record_appends_match_replay() {
+        let masked = piecewise_masked(23);
+        let schedule = WindowSchedule::new(30.0, 15.0).unwrap();
+        let opts = StreamOptions::quick_test();
+        let replay = run_stream(&masked, &schedule, &opts).unwrap();
+        let records = to_records(masked.ground_truth(), masked.mask());
+        let path = tmp_path("one-by-one");
+        let _ = std::fs::remove_file(&path);
+        let mut session =
+            WatchSession::new(&path, schedule, masked.ground_truth().num_queues(), opts).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        for rec in &records {
+            serde_json::to_writer(&mut f, rec).unwrap();
+            f.write_all(b"\n").unwrap();
+            f.flush().unwrap();
+            session.step().unwrap();
+        }
+        let live = session.finish().unwrap();
+        assert_eq!(live.fingerprint(), replay.fingerprint());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

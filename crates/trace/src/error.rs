@@ -33,6 +33,20 @@ pub enum TraceError {
         /// Actual number of events.
         actual: usize,
     },
+    /// A tailed file shrank below the reader's resume offset — the file
+    /// was truncated or rotated out from under the tail.
+    Truncated {
+        /// The reader's byte offset (everything before it was consumed).
+        offset: u64,
+        /// The file's current length.
+        len: u64,
+    },
+    /// A live trace violated the append-order contract required for
+    /// incremental slicing (see [`crate::window::LiveSlicer`]).
+    OutOfOrder {
+        /// What was out of order.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -51,6 +65,16 @@ impl fmt::Display for TraceError {
             TraceError::Serde(e) => write!(f, "serialization error: {e}"),
             TraceError::ShapeMismatch { expected, actual } => {
                 write!(f, "mask covers {actual} events, log has {expected}")
+            }
+            TraceError::Truncated { offset, len } => {
+                write!(
+                    f,
+                    "tailed file shrank to {len} bytes below resume offset {offset} \
+                     (truncated or rotated); restart the tail from offset 0"
+                )
+            }
+            TraceError::OutOfOrder { what } => {
+                write!(f, "live trace violates append order: {what}")
             }
         }
     }

@@ -17,8 +17,13 @@
 //!   (which justifies the fixed-arrival-order assumption of the sampler).
 //! - [`record`]: serializable per-event trace records with JSONL
 //!   round-tripping.
+//! - [`tail`]: incremental append/tail-follow reading of a growing JSONL
+//!   trace — partial-line reassembly, byte-offset resume, truncation
+//!   detection.
 //! - [`window`]: sliding `(width, stride)` time windows over a masked
-//!   log — the unit of work of the streaming StEM engine.
+//!   log — the unit of work of the streaming StEM engine, sliced either
+//!   from a complete trace ([`window::slice_windows`]) or incrementally
+//!   from a live stream ([`window::LiveSlicer`]).
 //! - [`csv`]: a minimal CSV writer used by the experiment harness.
 
 pub mod counter;
@@ -27,10 +32,14 @@ pub mod error;
 pub mod mask;
 pub mod observe;
 pub mod record;
+pub mod tail;
 pub mod volume;
 pub mod window;
 
 pub use error::TraceError;
 pub use mask::{MaskedLog, ObservedMask};
 pub use observe::ObservationScheme;
-pub use window::{slice_windows, WindowSchedule, WindowedLog};
+pub use tail::{LineAssembler, TailReader};
+pub use window::{
+    occupancy_carry, slice_windows, LiveSlicer, OccupancyCarry, WindowSchedule, WindowedLog,
+};

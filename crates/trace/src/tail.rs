@@ -1,0 +1,323 @@
+//! Incremental append/tail-follow reading of JSONL traces — the
+//! ingestion side of live monitoring.
+//!
+//! A [`TailReader`] polls a growing JSONL file: each [`TailReader::poll`]
+//! consumes whatever bytes were appended since the last poll, reassembles
+//! them into complete lines, and parses each line into a
+//! [`TraceRecord`]. A partial trailing line (the writer is mid-append)
+//! is buffered and completed by a later poll, so records are never torn.
+//! The reader resumes from an explicit byte offset
+//! ([`TailReader::resume`]) and detects truncation/rotation — the file
+//! shrinking below the resume offset — as a hard
+//! [`TraceError::Truncated`] rather than silently re-reading reshuffled
+//! bytes.
+//!
+//! The line-level reassembly lives in [`LineAssembler`], which is pure
+//! (bytes in, records out) so chunked reads are property-testable
+//! against a one-shot parse without touching the filesystem.
+
+use crate::error::TraceError;
+use crate::record::TraceRecord;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Reassembles arbitrarily chunked bytes into parsed JSONL records.
+///
+/// Feed it byte chunks in file order; it splits on `\n`, parses each
+/// complete non-blank line, and buffers a trailing partial line until a
+/// later chunk completes it. Splitting any byte stream into chunks —
+/// at any boundaries, including mid-UTF-8 — yields the same records as
+/// parsing the whole stream at once.
+#[derive(Debug, Default)]
+pub struct LineAssembler {
+    pending: Vec<u8>,
+}
+
+impl LineAssembler {
+    /// Creates an assembler with an empty buffer.
+    pub fn new() -> Self {
+        LineAssembler::default()
+    }
+
+    /// Number of buffered bytes belonging to an incomplete trailing
+    /// line.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Consumes one chunk, returning every record whose line was
+    /// completed by it. Blank lines are skipped (matching
+    /// [`crate::record::read_jsonl`]).
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<TraceRecord>, TraceError> {
+        let mut out = Vec::new();
+        let mut rest = chunk;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            self.pending.extend_from_slice(&rest[..nl]);
+            rest = &rest[nl + 1..];
+            let line = std::mem::take(&mut self.pending);
+            let text = std::str::from_utf8(&line).map_err(|_| {
+                TraceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "trace line is not valid UTF-8",
+                ))
+            })?;
+            if text.trim().is_empty() {
+                continue;
+            }
+            out.push(serde_json::from_str(text)?);
+        }
+        self.pending.extend_from_slice(rest);
+        Ok(out)
+    }
+}
+
+/// Polls a JSONL trace file for appended records (see the
+/// [module docs](self)).
+#[derive(Debug)]
+pub struct TailReader {
+    path: PathBuf,
+    offset: u64,
+    assembler: LineAssembler,
+}
+
+impl TailReader {
+    /// Tails `path` from the beginning. The file does not need to exist
+    /// yet: polls before it appears simply return no records.
+    pub fn new<P: AsRef<Path>>(path: P) -> Self {
+        TailReader::resume(path, 0)
+    }
+
+    /// Tails `path` from a byte offset previously returned by
+    /// [`TailReader::offset`] — everything before it is treated as
+    /// already consumed. The offset must sit on a line boundary (as
+    /// [`TailReader::offset`] guarantees whenever no partial line is
+    /// pending).
+    pub fn resume<P: AsRef<Path>>(path: P, offset: u64) -> Self {
+        TailReader {
+            path: path.as_ref().to_path_buf(),
+            offset,
+            assembler: LineAssembler::new(),
+        }
+    }
+
+    /// The byte offset the next poll resumes from (counts every consumed
+    /// byte, including any buffered partial line).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Bytes buffered from an incomplete trailing line.
+    pub fn pending_bytes(&self) -> usize {
+        self.assembler.pending_bytes()
+    }
+
+    /// Reads and parses everything appended since the last poll.
+    ///
+    /// - The file not existing yet is not an error: returns no records.
+    /// - The file shrinking below the consumed offset is
+    ///   [`TraceError::Truncated`]: the writer truncated or rotated it,
+    ///   and the only safe recovery is a fresh tail from offset 0.
+    pub fn poll(&mut self) -> Result<Vec<TraceRecord>, TraceError> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(TraceError::Io(e)),
+        };
+        let len = file.metadata().map_err(TraceError::Io)?.len();
+        if len < self.offset {
+            return Err(TraceError::Truncated {
+                offset: self.offset,
+                len,
+            });
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(TraceError::Io)?;
+        let mut chunk = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut chunk).map_err(TraceError::Io)?;
+        self.offset += chunk.len() as u64;
+        self.assembler.push(&chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::ObservationScheme;
+    use crate::record::{read_jsonl, to_records, write_jsonl};
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use qni_stats::rng::rng_from_seed;
+    use std::io::Write;
+
+    fn sample_masked(n: usize, seed: u64) -> crate::mask::MaskedLog {
+        let bp = tandem(2.0, &[6.0, 8.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, n).unwrap(), &mut rng)
+            .unwrap();
+        ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap()
+    }
+
+    fn sample_records(n: usize, seed: u64) -> Vec<TraceRecord> {
+        let ml = sample_masked(n, seed);
+        to_records(ml.ground_truth(), ml.mask())
+    }
+
+    fn jsonl_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_masked(n, seed), &mut buf).unwrap();
+        buf
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qni-tail-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn empty_or_missing_file_at_startup_yields_no_records() {
+        let path = tmp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let mut tail = TailReader::new(&path);
+        assert!(tail.poll().unwrap().is_empty());
+        assert_eq!(tail.offset(), 0);
+        // Now it exists but is empty.
+        std::fs::write(&path, b"").unwrap();
+        assert!(tail.poll().unwrap().is_empty());
+        assert_eq!(tail.offset(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_between_polls_are_picked_up() {
+        let records = sample_records(12, 1);
+        let bytes = jsonl_bytes(12, 1);
+        let path = tmp_path("appends");
+        let _ = std::fs::remove_file(&path);
+        let mut tail = TailReader::new(&path);
+        let mut seen = Vec::new();
+        // Append in three slices of whole lines, polling in between.
+        let cut1 = bytes.len() / 3;
+        let cut1 = bytes[..cut1].iter().rposition(|&b| b == b'\n').unwrap() + 1;
+        let cut2 = 2 * bytes.len() / 3;
+        let cut2 = bytes[..cut2].iter().rposition(|&b| b == b'\n').unwrap() + 1;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        for range in [0..cut1, cut1..cut2, cut2..bytes.len()] {
+            f.write_all(&bytes[range]).unwrap();
+            f.flush().unwrap();
+            seen.extend(tail.poll().unwrap());
+        }
+        assert_eq!(seen.len(), records.len());
+        assert_eq!(seen, records);
+        assert_eq!(tail.offset(), bytes.len() as u64);
+        assert_eq!(tail.pending_bytes(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_trailing_line_is_held_until_completed() {
+        let records = sample_records(6, 2);
+        let bytes = jsonl_bytes(6, 2);
+        let path = tmp_path("partial");
+        // Cut mid-line: stop 7 bytes after the second newline.
+        let second_nl = bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .nth(1)
+            .unwrap();
+        let cut = second_nl + 8;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let mut tail = TailReader::new(&path);
+        let first = tail.poll().unwrap();
+        assert_eq!(first.len(), 2, "only complete lines parse");
+        assert!(tail.pending_bytes() > 0);
+        // Re-polling without growth returns nothing and stays put.
+        assert!(tail.poll().unwrap().is_empty());
+        // Complete the file; the held fragment joins the rest.
+        std::fs::write(&path, &bytes).unwrap();
+        let rest = tail.poll().unwrap();
+        assert_eq!(first.len() + rest.len(), records.len());
+        let all: Vec<_> = first.into_iter().chain(rest).collect();
+        assert_eq!(all, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_hard_error() {
+        let records = sample_records(8, 3);
+        let bytes = jsonl_bytes(8, 3);
+        let path = tmp_path("truncated");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut tail = TailReader::new(&path);
+        assert_eq!(tail.poll().unwrap().len(), records.len());
+        // The writer rotates the file: shorter content appears.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match tail.poll() {
+            Err(TraceError::Truncated { offset, len }) => {
+                assert_eq!(offset, bytes.len() as u64);
+                assert_eq!(len, (bytes.len() / 2) as u64);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Recovery: restart from offset 0.
+        let mut tail = TailReader::new(&path);
+        assert!(!tail.poll().unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_from_offset_skips_consumed_records() {
+        let bytes = jsonl_bytes(10, 4);
+        let path = tmp_path("resume");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut tail = TailReader::new(&path);
+        let all = tail.poll().unwrap();
+        let checkpoint = tail.offset();
+        // A new reader resumed at the final offset sees nothing new...
+        let mut resumed = TailReader::resume(&path, checkpoint);
+        assert!(resumed.poll().unwrap().is_empty());
+        // ...until more is appended.
+        let more = jsonl_bytes(10, 4);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&more).unwrap();
+        f.flush().unwrap();
+        let extra = resumed.poll().unwrap();
+        assert_eq!(extra.len(), all.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn blank_lines_and_invalid_json_behave_like_read_jsonl() {
+        let records = sample_records(4, 5);
+        let mut bytes = jsonl_bytes(4, 5);
+        bytes.extend_from_slice(b"\n  \n");
+        let mut asm = LineAssembler::new();
+        let parsed = asm.push(&bytes).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        // Cross-check against the one-shot reader.
+        let oneshot = read_jsonl(&bytes[..]).unwrap();
+        assert_eq!(parsed, oneshot);
+        // Garbage fails cleanly.
+        let mut asm = LineAssembler::new();
+        assert!(asm.push(b"{not json}\n").is_err());
+        let mut asm = LineAssembler::new();
+        assert!(asm.push(&[0xff, 0xfe, b'\n']).is_err());
+    }
+}

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 use qni_model::ids::{EventId, QueueId, StateId};
 use qni_model::log::{EventLog, EventLogBuilder};
 use qni_trace::record::{from_records, read_jsonl, to_records, write_jsonl};
+use qni_trace::tail::LineAssembler;
 use qni_trace::{MaskedLog, ObservedMask};
 
 /// A randomly generated multi-queue task set: per task, an entry gap and
@@ -138,5 +139,40 @@ proptest! {
             prop_assert_eq!(sa.arrival(e).is_nan(), sb.arrival(e2).is_nan());
             prop_assert_eq!(sa.departure(e).is_nan(), sb.departure(e2).is_nan());
         }
+    }
+
+    /// The live-tail invariant: slicing the JSONL byte stream at
+    /// arbitrary chunk boundaries (including mid-line and mid-UTF-8) and
+    /// feeding the chunks through [`LineAssembler`] reassembles exactly
+    /// the records a one-shot parse produces.
+    #[test]
+    fn chunked_tail_reads_match_one_shot_parse(
+        (num_queues, raw, codes, cuts) in (2usize..6).prop_flat_map(|q| {
+            (
+                Just(q),
+                raw_tasks(q),
+                collection::vec(0u8..4, 1usize..32),
+                collection::vec(1usize..64, 0usize..24),
+            )
+        })
+    ) {
+        let log = build_log(num_queues, &raw);
+        let mask = build_mask(&log, &codes);
+        let original = MaskedLog::new(log, mask).expect("masked log");
+        let mut buf = Vec::new();
+        write_jsonl(&original, &mut buf).expect("write");
+        let oneshot = read_jsonl(std::io::Cursor::new(&buf)).expect("read");
+
+        let mut asm = LineAssembler::new();
+        let mut parsed = Vec::new();
+        let mut pos = 0usize;
+        for &c in &cuts {
+            let end = (pos + c).min(buf.len());
+            parsed.extend(asm.push(&buf[pos..end]).expect("chunk"));
+            pos = end;
+        }
+        parsed.extend(asm.push(&buf[pos..]).expect("final chunk"));
+        prop_assert_eq!(asm.pending_bytes(), 0);
+        prop_assert_eq!(&parsed, &oneshot);
     }
 }

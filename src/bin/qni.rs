@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "infer" => cmd_infer(&flags, false),
         "localize" => cmd_infer(&flags, true),
         "stream" => cmd_stream(&flags),
+        "watch" => cmd_watch(&flags),
         "volume" => cmd_volume(&flags),
         "--help" | "help" => {
             println!("{USAGE}");
@@ -68,7 +69,14 @@ USAGE:
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
                [--threads N]
   qni stream   --trace trace.jsonl --window W --stride S
-               [--warm-start on|off] [--iterations 200] [--burn-in N]
+               [--warm-start on|off] [--warm-burn-in B]
+               [--occupancy-carry on|off] [--iterations 200] [--burn-in N]
+               [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
+               [--threads N] [--out traj.csv] [--json traj.json]
+  qni watch    --trace trace.jsonl --window W --stride S --queues Q
+               [--poll-ms 50] [--idle-polls 40] [--max-lag-strides L]
+               [--max-resident R] [--warm-start on|off] [--warm-burn-in B]
+               [--occupancy-carry on|off] [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
                [--threads N] [--out traj.csv] [--json traj.json]
   qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]
@@ -300,6 +308,28 @@ fn cmd_infer(flags: &HashMap<String, String>, localize_report: bool) -> Result<(
     Ok(())
 }
 
+/// Shared `--warm-burn-in B` parsing for `stream` and `watch`.
+fn parse_warm_burn_in(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match flags.get("warm-burn-in") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| "--warm-burn-in: bad number".to_owned()),
+    }
+}
+
+/// Shared `--occupancy-carry on|off` parsing for `stream` and `watch`.
+fn parse_occupancy_carry(flags: &HashMap<String, String>) -> Result<bool, String> {
+    match flags.get("occupancy-carry").map(String::as_str) {
+        None | Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(v) => Err(format!(
+            "--occupancy-carry: expected `on` or `off`, got `{v}`"
+        )),
+    }
+}
+
 fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     let masked = load_masked(flags)?;
     let width: f64 = flags
@@ -340,6 +370,8 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         master_seed: seed,
         thread_budget: Some(threads),
         warm_start,
+        warm_burn_in: parse_warm_burn_in(flags)?,
+        occupancy_carry: parse_occupancy_carry(flags)?,
         clock: Some(monotonic_secs),
     };
     let traj = run_stream(&masked, &schedule, &sopts).map_err(|e| e.to_string())?;
@@ -391,6 +423,182 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
         let json = serde_json::to_string(&traj).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         eprintln!("wrote trajectory JSON to {path}");
+    }
+    println!("fingerprint={}", traj.fingerprint_digest());
+    Ok(())
+}
+
+/// `qni watch` — tail a growing JSONL trace and fit windows as they
+/// close. The library side is wall-clock-free; this command supplies the
+/// poll pacing (`--poll-ms`), the stop policy (`--idle-polls` empty
+/// polls in a row), and the injected clock. Exits nonzero if a
+/// `--max-lag-strides` or `--max-resident` gate was violated at any
+/// step — the machine-checkable bounded-lag/bounded-memory contract of
+/// the CI soak job.
+fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("trace").ok_or("watch requires --trace FILE")?;
+    let width: f64 = flags
+        .get("window")
+        .ok_or("watch requires --window W")?
+        .parse()
+        .map_err(|_| "--window: bad number".to_owned())?;
+    let stride: f64 = flags
+        .get("stride")
+        .ok_or("watch requires --stride S")?
+        .parse()
+        .map_err(|_| "--stride: bad number".to_owned())?;
+    if !(width.is_finite() && width > 0.0) {
+        return Err("--window must be > 0".into());
+    }
+    if !(stride.is_finite() && stride > 0.0) {
+        return Err("--stride must be > 0".into());
+    }
+    // A live tail cannot infer the queue count from a prefix of the
+    // stream the way `stream` infers it from the complete file.
+    let num_queues = get_usize(flags, "queues", 0)?;
+    if num_queues < 2 {
+        return Err("watch requires --queues Q (total queue count including q0, >= 2)".into());
+    }
+    let poll_ms = get_usize(flags, "poll-ms", 50)? as u64;
+    let idle_polls = get_usize(flags, "idle-polls", 40)?;
+    if idle_polls == 0 {
+        return Err("--idle-polls must be >= 1".into());
+    }
+    let max_lag_strides = match flags.get("max-lag-strides") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| "--max-lag-strides: bad number".to_owned())?,
+        ),
+    };
+    let max_resident = match flags.get("max-resident") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| "--max-resident: bad integer".to_owned())?,
+        ),
+    };
+    let warm_start = match flags.get("warm-start").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(v) => return Err(format!("--warm-start: expected `on` or `off`, got `{v}`")),
+    };
+    let EngineFlags {
+        opts,
+        chains,
+        seed,
+        shards: _,
+        threads,
+    } = parse_engine_flags(flags, 1)?;
+    let schedule = WindowSchedule::new(width, stride).map_err(|e| e.to_string())?;
+    let sopts = StreamOptions {
+        stem: opts,
+        chains,
+        master_seed: seed,
+        thread_budget: Some(threads),
+        warm_start,
+        warm_burn_in: parse_warm_burn_in(flags)?,
+        occupancy_carry: parse_occupancy_carry(flags)?,
+        clock: Some(monotonic_secs),
+    };
+    let mut session =
+        WatchSession::new(path, schedule, num_queues, sopts).map_err(|e| e.to_string())?;
+    println!(
+        "watching {path} (width {width}, stride {stride}, {num_queues} queues, \
+         poll {poll_ms} ms, stop after {idle_polls} idle polls, master seed {seed})"
+    );
+    println!(
+        "{:<7} {:>16} {:>7} {:>10} {:>12} {:>10} {:>8}",
+        "window", "span", "tasks", "λ̂", "max split-R̂", "min ESS", "lag"
+    );
+    let out_path = flags.get("out").cloned();
+    // No external signal-handling dependency: the stop flag stays the
+    // library-level shutdown hook for embedders; the CLI terminates via
+    // the idle-poll budget.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut violation: Option<String> = None;
+    run_watch(
+        &mut session,
+        &stop,
+        Some(idle_polls),
+        || std::thread::sleep(std::time::Duration::from_millis(poll_ms)),
+        |s, r| {
+            for w in &s.estimates()[r.total_windows - r.windows_closed..] {
+                let max_rhat = w.split_rhat.iter().copied().fold(f64::NAN, f64::max);
+                let min_ess = w.ess.iter().copied().fold(f64::INFINITY, f64::min);
+                println!(
+                    "w{:<6} [{:>6.1},{:>6.1}) {:>7} {:>10.4} {:>12.4} {:>10.1} {:>8.2}{}",
+                    w.index,
+                    w.start,
+                    w.end,
+                    w.tasks,
+                    w.rates[0],
+                    max_rhat,
+                    min_ess,
+                    r.lag.unwrap_or(f64::NAN),
+                    if w.carried {
+                        "  (carried: empty window)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            // Periodic emission: rewrite the trajectory artifact every
+            // time new windows close, so a crash mid-run still leaves
+            // the latest complete snapshot on disk.
+            if r.windows_closed > 0 {
+                if let Some(p) = &out_path {
+                    if let Ok(file) = std::fs::File::create(p) {
+                        let _ = s
+                            .trajectory_snapshot()
+                            .to_csv(std::io::BufWriter::new(file));
+                    }
+                }
+            }
+            if violation.is_none() {
+                if let (Some(limit), Some(lag)) = (max_lag_strides, r.lag) {
+                    if lag > limit * stride {
+                        violation = Some(format!(
+                            "bounded-lag gate violated: lag {lag:.2} > {limit} stride(s) = {:.2}",
+                            limit * stride
+                        ));
+                    }
+                }
+                if let Some(limit) = max_resident {
+                    if r.open_spans > limit {
+                        violation = Some(format!(
+                            "bounded-memory gate violated: {} resident windows > limit {limit}",
+                            r.open_spans
+                        ));
+                    }
+                }
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let peak_open = session.peak_open_spans();
+    let peak_buffered = session.peak_buffered_tasks();
+    let records = session.records_seen();
+    let traj = session.finish().map_err(|e| e.to_string())?;
+    println!(
+        "tail drained: {records} records, {} windows, peak {peak_open} resident window(s), \
+         peak {peak_buffered} buffered task(s)",
+        traj.windows.len()
+    );
+    if let Some(p) = &out_path {
+        let file = std::fs::File::create(p).map_err(|e| e.to_string())?;
+        traj.to_csv(std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote trajectory CSV to {p}");
+    }
+    if let Some(p) = flags.get("json") {
+        let json = serde_json::to_string(&traj).map_err(|e| e.to_string())?;
+        std::fs::write(p, json).map_err(|e| e.to_string())?;
+        eprintln!("wrote trajectory JSON to {p}");
+    }
+    println!("fingerprint={}", traj.fingerprint_digest());
+    if let Some(v) = violation {
+        return Err(v);
     }
     Ok(())
 }

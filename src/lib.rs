@@ -61,7 +61,10 @@ pub mod prelude {
     pub use qni_core::localize::{localize, slow_request_attribution, BottleneckKind};
     pub use qni_core::posterior::{posterior_summaries, PosteriorOptions};
     pub use qni_core::stem::{run_mcem, run_stem, run_stem_warm, McemOptions, StemOptions};
-    pub use qni_core::stream::{run_stream, RateTrajectory, StreamOptions, WindowEstimate};
+    pub use qni_core::stream::{
+        run_stream, RateTrajectory, StreamEngine, StreamOptions, WindowEstimate,
+    };
+    pub use qni_core::watch::{run_watch, StepReport, WatchSession};
     pub use qni_core::{BatchMode, GibbsState, ShardMode};
     pub use qni_model::ids::{EventId, QueueId, StateId, TaskId};
     pub use qni_model::log::EventLog;
@@ -71,7 +74,10 @@ pub mod prelude {
     pub use qni_sim::jackson::JacksonAnalysis;
     pub use qni_sim::{Simulator, Workload};
     pub use qni_stats::rng::{rng_from_seed, split_seed, SeedTree};
-    pub use qni_trace::{slice_windows, MaskedLog, ObservationScheme, WindowSchedule, WindowedLog};
+    pub use qni_trace::{
+        slice_windows, LineAssembler, LiveSlicer, MaskedLog, ObservationScheme, TailReader,
+        WindowSchedule, WindowedLog,
+    };
     pub use qni_webapp::{WebAppConfig, WebAppTestbed};
 }
 

@@ -425,3 +425,160 @@ fn shards_flag_is_byte_identical_and_validated() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--shards must be >= 1"), "stderr: {stderr}");
 }
+
+#[test]
+fn watch_matches_stream_fingerprint_and_enforces_gates() {
+    let dir = std::env::temp_dir().join("qni-cli-watch-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let out = qni()
+        .args([
+            "simulate",
+            "--tiers",
+            "1,1",
+            "--lambda",
+            "4",
+            "--mu",
+            "8",
+            "--tasks",
+            "150",
+            "--observe",
+            "0.4",
+            "--seed",
+            "9",
+            "--out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    // The watcher on an already-complete file must report the exact
+    // trajectory `qni stream` computes for it: same fingerprint line.
+    let fingerprint_of = |out: &std::process::Output| {
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("fingerprint=").map(str::to_owned))
+            .unwrap_or_else(|| panic!("no fingerprint line in: {stdout}"))
+    };
+    let watch_csv = dir.join("watch.csv");
+    let out = qni()
+        .args([
+            "watch",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+            "--queues",
+            "3",
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+            "--poll-ms",
+            "1",
+            "--idle-polls",
+            "2",
+            "--max-resident",
+            "4",
+            "--out",
+            watch_csv.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run watch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("watching"), "stdout: {stdout}");
+    assert!(stdout.contains("tail drained"), "stdout: {stdout}");
+    let watch_fp = fingerprint_of(&out);
+    assert!(
+        std::fs::read_to_string(&watch_csv)
+            .expect("csv written")
+            .starts_with("window,start,end,tasks"),
+        "csv missing header"
+    );
+
+    let out = qni()
+        .args([
+            "stream",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run stream");
+    assert!(out.status.success());
+    assert_eq!(
+        fingerprint_of(&out),
+        watch_fp,
+        "watch and stream fingerprints diverged"
+    );
+
+    // An impossible residency gate must fail the run (this is what the
+    // CI soak leans on), while still draining the tail first.
+    let out = qni()
+        .args([
+            "watch",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+            "--queues",
+            "3",
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+            "--poll-ms",
+            "1",
+            "--idle-polls",
+            "2",
+            "--max-resident",
+            "0",
+        ])
+        .output()
+        .expect("run watch with zero residency budget");
+    assert!(!out.status.success(), "--max-resident 0 must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bounded-memory gate violated"),
+        "stderr: {stderr}"
+    );
+
+    // Rejections: --queues is mandatory and must be >= 2.
+    let reject = |args: &[&str], needle: &str| {
+        let mut full = vec![
+            "watch",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+        ];
+        full.extend_from_slice(args);
+        let out = qni().args(&full).output().expect("run watch");
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+    };
+    reject(&[], "--queues");
+    reject(&["--queues", "1"], "--queues");
+    reject(&["--queues", "3", "--idle-polls", "0"], "--idle-polls");
+}

@@ -62,6 +62,8 @@ fn windowed_lambda_tracks_segments_where_fixed_log_cannot() {
         master_seed: 7,
         thread_budget: None,
         warm_start: true,
+        warm_burn_in: None,
+        occupancy_carry: true,
         clock: None,
     };
     let traj = run_stream(&masked, &schedule, &opts).expect("stream");
@@ -129,6 +131,8 @@ fn stream_trajectory_byte_identity_across_runs_shards_and_chains() {
             master_seed: 7,
             thread_budget: None,
             warm_start: true,
+            warm_burn_in: None,
+            occupancy_carry: true,
             clock: None,
         };
         run_stream(&masked, &schedule, &opts).expect("stream")
@@ -167,6 +171,8 @@ fn stream_trajectory_byte_identity_across_runs_shards_and_chains() {
         master_seed: 8,
         thread_budget: None,
         warm_start: true,
+        warm_burn_in: None,
+        occupancy_carry: true,
         clock: None,
     };
     let b = run_stream(&masked, &schedule, &opts).expect("stream");
@@ -187,6 +193,8 @@ fn warm_and_cold_streams_are_distinct_but_both_reproducible() {
             master_seed: 11,
             thread_budget: None,
             warm_start: warm,
+            warm_burn_in: None,
+            occupancy_carry: true,
             clock: None,
         };
         run_stream(&masked, &schedule, &opts).expect("stream")

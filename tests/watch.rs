@@ -1,0 +1,149 @@
+//! End-to-end live-tail monitoring: a JSONL trace file that grows while
+//! a [`WatchSession`] tails it must produce a trajectory byte-identical
+//! to whole-file replay (`run_stream` on the finished trace), while the
+//! number of simultaneously resident windows stays bounded by the
+//! schedule constant `width/stride + 1` — the two hard acceptance
+//! criteria behind the CI `watch-soak` job, checked here in-process.
+
+use qni::prelude::*;
+use qni::trace::record::{from_records, to_records};
+use std::io::Write;
+
+const WIDTH: f64 = 40.0;
+const STRIDE: f64 = 20.0;
+
+fn sample_masked(seed: u64) -> MaskedLog {
+    let bp = qni::model::topology::tandem(2.0, &[6.0, 8.0]).expect("topology");
+    let mut rng = rng_from_seed(seed);
+    let truth = Simulator::new(&bp.network)
+        .run(&Workload::poisson_n(2.0, 260).expect("workload"), &mut rng)
+        .expect("simulation");
+    ObservationScheme::task_sampling(0.3)
+        .expect("fraction")
+        .apply(truth, &mut rng)
+        .expect("mask")
+}
+
+fn stream_opts(seed: u64) -> StreamOptions {
+    StreamOptions {
+        stem: StemOptions {
+            iterations: 60,
+            burn_in: 25,
+            waiting_sweeps: 1,
+            ..StemOptions::default()
+        },
+        chains: 1,
+        master_seed: seed,
+        thread_budget: None,
+        warm_start: true,
+        warm_burn_in: None,
+        occupancy_carry: true,
+        clock: None,
+    }
+}
+
+/// Serializes a masked log as per-task JSONL chunks (each chunk one
+/// complete task), in builder order — the same shape `write_jsonl` and
+/// the `watch_gen` soak generator emit.
+fn task_chunks(masked: &MaskedLog) -> Vec<Vec<u8>> {
+    let records = to_records(masked.ground_truth(), masked.mask());
+    let mut chunks: Vec<Vec<u8>> = Vec::new();
+    for rec in &records {
+        if rec.event.is_initial() || chunks.is_empty() {
+            chunks.push(Vec::new());
+        }
+        let chunk = chunks.last_mut().expect("pushed above");
+        serde_json::to_writer(&mut *chunk, rec).expect("serialize");
+        chunk.push(b'\n');
+    }
+    chunks
+}
+
+#[test]
+fn growing_file_watch_matches_whole_file_replay() {
+    let masked = sample_masked(21);
+    let schedule = WindowSchedule::new(WIDTH, STRIDE).expect("schedule");
+    let num_queues = masked.ground_truth().num_queues();
+    let chunks = task_chunks(&masked);
+
+    let dir = std::env::temp_dir().join(format!("qni-watch-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("growing.jsonl");
+    let _ = std::fs::remove_file(&path);
+    std::fs::write(&path, b"").expect("create empty trace");
+
+    // The watcher starts on the *empty* file, then drains after every
+    // append — including mid-task partial lines: each chunk is written
+    // in two halves with a poll in between, so the tail reader must hold
+    // incomplete JSON across polls without ever mis-parsing.
+    let mut session =
+        WatchSession::new(&path, schedule, num_queues, stream_opts(9)).expect("session");
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open append");
+    for batch in chunks.chunks(13) {
+        let bytes: Vec<u8> = batch.iter().flatten().copied().collect();
+        let mid = bytes.len() / 2;
+        file.write_all(&bytes[..mid]).expect("append");
+        file.flush().expect("flush");
+        session.step().expect("step on partial line");
+        file.write_all(&bytes[mid..]).expect("append");
+        file.flush().expect("flush");
+        session.step().expect("step");
+    }
+    let peak = session.peak_open_spans();
+    let live = session.finish().expect("finish");
+
+    // Bounded memory: never more resident windows than the schedule
+    // admits (width/stride + 1 overlapping spans).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let bound = (WIDTH / STRIDE).ceil() as usize + 1;
+    assert!(
+        peak <= bound,
+        "peak resident windows {peak} exceeds schedule bound {bound}"
+    );
+
+    // Byte-identical to replaying the finished file through run_stream.
+    let records = to_records(masked.ground_truth(), masked.mask());
+    let replayed = from_records(&records, num_queues).expect("round trip");
+    let replay = run_stream(&replayed, &schedule, &stream_opts(9)).expect("replay");
+    assert_eq!(
+        live.fingerprint(),
+        replay.fingerprint(),
+        "live tail and replay trajectories diverged"
+    );
+    assert_eq!(live.fingerprint_digest(), replay.fingerprint_digest());
+    assert_eq!(live.windows.len(), replay.windows.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watch_reports_truncation_as_hard_error() {
+    let masked = sample_masked(22);
+    let schedule = WindowSchedule::new(WIDTH, STRIDE).expect("schedule");
+    let num_queues = masked.ground_truth().num_queues();
+    let chunks = task_chunks(&masked);
+
+    let dir = std::env::temp_dir().join(format!("qni-watch-trunc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("truncated.jsonl");
+    let bytes: Vec<u8> = chunks.iter().take(40).flatten().copied().collect();
+    std::fs::write(&path, &bytes).expect("write trace");
+
+    let mut session =
+        WatchSession::new(&path, schedule, num_queues, stream_opts(3)).expect("session");
+    session.step().expect("initial drain");
+
+    // A shrinking file means the producer rotated or rewrote the trace;
+    // silently resuming would fit windows against garbage offsets.
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    let err = session.step().expect_err("truncation must surface");
+    assert!(
+        err.to_string().contains("truncated"),
+        "unexpected error: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
