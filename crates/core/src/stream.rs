@@ -248,6 +248,7 @@ pub struct WindowEstimate {
     /// library itself never reads the wall clock). The only potentially
     /// non-deterministic field; excluded from
     /// [`RateTrajectory::fingerprint`].
+    // qni-lint: allow(QNI-F001) — timing is measurement, not estimate: deliberately outside the live == replay byte-identity contract
     pub wall_secs: f64,
 }
 
@@ -277,19 +278,32 @@ impl RateTrajectory {
         self.windows.iter().map(|w| w.rates[0]).collect()
     }
 
-    /// The trajectory's deterministic bit content: `to_bits` of every
-    /// estimate field of every window (rates, mean service, split-R̂,
-    /// ESS, spans), excluding only wall-clock times. Two runs with the
-    /// same trace, schedule, and options must produce equal
+    /// The trajectory's deterministic bit content: the run
+    /// configuration (queue count, schedule, master seed, chain count,
+    /// warm-start flag) followed by `to_bits` of every deterministic
+    /// field of every window (spans, sizes, flags, rates, mean service,
+    /// split-R̂, ESS), excluding only wall-clock times. Two runs with
+    /// the same trace, schedule, and options must produce equal
     /// fingerprints; see the [module docs](self) for the guarantee.
     pub fn fingerprint(&self) -> Vec<u64> {
-        let mut bits = Vec::new();
+        let mut bits = vec![
+            self.num_queues as u64,
+            self.width.to_bits(),
+            self.stride.to_bits(),
+            self.master_seed,
+            self.chains as u64,
+            u64::from(self.warm_start),
+        ];
         for w in &self.windows {
+            bits.push(w.index as u64);
             bits.push(w.start.to_bits());
             bits.push(w.end.to_bits());
             bits.push(w.tasks as u64);
+            bits.push(w.events as u64);
             bits.push(w.carry_tasks as u64);
             bits.push(w.free_variables as u64);
+            bits.push(u64::from(w.warm_started));
+            bits.push(u64::from(w.carried));
             for v in w
                 .rates
                 .iter()

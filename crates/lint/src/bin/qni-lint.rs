@@ -4,13 +4,20 @@
 //! $ qni-lint                        # lint the whole workspace
 //! $ qni-lint crates/core            # restrict to paths under a prefix
 //! $ qni-lint --json report.json     # also write the machine report
+//! $ qni-lint --sarif report.sarif   # also write SARIF 2.1.0
 //! $ qni-lint --root /path/to/repo   # explicit workspace root
 //! $ qni-lint --rules                # print the rule catalog
 //! ```
 //!
-//! Exit code 0 when clean, 1 on any unsuppressed violation, 2 when the
-//! run itself failed (bad flag, unreadable file).
+//! Unfiltered runs also enforce the suppression budget (`lint.toml` at
+//! the workspace root, when present): the run fails if any rule's allow
+//! directives exceed its budgeted ceiling. Path-filtered runs see only
+//! a slice of the suppressions and skip the check.
+//!
+//! Exit code 0 when clean, 1 on any unsuppressed violation or budget
+//! overrun, 2 when the run itself failed (bad flag, unreadable file).
 
+use qni_lint::budget::SuppressionBudget;
 use qni_lint::config::find_workspace_root;
 use qni_lint::rules::RuleId;
 use std::path::PathBuf;
@@ -20,7 +27,7 @@ const USAGE: &str = "\
 qni-lint — determinism & numerical-soundness static analysis
 
 USAGE:
-  qni-lint [--root DIR] [--json FILE] [--rules] [path-prefix…]";
+  qni-lint [--root DIR] [--json FILE] [--sarif FILE] [--rules] [path-prefix…]";
 
 fn main() -> ExitCode {
     match run() {
@@ -42,6 +49,7 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut sarif_out: Option<PathBuf> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +63,12 @@ fn run() -> Result<bool, String> {
             "--json" => {
                 json_out = Some(PathBuf::from(
                     args.get(i + 1).ok_or("--json needs a value")?,
+                ));
+                i += 2;
+            }
+            "--sarif" => {
+                sarif_out = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--sarif needs a value")?,
                 ));
                 i += 2;
             }
@@ -93,8 +107,23 @@ fn run() -> Result<bool, String> {
         let json = report.render_json().map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
     }
+    if let Some(path) = &sarif_out {
+        let sarif = qni_lint::sarif::render_sarif(&report);
+        std::fs::write(path, sarif).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
     print!("{}", report.render_human());
-    Ok(!report.has_errors())
+    let mut clean = !report.has_errors();
+    // Budget enforcement: full-workspace runs only (a filtered run
+    // under-counts suppressions by construction).
+    if filters.is_empty() {
+        if let Some(budget) = SuppressionBudget::load(&root).map_err(|e| e.to_string())? {
+            for v in budget.check(&report) {
+                println!("qni-lint: over budget — {v}");
+                clean = false;
+            }
+        }
+    }
+    Ok(clean)
 }
 
 fn print_rules() {

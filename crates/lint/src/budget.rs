@@ -1,0 +1,229 @@
+//! The checked-in suppression budget (`lint.toml`).
+//!
+//! Allow directives are reviewed exceptions; the budget is the ceiling
+//! that keeps them from silently accumulating. `lint.toml` at the
+//! workspace root declares, per rule, the maximum number of allow
+//! directives a full-workspace run may consume:
+//!
+//! ```toml
+//! [suppressions]
+//! QNI-E002 = 29
+//! QNI-R001 = 1
+//! ```
+//!
+//! A rule absent from the table has budget **zero** — the first allow
+//! for a new rule is itself a reviewable event (it must land with a
+//! budget bump in the same diff). Only *over*-budget is an error:
+//! removing a suppression without shrinking the budget is fine, and
+//! tightening then becomes a follow-up cleanup, not a revert hazard.
+//! The budget is enforced on unfiltered runs (the bin with no path
+//! arguments, CI, `workspace_clean`); a path-filtered run sees only a
+//! slice of the suppressions and would under-count.
+
+use crate::error::LintError;
+use crate::report::LintReport;
+use crate::rules::RuleId;
+use std::path::Path;
+
+/// File name of the budget at the workspace root.
+pub const BUDGET_FILE: &str = "lint.toml";
+
+/// Per-rule ceilings on allow-directive use.
+#[derive(Debug, Clone, Default)]
+pub struct SuppressionBudget {
+    /// `(rule, max directives)` — rules not listed have max 0.
+    entries: Vec<(RuleId, usize)>,
+}
+
+/// One rule over its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetViolation {
+    /// The over-budget rule.
+    pub rule: RuleId,
+    /// Directives actually used in the run.
+    pub used: usize,
+    /// The configured ceiling.
+    pub max: usize,
+}
+
+impl std::fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} allow directive(s) used, budget is {} (raise {} in lint.toml only with \
+             review)",
+            self.rule, self.used, self.max, self.rule
+        )
+    }
+}
+
+impl SuppressionBudget {
+    /// Parses the budget from `lint.toml` text. The only recognized
+    /// section is `[suppressions]`; entries must name known,
+    /// suppressible rules (a typo'd rule ID would silently mean
+    /// "budget zero" otherwise).
+    pub fn parse(text: &str) -> Result<SuppressionBudget, LintError> {
+        let mut entries: Vec<(RuleId, usize)> = Vec::new();
+        let mut in_section = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let name = section.strip_suffix(']').ok_or_else(|| {
+                    LintError::Budget(format!("line {}: unterminated section", lineno + 1))
+                })?;
+                in_section = name.trim() == "suppressions";
+                continue;
+            }
+            if !in_section {
+                return Err(LintError::Budget(format!(
+                    "line {}: entry outside [suppressions]",
+                    lineno + 1
+                )));
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                LintError::Budget(format!("line {}: expected `QNI-XXXX = N`", lineno + 1))
+            })?;
+            let key = key.trim().trim_matches('"');
+            let rule = RuleId::parse(key).ok_or_else(|| {
+                LintError::Budget(format!("line {}: unknown rule `{key}`", lineno + 1))
+            })?;
+            if !rule.suppressible() {
+                return Err(LintError::Budget(format!(
+                    "line {}: {rule} cannot be suppressed, so it cannot be budgeted",
+                    lineno + 1
+                )));
+            }
+            let max: usize = value.trim().parse().map_err(|_| {
+                LintError::Budget(format!(
+                    "line {}: `{}` is not a count",
+                    lineno + 1,
+                    value.trim()
+                ))
+            })?;
+            if entries.iter().any(|(r, _)| *r == rule) {
+                return Err(LintError::Budget(format!(
+                    "line {}: duplicate entry for {rule}",
+                    lineno + 1
+                )));
+            }
+            entries.push((rule, max));
+        }
+        Ok(SuppressionBudget { entries })
+    }
+
+    /// Loads `lint.toml` from the workspace root. `Ok(None)` when the
+    /// file does not exist (throwaway test workspaces have no budget).
+    pub fn load(root: &Path) -> Result<Option<SuppressionBudget>, LintError> {
+        let path = root.join(BUDGET_FILE);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| LintError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&text).map(Some)
+    }
+
+    /// The ceiling for one rule (0 when unlisted).
+    pub fn max_for(&self, rule: RuleId) -> usize {
+        self.entries
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Checks a report's per-rule suppression counts against the
+    /// budget; returns the over-budget rules in catalog order.
+    pub fn check(&self, report: &LintReport) -> Vec<BudgetViolation> {
+        let mut out = Vec::new();
+        for s in &report.suppressions_by_rule {
+            let max = self.max_for(s.rule);
+            if s.directives > max {
+                out.push(BudgetViolation {
+                    rule: s.rule,
+                    used: s.directives,
+                    max,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Strips a `#` comment, honoring `"`-quoted keys.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RuleSuppressions;
+
+    fn report_with(suppressions: Vec<(RuleId, usize)>) -> LintReport {
+        LintReport {
+            diagnostics: Vec::new(),
+            files_scanned: 1,
+            suppressions_used: suppressions.iter().map(|(_, n)| n).sum(),
+            suppressions_by_rule: suppressions
+                .into_iter()
+                .map(|(rule, directives)| RuleSuppressions { rule, directives })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_and_checks() {
+        let b = SuppressionBudget::parse(
+            "# workspace suppression budget\n[suppressions]\nQNI-E002 = 29 # legacy\nQNI-R001 = 1\n",
+        )
+        .expect("parses");
+        assert_eq!(b.max_for(RuleId::E002), 29);
+        assert_eq!(b.max_for(RuleId::R001), 1);
+        assert_eq!(b.max_for(RuleId::F001), 0);
+        assert!(b.check(&report_with(vec![(RuleId::E002, 29)])).is_empty());
+        let over = b.check(&report_with(vec![(RuleId::E002, 30), (RuleId::F001, 1)]));
+        assert_eq!(over.len(), 2);
+        assert_eq!(
+            (over[0].rule, over[0].used, over[0].max),
+            (RuleId::E002, 30, 29)
+        );
+        assert_eq!(
+            (over[1].rule, over[1].used, over[1].max),
+            (RuleId::F001, 1, 0)
+        );
+    }
+
+    #[test]
+    fn under_budget_is_not_an_error() {
+        let b = SuppressionBudget::parse("[suppressions]\nQNI-E002 = 40\n").expect("parses");
+        assert!(b.check(&report_with(vec![(RuleId::E002, 29)])).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_bad_counts() {
+        assert!(SuppressionBudget::parse("[suppressions]\nQNI-Z999 = 1\n").is_err());
+        assert!(SuppressionBudget::parse("[suppressions]\nQNI-E002 = many\n").is_err());
+        assert!(SuppressionBudget::parse("[suppressions]\nQNI-L002 = 1\n").is_err());
+        assert!(SuppressionBudget::parse("[suppressions]\nQNI-E002 = 1\nQNI-E002 = 2\n").is_err());
+        assert!(SuppressionBudget::parse("QNI-E002 = 1\n").is_err());
+    }
+
+    #[test]
+    fn quoted_keys_and_comments_are_tolerated() {
+        let b = SuppressionBudget::parse("[suppressions] # section\n\"QNI-E002\" = 3\n")
+            .expect("parses");
+        assert_eq!(b.max_for(RuleId::E002), 3);
+    }
+}

@@ -19,6 +19,14 @@ pub struct FamilySet {
     pub numerics: bool,
     /// E-rules: error discipline (no panicking constructs).
     pub errors: bool,
+    /// R-rules: seed-flow discipline (`split_seed` derivation,
+    /// stream-index aliasing, literal seeds).
+    pub seed_flow: bool,
+    /// P-rules: parallel-phase contract (draw-free spawn closures,
+    /// ordered reductions).
+    pub parallel_phase: bool,
+    /// F-rules: fingerprint coverage of estimate structs.
+    pub fingerprint: bool,
 }
 
 impl FamilySet {
@@ -27,14 +35,21 @@ impl FamilySet {
         determinism: true,
         numerics: true,
         errors: true,
+        seed_flow: true,
+        parallel_phase: true,
+        fingerprint: true,
     };
 
-    /// Numerics only — binaries and benches may time and panic, but
-    /// float comparison hygiene is universal.
+    /// Numerics only — binaries and benches may time, panic, and pick
+    /// their own literal seeds, but float comparison hygiene is
+    /// universal.
     pub const NUMERICS_ONLY: FamilySet = FamilySet {
         determinism: false,
         numerics: true,
         errors: false,
+        seed_flow: false,
+        parallel_phase: false,
+        fingerprint: false,
     };
 
     /// Whether a given rule's family is enabled.
@@ -43,6 +58,9 @@ impl FamilySet {
             'D' => self.determinism,
             'N' => self.numerics,
             'E' => self.errors,
+            'R' => self.seed_flow,
+            'P' => self.parallel_phase,
+            'F' => self.fingerprint,
             // L-rules (directive hygiene) always run: a malformed or
             // stale directive is wrong wherever it is.
             _ => true,
@@ -151,16 +169,18 @@ mod tests {
 
     #[test]
     fn library_set_enables_all_families() {
-        assert!(FamilySet::LIBRARY.enables(RuleId::D001));
-        assert!(FamilySet::LIBRARY.enables(RuleId::N001));
-        assert!(FamilySet::LIBRARY.enables(RuleId::E001));
-        assert!(FamilySet::LIBRARY.enables(RuleId::L001));
+        for r in RuleId::ALL {
+            assert!(FamilySet::LIBRARY.enables(r), "{r}");
+        }
     }
 
     #[test]
     fn numerics_only_still_polices_directives() {
         assert!(!FamilySet::NUMERICS_ONLY.enables(RuleId::D001));
         assert!(!FamilySet::NUMERICS_ONLY.enables(RuleId::E003));
+        assert!(!FamilySet::NUMERICS_ONLY.enables(RuleId::R001));
+        assert!(!FamilySet::NUMERICS_ONLY.enables(RuleId::P001));
+        assert!(!FamilySet::NUMERICS_ONLY.enables(RuleId::F001));
         assert!(FamilySet::NUMERICS_ONLY.enables(RuleId::N002));
         assert!(FamilySet::NUMERICS_ONLY.enables(RuleId::L002));
     }

@@ -5,8 +5,8 @@ use crate::config::{workspace_crates, CrateConfig};
 use crate::directives::parse_directives;
 use crate::error::LintError;
 use crate::lexer::lex;
-use crate::report::{Diagnostic, LintReport};
-use crate::rules::{determinism, errors, numerics, RuleId};
+use crate::report::{Diagnostic, LintReport, RuleSuppressions};
+use crate::rules::{determinism, errors, fingerprint, numerics, parallel, seed_flow, RuleId};
 use crate::scan::{test_spans, Finding};
 use std::path::{Path, PathBuf};
 
@@ -28,6 +28,7 @@ fn lint_filtered(root: &Path, filters: Option<&[String]>) -> Result<LintReport, 
     let mut diagnostics = Vec::new();
     let mut files_scanned = 0usize;
     let mut suppressions_used = 0usize;
+    let mut by_rule = vec![0usize; RuleId::ALL.len()];
     for krate in workspace_crates() {
         let src_root = root.join(krate.src);
         if !src_root.is_dir() {
@@ -50,18 +51,49 @@ fn lint_filtered(root: &Path, filters: Option<&[String]>) -> Result<LintReport, 
             let source = std::fs::read_to_string(&path)
                 .map_err(|e| LintError::Io(format!("{}: {e}", path.display())))?;
             files_scanned += 1;
-            let (mut file_diags, used) = lint_source(&krate, &rel, &source);
-            suppressions_used += used;
-            diagnostics.append(&mut file_diags);
+            let mut file = lint_source_full(&krate, &rel, &source);
+            suppressions_used += file.suppressions_used;
+            for (rule, n) in file.suppressions_by_rule {
+                let idx = RuleId::ALL
+                    .iter()
+                    .position(|r| *r == rule)
+                    .unwrap_or(by_rule.len() - 1);
+                by_rule[idx] += n;
+            }
+            diagnostics.append(&mut file.diagnostics);
         }
     }
     diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    let suppressions_by_rule = RuleId::ALL
+        .iter()
+        .zip(&by_rule)
+        .filter(|(_, n)| **n > 0)
+        .map(|(r, n)| RuleSuppressions {
+            rule: *r,
+            directives: *n,
+        })
+        .collect();
     Ok(LintReport {
         diagnostics,
         files_scanned,
         suppressions_used,
+        suppressions_by_rule,
     })
+}
+
+/// Per-file lint result including the per-rule suppression counts the
+/// budget layer consumes.
+#[derive(Debug, Clone)]
+pub struct FileLint {
+    /// Diagnostics for this file (unsorted; the workspace walk sorts).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Allow directives that suppressed at least one finding.
+    pub suppressions_used: usize,
+    /// `(rule, directives)` pairs: how many directives suppressed at
+    /// least one finding of each rule. A multi-rule directive counts
+    /// once per rule it suppressed.
+    pub suppressions_by_rule: Vec<(RuleId, usize)>,
 }
 
 /// Lints one source text under a crate's policy. Pure (no filesystem) —
@@ -69,8 +101,15 @@ fn lint_filtered(root: &Path, filters: Option<&[String]>) -> Result<LintReport, 
 /// Returns the diagnostics plus the number of allow directives that
 /// suppressed at least one finding.
 pub fn lint_source(krate: &CrateConfig, file: &str, source: &str) -> (Vec<Diagnostic>, usize) {
+    let full = lint_source_full(krate, file, source);
+    (full.diagnostics, full.suppressions_used)
+}
+
+/// [`lint_source`] with per-rule suppression accounting.
+pub fn lint_source_full(krate: &CrateConfig, file: &str, source: &str) -> FileLint {
     let lexed = lex(source);
     let skip = test_spans(&lexed.tokens);
+    let tree = crate::tree::build(&lexed.tokens);
     let mut findings: Vec<Finding> = Vec::new();
     if krate.families.determinism {
         findings.extend(determinism::scan(&lexed.tokens, &skip));
@@ -81,8 +120,19 @@ pub fn lint_source(krate: &CrateConfig, file: &str, source: &str) -> (Vec<Diagno
     if krate.families.errors {
         findings.extend(errors::scan(&lexed.tokens, &skip));
     }
+    if krate.families.seed_flow {
+        findings.extend(seed_flow::scan(&lexed.tokens, &skip, &tree));
+    }
+    if krate.families.parallel_phase {
+        findings.extend(parallel::scan(&lexed.tokens, &skip, &tree));
+    }
+    if krate.families.fingerprint {
+        findings.extend(fingerprint::scan(&lexed.tokens, &skip, &tree));
+    }
     // Where an N002 finding and an E-finding land on the same token
     // (`partial_cmp(..).unwrap()`), the sharper N002 message wins.
+    // (The analogous R003-beats-R001 overlap on literal seed args is
+    // resolved inside the seed-flow scanner itself.)
     let n002_tokens: Vec<usize> = findings
         .iter()
         .filter(|f| f.rule == RuleId::N002)
@@ -101,17 +151,26 @@ pub fn lint_source(krate: &CrateConfig, file: &str, source: &str) -> (Vec<Diagno
             .unwrap_or_default()
     };
 
-    let mut used = vec![false; directives.allows.len()];
+    // used[i][j] — directive i suppressed a finding of its j-th listed
+    // rule. Staleness (L002) is per (directive, rule-list entry), so a
+    // multi-rule allow with one dead entry is flagged for exactly that
+    // entry.
+    let mut used: Vec<Vec<bool>> = directives
+        .allows
+        .iter()
+        .map(|a| vec![false; a.rules.len()])
+        .collect();
     let mut out = Vec::new();
     for f in findings {
         let tok = &lexed.tokens[f.token_idx];
-        let suppressed = directives
-            .allows
-            .iter()
-            .enumerate()
-            .find(|(_, a)| a.target_line == tok.line && a.rules.contains(&f.rule));
-        if let Some((i, _)) = suppressed {
-            used[i] = true;
+        let suppressed = directives.allows.iter().enumerate().find_map(|(i, a)| {
+            if a.target_line != tok.line {
+                return None;
+            }
+            a.rules.iter().position(|r| *r == f.rule).map(|j| (i, j))
+        });
+        if let Some((i, j)) = suppressed {
+            used[i][j] = true;
             continue;
         }
         out.push(Diagnostic {
@@ -139,26 +198,60 @@ pub fn lint_source(krate: &CrateConfig, file: &str, source: &str) -> (Vec<Diagno
         });
     }
     for (i, a) in directives.allows.iter().enumerate() {
-        if !used[i] {
-            let rules: Vec<&str> = a.rules.iter().map(|r| r.as_str()).collect();
-            out.push(Diagnostic {
-                file: file.to_owned(),
-                line: a.line,
-                col: a.col,
-                rule: RuleId::L002,
-                severity: RuleId::L002.severity(),
-                message: format!(
-                    "allow({}) suppresses nothing on line {}; remove the stale directive",
-                    rules.join(", "),
-                    a.target_line
-                ),
-                snippet: snippet(a.line),
-                krate: krate.name.to_owned(),
-            });
+        let stale: Vec<&str> = a
+            .rules
+            .iter()
+            .zip(&used[i])
+            .filter(|(_, u)| !**u)
+            .map(|(r, _)| r.as_str())
+            .collect();
+        if stale.is_empty() {
+            continue;
+        }
+        let message = if stale.len() == a.rules.len() {
+            format!(
+                "allow({}) suppresses nothing on line {}; remove the stale directive",
+                stale.join(", "),
+                a.target_line
+            )
+        } else {
+            format!(
+                "allow list entr{} {} suppress{} nothing on line {}; drop {} from the list",
+                if stale.len() == 1 { "y" } else { "ies" },
+                stale.join(", "),
+                if stale.len() == 1 { "es" } else { "" },
+                a.target_line,
+                if stale.len() == 1 { "it" } else { "them" },
+            )
+        };
+        out.push(Diagnostic {
+            file: file.to_owned(),
+            line: a.line,
+            col: a.col,
+            rule: RuleId::L002,
+            severity: RuleId::L002.severity(),
+            message,
+            snippet: snippet(a.line),
+            krate: krate.name.to_owned(),
+        });
+    }
+    let suppressions_used = used.iter().filter(|u| u.iter().any(|x| *x)).count();
+    let mut by_rule: Vec<(RuleId, usize)> = Vec::new();
+    for (i, a) in directives.allows.iter().enumerate() {
+        for (j, r) in a.rules.iter().enumerate() {
+            if used[i][j] {
+                match by_rule.iter_mut().find(|(rule, _)| rule == r) {
+                    Some((_, n)) => *n += 1,
+                    None => by_rule.push((*r, 1)),
+                }
+            }
         }
     }
-    let used_count = used.iter().filter(|u| **u).count();
-    (out, used_count)
+    FileLint {
+        diagnostics: out,
+        suppressions_used,
+        suppressions_by_rule: by_rule,
+    }
 }
 
 /// Recursively collects `.rs` files under `dir`, in sorted order — the
@@ -229,6 +322,51 @@ mod tests {
         // The unwrap still fires (E001), and the directive is unused (L002).
         assert!(d.iter().any(|x| x.rule == RuleId::E001));
         assert!(d.iter().any(|x| x.rule == RuleId::L002));
+    }
+
+    #[test]
+    fn multi_rule_allow_suppresses_each_listed_rule() {
+        // One directive, two rules, both matched on the target line.
+        let src = "fn f(m: u64) -> u64 {\n    \
+                   // qni-lint: allow(QNI-R003, QNI-E001) — fixture generator\n    \
+                   rng_from_seed(42).checked_add(m).unwrap()\n}\n";
+        let full = lint_source_full(&lib_crate(), "src/f.rs", src);
+        assert!(full.diagnostics.is_empty(), "{:?}", full.diagnostics);
+        assert_eq!(full.suppressions_used, 1);
+        let mut by_rule = full.suppressions_by_rule.clone();
+        by_rule.sort();
+        assert_eq!(by_rule, vec![(RuleId::E001, 1), (RuleId::R003, 1)]);
+    }
+
+    #[test]
+    fn partially_stale_multi_rule_allow_flags_only_dead_entries() {
+        let src = "fn f(m: Option<u32>) -> u32 {\n    \
+                   // qni-lint: allow(QNI-E001, QNI-D001) — checked by caller\n    \
+                   m.unwrap()\n}\n";
+        let full = lint_source_full(&lib_crate(), "src/f.rs", src);
+        // E001 is suppressed; the D001 entry is stale — exactly one
+        // L002 naming only the dead entry.
+        assert_eq!(full.diagnostics.len(), 1, "{:?}", full.diagnostics);
+        assert_eq!(full.diagnostics[0].rule, RuleId::L002);
+        assert!(full.diagnostics[0].message.contains("QNI-D001"));
+        assert!(!full.diagnostics[0].message.contains("QNI-E001"));
+        assert_eq!(full.suppressions_used, 1);
+        assert_eq!(full.suppressions_by_rule, vec![(RuleId::E001, 1)]);
+    }
+
+    #[test]
+    fn new_family_rules_run_in_library_crates_only() {
+        let src = "fn f(x: u64) { let r = rng_from_seed(x * 3); let _ = r; }\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::R001);
+        let bench = CrateConfig {
+            name: "bench",
+            src: "src",
+            families: FamilySet::NUMERICS_ONLY,
+        };
+        let (d, _) = lint_source(&bench, "src/b.rs", src);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -8,6 +8,8 @@ pub enum LintError {
     Io(String),
     /// JSON report rendering failed.
     Json(String),
+    /// `lint.toml` (the suppression budget) is malformed.
+    Budget(String),
     /// The workspace root could not be located.
     NoWorkspaceRoot,
 }
@@ -17,6 +19,7 @@ impl std::fmt::Display for LintError {
         match self {
             LintError::Io(msg) => write!(f, "io error: {msg}"),
             LintError::Json(msg) => write!(f, "json error: {msg}"),
+            LintError::Budget(msg) => write!(f, "lint.toml: {msg}"),
             LintError::NoWorkspaceRoot => write!(
                 f,
                 "could not find the workspace root (a directory with Cargo.toml and crates/)"

@@ -14,16 +14,27 @@
 //! - [`lexer`]: a hand-rolled Rust lexer (no `syn` — the build
 //!   environment has no crates.io access) whose job is to be exactly
 //!   right about what is code and what is a string/char/comment.
+//! - [`tree`]: a brace-matched structure skeleton (functions, spawn
+//!   closures, struct fields) built over the token stream — the layer
+//!   that lets the R/P/F families reason about *where* a token sits,
+//!   still with no external parser.
 //! - [`rules`]: the rule catalog (stable IDs, severities, rationale)
-//!   and the D/N/E token scanners.
+//!   and the D/N/E token scanners plus the flow-aware R (seed flow),
+//!   P (parallel phase), and F (fingerprint coverage) scanners.
 //! - [`directives`]: inline `// qni-lint: allow(RULE) — reason`
 //!   suppressions; the reason is mandatory and stale directives are
-//!   themselves violations.
+//!   themselves violations (per rule-list entry, so a half-dead
+//!   multi-rule allow is flagged for exactly its dead entries).
 //! - [`config`]: per-crate scoping — which rule families apply to which
 //!   crate is policy in one place, not scattered allows.
 //! - [`engine`]: walks sources (in sorted order: the linter itself obeys
 //!   the determinism contract), applies scanners and suppressions,
 //!   assembles a [`report::LintReport`].
+//! - [`sarif`]: renders a report as SARIF 2.1.0 for CI code-scanning
+//!   annotations (`--sarif FILE`).
+//! - [`budget`]: the checked-in suppression budget (`lint.toml`) — a
+//!   per-rule ceiling on allow directives, so reviewed exceptions
+//!   cannot silently accumulate.
 //!
 //! # Example
 //!
@@ -39,6 +50,7 @@
 //! assert_eq!((diags[0].line, diags[0].col), (1, 33));
 //! ```
 
+pub mod budget;
 pub mod config;
 pub mod directives;
 pub mod engine;
@@ -46,8 +58,11 @@ pub mod error;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod tree;
 
-pub use engine::{lint_paths, lint_source, lint_workspace};
+pub use budget::SuppressionBudget;
+pub use engine::{lint_paths, lint_source, lint_source_full, lint_workspace};
 pub use report::{Diagnostic, LintReport};
 pub use rules::{RuleId, Severity};

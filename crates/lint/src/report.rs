@@ -38,6 +38,18 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// How many allow directives suppressed findings of one rule. A single
+/// directive listing several rules counts once per rule it suppressed —
+/// this is the granularity the `lint.toml` budget is written in.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleSuppressions {
+    /// The suppressed rule.
+    pub rule: RuleId,
+    /// Number of allow directives that suppressed at least one finding
+    /// of this rule.
+    pub directives: usize,
+}
+
 /// The result of one lint run.
 #[derive(Debug, Clone, Serialize)]
 pub struct LintReport {
@@ -48,6 +60,9 @@ pub struct LintReport {
     /// Number of allow directives honored (suppressed at least one
     /// finding).
     pub suppressions_used: usize,
+    /// Per-rule suppression counts, in catalog order (rules with zero
+    /// suppressions omitted).
+    pub suppressions_by_rule: Vec<RuleSuppressions>,
 }
 
 impl LintReport {
@@ -115,12 +130,18 @@ mod tests {
         let r = LintReport {
             diagnostics: vec![sample()],
             files_scanned: 1,
-            suppressions_used: 0,
+            suppressions_used: 2,
+            suppressions_by_rule: vec![RuleSuppressions {
+                rule: RuleId::E002,
+                directives: 2,
+            }],
         };
         let json = r.render_json().expect("serializes");
         assert!(json.contains("\"rule\":\"QNI-E001\""));
         assert!(json.contains("\"severity\":\"error\""));
         assert!(json.contains("\"line\":3"));
+        assert!(json.contains("\"suppressions_by_rule\""));
+        assert!(json.contains("\"rule\":\"QNI-E002\""));
         assert!(r.has_errors());
     }
 }

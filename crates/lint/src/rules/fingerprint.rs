@@ -1,0 +1,124 @@
+//! F-family scanner: fingerprint coverage of estimate structs.
+//!
+//! **QNI-F001** runs only in files that define a non-test
+//! `fn fingerprint`. In such a file, every named field of an
+//! estimate-carrying struct (name ending in `Estimate`, `Result`, or
+//! `Trajectory`) must appear as an identifier somewhere in a
+//! `fingerprint` body — otherwise the field was added after the
+//! byte-identity oracle was written and silently escapes the
+//! live == replay check (the drift class PR 7 had to guard by hand).
+//!
+//! The cross-reference is by name, file-locally: a field mentioned in
+//! *any* of the file's fingerprint bodies counts as covered. That is
+//! deliberately coarse — the rule's job is to force the author of a new
+//! field to visit the fingerprint function, not to prove the hash is
+//! complete.
+
+use crate::lexer::Token;
+use crate::rules::RuleId;
+use crate::scan::{ident, Finding};
+use crate::tree::Tree;
+
+/// Struct-name suffixes that mark a type as estimate-carrying.
+const ESTIMATE_SUFFIXES: [&str; 3] = ["Estimate", "Result", "Trajectory"];
+
+/// Runs QNI-F001. `skip[i]` marks `#[cfg(test)]` / `#[test]` tokens.
+pub fn scan(tokens: &[Token], skip: &[bool], tree: &Tree) -> Vec<Finding> {
+    // Gate: only files with a live (non-test) fingerprint body.
+    let bodies: Vec<_> = tree
+        .fns
+        .iter()
+        .filter(|f| f.name == "fingerprint" && !skip[f.name_idx])
+        .collect();
+    if bodies.is_empty() {
+        return Vec::new();
+    }
+    let mut covered: Vec<&str> = Vec::new();
+    for f in &bodies {
+        for i in f.body.clone() {
+            if let Some(name) = ident(tokens, i) {
+                covered.push(name);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for s in &tree.structs {
+        if skip[s.name_idx] || !ESTIMATE_SUFFIXES.iter().any(|suf| s.name.ends_with(suf)) {
+            continue;
+        }
+        for field in &s.fields {
+            if skip[field.token_idx] {
+                continue;
+            }
+            if !covered.iter().any(|c| *c == field.name) {
+                out.push(Finding {
+                    rule: RuleId::F001,
+                    token_idx: field.token_idx,
+                    message: format!(
+                        "field `{}.{}` never appears in this file's `fingerprint()` body; \
+                         fold it into the fingerprint or carry a reasoned allow",
+                        s.name, field.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::test_spans;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let skip = test_spans(&out.tokens);
+        let tree = crate::tree::build(&out.tokens);
+        scan(&out.tokens, &skip, &tree)
+    }
+
+    #[test]
+    fn f001_fires_on_unfingerprinted_field() {
+        let src = "pub struct WindowEstimate { pub rate: f64, pub wall: f64 }\n\
+                   impl WindowEstimate { pub fn fingerprint(&self) -> String { \
+                   format!(\"{}\", self.rate) } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::F001);
+        assert!(f[0].message.contains("wall"));
+    }
+
+    #[test]
+    fn f001_clean_when_all_fields_covered() {
+        let src = "pub struct StemResult { pub rate: f64, pub ess: f64 }\n\
+                   impl StemResult { pub fn fingerprint(&self) -> String { \
+                   format!(\"{} {}\", self.rate, self.ess) } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn f001_silent_without_a_fingerprint_fn() {
+        let src = "pub struct WindowEstimate { pub rate: f64, pub wall: f64 }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn f001_ignores_non_estimate_structs() {
+        let src = "pub struct Options { pub verbose: bool }\n\
+                   pub struct Trajectory { pub rates: Vec<f64> }\n\
+                   impl Trajectory { pub fn fingerprint(&self) -> String { \
+                   format!(\"{:?}\", self.rates) } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn f001_skips_test_only_structs_and_fingerprints() {
+        let src = "#[cfg(test)]\nmod t {\n\
+                   pub struct FakeEstimate { pub rate: f64, pub wall: f64 }\n\
+                   impl FakeEstimate { pub fn fingerprint(&self) -> String { \
+                   format!(\"{}\", self.rate) } }\n}";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -17,13 +17,31 @@
 //!   `panic!`-family macros are forbidden in library crates outside
 //!   `#[cfg(test)]` code; invariants that genuinely cannot fail carry a
 //!   reviewed `// qni-lint: allow(…) — reason` directive instead.
+//! - **R — seed flow** ([`seed_flow`]): RNGs in library code must be
+//!   constructed from `split_seed`-derived seeds, two `split_seed`
+//!   calls in one function must not reuse a literal stream index, and
+//!   literal seed constants stay out of library crates. These are the
+//!   flow-level rules behind the chain-k == solo and live == replay
+//!   guarantees: distinct, reproducible streams everywhere.
+//! - **P — parallel phase** ([`parallel`]): no RNG draw may happen
+//!   lexically inside a closure passed to `spawn` (PR 4's "draws stay
+//!   in the serial drain" contract), and float accumulation over
+//!   channel-received values needs index-ordered collection.
+//! - **F — fingerprint coverage** ([`fingerprint`]): fields of
+//!   estimate-carrying structs (`…Estimate`/`…Result`/`…Trajectory`)
+//!   must appear in the same file's `fingerprint()` body, so a new
+//!   field cannot silently escape the live == replay byte-identity
+//!   check.
 //! - **L — lint hygiene**: malformed or unused allow directives (emitted
 //!   by the [`crate::directives`] layer, not a scanner; not
 //!   suppressible).
 
 pub mod determinism;
 pub mod errors;
+pub mod fingerprint;
 pub mod numerics;
+pub mod parallel;
+pub mod seed_flow;
 
 /// Stable identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -37,6 +55,12 @@ pub enum RuleId {
     E001,
     E002,
     E003,
+    R001,
+    R002,
+    R003,
+    P001,
+    P002,
+    F001,
     L001,
     L002,
 }
@@ -56,7 +80,7 @@ pub enum Severity {
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 16] = [
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
@@ -65,6 +89,12 @@ impl RuleId {
         RuleId::E001,
         RuleId::E002,
         RuleId::E003,
+        RuleId::R001,
+        RuleId::R002,
+        RuleId::R003,
+        RuleId::P001,
+        RuleId::P002,
+        RuleId::F001,
         RuleId::L001,
         RuleId::L002,
     ];
@@ -81,6 +111,12 @@ impl RuleId {
             RuleId::E001 => "QNI-E001",
             RuleId::E002 => "QNI-E002",
             RuleId::E003 => "QNI-E003",
+            RuleId::R001 => "QNI-R001",
+            RuleId::R002 => "QNI-R002",
+            RuleId::R003 => "QNI-R003",
+            RuleId::P001 => "QNI-P001",
+            RuleId::P002 => "QNI-P002",
+            RuleId::F001 => "QNI-F001",
             RuleId::L001 => "QNI-L001",
             RuleId::L002 => "QNI-L002",
         }
@@ -104,6 +140,18 @@ impl RuleId {
             RuleId::E001 => "`.unwrap()` in library code outside tests",
             RuleId::E002 => "`.expect(..)` in library code outside tests",
             RuleId::E003 => "`panic!`/`todo!`/`unimplemented!` in library code outside tests",
+            RuleId::R001 => {
+                "RNG constructed from a seed not derived via `split_seed(..)` in library code"
+            }
+            RuleId::R002 => {
+                "two `split_seed` calls with the same literal stream index in one function"
+            }
+            RuleId::R003 => "literal seed constant in a library crate",
+            RuleId::P001 => "RNG draw (`sample`/`gen`-family) inside a closure passed to `spawn`",
+            RuleId::P002 => {
+                "float accumulation over channel-received values without index-ordered collection"
+            }
+            RuleId::F001 => "estimate-struct field missing from the file's `fingerprint()` body",
             RuleId::L001 => "malformed `qni-lint: allow` directive",
             RuleId::L002 => "allow directive that suppresses nothing",
         }
@@ -155,6 +203,46 @@ impl RuleId {
                  surface failures as typed errors (`assert!`-style contract checks on internal \
                  invariants are permitted and not flagged)."
             }
+            RuleId::R001 => {
+                "Every RNG stream must descend from the run's master seed through \
+                 `qni_stats::rng::split_seed`; constructing one from an ad-hoc value forks an \
+                 unaccounted stream and breaks the chain-k == solo and live == replay \
+                 byte-identity contracts. Derive the seed with `split_seed(parent, index)` (or \
+                 name it so the derivation is visible) before handing it to \
+                 `rng_from_seed`/`seed_from_u64`."
+            }
+            RuleId::R002 => {
+                "`split_seed(parent, k)` with the same parent and literal `k` yields the *same* \
+                 stream; two such calls reachable in one function alias their draws and \
+                 correlate estimates that the pooling math assumes independent. Give each \
+                 stream a distinct index (the `SeedTree` helper hands them out by construction)."
+            }
+            RuleId::R003 => {
+                "A literal seed baked into a library crate pins every caller to one stream and \
+                 hides the seed from the CLI/experiment config. Thread the seed in as a \
+                 parameter; literals belong in tests, benches, and binaries only."
+            }
+            RuleId::P001 => {
+                "The shard contract (PR 4) is: parallel prepare phases are draw-free, all draws \
+                 happen in the serial drain — that is what makes every shard count \
+                 byte-identical. A `sample`/`gen`-family call inside a `spawn` closure reorders \
+                 RNG consumption with the scheduler. The check is lexical: draws hidden behind \
+                 a function called from the closure are out of its reach, so keep spawned work \
+                 visibly draw-free."
+            }
+            RuleId::P002 => {
+                "Float addition is not associative; folding values in channel-arrival or \
+                 thread-completion order makes the sum depend on the scheduler. Collect into an \
+                 index-keyed buffer (e.g. `results[i] = v`) or join handles in spawn order, \
+                 then reduce sequentially."
+            }
+            RuleId::F001 => {
+                "`fingerprint()` is the byte-identity oracle for live == replay (PR 7); a field \
+                 added to an estimate struct but not to its fingerprint is exactly the drift \
+                 that check exists to catch. Fold the field in, or carry a reasoned allow \
+                 directive on the field (e.g. wall-clock timings that are deliberately outside \
+                 the contract)."
+            }
             RuleId::L001 => {
                 "Every suppression must name a known rule and carry a reason \
                  (`// qni-lint: allow(QNI-E002) — why it cannot fail`); an unexplained allow is \
@@ -178,12 +266,16 @@ impl RuleId {
         !matches!(self, RuleId::L001 | RuleId::L002)
     }
 
-    /// The family letter (`'D'`, `'N'`, `'E'`, `'L'`).
+    /// The family letter (`'D'`, `'N'`, `'E'`, `'R'`, `'P'`, `'F'`,
+    /// `'L'`).
     pub fn family(self) -> char {
         match self {
             RuleId::D001 | RuleId::D002 | RuleId::D003 => 'D',
             RuleId::N001 | RuleId::N002 => 'N',
             RuleId::E001 | RuleId::E002 | RuleId::E003 => 'E',
+            RuleId::R001 | RuleId::R002 | RuleId::R003 => 'R',
+            RuleId::P001 | RuleId::P002 => 'P',
+            RuleId::F001 => 'F',
             RuleId::L001 | RuleId::L002 => 'L',
         }
     }
@@ -228,7 +320,7 @@ mod tests {
         for r in RuleId::ALL {
             assert!(!r.summary().is_empty());
             assert!(!r.rationale().is_empty());
-            assert!("DNEL".contains(r.family()));
+            assert!("DNERPFL".contains(r.family()));
         }
         assert!(!RuleId::L001.suppressible());
         assert!(RuleId::E001.suppressible());

@@ -1,0 +1,254 @@
+//! P-family scanners: the parallel prepare/drain split.
+//!
+//! - **QNI-P001**: an RNG draw (`sample`/`gen`-family method call)
+//!   lexically inside a closure passed to `spawn`. PR 4's shard
+//!   byte-identity rests on "parallel prepare phases are draw-free;
+//!   draws happen in the serial drain" — this rule mechanizes the
+//!   lexical half of that audit. Draws hidden behind a function called
+//!   from the closure are out of lexical reach (the rationale says so),
+//!   which is exactly why spawned work should keep its draws visible or
+//!   absent.
+//! - **QNI-P002**: a statement that both receives values from a channel
+//!   (`recv`-family call, or a `for` loop over a receiver bound from
+//!   `channel()`) and accumulates floats (`+=` with a non-trivial
+//!   right-hand side, or `.sum()`). Channel arrival order is
+//!   scheduler-dependent and float addition is not associative; collect
+//!   into an index-keyed buffer and reduce sequentially instead.
+//!   Joining `JoinHandle`s in spawn order is index-ordered and clean.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleId;
+use crate::scan::{ident, is_op, Finding};
+use crate::tree::{statements, Tree};
+use std::ops::Range;
+
+/// Method names that consume RNG state.
+const DRAW_METHODS: [&str; 10] = [
+    "sample",
+    "sample_iter",
+    "gen",
+    "gen_range",
+    "gen_bool",
+    "gen_ratio",
+    "random",
+    "next_u32",
+    "next_u64",
+    "fill_bytes",
+];
+
+/// Channel receive methods.
+const RECV_METHODS: [&str; 4] = ["recv", "try_recv", "recv_timeout", "try_iter"];
+
+/// Runs all P-rules. `skip[i]` marks `#[cfg(test)]` / `#[test]` tokens.
+pub fn scan(tokens: &[Token], skip: &[bool], tree: &Tree) -> Vec<Finding> {
+    let mut out = Vec::new();
+    scan_p001(tokens, skip, tree, &mut out);
+    scan_p002(tokens, skip, tree, &mut out);
+    out
+}
+
+fn scan_p001(tokens: &[Token], skip: &[bool], tree: &Tree, out: &mut Vec<Finding>) {
+    // Nested spawn closures overlap; report each draw token once.
+    let mut flagged: Vec<usize> = Vec::new();
+    for sc in &tree.spawns {
+        if skip[sc.spawn_idx] {
+            continue;
+        }
+        for i in sc.body.clone() {
+            if skip[i] || flagged.contains(&i) {
+                continue;
+            }
+            let Some(name) = ident(tokens, i) else {
+                continue;
+            };
+            if DRAW_METHODS.contains(&name)
+                && i >= 1
+                && is_op(tokens, i - 1, ".")
+                && is_op(tokens, i + 1, "(")
+            {
+                flagged.push(i);
+                out.push(Finding {
+                    rule: RuleId::P001,
+                    token_idx: i,
+                    message: format!(
+                        "`.{name}(..)` draws from an RNG inside a `spawn` closure; draws \
+                         belong in the serial drain (shard byte-identity contract)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn scan_p002(tokens: &[Token], skip: &[bool], tree: &Tree, out: &mut Vec<Finding>) {
+    for f in 0..tree.fns.len() {
+        if skip[tree.fns[f].name_idx] {
+            continue;
+        }
+        let receivers = channel_receivers(tokens, &tree.fns[f].body);
+        for range in tree.direct_body(f) {
+            for stmt in statements(tokens, range) {
+                if !has_receive(tokens, stmt.clone(), &receivers) {
+                    continue;
+                }
+                if let Some(acc) = accumulation_site(tokens, stmt.clone()) {
+                    if !skip[acc] {
+                        out.push(Finding {
+                            rule: RuleId::P002,
+                            token_idx: acc,
+                            message: "float accumulation over channel-received values; \
+                                      arrival order is scheduler-dependent — collect into an \
+                                      index-keyed buffer, then reduce in order"
+                                .to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers bound as the receiver half of `let (tx, rx) = channel()`.
+fn channel_receivers(tokens: &[Token], body: &Range<usize>) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in body.clone() {
+        if ident(tokens, i) != Some("channel") || !is_op(tokens, i + 1, "(") {
+            continue;
+        }
+        // Walk back over a path prefix (`std :: sync :: mpsc ::`).
+        let mut j = i;
+        while j >= 2 && is_op(tokens, j - 1, "::") && tokens[j - 2].kind == TokenKind::Ident {
+            j -= 2;
+        }
+        // `let ( tx , rx ) = channel ( … )` — rx is the ident before `)`.
+        if j >= 4 && is_op(tokens, j - 1, "=") && is_op(tokens, j - 2, ")") {
+            if let Some(rx) = ident(tokens, j - 3) {
+                out.push(rx.to_owned());
+            }
+        }
+    }
+    out
+}
+
+/// Whether the statement chunk receives from a channel: a
+/// `.recv`-family call, or a `for … in <receiver>` header.
+fn has_receive(tokens: &[Token], stmt: Range<usize>, receivers: &[String]) -> bool {
+    for i in stmt.clone() {
+        let Some(name) = ident(tokens, i) else {
+            continue;
+        };
+        if RECV_METHODS.contains(&name) && i >= 1 && is_op(tokens, i - 1, ".") {
+            return true;
+        }
+        if name == "in" && ident(tokens, i + 1).is_some_and(|n| receivers.iter().any(|r| r == n)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The token index of a float-accumulation site in the chunk: a `+=`
+/// whose right-hand side is more than a bare small-integer literal
+/// (`count += 1` is a counter, not a reduction), or a `.sum()` call.
+fn accumulation_site(tokens: &[Token], stmt: Range<usize>) -> Option<usize> {
+    for i in stmt.clone() {
+        if is_op(tokens, i, "+=") {
+            let trivial = tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Int)
+                && is_op(tokens, i + 2, ";");
+            if !trivial {
+                return Some(i);
+            }
+        }
+        if ident(tokens, i) == Some("sum") && i >= 1 && is_op(tokens, i - 1, ".") {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::test_spans;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let skip = test_spans(&out.tokens);
+        let tree = crate::tree::build(&out.tokens);
+        scan(&out.tokens, &skip, &tree)
+    }
+
+    #[test]
+    fn p001_fires_on_draw_in_spawn_closure() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(move || { \
+                   let v = rng.sample(dist); use_it(v); }); }); }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::P001);
+    }
+
+    #[test]
+    fn p001_clean_when_draws_stay_outside() {
+        let src = "fn f() { let v = rng.sample(dist); \
+                   std::thread::scope(|s| { s.spawn(move || prepare(v)); }); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn p001_spawn_in_loop_flags_each_closure_once() {
+        let src = "fn f() { std::thread::scope(|s| { for k in 0..4 { \
+                   s.spawn(move || { let a = rng.gen_range(0..k); touch(a); }); } }); }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::P001);
+    }
+
+    #[test]
+    fn p001_skips_test_code() {
+        let src = "#[cfg(test)]\nmod t { fn f() { \
+                   thread::spawn(|| { let x = rng.gen(); use_it(x); }); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn p002_fires_on_recv_accumulation() {
+        let src = "fn f(rx: Receiver<f64>) -> f64 { let mut total = 0.0; \
+                   while let Ok(v) = rx.recv() { total += v; } total }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::P002);
+    }
+
+    #[test]
+    fn p002_fires_on_for_over_channel_receiver() {
+        let src = "fn f() -> f64 { let (tx, rx) = std::sync::mpsc::channel(); \
+                   spawn_all(tx); let mut t = 0.0; for v in rx { t += v; } t }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::P002);
+    }
+
+    #[test]
+    fn p002_counter_increment_is_clean() {
+        let src = "fn f(rx: Receiver<f64>) -> u64 { let mut n = 0; \
+                   while let Ok(_v) = rx.recv() { n += 1; } n }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn p002_indexed_collection_is_clean() {
+        let src = "fn f(rx: Receiver<(usize, f64)>) -> f64 { \
+                   let mut slots = vec![0.0; 8]; \
+                   while let Ok((i, v)) = rx.recv() { slots[i] = v; } \
+                   let mut t = 0.0; for v in slots { t += v; } t }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn p002_join_in_spawn_order_is_clean() {
+        let src = "fn f(handles: Vec<JoinHandle<f64>>) -> f64 { \
+                   let mut t = 0.0; for h in handles { t += h.join().unwrap(); } t }";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! R-family scanners: seed-flow discipline over the structure tree.
+//!
+//! - **QNI-R001**: an RNG constructor (`rng_from_seed`,
+//!   `seed_from_u64`, `from_seed`) whose seed argument is not visibly
+//!   `split_seed`-derived — no `split_seed` call in the argument, no
+//!   seed-named identifier, and no local binding initialized from a
+//!   `split_seed` call in the enclosing function.
+//! - **QNI-R002**: two `split_seed(parent, k)` calls in one function
+//!   with the same parent expression and the same literal index `k` —
+//!   stream aliasing.
+//! - **QNI-R003**: a literal seed in library code — a bare integer fed
+//!   straight to an RNG constructor or `split_seed`, or a
+//!   `const`/`static` whose SEED-named value is an integer literal.
+//!
+//! The analysis is lexical flow, not dataflow: a seed threaded through
+//! a struct field or a helper's return value passes when its *name*
+//! carries the provenance (`seed`, `master_seed`, …), which is exactly
+//! the reviewable-at-a-glance convention the workspace already follows.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleId;
+use crate::scan::{ident, is_op, matching_close, Finding};
+use crate::tree::Tree;
+use std::ops::Range;
+
+/// RNG constructors whose first argument is a seed.
+const RNG_CTORS: [&str; 3] = ["rng_from_seed", "seed_from_u64", "from_seed"];
+
+/// Runs all R-rules. `skip[i]` marks `#[cfg(test)]` / `#[test]` tokens.
+pub fn scan(tokens: &[Token], skip: &[bool], tree: &Tree) -> Vec<Finding> {
+    let mut out = Vec::new();
+    scan_r001_r003(tokens, skip, tree, &mut out);
+    scan_r002(tokens, skip, tree, &mut out);
+    out
+}
+
+fn scan_r001_r003(tokens: &[Token], skip: &[bool], tree: &Tree, out: &mut Vec<Finding>) {
+    for (i, &skipped) in skip.iter().enumerate().take(tokens.len()) {
+        if skipped {
+            continue;
+        }
+        let Some(name) = ident(tokens, i) else {
+            continue;
+        };
+        let is_ctor = RNG_CTORS.contains(&name);
+        let is_split = name == "split_seed";
+        if (!is_ctor && !is_split) || !is_op(tokens, i + 1, "(") {
+            continue;
+        }
+        // Skip the *definition* sites (`fn rng_from_seed(seed: u64)`).
+        if ident(tokens, i.wrapping_sub(1)) == Some("fn") {
+            continue;
+        }
+        let Some(close) = matching_close(tokens, i + 1) else {
+            continue;
+        };
+        let first_arg = first_arg_span(tokens, i + 2, close);
+        // QNI-R003: a bare integer literal as the seed argument.
+        if let Some(lit) = single_int_literal(tokens, first_arg.clone()) {
+            out.push(Finding {
+                rule: RuleId::R003,
+                token_idx: lit,
+                message: format!(
+                    "literal seed `{}` passed to `{name}` in a library crate; thread the seed \
+                     in as a parameter",
+                    tokens[lit].text
+                ),
+            });
+            continue;
+        }
+        // QNI-R001 (constructors only; `split_seed` IS the derivation).
+        if is_ctor && !seed_arg_is_derived(tokens, first_arg, tree, i) {
+            out.push(Finding {
+                rule: RuleId::R001,
+                token_idx: i,
+                message: format!(
+                    "`{name}(..)` builds an RNG from a seed with no visible `split_seed` \
+                     derivation; derive it via `qni_stats::rng::split_seed` (or name it so the \
+                     derivation is auditable)"
+                ),
+            });
+        }
+    }
+    // QNI-R003 (b): SEED-named const/static with a literal value.
+    for (i, &skipped) in skip.iter().enumerate().take(tokens.len()) {
+        if skipped || !matches!(ident(tokens, i), Some("const" | "static")) {
+            continue;
+        }
+        let Some(name) = ident(tokens, i + 1) else {
+            continue;
+        };
+        if !name.to_ascii_uppercase().contains("SEED") {
+            continue;
+        }
+        // `const NAME : TYPE = <int literal> ;`
+        let mut j = i + 2;
+        while j < tokens.len() && !is_op(tokens, j, "=") && !is_op(tokens, j, ";") {
+            j += 1;
+        }
+        if is_op(tokens, j, "=")
+            && tokens.get(j + 1).is_some_and(|t| t.kind == TokenKind::Int)
+            && is_op(tokens, j + 2, ";")
+        {
+            out.push(Finding {
+                rule: RuleId::R003,
+                token_idx: j + 1,
+                message: format!(
+                    "literal seed constant `{name} = {}` in a library crate; seeds come from \
+                     the caller's configuration",
+                    tokens[j + 1].text
+                ),
+            });
+        }
+    }
+}
+
+/// The token span of the first call argument: `args_start` up to the
+/// first depth-0 `,` or the call's closing paren.
+fn first_arg_span(tokens: &[Token], args_start: usize, close: usize) -> Range<usize> {
+    let mut depth = 0i64;
+    for (k, tok) in tokens.iter().enumerate().take(close).skip(args_start) {
+        if tok.kind == TokenKind::Op {
+            match tok.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => return args_start..k,
+                _ => {}
+            }
+        }
+    }
+    args_start..close
+}
+
+/// If the span is exactly one integer literal, its token index.
+fn single_int_literal(tokens: &[Token], span: Range<usize>) -> Option<usize> {
+    if span.len() == 1 && tokens[span.start].kind == TokenKind::Int {
+        Some(span.start)
+    } else {
+        None
+    }
+}
+
+/// Whether a seed argument is visibly `split_seed`-derived:
+/// the argument mentions `split_seed` itself, mentions an identifier
+/// whose name carries seed provenance (`seed`, `master_seed`, …), or is
+/// a local binding whose initializer statement in the enclosing
+/// function contains a `split_seed` call.
+fn seed_arg_is_derived(tokens: &[Token], span: Range<usize>, tree: &Tree, ctor_idx: usize) -> bool {
+    let mut arg_idents: Vec<&str> = Vec::new();
+    for k in span.clone() {
+        if let Some(name) = ident(tokens, k) {
+            if name == "split_seed" || name.to_ascii_lowercase().contains("seed") {
+                return true;
+            }
+            arg_idents.push(name);
+        }
+    }
+    // Binding flow: `let s = split_seed(m, 3); … rng_from_seed(s)`.
+    let Some(f) = tree.enclosing_fn(ctor_idx) else {
+        return false;
+    };
+    for range in tree.direct_body(f) {
+        for stmt in crate::tree::statements(tokens, range) {
+            let binds_split = stmt.clone().any(|k| ident(tokens, k) == Some("split_seed"));
+            if !binds_split || ident(tokens, stmt.start) != Some("let") {
+                continue;
+            }
+            // `let [mut] <name> [: ty] = …` — the bound name.
+            let mut n = stmt.start + 1;
+            if ident(tokens, n) == Some("mut") {
+                n += 1;
+            }
+            if let Some(bound) = ident(tokens, n) {
+                if arg_idents.contains(&bound) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn scan_r002(tokens: &[Token], skip: &[bool], tree: &Tree, out: &mut Vec<Finding>) {
+    for f in 0..tree.fns.len() {
+        if skip[tree.fns[f].name_idx] {
+            continue;
+        }
+        // (parent expression text, normalized literal index) → seen.
+        let mut seen: Vec<(String, String)> = Vec::new();
+        for range in tree.direct_body(f) {
+            for i in range {
+                if skip[i] || ident(tokens, i) != Some("split_seed") || !is_op(tokens, i + 1, "(") {
+                    continue;
+                }
+                let Some(close) = matching_close(tokens, i + 1) else {
+                    continue;
+                };
+                let parent = first_arg_span(tokens, i + 2, close);
+                let index_span = if parent.end < close && is_op(tokens, parent.end, ",") {
+                    parent.end + 1..close
+                } else {
+                    continue;
+                };
+                let Some(lit) = single_int_literal(tokens, index_span) else {
+                    continue; // non-literal indices (loop vars) can't alias lexically
+                };
+                let parent_key: String = parent
+                    .clone()
+                    .map(|k| tokens[k].text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let lit_key = normalize_int(&tokens[lit].text);
+                if seen.iter().any(|(p, l)| *p == parent_key && *l == lit_key) {
+                    out.push(Finding {
+                        rule: RuleId::R002,
+                        token_idx: i,
+                        message: format!(
+                            "`split_seed({parent_key}, {})` reuses stream index {} in this \
+                             function; aliased streams correlate draws that the estimators \
+                             assume independent",
+                            tokens[lit].text, tokens[lit].text
+                        ),
+                    });
+                } else {
+                    seen.push((parent_key, lit_key));
+                }
+            }
+        }
+    }
+}
+
+/// Normalizes an integer literal for aliasing comparison: strips `_`
+/// separators and a type suffix, so `1_000u64` == `1000`.
+fn normalize_int(text: &str) -> String {
+    let no_sep: String = text.chars().filter(|c| *c != '_').collect();
+    let digits_end = no_sep
+        .find(|c: char| c.is_ascii_alphabetic())
+        .filter(|&p| p > 1 || !no_sep.starts_with('0')) // keep 0x/0b prefixes whole
+        .unwrap_or(no_sep.len());
+    no_sep[..digits_end].to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::test_spans;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let out = lex(src);
+        let skip = test_spans(&out.tokens);
+        let tree = crate::tree::build(&out.tokens);
+        scan(&out.tokens, &skip, &tree)
+    }
+
+    #[test]
+    fn r001_fires_on_underived_seed() {
+        let f = findings("fn f(x: u64) { let mut rng = rng_from_seed(x * 2 + 1); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R001);
+    }
+
+    #[test]
+    fn r001_passes_seed_named_args_and_split_calls() {
+        let clean = [
+            "fn f(seed: u64) { let rng = rng_from_seed(seed); }",
+            "fn f(o: &Opts) { let rng = rng_from_seed(o.master_seed); }",
+            "fn f(m: u64) { let rng = rng_from_seed(split_seed(m, 1)); }",
+        ];
+        for src in clean {
+            assert!(findings(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn r001_binding_flow_through_let() {
+        let src = "fn f(m: u64) { let s = split_seed(m, 3); let rng = rng_from_seed(s); }";
+        assert!(findings(src).is_empty());
+        let bad = "fn f(m: u64) { let s = m + 1; let rng = rng_from_seed(s); }";
+        assert_eq!(findings(bad).len(), 1);
+    }
+
+    #[test]
+    fn r001_skips_tests_and_definitions() {
+        let src = "#[cfg(test)]\nmod t { fn f(x: u64) { let r = rng_from_seed(x + 1); } }\n\
+                   fn rng_from_seed(seed: u64) -> u64 { seed }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn r002_fires_on_aliased_literal_index() {
+        let src = "fn f(m: u64) { let a = split_seed(m, 1); let b = split_seed(m, 1); }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R002);
+    }
+
+    #[test]
+    fn r002_distinct_indices_and_parents_are_clean() {
+        let clean = [
+            "fn f(m: u64) { let a = split_seed(m, 1); let b = split_seed(m, 2); }",
+            "fn f(m: u64, n: u64) { let a = split_seed(m, 1); let b = split_seed(n, 1); }",
+            "fn f(m: u64) { for k in 0..4 { let s = split_seed(m, k); } }",
+        ];
+        for src in clean {
+            assert!(findings(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn r002_does_not_leak_across_functions_or_nested_fns() {
+        let src = "fn a(m: u64) { let x = split_seed(m, 1); }\n\
+                   fn b(m: u64) { let x = split_seed(m, 1); }";
+        assert!(findings(src).is_empty());
+        let nested = "fn outer(m: u64) { let x = split_seed(m, 1); \
+                      fn inner(m: u64) { let y = split_seed(m, 1); } }";
+        assert!(findings(nested).is_empty());
+    }
+
+    #[test]
+    fn r002_normalizes_literal_forms() {
+        let src = "fn f(m: u64) { let a = split_seed(m, 1_0u64); let b = split_seed(m, 10); }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R002);
+    }
+
+    #[test]
+    fn r003_fires_on_literal_call_args_not_r001() {
+        let f = findings("fn f() { let rng = rng_from_seed(42); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R003);
+        let f = findings("fn f() { let s = split_seed(0xDEAD, 1); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R003);
+    }
+
+    #[test]
+    fn r003_fires_on_seed_named_const() {
+        let f = findings("const MASTER_SEED: u64 = 42;");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R003);
+        assert!(findings("const MAX_ITERS: u64 = 42;").is_empty());
+        assert!(findings("#[cfg(test)]\nmod t { const SEED: u64 = 7; }").is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! SARIF 2.1.0 output — the interchange format CI code-scanning UIs
+//! ingest to annotate diagnostics on the lines that caused them.
+//!
+//! The document is emitted by hand rather than through the vendored
+//! `serde_json`: SARIF's schema needs field names (`$schema`,
+//! `ruleId`, `startLine`) that the vendored `serde_derive` stand-in
+//! cannot rename to, and the emitter is ~100 lines against a fixed
+//! shape. Output is deterministic: rules in catalog order, results in
+//! the report's (file, line, col, rule) order, and no timestamps.
+
+use crate::report::LintReport;
+use crate::rules::{RuleId, Severity};
+
+/// The SARIF version this module emits.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// The `$schema` URI embedded in every document.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders a lint report as a SARIF 2.1.0 document with a single run.
+/// Every catalog rule appears in `tool.driver.rules` (so rule metadata
+/// is present even for clean runs) and each result's `ruleIndex` points
+/// into that array.
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::with_capacity(4096 + report.diagnostics.len() * 512);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", json_str(SARIF_SCHEMA)));
+    out.push_str(&format!("  \"version\": {},\n", json_str(SARIF_VERSION)));
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"qni-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/qni/qni#static-analysis\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in RuleId::ALL.into_iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!(
+            "              \"id\": {},\n",
+            json_str(rule.as_str())
+        ));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }},\n",
+            json_str(rule.summary())
+        ));
+        out.push_str(&format!(
+            "              \"fullDescription\": {{ \"text\": {} }},\n",
+            json_str(rule.rationale())
+        ));
+        out.push_str(&format!(
+            "              \"defaultConfiguration\": {{ \"level\": {} }}\n",
+            json_str(level(rule.severity()))
+        ));
+        out.push_str(if i + 1 < RuleId::ALL.len() {
+            "            },\n"
+        } else {
+            "            }\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let rule_index = RuleId::ALL
+            .iter()
+            .position(|r| *r == d.rule)
+            .unwrap_or_default();
+        out.push_str("        {\n");
+        out.push_str(&format!(
+            "          \"ruleId\": {},\n",
+            json_str(d.rule.as_str())
+        ));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str(&format!(
+            "          \"level\": {},\n",
+            json_str(level(d.severity))
+        ));
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            json_str(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {}, \"uriBaseId\": \"SRCROOT\" }},\n",
+            json_str(&d.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {}, \"startColumn\": {}, \"snippet\": {{ \"text\": {} }} }}\n",
+            d.line,
+            d.col,
+            json_str(&d.snippet)
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(if i + 1 < report.diagnostics.len() {
+            "        },\n"
+        } else {
+            "        }\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Diagnostic;
+
+    // A minimal JSON parser (test-only) so the SARIF emitter is
+    // validated against parsed structure, not substring luck. The
+    // vendored serde_json has no text → tree entry point, hence this.
+    #[derive(Debug, Clone, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> &Json {
+            match self {
+                Json::Obj(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .unwrap_or_else(|| panic!("missing key {key:?} in {self:?}")),
+                _ => panic!("not an object: {self:?}"),
+            }
+        }
+        fn arr(&self) -> &[Json] {
+            match self {
+                Json::Arr(v) => v,
+                _ => panic!("not an array: {self:?}"),
+            }
+        }
+        fn str(&self) -> &str {
+            match self {
+                Json::Str(s) => s,
+                _ => panic!("not a string: {self:?}"),
+            }
+        }
+        fn num(&self) -> f64 {
+            match self {
+                Json::Num(n) => *n,
+                _ => panic!("not a number: {self:?}"),
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    fn parse_json(text: &str) -> Json {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value();
+        p.ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing garbage");
+        v
+    }
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+        fn eat(&mut self, b: u8) {
+            self.ws();
+            assert_eq!(self.bytes.get(self.pos), Some(&b), "at byte {}", self.pos);
+            self.pos += 1;
+        }
+        fn peek(&mut self) -> u8 {
+            self.ws();
+            self.bytes[self.pos]
+        }
+        fn value(&mut self) -> Json {
+            match self.peek() {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Json::Str(self.string()),
+                b't' => self.lit("true", Json::Bool(true)),
+                b'f' => self.lit("false", Json::Bool(false)),
+                b'n' => self.lit("null", Json::Null),
+                _ => self.number(),
+            }
+        }
+        fn lit(&mut self, word: &str, v: Json) -> Json {
+            self.ws();
+            assert!(self.bytes[self.pos..].starts_with(word.as_bytes()));
+            self.pos += word.len();
+            v
+        }
+        fn object(&mut self) -> Json {
+            self.eat(b'{');
+            let mut fields = Vec::new();
+            if self.peek() == b'}' {
+                self.pos += 1;
+                return Json::Obj(fields);
+            }
+            loop {
+                let key = self.string();
+                self.eat(b':');
+                fields.push((key, self.value()));
+                match self.peek() {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Json::Obj(fields);
+                    }
+                    b => panic!("unexpected {:?} in object", b as char),
+                }
+            }
+        }
+        fn array(&mut self) -> Json {
+            self.eat(b'[');
+            let mut items = Vec::new();
+            if self.peek() == b']' {
+                self.pos += 1;
+                return Json::Arr(items);
+            }
+            loop {
+                items.push(self.value());
+                match self.peek() {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Json::Arr(items);
+                    }
+                    b => panic!("unexpected {:?} in array", b as char),
+                }
+            }
+        }
+        fn string(&mut self) -> String {
+            self.eat(b'"');
+            let mut s = String::new();
+            loop {
+                match self.bytes[self.pos] {
+                    b'"' => {
+                        self.pos += 1;
+                        return s;
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        match self.bytes[self.pos] {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b'r' => s.push('\r'),
+                            b't' => s.push('\t'),
+                            b'u' => {
+                                let hex =
+                                    std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                        .expect("utf8 hex");
+                                let code = u32::from_str_radix(hex, 16).expect("hex escape");
+                                s.push(char::from_u32(code).expect("scalar"));
+                                self.pos += 4;
+                            }
+                            b => panic!("bad escape {:?}", b as char),
+                        }
+                        self.pos += 1;
+                    }
+                    _ => {
+                        // Multi-byte UTF-8 sequences pass through whole.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..]).expect("utf8");
+                        let c = rest.chars().next().expect("char");
+                        s.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        fn number(&mut self) -> Json {
+            self.ws();
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8");
+            Json::Num(text.parse().expect("number"))
+        }
+    }
+
+    fn sample_report() -> LintReport {
+        LintReport {
+            diagnostics: vec![
+                Diagnostic {
+                    file: "crates/core/src/x.rs".to_owned(),
+                    line: 3,
+                    col: 9,
+                    rule: RuleId::R001,
+                    severity: Severity::Error,
+                    message: "seed with \"no\" derivation — bad".to_owned(),
+                    snippet: "let rng = rng_from_seed(x * 2);".to_owned(),
+                    krate: "qni-core".to_owned(),
+                },
+                Diagnostic {
+                    file: "crates/core/src/y.rs".to_owned(),
+                    line: 10,
+                    col: 1,
+                    rule: RuleId::P001,
+                    severity: Severity::Error,
+                    message: "draw in spawn closure".to_owned(),
+                    snippet: "let v = rng.sample(d);".to_owned(),
+                    krate: "qni-core".to_owned(),
+                },
+            ],
+            files_scanned: 2,
+            suppressions_used: 0,
+            suppressions_by_rule: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sarif_document_has_the_2_1_0_shape() {
+        let doc = parse_json(&render_sarif(&sample_report()));
+        assert_eq!(doc.get("$schema").str(), SARIF_SCHEMA);
+        assert_eq!(doc.get("version").str(), "2.1.0");
+        let runs = doc.get("runs").arr();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").get("driver");
+        assert_eq!(driver.get("name").str(), "qni-lint");
+        let rules = driver.get("rules").arr();
+        assert_eq!(rules.len(), RuleId::ALL.len());
+        for (rule, entry) in RuleId::ALL.iter().zip(rules) {
+            assert_eq!(entry.get("id").str(), rule.as_str());
+            assert!(!entry.get("shortDescription").get("text").str().is_empty());
+            assert!(!entry.get("fullDescription").get("text").str().is_empty());
+            assert_eq!(
+                entry.get("defaultConfiguration").get("level").str(),
+                "error"
+            );
+        }
+        let results = runs[0].get("results").arr();
+        assert_eq!(results.len(), 2);
+        let first = &results[0];
+        assert_eq!(first.get("ruleId").str(), "QNI-R001");
+        let idx = first.get("ruleIndex").num() as usize;
+        assert_eq!(rules[idx].get("id").str(), "QNI-R001");
+        assert_eq!(first.get("level").str(), "error");
+        assert!(first.get("message").get("text").str().contains("\"no\""));
+        let loc = first.get("locations").arr()[0].get("physicalLocation");
+        assert_eq!(
+            loc.get("artifactLocation").get("uri").str(),
+            "crates/core/src/x.rs"
+        );
+        let region = loc.get("region");
+        assert_eq!(region.get("startLine").num() as usize, 3);
+        assert_eq!(region.get("startColumn").num() as usize, 9);
+    }
+
+    #[test]
+    fn clean_report_still_carries_full_rule_metadata() {
+        let report = LintReport {
+            diagnostics: Vec::new(),
+            files_scanned: 5,
+            suppressions_used: 0,
+            suppressions_by_rule: Vec::new(),
+        };
+        let doc = parse_json(&render_sarif(&report));
+        let runs = doc.get("runs").arr();
+        assert!(runs[0].get("results").arr().is_empty());
+        assert_eq!(
+            runs[0].get("tool").get("driver").get("rules").arr().len(),
+            RuleId::ALL.len()
+        );
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let mut report = sample_report();
+        report.diagnostics[0].message = "quote \" backslash \\ newline \n tab \t".to_owned();
+        let doc = parse_json(&render_sarif(&report));
+        let msg = doc.get("runs").arr()[0].get("results").arr()[0]
+            .get("message")
+            .get("text")
+            .str()
+            .to_owned();
+        assert_eq!(msg, "quote \" backslash \\ newline \n tab \t");
+    }
+}

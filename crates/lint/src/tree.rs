@@ -1,0 +1,484 @@
+//! Lightweight structure layer over the lexer's token stream.
+//!
+//! The R/P/F rule families reason about *where* a token sits — inside
+//! which function, inside a closure passed to `spawn`, inside a struct
+//! definition — not just what it says. Full parsing is out of reach
+//! without `syn`, but the flow questions those rules ask only need a
+//! brace-matched skeleton:
+//!
+//! - [`FnNode`]: every `fn` item with its name and body token span
+//!   (nested functions are separate nodes; [`Tree::direct_body`] yields
+//!   a function's body minus any nested function bodies, so "reachable
+//!   in one function" means what it says).
+//! - [`SpawnClosure`]: the body span of every closure passed to a
+//!   `.spawn(…)` method call (`thread::scope` workers, `s.spawn`) or a
+//!   `thread::spawn(…)` path call — the parallel prepare phase the
+//!   P-rules police.
+//! - [`StructNode`]: every braced struct with its named fields — what
+//!   the F-rules cross-reference against `fingerprint()` bodies.
+//! - [`statements`]: splits a body span into statement-sized chunks
+//!   (depth-0 `;` or a depth-0 brace block), the granularity at which
+//!   P002 pairs a channel receive with a float accumulation.
+//!
+//! Everything here is a heuristic over tokens, deliberately: the lexer
+//! already guarantees that strings, chars, and comments never reach us,
+//! and the fixture corpus plus `tests/tree_structure.rs` keep the
+//! skeleton honest on nested closures, closures in macro arguments, and
+//! `spawn` calls inside loops.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::{ident, is_op, matching_close};
+use std::ops::Range;
+
+/// One `fn` item: its name and the token span of its body (exclusive of
+/// the braces themselves).
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the name identifier.
+    pub name_idx: usize,
+    /// Body content span: `open_brace + 1 .. close_brace`.
+    pub body: Range<usize>,
+}
+
+/// One closure passed to a `spawn` call.
+#[derive(Debug, Clone)]
+pub struct SpawnClosure {
+    /// Token index of the `spawn` identifier.
+    pub spawn_idx: usize,
+    /// Token span of the closure body (braces excluded for block
+    /// bodies; the whole expression for expression bodies).
+    pub body: Range<usize>,
+}
+
+/// A named field of a braced struct.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Token index of the field-name identifier.
+    pub token_idx: usize,
+}
+
+/// One braced struct definition with its named fields.
+#[derive(Debug, Clone)]
+pub struct StructNode {
+    /// The struct's name.
+    pub name: String,
+    /// Token index of the name identifier.
+    pub name_idx: usize,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+/// The structure skeleton of one file's token stream.
+#[derive(Debug, Clone, Default)]
+pub struct Tree {
+    /// Every `fn` item, in source order (nested fns included).
+    pub fns: Vec<FnNode>,
+    /// Every closure passed to a `spawn` call, in source order.
+    pub spawns: Vec<SpawnClosure>,
+    /// Every braced struct, in source order.
+    pub structs: Vec<StructNode>,
+}
+
+impl Tree {
+    /// The token spans of `fns[i]`'s body that belong to it *directly*
+    /// — the body minus any strictly nested function bodies. Seed-flow
+    /// reachability ("two aliased streams in one function") must not
+    /// leak across a nested `fn` boundary.
+    pub fn direct_body(&self, i: usize) -> Vec<Range<usize>> {
+        let outer = &self.fns[i].body;
+        // Nested bodies, in source order (fns is source-ordered).
+        let nested: Vec<&Range<usize>> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(j, f)| *j != i && f.body.start > outer.start && f.body.end <= outer.end)
+            .map(|(_, f)| &f.body)
+            .collect();
+        let mut out = Vec::new();
+        let mut cursor = outer.start;
+        for n in nested {
+            // `fn` keyword + name + signature precede n.start; cutting at
+            // the body is enough — the signature tokens carry no draws.
+            if n.start > cursor {
+                out.push(cursor..n.start);
+            }
+            cursor = cursor.max(n.end);
+        }
+        if cursor < outer.end {
+            out.push(cursor..outer.end);
+        }
+        out
+    }
+
+    /// Index of the innermost function whose body contains `token_idx`.
+    pub fn enclosing_fn(&self, token_idx: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.body.contains(&token_idx))
+            .min_by_key(|(_, f)| f.body.end - f.body.start)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Builds the structure skeleton for one token stream.
+pub fn build(tokens: &[Token]) -> Tree {
+    let mut tree = Tree::default();
+    for i in 0..tokens.len() {
+        if ident(tokens, i) == Some("fn") {
+            if let Some(node) = fn_node(tokens, i) {
+                tree.fns.push(node);
+            }
+        }
+        if ident(tokens, i) == Some("struct") {
+            if let Some(node) = struct_node(tokens, i) {
+                tree.structs.push(node);
+            }
+        }
+        if ident(tokens, i) == Some("spawn") && is_spawn_call(tokens, i) {
+            if let Some(closure) = spawn_closure(tokens, i) {
+                tree.spawns.push(closure);
+            }
+        }
+    }
+    tree
+}
+
+/// Parses a `fn` item starting at the `fn` keyword: name + body span.
+/// Returns `None` for bodyless declarations (trait methods, externs).
+fn fn_node(tokens: &[Token], fn_idx: usize) -> Option<FnNode> {
+    let name = ident(tokens, fn_idx + 1)?.to_owned();
+    // Scan the signature for the body's opening brace at bracket depth
+    // 0. A depth-0 `;` first means a bodyless declaration.
+    let mut depth = 0i64;
+    let mut j = fn_idx + 2;
+    loop {
+        let t = tokens.get(j)?;
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => return None,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let close = matching_close(tokens, j)?;
+    Some(FnNode {
+        name,
+        name_idx: fn_idx + 1,
+        body: j + 1..close,
+    })
+}
+
+/// Whether the `spawn` identifier at `idx` is a spawn *call*: a method
+/// call (`handle.spawn(…)` — scoped spawns) or the `thread::spawn(…)`
+/// path form, with an argument list.
+fn is_spawn_call(tokens: &[Token], idx: usize) -> bool {
+    if !is_op(tokens, idx + 1, "(") {
+        return false;
+    }
+    if idx >= 1 && is_op(tokens, idx - 1, ".") {
+        return true;
+    }
+    idx >= 2 && is_op(tokens, idx - 1, "::") && ident(tokens, idx - 2) == Some("thread")
+}
+
+/// Extracts the closure argument of the spawn call at `spawn_idx`.
+/// Returns `None` when the first argument is not a closure
+/// (`Command::spawn()` takes none).
+fn spawn_closure(tokens: &[Token], spawn_idx: usize) -> Option<SpawnClosure> {
+    let open = spawn_idx + 1;
+    let close = matching_close(tokens, open)?;
+    let mut j = open + 1;
+    if ident(tokens, j) == Some("move") {
+        j += 1;
+    }
+    // `||` lexes as one token; `|args|` as two `|` with the parameter
+    // list between them (patterns may nest brackets).
+    let body_start = if is_op(tokens, j, "||") {
+        j + 1
+    } else if is_op(tokens, j, "|") {
+        let mut depth = 0i64;
+        let mut k = j + 1;
+        loop {
+            let t = tokens.get(k)?;
+            if k >= close {
+                return None;
+            }
+            if t.kind == TokenKind::Op {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "|" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        k + 1
+    } else {
+        return None;
+    };
+    let body = if is_op(tokens, body_start, "{") {
+        let body_close = matching_close(tokens, body_start)?;
+        body_start + 1..body_close
+    } else {
+        body_start..close
+    };
+    Some(SpawnClosure { spawn_idx, body })
+}
+
+/// Parses a `struct` item starting at the keyword. Tuple and unit
+/// structs yield no named fields and are skipped.
+fn struct_node(tokens: &[Token], struct_idx: usize) -> Option<StructNode> {
+    let name = ident(tokens, struct_idx + 1)?.to_owned();
+    // Find the field-block brace at depth 0 (skipping generics and a
+    // where-clause); `;` or `(` first means unit/tuple struct.
+    let mut depth = 0i64;
+    let mut j = struct_idx + 2;
+    loop {
+        let t = tokens.get(j)?;
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => return None,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let close = matching_close(tokens, j)?;
+    let mut fields = Vec::new();
+    let mut depth = 0i64;
+    let mut k = j + 1;
+    while k < close {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        // A field is an identifier directly inside the braces followed
+        // by a single `:` (the lexer emits `::` as one token, so path
+        // segments never match). Skip to the field's `,` so type tokens
+        // cannot masquerade as further fields.
+        if depth == 0 && t.kind == TokenKind::Ident && is_op(tokens, k + 1, ":") {
+            fields.push(FieldDef {
+                name: t.text.clone(),
+                token_idx: k,
+            });
+            let mut d = 0i64;
+            while k < close {
+                let t = &tokens[k];
+                if t.kind == TokenKind::Op {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "," if d == 0 => break,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+        k += 1;
+    }
+    Some(StructNode {
+        name,
+        name_idx: struct_idx + 1,
+        fields,
+    })
+}
+
+/// Splits a body span into statement-sized chunks: a chunk ends at a
+/// depth-0 `;` or at the close of a depth-0 brace block (loop/if/match
+/// bodies stay whole — `for v in rx { total += v; }` is one chunk).
+pub fn statements(tokens: &[Token], range: Range<usize>) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = range.start;
+    let mut k = range.start;
+    while k < range.end {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                ";" => {
+                    out.push(start..k + 1);
+                    start = k + 1;
+                }
+                "(" | "[" => {
+                    k = matching_close(tokens, k).unwrap_or(range.end);
+                }
+                "{" => {
+                    let close = matching_close(tokens, k).unwrap_or(range.end);
+                    out.push(start..(close + 1).min(range.end));
+                    start = close + 1;
+                    k = close;
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    if start < range.end {
+        out.push(start..range.end);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> (Vec<Token>, Tree) {
+        let out = lex(src);
+        let tree = build(&out.tokens);
+        (out.tokens, tree)
+    }
+
+    #[test]
+    fn fn_names_and_bodies() {
+        let (tokens, tree) = tree_of("fn a() { let x = 1; }\nfn b(v: u32) -> u32 { v }");
+        assert_eq!(tree.fns.len(), 2);
+        assert_eq!(tree.fns[0].name, "a");
+        assert_eq!(tree.fns[1].name, "b");
+        let body: Vec<&str> = tree.fns[1]
+            .body
+            .clone()
+            .map(|i| tokens[i].text.as_str())
+            .collect();
+        assert_eq!(body, ["v"]);
+    }
+
+    #[test]
+    fn bodyless_declarations_are_skipped() {
+        let (_, tree) = tree_of("trait T { fn sig(&self) -> u32; fn with_body(&self) {} }");
+        assert_eq!(tree.fns.len(), 1);
+        assert_eq!(tree.fns[0].name, "with_body");
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_subtracted() {
+        let src = "fn outer() { before(); fn inner() { nested(); } after(); }";
+        let (tokens, tree) = tree_of(src);
+        assert_eq!(tree.fns.len(), 2);
+        let outer = tree
+            .fns
+            .iter()
+            .position(|f| f.name == "outer")
+            .expect("outer");
+        let direct: Vec<&str> = tree
+            .direct_body(outer)
+            .into_iter()
+            .flatten()
+            .map(|i| tokens[i].text.as_str())
+            .collect();
+        assert!(direct.contains(&"before"));
+        assert!(direct.contains(&"after"));
+        assert!(!direct.contains(&"nested"));
+    }
+
+    #[test]
+    fn spawn_closure_block_body() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(move || { work(); }); }); }";
+        let (tokens, tree) = tree_of(src);
+        assert_eq!(tree.spawns.len(), 1);
+        let body: Vec<&str> = tree.spawns[0]
+            .body
+            .clone()
+            .map(|i| tokens[i].text.as_str())
+            .collect();
+        assert_eq!(body, ["work", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn spawn_closure_expression_body_and_args() {
+        let src = "fn f() { s.spawn(|(a, b)| prepare(a, b)); }";
+        let (tokens, tree) = tree_of(src);
+        assert_eq!(tree.spawns.len(), 1);
+        let body: Vec<&str> = tree.spawns[0]
+            .body
+            .clone()
+            .map(|i| tokens[i].text.as_str())
+            .collect();
+        assert_eq!(body[0], "prepare");
+        assert_eq!(body.last().copied(), Some(")"));
+    }
+
+    #[test]
+    fn command_spawn_is_not_a_closure() {
+        let (_, tree) = tree_of("fn f() { Command::new(\"ls\").spawn().unwrap(); }");
+        assert!(tree.spawns.is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_path_form_detected() {
+        let (_, tree) = tree_of("fn f() { thread::spawn(|| work()); }");
+        assert_eq!(tree.spawns.len(), 1);
+    }
+
+    #[test]
+    fn struct_fields_including_generics_and_attrs() {
+        let src = "pub struct Est<T> { pub a: Vec<T>, #[serde(flatten)] b: std::ops::Range<usize>, c: f64 }";
+        let (_, tree) = tree_of(src);
+        assert_eq!(tree.structs.len(), 1);
+        assert_eq!(tree.structs[0].name, "Est");
+        let names: Vec<&str> = tree.structs[0]
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let (_, tree) = tree_of("struct A(u32, f64);\nstruct B;\nstruct C { x: u8 }");
+        assert_eq!(tree.structs.len(), 1);
+        assert_eq!(tree.structs[0].name, "C");
+    }
+
+    #[test]
+    fn statements_split_at_semicolons_and_blocks() {
+        let src = "fn f() { let a = 1; for v in rx { t += v; } let b = 2; }";
+        let (tokens, tree) = tree_of(src);
+        let stmts = statements(&tokens, tree.fns[0].body.clone());
+        assert_eq!(stmts.len(), 3);
+        let texts: Vec<String> = stmts
+            .iter()
+            .map(|r| {
+                r.clone()
+                    .map(|i| tokens[i].text.clone())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        assert!(texts[0].starts_with("let a"));
+        assert!(texts[1].contains("for v in rx"));
+        assert!(texts[1].contains("+="));
+        assert!(texts[2].starts_with("let b"));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() { fn inner() { target(); } }";
+        let (tokens, tree) = tree_of(src);
+        let target = tokens
+            .iter()
+            .position(|t| t.text == "target")
+            .expect("target");
+        let f = tree.enclosing_fn(target).expect("enclosing");
+        assert_eq!(tree.fns[f].name, "inner");
+    }
+}

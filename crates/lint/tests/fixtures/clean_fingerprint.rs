@@ -1,0 +1,19 @@
+// Clean: every estimate-struct field is folded into the fingerprint
+// body, and the one deliberate exclusion carries a reasoned allow.
+
+pub struct StemResult {
+    pub rates: Vec<f64>,
+    pub ess: Vec<f64>,
+    // qni-lint: allow(QNI-F001) — timing is measurement, not estimate
+    pub wall_secs: f64,
+}
+
+impl StemResult {
+    pub fn fingerprint(&self) -> Vec<u64> {
+        self.rates
+            .iter()
+            .chain(&self.ess)
+            .map(|v| v.to_bits())
+            .collect()
+    }
+}

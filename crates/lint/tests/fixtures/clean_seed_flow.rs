@@ -1,0 +1,21 @@
+// Clean: the sanctioned seed-flow discipline — distinct split_seed
+// indices, derivation visible at every RNG construction, draws kept
+// out of spawned prepare closures, join-in-spawn-order reduction.
+
+pub fn fit(master_seed: u64, chains: usize) -> f64 {
+    let sim_seed = split_seed(master_seed, 0);
+    let gibbs = rng_from_seed(split_seed(master_seed, 1));
+    let mut acc = init(sim_seed, gibbs);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..chains)
+            .map(|k| {
+                let chain_seed = split_seed(master_seed, 2 + k as u64);
+                s.spawn(move || prepare_chain(chain_seed))
+            })
+            .collect();
+        for h in handles {
+            acc = merge(acc, h.join());
+        }
+    });
+    finish(acc)
+}

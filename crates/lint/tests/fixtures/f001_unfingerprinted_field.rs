@@ -1,0 +1,17 @@
+// Seeded violation: QNI-F001 (estimate-struct field missing from the
+// file's fingerprint body — the field escapes the byte-identity check).
+
+pub struct WindowEstimate {
+    pub start: f64,
+    pub end: f64,
+    pub rates: Vec<f64>,
+    pub retries: usize,
+}
+
+impl WindowEstimate {
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut bits = vec![self.start.to_bits(), self.end.to_bits()];
+        bits.extend(self.rates.iter().map(|r| r.to_bits()));
+        bits
+    }
+}

@@ -1,0 +1,14 @@
+// Seeded violation: QNI-P001 (RNG draw lexically inside a closure
+// passed to spawn — draws belong in the serial drain).
+
+pub fn prepare_wave(members: &[Member], seed: u64) {
+    let mut rng = rng_from_seed(seed);
+    std::thread::scope(|s| {
+        for chunk in members.chunks(8) {
+            s.spawn(move || {
+                let jitter = rng.sample(Exp::new(1.0));
+                prepare_chunk(chunk, jitter);
+            });
+        }
+    });
+}

@@ -1,0 +1,14 @@
+// Seeded violation: QNI-P002 (float accumulation in channel-arrival
+// order — the sum depends on the scheduler).
+
+pub fn pooled_rate(rx: Receiver<f64>, workers: usize) -> f64 {
+    let mut total = 0.0;
+    let mut seen = 0;
+    while seen < workers {
+        if let Ok(v) = rx.recv() {
+            total += v;
+            seen += 1;
+        }
+    }
+    total / workers as f64
+}

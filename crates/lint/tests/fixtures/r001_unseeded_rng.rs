@@ -1,0 +1,6 @@
+// Seeded violation: QNI-R001 (RNG built from a seed with no visible
+// split_seed derivation).
+
+pub fn sampler(trial: u64) -> Rng {
+    rng_from_seed(trial.wrapping_mul(31) + 7)
+}

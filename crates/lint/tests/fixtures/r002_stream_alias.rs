@@ -1,0 +1,8 @@
+// Seeded violation: QNI-R002 (two split_seed calls with the same
+// literal stream index in one function — the streams alias).
+
+pub fn fit(master_seed: u64) -> (f64, f64) {
+    let sim_seed = split_seed(master_seed, 1);
+    let gibbs_seed = split_seed(master_seed, 1);
+    (run_sim(sim_seed), run_gibbs(gibbs_seed))
+}

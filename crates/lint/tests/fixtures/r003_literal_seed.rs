@@ -1,0 +1,9 @@
+// Seeded violation: QNI-R003 (literal seed constant in a library
+// crate) — twice: a bare literal fed to a constructor and a SEED-named
+// const.
+
+const DEFAULT_SEED: u64 = 0xDEAD_BEEF;
+
+pub fn sampler() -> Rng {
+    rng_from_seed(42)
+}

@@ -34,6 +34,12 @@ const SEEDED: &[(&str, &[RuleId])] = &[
     ("e001_unwrap.rs", &[RuleId::E001]),
     ("e002_expect.rs", &[RuleId::E002]),
     ("e003_panic.rs", &[RuleId::E003]),
+    ("r001_unseeded_rng.rs", &[RuleId::R001]),
+    ("r002_stream_alias.rs", &[RuleId::R002]),
+    ("r003_literal_seed.rs", &[RuleId::R003, RuleId::R003]),
+    ("p001_draw_in_spawn.rs", &[RuleId::P001]),
+    ("p002_unordered_reduce.rs", &[RuleId::P002]),
+    ("f001_unfingerprinted_field.rs", &[RuleId::F001]),
     ("l001_malformed.rs", &[RuleId::E001, RuleId::L001]),
     ("l002_stale.rs", &[RuleId::L002]),
 ];
@@ -43,6 +49,8 @@ const CLEAN: &[&str] = &[
     "clean_strings_and_comments.rs",
     "clean_test_module.rs",
     "clean_reviewed_allow.rs",
+    "clean_seed_flow.rs",
+    "clean_fingerprint.rs",
 ];
 
 #[test]
@@ -85,6 +93,38 @@ fn diagnostics_point_at_the_seeded_line() {
     // The `Instant::now()` call sits on line 4 of the fixture.
     assert_eq!(diags[0].line, 4, "{:?}", diags[0]);
     assert!(diags[0].snippet.contains("Instant::now"));
+}
+
+#[test]
+fn new_rule_diagnostics_point_at_the_seeded_lines() {
+    // (fixture, rule, expected line, snippet substring) — the exact
+    // file:line contract for every flow-aware rule.
+    let expect: &[(&str, RuleId, usize, &str)] = &[
+        ("r001_unseeded_rng.rs", RuleId::R001, 5, "rng_from_seed"),
+        (
+            "r002_stream_alias.rs",
+            RuleId::R002,
+            6,
+            "split_seed(master_seed, 1)",
+        ),
+        ("r003_literal_seed.rs", RuleId::R003, 5, "DEFAULT_SEED"),
+        ("r003_literal_seed.rs", RuleId::R003, 8, "rng_from_seed(42)"),
+        ("p001_draw_in_spawn.rs", RuleId::P001, 9, "rng.sample"),
+        ("p002_unordered_reduce.rs", RuleId::P002, 9, "total += v"),
+        ("f001_unfingerprinted_field.rs", RuleId::F001, 8, "retries"),
+    ];
+    for (name, rule, line, snippet) in expect {
+        let (diags, _) = lint_fixture(name);
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == *rule && d.line == *line)
+            .unwrap_or_else(|| panic!("{name}: no {rule} at line {line}: {diags:?}"));
+        assert!(
+            hit.snippet.contains(snippet),
+            "{name}: snippet {:?} lacks {snippet:?}",
+            hit.snippet
+        );
+    }
 }
 
 /// Runs the `qni-lint` binary against a throwaway workspace containing

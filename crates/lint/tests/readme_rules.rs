@@ -1,0 +1,44 @@
+//! README drift gate: the rule table in the top-level README must list
+//! every rule the engine can emit. A new `RuleId` variant without a
+//! documented row fails here, not in review.
+
+use qni_lint::rules::RuleId;
+use std::path::Path;
+
+fn readme() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_id_has_a_readme_table_row() {
+    let text = readme();
+    for rule in RuleId::ALL {
+        // A table row, not a passing mention: the ID set in backticks at
+        // the start of a `|`-delimited row.
+        let row = format!("| `{}` |", rule.as_str());
+        assert!(
+            text.contains(&row),
+            "{rule}: README.md rule table is missing a row starting {row:?}"
+        );
+    }
+}
+
+#[test]
+fn readme_table_does_not_document_phantom_rules() {
+    // The converse drift: a row for a rule the engine no longer knows.
+    let known: Vec<&str> = RuleId::ALL.iter().map(|r| r.as_str()).collect();
+    for line in readme().lines() {
+        let Some(rest) = line.strip_prefix("| `QNI-") else {
+            continue;
+        };
+        let Some(id) = rest.split('`').next() else {
+            continue;
+        };
+        let full = format!("QNI-{id}");
+        assert!(
+            known.contains(&full.as_str()),
+            "README.md documents {full}, which is not in RuleId::ALL"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Structure-layer coverage: the brace-matched skeleton (`tree.rs`)
+//! must stay honest on the shapes real workspace code throws at it —
+//! nested closures, closures inside macro arguments, `scope.spawn`
+//! inside loops — and, property-tested, must never let `spawn` /
+//! `sample` / `split_seed` tokens inside strings or comments reach a
+//! rule.
+
+use proptest::prelude::*;
+use qni_lint::config::{CrateConfig, FamilySet};
+use qni_lint::engine::lint_source;
+use qni_lint::lexer::lex;
+use qni_lint::rules::RuleId;
+use qni_lint::tree;
+
+fn lib_crate() -> CrateConfig {
+    CrateConfig {
+        name: "fixture",
+        src: "src",
+        families: FamilySet::LIBRARY,
+    }
+}
+
+fn rules_of(source: &str) -> Vec<RuleId> {
+    let (diags, _) = lint_source(&lib_crate(), "src/t.rs", source);
+    let mut rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+    rules.sort();
+    rules
+}
+
+#[test]
+fn nested_closures_inside_spawn_are_part_of_its_body() {
+    // The draw hides inside an iterator closure nested in the spawn
+    // closure — still lexically inside the spawned work.
+    let src = "pub fn f(xs: &[f64], seed: u64) {\n\
+               let mut rng = rng_from_seed(split_seed(seed, 0));\n\
+               std::thread::scope(|s| {\n\
+                   s.spawn(move || {\n\
+                       let v: Vec<f64> = xs.iter().map(|x| x + rng.sample(d)).collect();\n\
+                       consume(v);\n\
+                   });\n\
+               });\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::P001]);
+}
+
+#[test]
+fn closure_passed_through_macro_args_is_still_seen() {
+    // Macro bodies are token streams too; a spawn closure inside a
+    // macro argument list must still be detected (brace matching does
+    // not care about the macro name).
+    let src = "pub fn f(seed: u64) {\n\
+               let mut rng = rng_from_seed(split_seed(seed, 0));\n\
+               run_in!(pool, s.spawn(move || {\n\
+                   let x = rng.gen_range(0..9);\n\
+                   push(x);\n\
+               }));\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::P001]);
+}
+
+#[test]
+fn spawn_inside_loop_and_match_arms() {
+    let src = "pub fn f(seed: u64, shards: usize) {\n\
+               let mut rng = rng_from_seed(split_seed(seed, 0));\n\
+               std::thread::scope(|s| {\n\
+                   for k in 0..shards {\n\
+                       match k % 2 {\n\
+                           0 => { s.spawn(move || prepare(k)); }\n\
+                           _ => { s.spawn(move || { let v = rng.gen(); seed_slot(k, v); }); }\n\
+                       }\n\
+                   }\n\
+               });\n}\n";
+    assert_eq!(rules_of(src), vec![RuleId::P001]);
+}
+
+#[test]
+fn draw_free_spawns_in_loops_are_clean() {
+    let src = "pub fn f(members: &[u64]) {\n\
+               std::thread::scope(|s| {\n\
+                   for chunk in members.chunks(8) {\n\
+                       s.spawn(move || prepare_chunk(chunk));\n\
+                   }\n\
+               });\n}\n";
+    assert!(rules_of(src).is_empty());
+}
+
+#[test]
+fn tree_sees_fns_structs_and_spawns_through_macros() {
+    let src = "pub struct AEstimate { pub a: f64 }\n\
+               macro_rules! wrap { ($b:block) => { $b } }\n\
+               pub fn outer() { inner_helper(); }\n\
+               fn inner_helper() { std::thread::scope(|s| { s.spawn(|| work()); }); }\n";
+    let lexed = lex(src);
+    let t = tree::build(&lexed.tokens);
+    let names: Vec<&str> = t.fns.iter().map(|f| f.name.as_str()).collect();
+    assert!(names.contains(&"outer") && names.contains(&"inner_helper"));
+    assert_eq!(t.structs.len(), 1);
+    assert_eq!(t.structs[0].fields.len(), 1);
+    assert_eq!(t.spawns.len(), 1);
+}
+
+/// Payloads that would fire R/P rules if treated as code.
+const STRUCTURAL: &[&str] = &[
+    "s.spawn(move || rng.sample(d))",
+    "thread::spawn(|| x.gen())",
+    "split_seed(m, 1); split_seed(m, 1)",
+    "rng_from_seed(42)",
+    "const MASTER_SEED: u64 = 7;",
+    "rng.gen_range(0..9)",
+];
+
+/// Embeds `payload` where it must be inert. Contexts mirror
+/// `proptest_lexer.rs`: plain strings, raw strings, comments, doc
+/// comments, nested block comments.
+fn embed(context: usize, payload: &str) -> String {
+    match context {
+        0 => format!("pub fn f() -> String {{\n    \"{payload}\".to_string()\n}}\n"),
+        1 => format!("pub fn f() -> &'static str {{\n    r#\"{payload}\"#\n}}\n"),
+        2 => format!("pub fn f() -> &'static str {{\n    r##\"{payload}\"##\n}}\n"),
+        3 => format!("// {payload}\npub fn f() {{}}\n"),
+        4 => format!("/* {payload} */\npub fn f() {{}}\n"),
+        5 => format!("/// {payload}\npub fn f() {{}}\n"),
+        6 => format!("/* outer /* {payload} */ still a comment */\npub fn f() {{}}\n"),
+        _ => format!("pub const C: &str = \"prefix {payload} suffix\";\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn spawn_sample_split_seed_in_literals_never_flag(
+        picks in collection::vec((0usize..8, 0usize..STRUCTURAL.len()), 1..=4),
+    ) {
+        for (context, which) in picks {
+            let source = embed(context, STRUCTURAL[which]);
+            let (diags, _) = lint_source(&lib_crate(), "src/p.rs", &source);
+            prop_assert!(
+                diags.is_empty(),
+                "context {} flagged inert text: {:?}\nsource:\n{}",
+                context,
+                diags,
+                source
+            );
+        }
+    }
+
+    #[test]
+    fn tree_build_never_panics_on_arbitrary_brace_soup(
+        tokens in collection::vec(0usize..12, 0..64),
+    ) {
+        // Fuzz the skeleton builder with unbalanced/odd token streams
+        // assembled from the vocabulary the tree layer cares about.
+        const VOCAB: [&str; 12] = [
+            "fn", "struct", "spawn", "{", "}", "(", ")", "|", "||",
+            "move", "f", ";",
+        ];
+        let src: String = tokens
+            .iter()
+            .map(|t| VOCAB[*t])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let lexed = lex(&src);
+        let t = tree::build(&lexed.tokens);
+        // Sanity: every recorded span stays inside the token stream.
+        for f in &t.fns {
+            prop_assert!(f.body.end <= lexed.tokens.len());
+        }
+        for s in &t.spawns {
+            prop_assert!(s.body.end <= lexed.tokens.len());
+        }
+    }
+}

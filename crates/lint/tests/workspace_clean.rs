@@ -1,16 +1,22 @@
 //! The workspace at HEAD lints clean: the acceptance gate for the rule
 //! catalog and the reviewed allowlist. A regression here means either a
-//! new violation landed or a directive went stale.
+//! new violation landed, a directive went stale, or suppressions grew
+//! past the checked-in `lint.toml` budget.
 
+use qni_lint::budget::SuppressionBudget;
+use qni_lint::rules::RuleId;
 use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
 
 #[test]
 fn workspace_at_head_has_zero_violations() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(Path::parent)
-        .expect("crates/lint has a workspace root two levels up");
-    let report = qni_lint::lint_workspace(root).expect("lint run");
+    let report = qni_lint::lint_workspace(workspace_root()).expect("lint run");
     assert!(
         report.files_scanned > 50,
         "scanned only {} files — wrong root?",
@@ -21,4 +27,56 @@ fn workspace_at_head_has_zero_violations() {
         "workspace is not lint-clean:\n{}",
         report.render_human()
     );
+}
+
+#[test]
+fn workspace_at_head_has_zero_flow_rule_violations() {
+    // The R/P/F families are pinned explicitly: a diagnostics.is_empty()
+    // regression names the offender, but this test documents that the
+    // *flow* contract — seed derivation, draw-free spawns, fingerprint
+    // coverage — holds at HEAD, not merely the token-level one.
+    let report = qni_lint::lint_workspace(workspace_root()).expect("lint run");
+    let flow: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| matches!(d.rule.family(), 'R' | 'P' | 'F'))
+        .collect();
+    assert!(flow.is_empty(), "flow-rule violations at HEAD: {flow:?}");
+}
+
+#[test]
+fn suppressions_stay_inside_the_checked_in_budget() {
+    let root = workspace_root();
+    let budget = SuppressionBudget::load(root)
+        .expect("lint.toml parses")
+        .expect("lint.toml exists at the workspace root");
+    let report = qni_lint::lint_workspace(root).expect("lint run");
+    let over = budget.check(&report);
+    assert!(
+        over.is_empty(),
+        "suppressions exceed the lint.toml budget:\n{}",
+        over.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The budget must stay an inventory, not a wishlist: every budgeted
+    // rule's directives are actually in use (a ceiling with zero usage
+    // is a stale entry someone forgot to lower).
+    for rule in RuleId::ALL {
+        let max = budget.max_for(rule);
+        if max == 0 {
+            continue;
+        }
+        let used = report
+            .suppressions_by_rule
+            .iter()
+            .find(|s| s.rule == rule)
+            .map(|s| s.directives)
+            .unwrap_or(0);
+        assert!(
+            used > 0,
+            "{rule}: budget {max} but zero directives in use — lower or remove the entry"
+        );
+    }
 }

@@ -93,6 +93,7 @@ impl SeedTree {
 
     /// Builds an RNG seeded at this node.
     pub fn rng(&self) -> Rng {
+        // qni-lint: allow(QNI-R001) — every non-root SeedTree node is split_seed-derived by child(); the root is the caller's master seed, which is the sanctioned origin of all derivation
         rng_from_seed(self.root)
     }
 }

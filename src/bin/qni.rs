@@ -21,9 +21,9 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `lint` takes a valueless `--json` flag and positional paths, so it
-    // bypasses the strict `--flag value` parser used by the other
-    // subcommands.
+    // `lint` mixes a valueless `--json` flag, a valued `--sarif FILE`,
+    // and positional paths, so it bypasses the strict `--flag value`
+    // parser used by the other subcommands.
     if cmd == "lint" {
         return cmd_lint(rest);
     }
@@ -80,7 +80,7 @@ USAGE:
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
                [--threads N] [--out traj.csv] [--json traj.json]
   qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]
-  qni lint     [--json] [path-prefix ...]";
+  qni lint     [--json] [--sarif FILE] [path-prefix ...]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -612,25 +612,42 @@ fn monotonic_secs() -> f64 {
     START.get_or_init(Instant::now).elapsed().as_secs_f64()
 }
 
-/// `qni lint [--json] [path-prefix ...]` — run the workspace static
-/// analysis (same engine and scan policy as the `qni-lint` CI binary).
-/// Exits 0 when clean, 1 on unsuppressed violations, 2 on usage or I/O
-/// errors.
+/// `qni lint [--json] [--sarif FILE] [path-prefix ...]` — run the
+/// workspace static analysis (same engine and scan policy as the
+/// `qni-lint` CI binary). Unfiltered runs also enforce the `lint.toml`
+/// suppression budget. Exits 0 when clean, 1 on unsuppressed violations
+/// or budget overrun, 2 on usage or I/O errors.
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut sarif_out: Option<String> = None;
     let mut filters: Vec<String> = Vec::new();
-    for a in args {
-        match a.as_str() {
-            "--json" => json = true,
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--sarif" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: --sarif needs a file path");
+                    return ExitCode::from(2);
+                };
+                sarif_out = Some(path.clone());
+                i += 2;
+            }
             "--help" => {
-                println!("usage: qni lint [--json] [path-prefix ...]");
+                println!("usage: qni lint [--json] [--sarif FILE] [path-prefix ...]");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with("--") => {
                 eprintln!("error: unknown lint flag `{other}`");
                 return ExitCode::from(2);
             }
-            path => filters.push(path.to_owned()),
+            path => {
+                filters.push(path.to_owned());
+                i += 1;
+            }
         }
     }
     let cwd = match std::env::current_dir() {
@@ -654,6 +671,13 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &sarif_out {
+        let sarif = qni_lint::sarif::render_sarif(&report);
+        if let Err(e) = std::fs::write(path, sarif) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if json {
         match report.render_json() {
             Ok(s) => println!("{s}"),
@@ -665,10 +689,26 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     } else {
         print!("{}", report.render_human());
     }
-    if report.has_errors() {
-        ExitCode::FAILURE
-    } else {
+    let mut clean = !report.has_errors();
+    if filters.is_empty() {
+        match qni_lint::budget::SuppressionBudget::load(&root) {
+            Ok(Some(budget)) => {
+                for v in budget.check(&report) {
+                    eprintln!("qni-lint: over budget — {v}");
+                    clean = false;
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if clean {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
