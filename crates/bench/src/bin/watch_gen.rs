@@ -12,10 +12,24 @@
 //! record sequence, the soak job can replay the finished file through
 //! `qni stream` and demand a byte-identical trajectory from the watcher.
 //!
+//! Fault-tolerance soaks add:
+//!
+//! - `--mirror FILE`: also write the *clean complete* trace to FILE up
+//!   front. When the live file is polluted (`--bad-lines`) or rotated
+//!   (`--rotate-every`), the mirror is what `qni stream` replays for
+//!   the fingerprint comparison.
+//! - `--bad-lines N`: inject one malformed line after each of the
+//!   first N chunks (excluded from the mirror) — exercises the
+//!   watcher's `--max-bad-lines` quarantine.
+//! - `--rotate-every N`: copytruncate the live file after every N
+//!   chunks (post-sleep, so a paced watcher has caught up) — exercises
+//!   `--follow-rotations on`.
+//!
 //! Usage:
 //!   cargo run --release -p qni-bench --bin watch_gen -- \
 //!     --out live.jsonl --seed 11 --tasks 400 --lambda 2.0 \
-//!     --mu 6.0,8.0 --observe 0.3 --chunk-tasks 20 --sleep-ms 40
+//!     --mu 6.0,8.0 --observe 0.3 --chunk-tasks 20 --sleep-ms 40 \
+//!     [--mirror clean.jsonl] [--bad-lines 3] [--rotate-every 5]
 
 use qni_sim::{Simulator, Workload};
 use qni_stats::rng::rng_from_seed;
@@ -88,10 +102,21 @@ fn main() {
         line.push(b'\n');
     }
 
+    let bad_lines = get(&flags, "bad-lines", 0_usize);
+    let rotate_every = get(&flags, "rotate-every", 0_usize);
+    if let Some(mirror) = flags.get("mirror") {
+        // The clean, complete trace — what `qni stream` replays when the
+        // live file is polluted or rotated.
+        let clean: Vec<u8> = task_lines.iter().flatten().copied().collect();
+        std::fs::write(mirror, &clean).expect("write --mirror");
+        println!("wrote clean mirror ({} bytes) to {mirror}", clean.len());
+    }
+
     let num_queues = mus.len() + 1;
     println!(
         "appending {} tasks ({} events, {num_queues} queues) to {out}: \
-         {chunk_tasks} task(s)/chunk, {sleep_ms} ms between chunks",
+         {chunk_tasks} task(s)/chunk, {sleep_ms} ms between chunks, \
+         {bad_lines} bad line(s), rotate every {rotate_every} chunk(s)",
         task_lines.len(),
         records.len()
     );
@@ -100,7 +125,8 @@ fn main() {
         .append(true)
         .open(out)
         .expect("open --out for append");
-    for chunk in task_lines.chunks(chunk_tasks) {
+    let mut injected_bad = 0usize;
+    for (i, chunk) in task_lines.chunks(chunk_tasks).enumerate() {
         let bytes: Vec<u8> = chunk.iter().flatten().copied().collect();
         // Flush in two halves, deliberately splitting a JSON line across
         // writes, so the watcher must reassemble partial lines.
@@ -109,8 +135,20 @@ fn main() {
         file.flush().expect("flush");
         std::thread::sleep(std::time::Duration::from_millis(1));
         file.write_all(&bytes[mid..]).expect("append chunk");
+        if injected_bad < bad_lines {
+            // A malformed line between complete tasks: valid UTF-8,
+            // broken JSON — the quarantine path, not the assembler's.
+            let junk = format!("{{\"corrupt\": {injected_bad}\n");
+            file.write_all(junk.as_bytes()).expect("append bad line");
+            injected_bad += 1;
+        }
         file.flush().expect("flush");
         std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+        if rotate_every > 0 && (i + 1) % rotate_every == 0 {
+            // Copytruncate rotation, after the sleep so a paced watcher
+            // has consumed everything written so far.
+            std::fs::File::create(out).expect("rotate --out");
+        }
     }
-    println!("done: trace complete at {out}");
+    println!("done: trace complete at {out} ({injected_bad} bad line(s) injected)");
 }

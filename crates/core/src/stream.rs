@@ -93,11 +93,14 @@ use crate::chains::{run_stem_parallel_warm, ParallelStemOptions};
 use crate::error::InferenceError;
 use crate::init::WarmTimes;
 use crate::stem::StemOptions;
-use qni_model::log::EventLog;
+use qni_model::ids::{QueueId, StateId, TaskId};
+use qni_model::log::{EventLog, EventLogBuilder};
 use qni_stats::rng::split_seed;
-use qni_trace::window::{occupancy_carry, slice_windows, WindowSchedule, WindowedLog};
+use qni_trace::window::{
+    occupancy_carry, slice_windows, WindowSchedule, WindowState, WindowTaskState, WindowedLog,
+};
 use qni_trace::MaskedLog;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A monotonic-seconds source for per-window timing. `qni-core` itself
 /// never reads the wall clock (the byte-reproducibility contract is
@@ -633,6 +636,234 @@ impl StreamEngine {
             windows: self.windows.clone(),
         }
     }
+
+    /// Captures the engine's full resume state — every emitted estimate
+    /// plus the carried previous window (its log, chain-0 final Gibbs
+    /// log, and pooled/reported rates), all floats bit-encoded. A
+    /// restored engine's subsequent pushes are bit-identical because
+    /// window `w` seeds from `split_seed(master_seed, w)` — no RNG
+    /// state crosses windows, only the data captured here.
+    pub fn state(&self) -> EngineState {
+        EngineState {
+            windows: self
+                .windows
+                .iter()
+                .map(WindowEstimateState::from_estimate)
+                .collect(),
+            prev: self.prev.as_ref().map(|p| PrevWindowState {
+                window: p.window.to_state(),
+                final_log: FinalLogState::from_log(&p.final_log),
+                pooled_bits: p.pooled.iter().map(|v| v.to_bits()).collect(),
+                reported_bits: p.reported.iter().map(|v| v.to_bits()).collect(),
+            }),
+        }
+    }
+
+    /// Rebuilds the engine an [`EngineState`] was captured from.
+    /// `schedule`, `num_queues`, and `opts` must match the original
+    /// run's (the checkpoint layer's options fingerprint enforces
+    /// this); the next [`StreamEngine::push_window`] then continues the
+    /// stream bit-identically.
+    pub fn restore(
+        schedule: WindowSchedule,
+        num_queues: usize,
+        opts: StreamOptions,
+        state: &EngineState,
+    ) -> Result<Self, InferenceError> {
+        let mut engine = StreamEngine::new(schedule, num_queues, opts)?;
+        engine.windows = state
+            .windows
+            .iter()
+            .map(WindowEstimateState::to_estimate)
+            .collect();
+        engine.prev = match &state.prev {
+            Some(p) => Some(PrevWindow {
+                window: WindowedLog::from_state(&p.window)?,
+                final_log: p.final_log.to_log()?,
+                pooled: p.pooled_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                reported: p.reported_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            }),
+            None => None,
+        };
+        Ok(engine)
+    }
+}
+
+/// Bit-exact serializable form of one [`WindowEstimate`]: every float
+/// is stored as `f64::to_bits` so NaN diagnostics (carried windows) and
+/// signed zeros survive JSON round-trips unperturbed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowEstimateState {
+    /// Window index in the schedule.
+    pub index: u64,
+    /// Window start, bit-encoded.
+    pub start_bits: u64,
+    /// Window end, bit-encoded.
+    pub end_bits: u64,
+    /// Tasks owned by the window.
+    pub tasks: u64,
+    /// Events in the window's log.
+    pub events: u64,
+    /// Injected occupancy-carry tasks.
+    pub carry_tasks: u64,
+    /// Free (resampled) variables.
+    pub free_variables: u64,
+    /// Whether the window was warm-started.
+    pub warm_started: bool,
+    /// Whether the estimate was carried from the previous window.
+    pub carried: bool,
+    /// Per-queue rates, bit-encoded.
+    pub rates_bits: Vec<u64>,
+    /// Per-queue mean service times, bit-encoded.
+    pub mean_service_bits: Vec<u64>,
+    /// Per-queue split-R̂, bit-encoded.
+    pub split_rhat_bits: Vec<u64>,
+    /// Per-queue pooled ESS, bit-encoded.
+    pub ess_bits: Vec<u64>,
+    /// Wall seconds spent on the window, bit-encoded (preserved so a
+    /// resumed run's CSV keeps the pre-crash timings).
+    pub wall_secs_bits: u64,
+}
+
+impl WindowEstimateState {
+    fn from_estimate(w: &WindowEstimate) -> Self {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect();
+        WindowEstimateState {
+            index: w.index as u64,
+            start_bits: w.start.to_bits(),
+            end_bits: w.end.to_bits(),
+            tasks: w.tasks as u64,
+            events: w.events as u64,
+            carry_tasks: w.carry_tasks as u64,
+            free_variables: w.free_variables as u64,
+            warm_started: w.warm_started,
+            carried: w.carried,
+            rates_bits: bits(&w.rates),
+            mean_service_bits: bits(&w.mean_service),
+            split_rhat_bits: bits(&w.split_rhat),
+            ess_bits: bits(&w.ess),
+            wall_secs_bits: w.wall_secs.to_bits(),
+        }
+    }
+
+    fn to_estimate(&self) -> WindowEstimate {
+        let floats = |v: &[u64]| v.iter().map(|&b| f64::from_bits(b)).collect();
+        WindowEstimate {
+            index: self.index as usize,
+            start: f64::from_bits(self.start_bits),
+            end: f64::from_bits(self.end_bits),
+            tasks: self.tasks as usize,
+            events: self.events as usize,
+            carry_tasks: self.carry_tasks as usize,
+            free_variables: self.free_variables as usize,
+            warm_started: self.warm_started,
+            carried: self.carried,
+            rates: floats(&self.rates_bits),
+            mean_service: floats(&self.mean_service_bits),
+            split_rhat: floats(&self.split_rhat_bits),
+            ess: floats(&self.ess_bits),
+            wall_secs: f64::from_bits(self.wall_secs_bits),
+        }
+    }
+}
+
+/// Serializable form of a carried final Gibbs [`EventLog`]: exactly the
+/// `EventLogBuilder` inputs that reproduce it (the same scheme as
+/// [`WindowState`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FinalLogState {
+    /// Queue count including q0.
+    pub num_queues: u64,
+    /// FSM state of the synthesized initial q0 events.
+    pub initial_state: u32,
+    /// Per-task builder inputs, in log task order.
+    pub tasks: Vec<WindowTaskState>,
+}
+
+impl FinalLogState {
+    fn from_log(log: &EventLog) -> Self {
+        let initial_state = log
+            .task_events(TaskId::from_index(0))
+            .first()
+            .map_or(0, |&e| log.state_of(e).index() as u32);
+        let mut tasks = Vec::with_capacity(log.num_tasks());
+        for k in 0..log.num_tasks() {
+            let k = TaskId::from_index(k);
+            let events = log.task_events(k);
+            let visits: Vec<_> = events[1..]
+                .iter()
+                .map(|&e| {
+                    (
+                        log.state_of(e).index() as u32,
+                        log.queue_of(e).index() as u32,
+                        log.arrival(e).to_bits(),
+                        log.departure(e).to_bits(),
+                    )
+                })
+                .collect();
+            tasks.push(WindowTaskState {
+                entry_bits: log.task_entry(k).to_bits(),
+                visits,
+            });
+        }
+        FinalLogState {
+            num_queues: log.num_queues() as u64,
+            initial_state,
+            tasks,
+        }
+    }
+
+    fn to_log(&self) -> Result<EventLog, InferenceError> {
+        let mut builder = EventLogBuilder::new(
+            self.num_queues as usize,
+            StateId::from_index(self.initial_state as usize),
+        );
+        for t in &self.tasks {
+            let visits: Vec<_> = t
+                .visits
+                .iter()
+                .map(|&(s, q, a, d)| {
+                    (
+                        StateId::from_index(s as usize),
+                        QueueId::from_index(q as usize),
+                        f64::from_bits(a),
+                        f64::from_bits(d),
+                    )
+                })
+                .collect();
+            builder
+                .add_task(f64::from_bits(t.entry_bits), &visits)
+                .map_err(InferenceError::Model)?;
+        }
+        builder.build().map_err(InferenceError::Model)
+    }
+}
+
+/// Serializable form of the engine's carried previous-window state
+/// (`PrevWindow`: the fitted window, its final Gibbs log, and the
+/// pooled/reported rates that seed the next warm start).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrevWindowState {
+    /// The fitted window, carry tasks included.
+    pub window: WindowState,
+    /// Chain 0's final imputed Gibbs log on that window.
+    pub final_log: FinalLogState,
+    /// Uncorrected pooled rates, bit-encoded.
+    pub pooled_bits: Vec<u64>,
+    /// λ̂-corrected reported rates, bit-encoded.
+    pub reported_bits: Vec<u64>,
+}
+
+/// The full serializable resume state of a [`StreamEngine`] (see
+/// [`StreamEngine::state`]). Schedule, queue count, and options are
+/// *not* embedded — the checkpoint layer fingerprints them and rejects
+/// mismatched resumes wholesale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Every emitted window estimate, in window order.
+    pub windows: Vec<WindowEstimateState>,
+    /// The carried previous window, if any window has been fitted.
+    pub prev: Option<PrevWindowState>,
 }
 
 /// Runs streaming StEM over `masked` under the window `schedule` by
@@ -855,6 +1086,49 @@ mod tests {
         // is a genuinely different (still reproducible) estimator.
         let full = run_stream(&masked, &schedule, &StreamOptions::quick_test()).unwrap();
         assert_ne!(a.fingerprint(), full.fingerprint());
+    }
+
+    /// Checkpointing the engine after any number of pushed windows,
+    /// JSON round-tripping the state, and restoring yields an engine
+    /// whose remaining pushes produce a trajectory bit-identical to an
+    /// uninterrupted run — the core resume guarantee, swept over every
+    /// window boundary.
+    #[test]
+    fn engine_state_resumes_bit_identically_at_every_boundary() {
+        let masked = piecewise_masked(8);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let opts = StreamOptions::quick_test();
+        let replay = run_stream(&masked, &schedule, &opts).unwrap();
+        let num_windows = replay.windows.len();
+        for cut in 0..=num_windows {
+            let mut first = StreamEngine::new(schedule, 2, opts.clone()).unwrap();
+            for window in slice_windows(&masked, &schedule)
+                .unwrap()
+                .into_iter()
+                .take(cut)
+            {
+                first.push_window(window).unwrap();
+            }
+            let state = first.state();
+            let json = serde_json::to_string(&state).unwrap();
+            let back: EngineState = serde_json::from_str(&json).unwrap();
+            assert_eq!(state, back, "cut {cut}: JSON round-trip");
+            let mut resumed = StreamEngine::restore(schedule, 2, opts.clone(), &back).unwrap();
+            assert_eq!(resumed.num_windows(), cut);
+            for window in slice_windows(&masked, &schedule)
+                .unwrap()
+                .into_iter()
+                .skip(cut)
+            {
+                resumed.push_window(window).unwrap();
+            }
+            let traj = resumed.into_trajectory();
+            assert_eq!(
+                traj.fingerprint(),
+                replay.fingerprint(),
+                "cut {cut}: trajectory diverged after resume"
+            );
+        }
     }
 
     #[test]

@@ -29,9 +29,11 @@
 //! bytes), which is how the CLI's `--idle-polls` bounds a soak run.
 
 use crate::error::InferenceError;
-use crate::stream::{RateTrajectory, StreamEngine, StreamOptions, WindowEstimate};
-use qni_trace::tail::TailReader;
-use qni_trace::window::{LiveSlicer, WindowSchedule};
+use crate::init::InitStrategy;
+use crate::stream::{EngineState, RateTrajectory, StreamEngine, StreamOptions, WindowEstimate};
+use qni_trace::tail::{TailOptions, TailReader, TailSnapshot, TailStats};
+use qni_trace::window::{LiveSlicer, SlicerState, WindowSchedule};
+use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -41,6 +43,7 @@ pub struct WatchSession {
     tail: TailReader,
     slicer: LiveSlicer,
     engine: StreamEngine,
+    options_fingerprint: u64,
     records_seen: usize,
     peak_open_spans: usize,
     peak_buffered_tasks: usize,
@@ -71,6 +74,124 @@ pub struct StepReport {
     pub buffered_tasks: usize,
     /// Byte offset consumed from the tailed file.
     pub offset: u64,
+    /// Malformed lines quarantined so far (see
+    /// [`TailOptions::max_bad_lines`]).
+    pub bad_lines: u64,
+    /// File rotations followed so far (see
+    /// [`qni_trace::tail::RotationPolicy::Follow`]).
+    pub rotations: u64,
+}
+
+/// Checkpoint format version; bumped whenever the serialized layout
+/// changes incompatibly.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A crash-consistent snapshot of a whole [`WatchSession`]: the tail
+/// position (offset + held partial line), the slicer's buffered tasks,
+/// and the stream engine's carried state. Every float inside is
+/// bit-encoded, so a resumed session continues the stream with a final
+/// [`RateTrajectory::fingerprint_digest`] byte-identical to an
+/// uninterrupted run's.
+///
+/// The checkpoint does *not* embed the schedule or options; instead it
+/// records a fingerprint of every byte-affecting knob
+/// ([`options_fingerprint`]) and [`WatchSession::resume`] rejects a
+/// resume under a different configuration — silently continuing with
+/// changed options would break the byte-identity contract undetectably.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Fingerprint of the byte-affecting configuration the checkpoint
+    /// was written under.
+    pub options_fingerprint: u64,
+    /// Tail reader position and counters.
+    pub tail: TailSnapshot,
+    /// Live slicer buffers.
+    pub slicer: SlicerState,
+    /// Stream engine estimates and carried window.
+    pub engine: EngineState,
+    /// Total records ingested.
+    pub records_seen: u64,
+    /// Peak open-span count so far.
+    pub peak_open_spans: u64,
+    /// Peak buffered-task count so far.
+    pub peak_buffered_tasks: u64,
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp` in
+    /// the same directory, then rename over `path`. A crash mid-write
+    /// leaves the previous checkpoint intact — the resume path never
+    /// sees a torn file.
+    pub fn save_atomic<P: AsRef<Path>>(&self, path: P) -> Result<(), InferenceError> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self)
+            .map_err(|e| InferenceError::Trace(qni_trace::TraceError::Serde(e)))?;
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json.as_bytes())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| InferenceError::Trace(qni_trace::TraceError::Io(e)))
+    }
+
+    /// Loads a checkpoint previously written by
+    /// [`Checkpoint::save_atomic`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, InferenceError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| InferenceError::Trace(qni_trace::TraceError::Io(e)))?;
+        serde_json::from_str(&json)
+            .map_err(|e| InferenceError::Trace(qni_trace::TraceError::Serde(e)))
+    }
+}
+
+/// Fingerprints every configuration knob that affects the stream's
+/// bytes: the schedule, queue count, StEM budgets and strategies, chain
+/// count, master seed, and warm-start/occupancy settings. Deliberately
+/// *excluded* are the byte-neutral execution knobs — shard mode, thread
+/// budget, and the injected clock — so a checkpoint written on an
+/// 8-core box resumes on a 2-core one.
+pub fn options_fingerprint(
+    schedule: &WindowSchedule,
+    num_queues: usize,
+    opts: &StreamOptions,
+) -> u64 {
+    let init_words = match opts.stem.init {
+        InitStrategy::LongestPath { use_targets } => [0u64, u64::from(use_targets)],
+        InitStrategy::Lp => [1u64, 0],
+    };
+    let batch_word = match opts.stem.batch {
+        crate::gibbs::sweep::BatchMode::Grouped => 0u64,
+        crate::gibbs::sweep::BatchMode::Scalar => 1,
+    };
+    let words = [
+        u64::from(CHECKPOINT_VERSION),
+        schedule.width().to_bits(),
+        schedule.stride().to_bits(),
+        num_queues as u64,
+        opts.stem.iterations as u64,
+        opts.stem.burn_in as u64,
+        opts.stem.waiting_sweeps as u64,
+        init_words[0],
+        init_words[1],
+        u64::from(opts.stem.shift_moves),
+        batch_word,
+        opts.chains as u64,
+        opts.master_seed,
+        u64::from(opts.warm_start),
+        u64::from(opts.warm_burn_in.is_some()),
+        opts.warm_burn_in.unwrap_or(0) as u64,
+        u64::from(opts.occupancy_carry),
+    ];
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl WatchSession {
@@ -84,14 +205,85 @@ impl WatchSession {
         num_queues: usize,
         opts: StreamOptions,
     ) -> Result<Self, InferenceError> {
+        Self::with_tail_options(path, schedule, num_queues, opts, TailOptions::default())
+    }
+
+    /// Like [`WatchSession::new`] with explicit tail behavior: rotation
+    /// policy, transient-error retry, and the malformed-line quarantine
+    /// budget.
+    pub fn with_tail_options<P: AsRef<Path>>(
+        path: P,
+        schedule: WindowSchedule,
+        num_queues: usize,
+        opts: StreamOptions,
+        tail: TailOptions,
+    ) -> Result<Self, InferenceError> {
+        let options_fingerprint = options_fingerprint(&schedule, num_queues, &opts);
         Ok(WatchSession {
-            tail: TailReader::new(path),
+            tail: TailReader::with_options(path, tail),
             slicer: LiveSlicer::new(schedule, num_queues)?,
             engine: StreamEngine::new(schedule, num_queues, opts)?,
+            options_fingerprint,
             records_seen: 0,
             peak_open_spans: 0,
             peak_buffered_tasks: 0,
         })
+    }
+
+    /// Reopens a session from a [`Checkpoint`], positioned to continue
+    /// the stream bit-identically. `schedule`, `num_queues`, and `opts`
+    /// must fingerprint to the checkpoint's recorded configuration;
+    /// mismatches are rejected (resuming under different options would
+    /// silently break the byte-identity contract).
+    pub fn resume<P: AsRef<Path>>(
+        path: P,
+        schedule: WindowSchedule,
+        num_queues: usize,
+        opts: StreamOptions,
+        tail: TailOptions,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, InferenceError> {
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(InferenceError::BadOptions {
+                what: "checkpoint format version is not supported by this build",
+            });
+        }
+        let options_fingerprint = options_fingerprint(&schedule, num_queues, &opts);
+        if checkpoint.options_fingerprint != options_fingerprint {
+            return Err(InferenceError::BadOptions {
+                what: "checkpoint was written under a different schedule/options \
+                       configuration; resuming would break byte-identity",
+            });
+        }
+        Ok(WatchSession {
+            tail: TailReader::restore(path, &checkpoint.tail, tail),
+            slicer: LiveSlicer::restore(schedule, num_queues, &checkpoint.slicer)?,
+            engine: StreamEngine::restore(schedule, num_queues, opts, &checkpoint.engine)?,
+            options_fingerprint,
+            records_seen: checkpoint.records_seen as usize,
+            peak_open_spans: checkpoint.peak_open_spans as usize,
+            peak_buffered_tasks: checkpoint.peak_buffered_tasks as usize,
+        })
+    }
+
+    /// Captures the session's full resume state (see [`Checkpoint`]).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            options_fingerprint: self.options_fingerprint,
+            tail: self.tail.snapshot(),
+            slicer: self.slicer.snapshot(),
+            engine: self.engine.state(),
+            records_seen: self.records_seen as u64,
+            peak_open_spans: self.peak_open_spans as u64,
+            peak_buffered_tasks: self.peak_buffered_tasks as u64,
+        }
+    }
+
+    /// Tail-side fault counters: quarantined lines, followed rotations,
+    /// transient-error retries.
+    pub fn tail_stats(&self) -> TailStats {
+        self.tail.stats()
     }
 
     /// One poll: ingest appended records, fit every window they close.
@@ -114,6 +306,7 @@ impl WatchSession {
     fn report(&self, new_records: usize, windows_closed: usize) -> StepReport {
         let watermark = self.slicer.watermark();
         let last_closed_end = self.slicer.last_closed_end();
+        let stats = self.tail.stats();
         StepReport {
             new_records,
             windows_closed,
@@ -124,6 +317,8 @@ impl WatchSession {
             open_spans: self.slicer.open_spans(),
             buffered_tasks: self.slicer.buffered_tasks(),
             offset: self.tail.offset(),
+            bad_lines: stats.bad_lines,
+            rotations: stats.rotations,
         }
     }
 
@@ -339,6 +534,110 @@ mod tests {
         let steps = run_watch(&mut session, &stop, None, || (), |_, _| ()).unwrap();
         assert_eq!(steps, 0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The tentpole resume pin at the library level: checkpoint the
+    /// session mid-stream (with a partial line held in the tail and
+    /// windows already fitted), round-trip the checkpoint through its
+    /// on-disk JSON form, resume a *fresh* session from it, and the
+    /// final trajectory is byte-identical to an uninterrupted replay.
+    #[test]
+    fn checkpoint_resume_mid_stream_matches_replay() {
+        let masked = piecewise_masked(24);
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let opts = StreamOptions::quick_test();
+        let replay = run_stream(&masked, &schedule, &opts).unwrap();
+        let nq = masked.ground_truth().num_queues();
+
+        let mut bytes = Vec::new();
+        write_jsonl(&masked, &mut bytes).unwrap();
+        let path = tmp_path("resume");
+        let cp_path = tmp_path("resume-cp");
+        let _ = std::fs::remove_file(&path);
+        let mut session = WatchSession::new(&path, schedule, nq, opts.clone()).unwrap();
+        // First half plus a torn fragment of the next line: the
+        // checkpoint must carry the held partial line.
+        let n = bytes.len();
+        let cut = n / 2 + 7;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let report = session.step().unwrap();
+        assert!(report.total_windows > 0, "no window fitted before the cut");
+        session.checkpoint().save_atomic(&cp_path).unwrap();
+        let loaded = Checkpoint::load(&cp_path).unwrap();
+        assert_eq!(loaded, session.checkpoint());
+        drop(session); // the "crash"
+
+        let mut resumed = WatchSession::resume(
+            &path,
+            schedule,
+            nq,
+            opts.clone(),
+            TailOptions::default(),
+            &loaded,
+        )
+        .unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&bytes[cut..]).unwrap();
+        f.flush().unwrap();
+        resumed.step().unwrap();
+        let live = resumed.finish().unwrap();
+        assert_eq!(live.fingerprint(), replay.fingerprint());
+        assert_eq!(live.fingerprint_digest(), replay.fingerprint_digest());
+
+        // A resume under different byte-affecting options is rejected.
+        let other = StreamOptions {
+            master_seed: 99,
+            ..opts.clone()
+        };
+        assert!(matches!(
+            WatchSession::resume(&path, schedule, nq, other, TailOptions::default(), &loaded),
+            Err(InferenceError::BadOptions { .. })
+        ));
+        let wrong_version = Checkpoint {
+            version: CHECKPOINT_VERSION + 1,
+            ..loaded.clone()
+        };
+        assert!(WatchSession::resume(
+            &path,
+            schedule,
+            nq,
+            opts,
+            TailOptions::default(),
+            &wrong_version
+        )
+        .is_err());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&cp_path).unwrap();
+    }
+
+    /// Byte-neutral execution knobs (shard mode, thread budget, clock)
+    /// are excluded from the options fingerprint: a checkpoint written
+    /// on one machine shape resumes on another.
+    #[test]
+    fn options_fingerprint_ignores_byte_neutral_knobs() {
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let base = StreamOptions::quick_test();
+        let a = options_fingerprint(&schedule, 2, &base);
+        let sharded = StreamOptions {
+            thread_budget: Some(4),
+            stem: crate::stem::StemOptions {
+                shard: crate::gibbs::shard::ShardMode::Sharded(4),
+                ..base.stem.clone()
+            },
+            ..base.clone()
+        };
+        assert_eq!(a, options_fingerprint(&schedule, 2, &sharded));
+        let reseeded = StreamOptions {
+            master_seed: 1,
+            ..base.clone()
+        };
+        assert_ne!(a, options_fingerprint(&schedule, 2, &reseeded));
+        assert_ne!(a, options_fingerprint(&schedule, 3, &base));
+        let other_schedule = WindowSchedule::new(20.0, 5.0).unwrap();
+        assert_ne!(a, options_fingerprint(&other_schedule, 2, &base));
     }
 
     /// Records arriving one at a time (the pathological slow writer)

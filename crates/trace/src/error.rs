@@ -47,6 +47,33 @@ pub enum TraceError {
         /// What was out of order.
         what: &'static str,
     },
+    /// A trace line failed UTF-8 validation or JSON parsing, located
+    /// precisely in its source so quarantine reports and hard failures
+    /// name the exact offending input.
+    BadLine {
+        /// Source of the line (file path, or a synthetic label for
+        /// in-memory streams).
+        path: String,
+        /// 1-based line number within the source.
+        line: u64,
+        /// Byte offset of the line's first byte. Best-effort after a
+        /// followed rotation: a line straddling the rotation reports
+        /// offset 0 of the new file.
+        offset: u64,
+        /// The underlying parse failure.
+        message: String,
+    },
+    /// An I/O failure while tailing a file, with the reader's position
+    /// for context (the plain [`TraceError::Io`] stays for path-less
+    /// stream I/O).
+    IoAt {
+        /// The tailed file.
+        path: String,
+        /// The reader's byte offset when the operation failed.
+        offset: u64,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -75,6 +102,27 @@ impl fmt::Display for TraceError {
             }
             TraceError::OutOfOrder { what } => {
                 write!(f, "live trace violates append order: {what}")
+            }
+            TraceError::BadLine {
+                path,
+                line,
+                offset,
+                message,
+            } => {
+                write!(
+                    f,
+                    "bad trace line {line} (byte offset {offset}) in {path}: {message}"
+                )
+            }
+            TraceError::IoAt {
+                path,
+                offset,
+                source,
+            } => {
+                write!(
+                    f,
+                    "I/O error tailing {path} at byte offset {offset}: {source}"
+                )
             }
         }
     }
@@ -109,5 +157,29 @@ mod tests {
         }
         .to_string()
         .contains('4'));
+    }
+
+    #[test]
+    fn display_locates_bad_lines_and_io_failures() {
+        let e = TraceError::BadLine {
+            path: "/tmp/trace.jsonl".to_string(),
+            line: 17,
+            offset: 4321,
+            message: "expected value".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 17"));
+        assert!(s.contains("4321"));
+        assert!(s.contains("/tmp/trace.jsonl"));
+        assert!(s.contains("expected value"));
+
+        let e = TraceError::IoAt {
+            path: "/tmp/trace.jsonl".to_string(),
+            offset: 99,
+            source: std::io::Error::new(std::io::ErrorKind::Interrupted, "blip"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("offset 99"));
+        assert!(s.contains("blip"));
     }
 }

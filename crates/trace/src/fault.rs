@@ -1,0 +1,313 @@
+//! Deterministic fault injection for the live-tail path.
+//!
+//! Crash-safety claims are only as good as the faults they were tested
+//! against, and nondeterministic fault tests rot into flakes. This
+//! module makes every fault reproducible from a `u64` seed:
+//!
+//! - [`FaultPlan`] + [`FaultSource`] inject transient I/O errors into a
+//!   [`TailSource`] at planned operation indices — the read side
+//!   (exercises [`crate::tail::RetryPolicy`]).
+//! - [`WriteOp`] scripts ([`torn_write_script`]) replay a byte stream
+//!   as torn appends cut at seeded byte offsets, with optional
+//!   copytruncate rotations between them — the write side (exercises
+//!   partial-line reassembly and [`crate::tail::RotationPolicy::Follow`]).
+//!
+//! A test interleaves [`apply_write_op`] with reader polls and asserts
+//! the reassembled records equal the one-shot parse; a soak loops the
+//! same script around process kills and checkpoint resumes. Both sides
+//! are pure functions of their seeds, so a failing case replays
+//! exactly.
+
+use crate::error::TraceError;
+use crate::tail::TailSource;
+use qni_stats::rng::rng_from_seed;
+use rand::RngCore;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+
+/// A deterministic schedule of transient-failure injection points,
+/// counted in [`TailSource`] operations (1-based: the n-th `size` or
+/// `read_from` call).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    failing: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that never fails.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails exactly the given operation indices (1-based).
+    pub fn fail_ops(ops: &[u64]) -> Self {
+        FaultPlan {
+            failing: ops.iter().copied().collect(),
+        }
+    }
+
+    /// Seeds a plan over the first `horizon` operations, each failing
+    /// independently with probability `rate`.
+    pub fn seeded(seed: u64, horizon: u64, rate: f64) -> Result<Self, TraceError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(TraceError::BadFraction { value: rate });
+        }
+        let mut rng = rng_from_seed(seed);
+        let mut failing = BTreeSet::new();
+        for op in 1..=horizon {
+            // 53-bit uniform in [0, 1).
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < rate {
+                failing.insert(op);
+            }
+        }
+        Ok(FaultPlan { failing })
+    }
+
+    /// Whether operation `op` (1-based) is planned to fail.
+    pub fn fails(&self, op: u64) -> bool {
+        self.failing.contains(&op)
+    }
+
+    /// Number of planned failures.
+    pub fn num_faults(&self) -> usize {
+        self.failing.len()
+    }
+}
+
+/// A [`TailSource`] decorator that injects transient
+/// [`std::io::ErrorKind::Interrupted`] errors per a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultSource<S: TailSource> {
+    inner: S,
+    plan: FaultPlan,
+    op: u64,
+}
+
+impl<S: TailSource> FaultSource<S> {
+    /// Wraps `inner`, failing the operations `plan` names.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultSource { inner, plan, op: 0 }
+    }
+
+    /// Operations attempted so far (including injected failures).
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    fn trip(&mut self) -> std::io::Result<()> {
+        self.op += 1;
+        if self.plan.fails(self.op) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected transient fault at op {}", self.op),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<S: TailSource> TailSource for FaultSource<S> {
+    fn size(&mut self) -> std::io::Result<Option<u64>> {
+        self.trip()?;
+        self.inner.size()
+    }
+
+    fn read_from(&mut self, offset: u64, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        self.trip()?;
+        self.inner.read_from(offset, buf)
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+/// One step of a scripted writer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Append these bytes to the file.
+    Append(Vec<u8>),
+    /// Copytruncate rotation: truncate the file to zero length; the
+    /// logical stream continues with the next append.
+    Rotate,
+}
+
+/// Splits `bytes` into a seeded sequence of torn appends — chunk sizes
+/// uniform in `1..2*mean_chunk`, so cuts land at arbitrary byte
+/// offsets, including mid-line and mid-UTF-8 — with `rotations`
+/// copytruncate rotations inserted at seeded chunk boundaries. The
+/// concatenation of all [`WriteOp::Append`] payloads is exactly
+/// `bytes`, so a reader that follows the script (polling between ops)
+/// must reassemble the one-shot parse.
+pub fn torn_write_script(
+    bytes: &[u8],
+    seed: u64,
+    mean_chunk: usize,
+    rotations: usize,
+) -> Result<Vec<WriteOp>, TraceError> {
+    if mean_chunk == 0 {
+        return Err(TraceError::BadSchedule {
+            what: "torn-write mean chunk must be >= 1",
+        });
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut chunks: Vec<Vec<u8>> = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let span = 1 + (rng.next_u64() as usize) % (2 * mean_chunk - 1).max(1);
+        let end = (pos + span).min(bytes.len());
+        chunks.push(bytes[pos..end].to_vec());
+        pos = end;
+    }
+    let n = chunks.len();
+    let mut rotate_after: BTreeSet<usize> = BTreeSet::new();
+    let want = rotations.min(n.saturating_sub(1));
+    // Rotating after the last chunk would be invisible; draw boundaries
+    // among the first n-1. Bounded rejection sampling stays
+    // deterministic for a fixed seed.
+    while rotate_after.len() < want {
+        rotate_after.insert((rng.next_u64() as usize) % (n - 1));
+    }
+    let mut ops = Vec::new();
+    for (i, c) in chunks.into_iter().enumerate() {
+        ops.push(WriteOp::Append(c));
+        if rotate_after.contains(&i) {
+            ops.push(WriteOp::Rotate);
+        }
+    }
+    Ok(ops)
+}
+
+/// Applies one scripted write to a real file: [`WriteOp::Append`] opens
+/// in append mode (creating the file), [`WriteOp::Rotate`] truncates it
+/// to zero length in place.
+pub fn apply_write_op<P: AsRef<Path>>(path: P, op: &WriteOp) -> std::io::Result<()> {
+    match op {
+        WriteOp::Append(bytes) => {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            f.write_all(bytes)?;
+            f.flush()
+        }
+        WriteOp::Rotate => {
+            std::fs::File::create(path)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::ObservationScheme;
+    use crate::record::{to_records, write_jsonl, TraceRecord};
+    use crate::tail::{FsSource, RetryPolicy, RotationPolicy, TailOptions, TailReader};
+    use qni_model::topology::tandem;
+    use qni_sim::{Simulator, Workload};
+    use std::path::PathBuf;
+
+    fn sample(n: usize, seed: u64) -> (Vec<TraceRecord>, Vec<u8>) {
+        let bp = tandem(2.0, &[6.0, 8.0]).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let truth = Simulator::new(&bp.network)
+            .run(&Workload::poisson_n(2.0, n).unwrap(), &mut rng)
+            .unwrap();
+        let masked = ObservationScheme::task_sampling(0.5)
+            .unwrap()
+            .apply(truth, &mut rng)
+            .unwrap();
+        let records = to_records(masked.ground_truth(), masked.mask());
+        let mut bytes = Vec::new();
+        write_jsonl(&masked, &mut bytes).unwrap();
+        (records, bytes)
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("qni-fault-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_respect_the_rate() {
+        let a = FaultPlan::seeded(11, 1000, 0.2).unwrap();
+        let b = FaultPlan::seeded(11, 1000, 0.2).unwrap();
+        for op in 1..=1000 {
+            assert_eq!(a.fails(op), b.fails(op));
+        }
+        assert!(a.num_faults() > 100 && a.num_faults() < 320);
+        assert!(FaultPlan::seeded(1, 10, 1.5).is_err());
+        assert_eq!(FaultPlan::none().num_faults(), 0);
+    }
+
+    /// Injected transient faults at every planned point are absorbed by
+    /// the retry policy without perturbing the record stream.
+    #[test]
+    fn injected_faults_are_invisible_under_retry() {
+        let (records, bytes) = sample(8, 31);
+        let path = tmp_path("retry");
+        std::fs::write(&path, &bytes).unwrap();
+        let plan = FaultPlan::seeded(7, 64, 0.3).unwrap();
+        assert!(plan.num_faults() > 0);
+        let opts = TailOptions {
+            retry: RetryPolicy {
+                max_attempts: 4,
+                ..RetryPolicy::default()
+            },
+            ..TailOptions::default()
+        };
+        let source = FaultSource::new(FsSource::new(&path), plan);
+        let mut tail = TailReader::from_source(Box::new(source), opts);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            seen.extend(tail.poll().unwrap());
+        }
+        assert_eq!(seen, records);
+        assert!(tail.stats().retries > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A torn-write script (with rotations) replayed against a
+    /// `Follow`-policy reader reassembles exactly the one-shot parse —
+    /// the write-side half of the crash-soak, in-process and seeded.
+    #[test]
+    fn torn_write_script_with_rotations_reassembles() {
+        let (records, bytes) = sample(12, 32);
+        for seed in [1u64, 2, 3] {
+            let ops = torn_write_script(&bytes, seed, 37, 2).unwrap();
+            let appended: usize = ops
+                .iter()
+                .map(|op| match op {
+                    WriteOp::Append(c) => c.len(),
+                    WriteOp::Rotate => 0,
+                })
+                .sum();
+            assert_eq!(appended, bytes.len(), "script preserves the stream");
+            assert_eq!(
+                ops.iter()
+                    .filter(|op| matches!(op, WriteOp::Rotate))
+                    .count(),
+                2
+            );
+            let path = tmp_path(&format!("torn-{seed}"));
+            let _ = std::fs::remove_file(&path);
+            let opts = TailOptions {
+                rotation: RotationPolicy::Follow,
+                ..TailOptions::default()
+            };
+            let mut tail = TailReader::with_options(&path, opts);
+            let mut seen = Vec::new();
+            for op in &ops {
+                apply_write_op(&path, op).unwrap();
+                seen.extend(tail.poll().unwrap());
+            }
+            assert_eq!(seen, records, "seed {seed}");
+            assert_eq!(tail.stats().rotations, 2);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+}

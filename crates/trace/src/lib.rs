@@ -19,7 +19,11 @@
 //!   round-tripping.
 //! - [`tail`]: incremental append/tail-follow reading of a growing JSONL
 //!   trace — partial-line reassembly, byte-offset resume, truncation
-//!   detection.
+//!   detection, opt-in rotation following, transient-error retry, a
+//!   malformed-line quarantine budget, and serializable resume
+//!   snapshots.
+//! - [`fault`]: deterministic (seeded) fault injection for the tail
+//!   path — transient I/O errors, torn writes, forced rotations.
 //! - [`window`]: sliding `(width, stride)` time windows over a masked
 //!   log — the unit of work of the streaming StEM engine, sliced either
 //!   from a complete trace ([`window::slice_windows`]) or incrementally
@@ -29,6 +33,7 @@
 pub mod counter;
 pub mod csv;
 pub mod error;
+pub mod fault;
 pub mod mask;
 pub mod observe;
 pub mod record;
@@ -37,9 +42,13 @@ pub mod volume;
 pub mod window;
 
 pub use error::TraceError;
+pub use fault::{apply_write_op, torn_write_script, FaultPlan, FaultSource, WriteOp};
 pub use mask::{MaskedLog, ObservedMask};
 pub use observe::ObservationScheme;
-pub use tail::{LineAssembler, TailReader};
+pub use tail::{
+    LineAssembler, RetryPolicy, RotationPolicy, TailOptions, TailReader, TailSnapshot, TailStats,
+};
 pub use window::{
-    occupancy_carry, slice_windows, LiveSlicer, OccupancyCarry, WindowSchedule, WindowedLog,
+    occupancy_carry, slice_windows, LiveSlicer, OccupancyCarry, SlicerState, WindowSchedule,
+    WindowState, WindowedLog,
 };

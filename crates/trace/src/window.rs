@@ -58,8 +58,10 @@
 use crate::error::TraceError;
 use crate::mask::{MaskedLog, ObservedMask};
 use crate::record::TraceRecord;
+use qni_model::event::Event;
 use qni_model::ids::{EventId, QueueId, StateId, TaskId};
 use qni_model::log::{EventLog, EventLogBuilder};
+use serde::{Deserialize, Serialize};
 
 /// A `(width, stride)` sliding-window schedule.
 ///
@@ -868,6 +870,347 @@ impl LiveSlicer {
         self.completed.retain(|t| t.observed_entry >= next_start);
         Ok(())
     }
+
+    /// Captures the slicer's full resume state as a serializable
+    /// [`SlicerState`]. Restoring it with [`LiveSlicer::restore`] under
+    /// the same schedule and queue count yields a slicer whose future
+    /// emissions are bit-identical to this one's.
+    pub fn snapshot(&self) -> SlicerState {
+        SlicerState {
+            initial_state: self.initial_state.map(|s| s.index() as u32),
+            completed: self
+                .completed
+                .iter()
+                .map(TaskSliceState::from_slice)
+                .collect(),
+            pending: self.pending.iter().map(RecordState::from_record).collect(),
+            pending_first_event: self.pending_first_event as u64,
+            next_event_id: self.next_event_id as u64,
+            next_task_id: self.next_task_id as u64,
+            last_entry_bits: self.last_entry.to_bits(),
+            max_observed_entry_bits: self.max_observed_entry.to_bits(),
+            next_window: self.next_window as u64,
+            started: self.started,
+        }
+    }
+
+    /// Rebuilds the slicer a [`SlicerState`] snapshot was taken from.
+    /// `schedule` and `num_queues` must match the original (the
+    /// checkpoint layer's options fingerprint enforces this).
+    pub fn restore(
+        schedule: WindowSchedule,
+        num_queues: usize,
+        state: &SlicerState,
+    ) -> Result<Self, TraceError> {
+        let mut slicer = LiveSlicer::new(schedule, num_queues)?;
+        slicer.initial_state = state.initial_state.map(|s| StateId::from_index(s as usize));
+        slicer.completed = state
+            .completed
+            .iter()
+            .map(TaskSliceState::to_slice)
+            .collect();
+        slicer.pending = state.pending.iter().map(RecordState::to_record).collect();
+        slicer.pending_first_event = state.pending_first_event as usize;
+        slicer.next_event_id = state.next_event_id as usize;
+        slicer.next_task_id = state.next_task_id as usize;
+        slicer.last_entry = f64::from_bits(state.last_entry_bits);
+        slicer.max_observed_entry = f64::from_bits(state.max_observed_entry_bits);
+        slicer.next_window = state.next_window as usize;
+        slicer.started = state.started;
+        Ok(slicer)
+    }
+}
+
+/// Serializable form of one buffered task slice. Every time is
+/// bit-encoded as `u64` (`f64::to_bits`) so NaN and signed zero
+/// round-trip exactly through JSON — the checkpoint must not perturb a
+/// single bit of the resume state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSliceState {
+    /// Original-trace task id.
+    pub orig_task: u32,
+    /// Recorded entry time, bit-encoded.
+    pub entry_bits: u64,
+    /// Membership (observed-entry) time, bit-encoded.
+    pub observed_entry_bits: u64,
+    /// `(state, queue, arrival_bits, departure_bits)` per visit.
+    pub visits: Vec<(u32, u32, u64, u64)>,
+    /// `(arrival_observed, departure_observed)` per event.
+    pub flags: Vec<(bool, bool)>,
+    /// Original-trace event ids.
+    pub orig_events: Vec<u32>,
+}
+
+impl TaskSliceState {
+    fn from_slice(t: &TaskSlice) -> Self {
+        TaskSliceState {
+            orig_task: t.orig_task.index() as u32,
+            entry_bits: t.entry.to_bits(),
+            observed_entry_bits: t.observed_entry.to_bits(),
+            visits: t
+                .visits
+                .iter()
+                .map(|&(s, q, a, d)| (s.index() as u32, q.index() as u32, a.to_bits(), d.to_bits()))
+                .collect(),
+            flags: t.flags.clone(),
+            orig_events: t.orig_events.iter().map(|e| e.index() as u32).collect(),
+        }
+    }
+
+    fn to_slice(&self) -> TaskSlice {
+        TaskSlice {
+            orig_task: TaskId::from_index(self.orig_task as usize),
+            entry: f64::from_bits(self.entry_bits),
+            observed_entry: f64::from_bits(self.observed_entry_bits),
+            visits: self
+                .visits
+                .iter()
+                .map(|&(s, q, a, d)| {
+                    (
+                        StateId::from_index(s as usize),
+                        QueueId::from_index(q as usize),
+                        f64::from_bits(a),
+                        f64::from_bits(d),
+                    )
+                })
+                .collect(),
+            flags: self.flags.clone(),
+            orig_events: self
+                .orig_events
+                .iter()
+                .map(|&e| EventId::from_index(e as usize))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable form of one buffered [`TraceRecord`] (the in-progress
+/// task's records), times bit-encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordState {
+    /// Task id.
+    pub task: u32,
+    /// FSM state.
+    pub state: u32,
+    /// Queue id.
+    pub queue: u32,
+    /// Arrival time, bit-encoded.
+    pub arrival_bits: u64,
+    /// Departure time, bit-encoded.
+    pub departure_bits: u64,
+    /// Whether the arrival was measured.
+    pub arrival_observed: bool,
+    /// Whether the departure was measured.
+    pub departure_observed: bool,
+}
+
+impl RecordState {
+    fn from_record(r: &TraceRecord) -> Self {
+        RecordState {
+            task: r.event.task.index() as u32,
+            state: r.event.state.index() as u32,
+            queue: r.event.queue.index() as u32,
+            arrival_bits: r.event.arrival.to_bits(),
+            departure_bits: r.event.departure.to_bits(),
+            arrival_observed: r.arrival_observed,
+            departure_observed: r.departure_observed,
+        }
+    }
+
+    fn to_record(&self) -> TraceRecord {
+        TraceRecord {
+            event: Event {
+                task: TaskId::from_index(self.task as usize),
+                state: StateId::from_index(self.state as usize),
+                queue: QueueId::from_index(self.queue as usize),
+                arrival: f64::from_bits(self.arrival_bits),
+                departure: f64::from_bits(self.departure_bits),
+            },
+            arrival_observed: self.arrival_observed,
+            departure_observed: self.departure_observed,
+        }
+    }
+}
+
+/// The full serializable resume state of a [`LiveSlicer`] (see
+/// [`LiveSlicer::snapshot`]). Schedule and queue count are *not*
+/// embedded — the checkpoint layer fingerprints them together with the
+/// engine options and rejects mismatched resumes wholesale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlicerState {
+    /// FSM state of the first record seen, if any.
+    pub initial_state: Option<u32>,
+    /// Completed-but-unretired task slices, in task-id order.
+    pub completed: Vec<TaskSliceState>,
+    /// Records of the in-progress task.
+    pub pending: Vec<RecordState>,
+    /// Original-trace event id of the pending task's first record.
+    pub pending_first_event: u64,
+    /// Next original-trace event id to assign.
+    pub next_event_id: u64,
+    /// Next original-trace task id to expect.
+    pub next_task_id: u64,
+    /// Recorded entry of the most recent task, bit-encoded.
+    pub last_entry_bits: u64,
+    /// Max observed entry over completed tasks, bit-encoded.
+    pub max_observed_entry_bits: u64,
+    /// Index of the next window to emit.
+    pub next_window: u64,
+    /// Whether any record has been seen.
+    pub started: bool,
+}
+
+/// One task of a [`WindowState`]: the exact `EventLogBuilder` inputs
+/// that reproduce the window's log, times bit-encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowTaskState {
+    /// Window-clock entry time, bit-encoded.
+    pub entry_bits: u64,
+    /// `(state, queue, arrival_bits, departure_bits)` per visit.
+    pub visits: Vec<(u32, u32, u64, u64)>,
+}
+
+/// The full serializable form of a [`WindowedLog`] (see
+/// [`WindowedLog::to_state`]) — used by the streaming engine's
+/// checkpoint to persist its carried previous window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowState {
+    /// Window index in the schedule.
+    pub index: u64,
+    /// Window start (absolute clock), bit-encoded.
+    pub start_bits: u64,
+    /// Window end (absolute clock), bit-encoded.
+    pub end_bits: u64,
+    /// Queue count of the window's log.
+    pub num_queues: u64,
+    /// FSM state for synthesized q0 events.
+    pub initial_state: u32,
+    /// Every task in the window's log, carry tasks included, in log
+    /// task order.
+    pub tasks: Vec<WindowTaskState>,
+    /// `(arrival_observed, departure_observed)` per event in log order.
+    pub flags: Vec<(bool, bool)>,
+    /// Original-trace event ids of the real events.
+    pub orig_events: Vec<u32>,
+    /// Original-trace task ids of the real tasks.
+    pub orig_tasks: Vec<u32>,
+    /// Occupancy carry tasks appended after the real tasks.
+    pub carry_tasks: u64,
+    /// Events belonging to carry tasks.
+    pub carry_events: u64,
+}
+
+impl WindowedLog {
+    /// Captures the window as a serializable [`WindowState`].
+    /// [`WindowedLog::from_state`] rebuilds a bit-identical window: the
+    /// state records exactly the builder inputs the window was
+    /// originally constructed from.
+    pub fn to_state(&self) -> WindowState {
+        let log = self.masked.ground_truth();
+        let mut tasks = Vec::with_capacity(log.num_tasks());
+        for k in 0..log.num_tasks() {
+            let k = TaskId::from_index(k);
+            let events = log.task_events(k);
+            let visits: Vec<_> = events[1..]
+                .iter()
+                .map(|&e| {
+                    (
+                        log.state_of(e).index() as u32,
+                        log.queue_of(e).index() as u32,
+                        log.arrival(e).to_bits(),
+                        log.departure(e).to_bits(),
+                    )
+                })
+                .collect();
+            tasks.push(WindowTaskState {
+                entry_bits: log.task_entry(k).to_bits(),
+                visits,
+            });
+        }
+        let flags: Vec<_> = log
+            .event_ids()
+            .map(|e| {
+                (
+                    self.masked.mask().arrival_observed(e),
+                    self.masked.mask().departure_observed(e),
+                )
+            })
+            .collect();
+        WindowState {
+            index: self.index as u64,
+            start_bits: self.start.to_bits(),
+            end_bits: self.end.to_bits(),
+            num_queues: log.num_queues() as u64,
+            initial_state: initial_state_of(log).index() as u32,
+            tasks,
+            flags,
+            orig_events: self.orig_events.iter().map(|e| e.index() as u32).collect(),
+            orig_tasks: self.orig_tasks.iter().map(|t| t.index() as u32).collect(),
+            carry_tasks: self.carry_tasks as u64,
+            carry_events: self.carry_events as u64,
+        }
+    }
+
+    /// Rebuilds the window a [`WindowState`] was captured from, through
+    /// the same `EventLogBuilder` path as the original construction.
+    pub fn from_state(state: &WindowState) -> Result<WindowedLog, TraceError> {
+        let mut builder = EventLogBuilder::new(
+            state.num_queues as usize,
+            StateId::from_index(state.initial_state as usize),
+        );
+        for t in &state.tasks {
+            let visits: Vec<_> = t
+                .visits
+                .iter()
+                .map(|&(s, q, a, d)| {
+                    (
+                        StateId::from_index(s as usize),
+                        QueueId::from_index(q as usize),
+                        f64::from_bits(a),
+                        f64::from_bits(d),
+                    )
+                })
+                .collect();
+            builder
+                .add_task(f64::from_bits(t.entry_bits), &visits)
+                .map_err(|_| TraceError::ShapeMismatch {
+                    expected: visits.len(),
+                    actual: 0,
+                })?;
+        }
+        let log = builder.build().map_err(|_| TraceError::ShapeMismatch {
+            expected: state.flags.len(),
+            actual: 0,
+        })?;
+        let mut mask = ObservedMask::unobserved(log.num_events());
+        for (i, &(a, d)) in state.flags.iter().enumerate() {
+            let e = EventId::from_index(i);
+            if a {
+                mask.observe_arrival(e);
+            }
+            if d {
+                mask.observe_departure(e);
+            }
+        }
+        Ok(WindowedLog {
+            index: state.index as usize,
+            start: f64::from_bits(state.start_bits),
+            end: f64::from_bits(state.end_bits),
+            masked: MaskedLog::new(log, mask)?,
+            orig_events: state
+                .orig_events
+                .iter()
+                .map(|&e| EventId::from_index(e as usize))
+                .collect(),
+            orig_tasks: state
+                .orig_tasks
+                .iter()
+                .map(|&t| TaskId::from_index(t as usize))
+                .collect(),
+            carry_tasks: state.carry_tasks as usize,
+            carry_events: state.carry_events as usize,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1346,5 +1689,87 @@ mod tests {
         // is not in window 2 (entry 6.0 < 10.0): its departure 12.0
         // dominates.
         assert!((carry2.busy_until(QueueId(1)) - 12.0).abs() < 1e-12);
+    }
+
+    /// `WindowState` round-trips a window — including one with injected
+    /// occupancy-carry ghosts — through JSON without perturbing a bit:
+    /// the rebuilt window's state equals the original's, and the
+    /// rebuilt log matches event by event.
+    #[test]
+    fn window_state_round_trips_bit_for_bit() {
+        let ml = masked(80, 5);
+        let s = WindowSchedule::new(10.0, 5.0).unwrap();
+        let windows = slice_windows(&ml, &s).unwrap();
+        assert!(windows.len() >= 3);
+        let prev_final = windows[0].masked().ground_truth().clone();
+        let carry = occupancy_carry(&windows[0], &prev_final, &windows[1]);
+        let ghosted = windows[1].with_occupancy(&carry).unwrap();
+        for w in windows.iter().chain(std::iter::once(&ghosted)) {
+            let state = w.to_state();
+            let json = serde_json::to_string(&state).unwrap();
+            let back: WindowState = serde_json::from_str(&json).unwrap();
+            assert_eq!(state, back, "JSON round-trip window {}", w.index);
+            let rebuilt = WindowedLog::from_state(&back).unwrap();
+            assert_eq!(rebuilt.to_state(), state, "rebuild window {}", w.index);
+            let (la, lb) = (w.masked().ground_truth(), rebuilt.masked().ground_truth());
+            assert_eq!(la.num_events(), lb.num_events());
+            for e in la.event_ids() {
+                assert_eq!(la.event(e), lb.event(e), "window {} event {e}", w.index);
+                assert_eq!(
+                    w.masked().mask().arrival_observed(e),
+                    rebuilt.masked().mask().arrival_observed(e)
+                );
+                assert_eq!(
+                    w.masked().mask().departure_observed(e),
+                    rebuilt.masked().mask().departure_observed(e)
+                );
+            }
+            assert_eq!(rebuilt.carry_tasks(), w.carry_tasks());
+            assert_eq!(rebuilt.carry_events(), w.carry_events());
+            for (ea, eb) in w.event_mapping().zip(rebuilt.event_mapping()) {
+                assert_eq!(ea, eb);
+            }
+        }
+    }
+
+    /// Snapshotting a `LiveSlicer` mid-stream, JSON round-tripping the
+    /// state, and restoring yields a slicer whose remaining emissions
+    /// are bit-identical to the uninterrupted one's — at every possible
+    /// cut point of the record stream.
+    #[test]
+    fn slicer_snapshot_restore_resumes_bit_identically() {
+        let ml = masked(60, 6);
+        let records = to_records(ml.ground_truth(), ml.mask());
+        let schedule = WindowSchedule::new(8.0, 4.0).unwrap();
+        let nq = ml.ground_truth().num_queues();
+
+        // Reference: uninterrupted run.
+        let mut reference = LiveSlicer::new(schedule, nq).unwrap();
+        let mut ref_windows = Vec::new();
+        for rec in &records {
+            ref_windows.extend(reference.push(*rec).unwrap());
+        }
+        ref_windows.extend(reference.finish().unwrap());
+        let ref_states: Vec<WindowState> = ref_windows.iter().map(WindowedLog::to_state).collect();
+
+        for cut in 0..=records.len() {
+            let mut first = LiveSlicer::new(schedule, nq).unwrap();
+            let mut out = Vec::new();
+            for rec in &records[..cut] {
+                out.extend(first.push(*rec).unwrap());
+            }
+            let json = serde_json::to_string(&first.snapshot()).unwrap();
+            let state: SlicerState = serde_json::from_str(&json).unwrap();
+            assert_eq!(state, first.snapshot(), "cut {cut}: JSON round-trip");
+            let mut resumed = LiveSlicer::restore(schedule, nq, &state).unwrap();
+            for rec in &records[cut..] {
+                out.extend(resumed.push(*rec).unwrap());
+            }
+            out.extend(resumed.finish().unwrap());
+            assert_eq!(out.len(), ref_states.len(), "cut {cut}: window count");
+            for (w, want) in out.iter().zip(&ref_states) {
+                assert_eq!(&w.to_state(), want, "cut {cut}: window {}", w.index);
+            }
+        }
     }
 }

@@ -75,7 +75,9 @@ USAGE:
                [--threads N] [--out traj.csv] [--json traj.json]
   qni watch    --trace trace.jsonl --window W --stride S --queues Q
                [--poll-ms 50] [--idle-polls 40] [--max-lag-strides L]
-               [--max-resident R] [--warm-start on|off] [--warm-burn-in B]
+               [--max-resident R] [--checkpoint cp.json] [--checkpoint-every 1]
+               [--follow-rotations on|off] [--max-bad-lines 0]
+               [--warm-start on|off] [--warm-burn-in B]
                [--occupancy-carry on|off] [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
                [--threads N] [--out traj.csv] [--json traj.json]
@@ -434,7 +436,14 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
 /// polls in a row), and the injected clock. Exits nonzero if a
 /// `--max-lag-strides` or `--max-resident` gate was violated at any
 /// step — the machine-checkable bounded-lag/bounded-memory contract of
-/// the CI soak job.
+/// the CI soak job; a violation stops the loop promptly but still
+/// rewrites `--out` and the final `--checkpoint` first.
+///
+/// Crash safety: `--checkpoint cp.json` persists the full session state
+/// (atomically, every `--checkpoint-every` closed windows); re-running
+/// the same command resumes from it bit-identically. `--follow-rotations
+/// on` survives copytruncate log rotation, and `--max-bad-lines N`
+/// quarantines up to N malformed lines before hard-failing.
 fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags.get("trace").ok_or("watch requires --trace FILE")?;
     let width: f64 = flags
@@ -483,6 +492,21 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
         Some("off") => false,
         Some(v) => return Err(format!("--warm-start: expected `on` or `off`, got `{v}`")),
     };
+    let follow_rotations = match flags.get("follow-rotations").map(String::as_str) {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(v) => {
+            return Err(format!(
+                "--follow-rotations: expected `on` or `off`, got `{v}`"
+            ))
+        }
+    };
+    let max_bad_lines = get_usize(flags, "max-bad-lines", 0)? as u64;
+    let checkpoint_path = flags.get("checkpoint").cloned();
+    let checkpoint_every = get_usize(flags, "checkpoint-every", 1)?;
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be >= 1".into());
+    }
     let EngineFlags {
         opts,
         chains,
@@ -501,12 +525,45 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
         occupancy_carry: parse_occupancy_carry(flags)?,
         clock: Some(monotonic_secs),
     };
-    let mut session =
-        WatchSession::new(path, schedule, num_queues, sopts).map_err(|e| e.to_string())?;
+    let tail_opts = TailOptions {
+        rotation: if follow_rotations {
+            RotationPolicy::Follow
+        } else {
+            RotationPolicy::Strict
+        },
+        retry: RetryPolicy {
+            max_attempts: 3,
+            sleep: Some(sleep_ms),
+            ..RetryPolicy::default()
+        },
+        max_bad_lines,
+    };
+    // Resume-if-exists: a present checkpoint file continues the
+    // interrupted stream (bit-identically); an absent one starts fresh.
+    let existing = checkpoint_path
+        .as_deref()
+        .filter(|p| std::path::Path::new(p).exists())
+        .map(Checkpoint::load)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let resumed_from = existing.as_ref().map(|cp| cp.tail.offset);
+    let mut session = match &existing {
+        Some(cp) => WatchSession::resume(path, schedule, num_queues, sopts, tail_opts, cp)
+            .map_err(|e| e.to_string())?,
+        None => WatchSession::with_tail_options(path, schedule, num_queues, sopts, tail_opts)
+            .map_err(|e| e.to_string())?,
+    };
     println!(
         "watching {path} (width {width}, stride {stride}, {num_queues} queues, \
          poll {poll_ms} ms, stop after {idle_polls} idle polls, master seed {seed})"
     );
+    if let Some(offset) = resumed_from {
+        println!(
+            "resumed from checkpoint {} at byte offset {offset} ({} window(s) already fitted)",
+            checkpoint_path.as_deref().unwrap_or(""),
+            session.estimates().len()
+        );
+    }
     println!(
         "{:<7} {:>16} {:>7} {:>10} {:>12} {:>10} {:>8}",
         "window", "span", "tasks", "λ̂", "max split-R̂", "min ESS", "lag"
@@ -514,9 +571,11 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
     let out_path = flags.get("out").cloned();
     // No external signal-handling dependency: the stop flag stays the
     // library-level shutdown hook for embedders; the CLI terminates via
-    // the idle-poll budget.
+    // the idle-poll budget (or a gate violation raising the flag below).
     let stop = std::sync::atomic::AtomicBool::new(false);
     let mut violation: Option<String> = None;
+    let mut checkpoint_error: Option<String> = None;
+    let mut windows_since_checkpoint = 0usize;
     run_watch(
         &mut session,
         &stop,
@@ -555,6 +614,20 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
                     }
                 }
             }
+            // Periodic crash-safety: persist a checkpoint every
+            // `--checkpoint-every` closed windows.
+            windows_since_checkpoint += r.windows_closed;
+            if windows_since_checkpoint >= checkpoint_every {
+                if let Some(cp) = &checkpoint_path {
+                    match s.checkpoint().save_atomic(cp) {
+                        Ok(()) => windows_since_checkpoint = 0,
+                        Err(e) => {
+                            checkpoint_error = Some(format!("checkpoint write failed: {e}"));
+                            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
             if violation.is_none() {
                 if let (Some(limit), Some(lag)) = (max_lag_strides, r.lag) {
                     if lag > limit * stride {
@@ -572,6 +645,12 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
                         ));
                     }
                 }
+                // A violated gate stops the loop after this step: the
+                // run is failing, so exit promptly — but still persist
+                // the trajectory and a final checkpoint below.
+                if violation.is_some() {
+                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                }
             }
         },
     )
@@ -579,11 +658,37 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
     let peak_open = session.peak_open_spans();
     let peak_buffered = session.peak_buffered_tasks();
     let records = session.records_seen();
-    let traj = session.finish().map_err(|e| e.to_string())?;
+    let tail_stats = session.tail_stats();
+    // Final checkpoint before the tail is drained: a later `qni watch`
+    // on the same (possibly still growing) trace resumes from here. On
+    // a gate violation this is the abort state the operator inspects.
+    if let Some(cp) = &checkpoint_path {
+        session
+            .checkpoint()
+            .save_atomic(cp)
+            .map_err(|e| format!("final checkpoint write failed: {e}"))?;
+        eprintln!("wrote checkpoint to {cp}");
+    }
+    let aborted = violation.is_some() || checkpoint_error.is_some();
+    let traj = if aborted {
+        // Do not drain: the run is failing; report what was fitted.
+        session.trajectory_snapshot()
+    } else {
+        session.finish().map_err(|e| e.to_string())?
+    };
     println!(
-        "tail drained: {records} records, {} windows, peak {peak_open} resident window(s), \
-         peak {peak_buffered} buffered task(s)",
-        traj.windows.len()
+        "{}: {records} records, {} windows, peak {peak_open} resident window(s), \
+         peak {peak_buffered} buffered task(s), {} quarantined line(s), {} rotation(s), \
+         {} retried poll(s)",
+        if aborted {
+            "stopped early"
+        } else {
+            "tail drained"
+        },
+        traj.windows.len(),
+        tail_stats.bad_lines,
+        tail_stats.rotations,
+        tail_stats.retries,
     );
     if let Some(p) = &out_path {
         let file = std::fs::File::create(p).map_err(|e| e.to_string())?;
@@ -600,7 +705,16 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(v) = violation {
         return Err(v);
     }
+    if let Some(e) = checkpoint_error {
+        return Err(e);
+    }
     Ok(())
+}
+
+/// Millisecond sleeper injected into the tail's [`RetryPolicy`] — the
+/// library side never sleeps or reads clocks itself.
+fn sleep_ms(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
 }
 
 /// Monotonic seconds since the first call — the wall clock injected into

@@ -64,7 +64,9 @@ pub mod prelude {
     pub use qni_core::stream::{
         run_stream, RateTrajectory, StreamEngine, StreamOptions, WindowEstimate,
     };
-    pub use qni_core::watch::{run_watch, StepReport, WatchSession};
+    pub use qni_core::watch::{
+        options_fingerprint, run_watch, Checkpoint, StepReport, WatchSession, CHECKPOINT_VERSION,
+    };
     pub use qni_core::{BatchMode, GibbsState, ShardMode};
     pub use qni_model::ids::{EventId, QueueId, StateId, TaskId};
     pub use qni_model::log::EventLog;
@@ -74,9 +76,13 @@ pub mod prelude {
     pub use qni_sim::jackson::JacksonAnalysis;
     pub use qni_sim::{Simulator, Workload};
     pub use qni_stats::rng::{rng_from_seed, split_seed, SeedTree};
+    // `qni_trace::FaultPlan` (tail-path fault injection) deliberately
+    // stays out of the prelude: it would collide with the simulator's
+    // `qni_sim::fault::FaultPlan`. Reach it as `qni::trace::FaultPlan`.
     pub use qni_trace::{
-        slice_windows, LineAssembler, LiveSlicer, MaskedLog, ObservationScheme, TailReader,
-        WindowSchedule, WindowedLog,
+        slice_windows, LineAssembler, LiveSlicer, MaskedLog, ObservationScheme, RetryPolicy,
+        RotationPolicy, TailOptions, TailReader, TailSnapshot, TailStats, WindowSchedule,
+        WindowedLog,
     };
     pub use qni_webapp::{WebAppConfig, WebAppTestbed};
 }

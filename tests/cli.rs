@@ -529,7 +529,8 @@ fn watch_matches_stream_fingerprint_and_enforces_gates() {
     );
 
     // An impossible residency gate must fail the run (this is what the
-    // CI soak leans on), while still draining the tail first.
+    // CI soak leans on); the loop stops promptly on the violation but
+    // still persists the trajectory artifacts first.
     let out = qni()
         .args([
             "watch",
@@ -581,4 +582,154 @@ fn watch_matches_stream_fingerprint_and_enforces_gates() {
     reject(&[], "--queues");
     reject(&["--queues", "1"], "--queues");
     reject(&["--queues", "3", "--idle-polls", "0"], "--idle-polls");
+    reject(
+        &["--queues", "3", "--checkpoint-every", "0"],
+        "--checkpoint-every",
+    );
+    reject(
+        &["--queues", "3", "--follow-rotations", "maybe"],
+        "--follow-rotations",
+    );
+}
+
+/// `--checkpoint`: an interrupted watch resumed with the same flags
+/// reproduces the `qni stream` fingerprint of the complete trace, and a
+/// resume under different byte-affecting options is refused.
+#[test]
+fn watch_checkpoint_resume_matches_stream_and_rejects_mismatches() {
+    let dir = std::env::temp_dir().join("qni-cli-checkpoint-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let out = qni()
+        .args([
+            "simulate",
+            "--tiers",
+            "1,1",
+            "--lambda",
+            "4",
+            "--mu",
+            "8",
+            "--tasks",
+            "150",
+            "--observe",
+            "0.4",
+            "--seed",
+            "9",
+            "--out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+    let full = std::fs::read(&trace).expect("read trace");
+
+    // Phase 1: watch only a prefix of the trace (cut mid-line so the
+    // checkpoint carries a held partial line), exiting via idle polls.
+    let cut = full.len() / 2 + 5;
+    std::fs::write(&trace, &full[..cut]).expect("write prefix");
+    let cp = dir.join("cp.json");
+    let _ = std::fs::remove_file(&cp);
+    let watch_args = |trace: &std::path::Path, cp: &std::path::Path| {
+        vec![
+            "watch".to_owned(),
+            "--trace".to_owned(),
+            trace.to_str().expect("utf8").to_owned(),
+            "--window".to_owned(),
+            "10".to_owned(),
+            "--stride".to_owned(),
+            "5".to_owned(),
+            "--queues".to_owned(),
+            "3".to_owned(),
+            "--iterations".to_owned(),
+            "30".to_owned(),
+            "--seed".to_owned(),
+            "3".to_owned(),
+            "--poll-ms".to_owned(),
+            "1".to_owned(),
+            "--idle-polls".to_owned(),
+            "2".to_owned(),
+            "--checkpoint".to_owned(),
+            cp.to_str().expect("utf8").to_owned(),
+        ]
+    };
+    let out = qni()
+        .args(watch_args(&trace, &cp))
+        .output()
+        .expect("run watch phase 1");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(cp.exists(), "no checkpoint written");
+
+    // Phase 2: the rest of the trace arrives; the same command resumes
+    // from the checkpoint instead of starting over.
+    std::fs::write(&trace, &full).expect("write full trace");
+    let out = qni()
+        .args(watch_args(&trace, &cp))
+        .output()
+        .expect("run watch phase 2");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("resumed from checkpoint"),
+        "stdout: {stdout}"
+    );
+    let resumed_fp = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("fingerprint=").map(str::to_owned))
+        .expect("fingerprint line");
+
+    let out = qni()
+        .args([
+            "stream",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run stream");
+    assert!(out.status.success());
+    let stream_stdout = String::from_utf8_lossy(&out.stdout);
+    let stream_fp = stream_stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("fingerprint=").map(str::to_owned))
+        .expect("fingerprint line");
+    assert_eq!(
+        resumed_fp, stream_fp,
+        "resumed watch and stream fingerprints diverged"
+    );
+
+    // A resume under a different master seed must be refused: silently
+    // continuing would break byte-identity undetectably.
+    let mut mismatched = watch_args(&trace, &cp);
+    let seed_pos = mismatched
+        .iter()
+        .position(|a| a == "--seed")
+        .expect("seed flag");
+    mismatched[seed_pos + 1] = "4".to_owned();
+    let out = qni()
+        .args(&mismatched)
+        .output()
+        .expect("run watch with mismatched seed");
+    assert!(!out.status.success(), "mismatched resume must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("different schedule/options"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
