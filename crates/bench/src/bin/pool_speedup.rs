@@ -1,0 +1,96 @@
+//! Persistent-pool dispatch experiment: end-to-end StEM wall-clock
+//! under pooled vs per-wave-scoped dispatch at shard counts {2, 4} on
+//! M/M/1, tandem-3, and fork-join workloads, plus the raw per-sweep
+//! dispatch-path timings at the max shard count.
+//!
+//! Emits `results/BENCH_pool.json` (machine-readable, consumed by the
+//! CI `bench-smoke` job and the cross-run `bench_compare` check) and a
+//! console table. Environment knobs:
+//!
+//! - `QNI_QUICK=1` — reduced workload for smoke runs.
+//! - `QNI_POOL_GATE=<f64>` — exit nonzero unless the tandem-3 point's
+//!   max-shard pooled-over-scoped speedup meets the gate. Skipped
+//!   automatically on single-thread hosts (this dev container
+//!   included), where both dispatch modes serialize onto one core and
+//!   the ratio is noise.
+//!
+//! Dispatch is contractually byte-identical in either mode; the
+//! experiment asserts λ̂ equality across configurations as it measures.
+//!
+//! Usage: `cargo run --release -p qni-bench --bin pool_speedup`
+
+use qni_bench::pool_speedup::run_experiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let quick = qni_bench::quick_mode();
+    println!(
+        "persistent-pool wave dispatch{}:",
+        if quick { " [quick]" } else { "" }
+    );
+    let report = run_experiment(quick);
+    println!("  host threads: {}", report.host_threads);
+    println!(
+        "  {:<9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7} {:>11} {:>11}",
+        "workload",
+        "free arr",
+        "scope2 s",
+        "pool2 s",
+        "scope4 s",
+        "pool4 s",
+        "x2",
+        "x4",
+        "scope µs/sw",
+        "pool µs/sw"
+    );
+    for p in &report.points {
+        println!(
+            "  {:<9} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>6.2}x {:>6.2}x {:>11.0} {:>11.0}",
+            p.name,
+            p.free_arrivals,
+            p.scoped_secs[0],
+            p.pooled_secs[0],
+            p.scoped_secs[1],
+            p.pooled_secs[1],
+            p.speedup[0],
+            p.speedup[1],
+            p.scoped_sweep_micros,
+            p.pooled_sweep_micros
+        );
+    }
+
+    let path = qni_bench::results_dir().join("BENCH_pool.json");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_pool.json");
+    println!("json: {}", path.display());
+
+    // Anti-regression gate for CI: the pool must not be slower than
+    // per-wave spawns on the tandem-3 workload (gate < 1 tolerates
+    // runner noise). Meaningless on a single hardware thread, where the
+    // gate is skipped (the byte-identity λ̂ assertion still ran).
+    if let Ok(gate) = std::env::var("QNI_POOL_GATE") {
+        let gate: f64 = gate.parse().expect("QNI_POOL_GATE must be a number");
+        if report.host_threads < 2 {
+            println!(
+                "gate skipped: host has {} hardware thread(s); dispatch modes only differ \
+                 under real parallelism",
+                report.host_threads
+            );
+            return ExitCode::SUCCESS;
+        }
+        let t3 = report
+            .points
+            .iter()
+            .find(|p| p.name == "tandem3")
+            .expect("tandem3 point");
+        let speedup = *t3.speedup.last().expect("speedup entries");
+        if speedup < gate {
+            eprintln!(
+                "FAIL: tandem3 max-shard pool speedup {speedup:.2}x is below the gate {gate:.2}x"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("gate ok: tandem3 max-shard pool speedup {speedup:.2}x >= {gate:.2}x");
+    }
+    ExitCode::SUCCESS
+}

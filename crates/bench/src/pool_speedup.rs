@@ -1,0 +1,250 @@
+//! Persistent-pool dispatch experiment.
+//!
+//! Measures what the long-lived wave-prepare worker pool
+//! (`qni_core::gibbs::pool`) buys over per-wave `std::thread::scope`
+//! spawns: the same single-chain StEM workloads as `shard_speedup`
+//! (M/M/1, three-stage tandem, fork-join — giant single traces whose
+//! waves actually fan out) are run end-to-end under both
+//! `DispatchMode`s at shard counts {2, 4}, and the raw per-sweep
+//! dispatch path is timed separately so the spawn-vs-enqueue gap is
+//! visible even when sweep math dominates the end-to-end numbers.
+//!
+//! Dispatch is contractually byte-identical to the serial sweep in
+//! either mode; [`measure`] asserts λ̂ bit-equality across every
+//! (dispatch, shards) configuration as it measures.
+
+use crate::batch_speedup::BatchWorkload;
+use crate::shard_speedup::workloads;
+use qni_core::gibbs::sweep::sweep_batched_pooled;
+use qni_core::init::InitStrategy;
+use qni_core::stem::{run_stem, StemOptions};
+use qni_core::{DispatchMode, GibbsState, ShardMode, WavePool};
+use qni_stats::rng::rng_from_seed;
+use qni_trace::MaskedLog;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The shard counts every workload is measured at. Shards = 1 is
+/// omitted: single-worker waves run inline and never touch a thread,
+/// so both dispatch modes are the same code path there.
+pub const POOL_SHARD_COUNTS: [usize; 2] = [2, 4];
+
+/// One measurement: the same workload under scoped and pooled dispatch
+/// at every shard count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolPoint {
+    /// Workload identifier.
+    pub name: String,
+    /// Free arrival variables in the masked log (the sharded axis).
+    pub free_arrivals: usize,
+    /// Shard counts measured, aligned with the timing vectors.
+    pub shards: Vec<usize>,
+    /// Best-of-reps end-to-end wall-clock with per-wave scoped spawns.
+    pub scoped_secs: Vec<f64>,
+    /// Best-of-reps end-to-end wall-clock with the persistent pool.
+    pub pooled_secs: Vec<f64>,
+    /// Pool speedup per shard count: `scoped_secs / pooled_secs`.
+    pub speedup: Vec<f64>,
+    /// Mean per-sweep wall-clock (µs) of the raw sharded sweep with
+    /// per-wave scoped spawns, at the max shard count.
+    pub scoped_sweep_micros: f64,
+    /// Mean per-sweep wall-clock (µs) of the raw sharded sweep through
+    /// the persistent pool, at the max shard count.
+    pub pooled_sweep_micros: f64,
+    /// λ̂ of the run — identical across every (dispatch, shards)
+    /// configuration by contract (asserted during measurement).
+    pub lambda: f64,
+}
+
+/// The full JSON report written to `BENCH_pool.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolSpeedupReport {
+    /// Report schema / experiment name.
+    pub bench: String,
+    /// Whether the reduced `QNI_QUICK` workload was used.
+    pub quick: bool,
+    /// Timed repetitions per configuration (best kept).
+    pub reps: usize,
+    /// Hardware threads available on the measuring host.
+    pub host_threads: usize,
+    /// One entry per workload, in measurement order.
+    pub points: Vec<PoolPoint>,
+}
+
+fn options(w: &BatchWorkload, shards: usize, dispatch: DispatchMode) -> StemOptions {
+    StemOptions {
+        iterations: w.iterations,
+        burn_in: w.burn_in,
+        waiting_sweeps: 3,
+        shard: ShardMode::Sharded(shards),
+        dispatch,
+        ..StemOptions::default()
+    }
+}
+
+fn time_run(
+    masked: &MaskedLog,
+    w: &BatchWorkload,
+    shards: usize,
+    dispatch: DispatchMode,
+    reps: usize,
+) -> (f64, f64) {
+    let opts = options(w, shards, dispatch);
+    let mut best = f64::INFINITY;
+    let mut lambda = 0.0;
+    for _ in 0..reps.max(1) {
+        let mut rng = rng_from_seed(w.seed);
+        let start = Instant::now();
+        let r = run_stem(masked, None, &opts, &mut rng).expect("stem run");
+        best = best.min(start.elapsed().as_secs_f64());
+        lambda = r.rates[0];
+    }
+    (best, lambda)
+}
+
+/// Mean per-sweep wall-clock (µs) of `sweeps` raw batched sweeps at
+/// `shards` workers, through `pool` when given and per-wave scoped
+/// spawns otherwise.
+fn sweep_micros(
+    masked: &MaskedLog,
+    seed: u64,
+    shards: usize,
+    mut pool: Option<&mut WavePool>,
+    sweeps: usize,
+) -> f64 {
+    let rates = qni_core::stem::heuristic_rates(masked);
+    let mut state = GibbsState::new(masked, rates, InitStrategy::default()).expect("state");
+    let mut rng = rng_from_seed(seed ^ 0x9001);
+    let start = Instant::now();
+    for _ in 0..sweeps {
+        sweep_batched_pooled(
+            &mut state,
+            ShardMode::Sharded(shards),
+            pool.as_deref_mut(),
+            &mut rng,
+        )
+        .expect("sweep");
+    }
+    start.elapsed().as_secs_f64() * 1e6 / sweeps as f64
+}
+
+/// Measures one workload under both dispatch modes at every shard
+/// count, asserting the byte-identity contract on λ̂ along the way.
+pub fn measure(w: &BatchWorkload, reps: usize) -> PoolPoint {
+    let masked = w.build();
+    // Untimed warm-up: absorb first-touch page faults and allocator
+    // growth so they don't bias the first timed configuration.
+    let _ = time_run(&masked, w, 2, DispatchMode::Scoped, 1);
+    let mut scoped_secs = Vec::with_capacity(POOL_SHARD_COUNTS.len());
+    let mut pooled_secs = Vec::with_capacity(POOL_SHARD_COUNTS.len());
+    let mut lambda = None;
+    let mut check = |l: f64| match lambda {
+        None => lambda = Some(l),
+        Some(prev) => assert_eq!(
+            prev.to_bits(),
+            l.to_bits(),
+            "{}: λ̂ diverged between dispatch configurations — the determinism \
+             contract is broken",
+            w.name
+        ),
+    };
+    for &shards in &POOL_SHARD_COUNTS {
+        let (s, l) = time_run(&masked, w, shards, DispatchMode::Scoped, reps);
+        scoped_secs.push(s);
+        check(l);
+        let (s, l) = time_run(&masked, w, shards, DispatchMode::Pooled, reps);
+        pooled_secs.push(s);
+        check(l);
+    }
+    let speedup = scoped_secs
+        .iter()
+        .zip(&pooled_secs)
+        .map(|(&s, &p)| s / p)
+        .collect();
+    let max_shards = *POOL_SHARD_COUNTS.last().expect("shard counts");
+    let probe_sweeps = 4;
+    let mut pool = WavePool::new(max_shards);
+    PoolPoint {
+        name: w.name.clone(),
+        free_arrivals: masked.free_arrivals().len(),
+        shards: POOL_SHARD_COUNTS.to_vec(),
+        scoped_secs,
+        pooled_secs,
+        speedup,
+        scoped_sweep_micros: sweep_micros(&masked, w.seed, max_shards, None, probe_sweeps),
+        pooled_sweep_micros: sweep_micros(
+            &masked,
+            w.seed,
+            max_shards,
+            Some(&mut pool),
+            probe_sweeps,
+        ),
+        lambda: lambda.expect("at least one configuration"),
+    }
+}
+
+/// Runs the full experiment on the `shard_speedup` workload set.
+pub fn run_experiment(quick: bool) -> PoolSpeedupReport {
+    let reps = 2;
+    let points = workloads(quick).iter().map(|w| measure(w, reps)).collect();
+    PoolSpeedupReport {
+        bench: "pool_speedup".to_owned(),
+        quick,
+        reps,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_experiment_reports_sane_points() {
+        let w = BatchWorkload {
+            name: "tandem3".to_owned(),
+            tasks: 60,
+            fraction: 0.2,
+            iterations: 8,
+            burn_in: 2,
+            seed: 1,
+        };
+        let p = measure(&w, 1);
+        assert_eq!(p.shards, POOL_SHARD_COUNTS);
+        assert_eq!(p.scoped_secs.len(), POOL_SHARD_COUNTS.len());
+        assert_eq!(p.pooled_secs.len(), POOL_SHARD_COUNTS.len());
+        assert!(p.scoped_secs.iter().all(|&s| s > 0.0));
+        assert!(p.pooled_secs.iter().all(|&s| s > 0.0));
+        assert!(p.speedup.iter().all(|&s| s > 0.0));
+        assert!(p.scoped_sweep_micros > 0.0);
+        assert!(p.pooled_sweep_micros > 0.0);
+        assert!(p.lambda > 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = PoolSpeedupReport {
+            bench: "pool_speedup".to_owned(),
+            quick: true,
+            reps: 1,
+            host_threads: 4,
+            points: vec![PoolPoint {
+                name: "mm1".to_owned(),
+                free_arrivals: 10,
+                shards: POOL_SHARD_COUNTS.to_vec(),
+                scoped_secs: vec![1.0, 0.8],
+                pooled_secs: vec![0.9, 0.6],
+                speedup: vec![1.11, 1.33],
+                scoped_sweep_micros: 900.0,
+                pooled_sweep_micros: 700.0,
+                lambda: 2.0,
+            }],
+        };
+        let json = serde_json::to_string(&report).expect("json");
+        let back: PoolSpeedupReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.bench, "pool_speedup");
+        assert_eq!(back.points.len(), 1);
+        assert_eq!(back.points[0].shards, POOL_SHARD_COUNTS);
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! The StEM iterate sequence is a Markov chain (see [`crate::stem`]), and
 //! independent chains are embarrassingly parallel: each needs only the
-//! masked log and its own RNG stream. This module runs `K` chains on `K`
-//! scoped threads, pools their post-burn-in rate traces into a combined
+//! masked log and its own RNG stream. This module runs `K` chains on
+//! `K` threads — the calling thread works chain 0 itself and `K − 1`
+//! scoped threads run the rest — pools their post-burn-in rate traces
+//! into a combined
 //! point estimate, and reports split-R̂ / pooled-ESS convergence
 //! diagnostics — the multi-chain mixing checks of Sutton & Jordan's
 //! journal follow-up, which a single chain cannot compute about itself.
@@ -44,9 +46,10 @@
 
 use crate::diagnostics::{rate_trace_diagnostics, ChainDiagnostics};
 use crate::error::InferenceError;
+use crate::gibbs::pool::PoolSet;
 use crate::gibbs::shard::ShardMode;
 use crate::init::WarmTimes;
-use crate::stem::{run_stem_warm, StemOptions, StemResult};
+use crate::stem::{run_stem_warm_in_pool, StemOptions, StemResult};
 use qni_stats::rng::{rng_from_seed, split_seed};
 use qni_trace::MaskedLog;
 
@@ -64,8 +67,12 @@ pub struct ParallelStemOptions {
     pub master_seed: u64,
     /// Optional total-thread budget shared between `chains × shards`:
     /// when set, each chain's [`StemOptions::shard`] worker cap is
-    /// reduced so the whole run never asks for more than this many
-    /// threads (each chain always keeps at least one). Purely a
+    /// reduced so the whole run never occupies more than this many OS
+    /// threads (each chain always keeps at least one). The accounting
+    /// is exact — the calling thread works chain 0 itself and each
+    /// chain's sweep leader is its own chain thread, so `K` chains at
+    /// `Sharded(n)` occupy exactly `K × n` threads and a budget of `B`
+    /// admits every configuration with `chains × shards ≤ B`. Purely a
     /// scheduling knob — capping never changes results, because every
     /// shard count is bit-identical (see [`crate::gibbs::shard`]).
     pub thread_budget: Option<usize>,
@@ -153,7 +160,8 @@ pub struct ParallelStemResult {
 
 /// Runs `opts.chains` independent StEM chains in parallel and pools them.
 ///
-/// Each chain is a full [`crate::stem::run_stem`] invocation on its own scoped thread
+/// Each chain is a full [`crate::stem::run_stem`] invocation on its own
+/// thread (chain 0 on the calling thread, the rest on scoped threads)
 /// with its own derived RNG stream; see the module docs for the seeding
 /// scheme and determinism guarantees. The pooled `rates` average the
 /// chains' post-burn-in means; `diagnostics` reports per-queue split-R̂
@@ -177,6 +185,23 @@ pub fn run_stem_parallel_warm(
     warm: Option<&WarmTimes>,
     opts: &ParallelStemOptions,
 ) -> Result<ParallelStemResult, InferenceError> {
+    let mut pools = PoolSet::new();
+    run_stem_parallel_warm_in_pools(masked, initial_rates, warm, opts, &mut pools)
+}
+
+/// [`run_stem_parallel_warm`] against a caller-owned [`PoolSet`], so
+/// long-lived callers (the streaming engine, watch sessions) can reuse
+/// each chain's persistent [`crate::gibbs::pool::WavePool`] across
+/// windows instead of spawning fresh pool threads per fit. The set is
+/// (re)built lazily for the run's effective chain/shard shape; pool
+/// reuse is byte-neutral (see [`crate::gibbs::pool`]).
+pub fn run_stem_parallel_warm_in_pools(
+    masked: &MaskedLog,
+    initial_rates: Option<&[f64]>,
+    warm: Option<&WarmTimes>,
+    opts: &ParallelStemOptions,
+    pools: &mut PoolSet,
+) -> Result<ParallelStemResult, InferenceError> {
     opts.validate()?;
     let chain_seeds: Vec<u64> = (0..opts.chains)
         .map(|k| split_seed(opts.master_seed, k as u64))
@@ -187,19 +212,47 @@ pub fn run_stem_parallel_warm(
     let mut stem_opts = opts.stem.clone();
     stem_opts.shard = opts.effective_shard();
     let stem_opts = &stem_opts;
+    let slots = pools.ensure(opts.chains, stem_opts.shard, stem_opts.dispatch);
+    let (leader_slot, rest_slots) = slots.split_at_mut(1);
     let results: Vec<Result<StemResult, InferenceError>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chain_seeds
+        let handles: Vec<_> = chain_seeds[1..]
             .iter()
-            .map(|&seed| {
+            .zip(rest_slots.iter_mut())
+            .map(|(&seed, slot)| {
                 s.spawn(move || {
                     let mut rng = rng_from_seed(seed);
-                    run_stem_warm(masked, initial_rates, warm, stem_opts, &mut rng)
+                    run_stem_warm_in_pool(
+                        masked,
+                        initial_rates,
+                        warm,
+                        stem_opts,
+                        slot.as_mut(),
+                        &mut rng,
+                    )
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("chain thread panicked")) // qni-lint: allow(QNI-E002) — re-raising a panicked chain thread is the intended failure mode
+        // The calling thread works chain 0 itself while the spawned
+        // chains run, so `chains` chains never occupy more than
+        // `chains × shards` OS threads — the exact quantity
+        // `thread_budget` charges for (no parked-caller off-by-one).
+        let leader = {
+            let mut rng = rng_from_seed(chain_seeds[0]);
+            run_stem_warm_in_pool(
+                masked,
+                initial_rates,
+                warm,
+                stem_opts,
+                leader_slot[0].as_mut(),
+                &mut rng,
+            )
+        };
+        std::iter::once(leader)
+            .chain(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chain thread panicked")), // qni-lint: allow(QNI-E002) — re-raising a panicked chain thread is the intended failure mode
+            )
             .collect()
     });
     let chains = results.into_iter().collect::<Result<Vec<_>, _>>()?;
@@ -303,6 +356,27 @@ mod tests {
         for (s, rate) in r.mean_service.iter().zip(&r.rates) {
             assert!((s - 1.0 / rate).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn thread_budget_admits_exact_fit_configurations() {
+        // The boundary case of the budget accounting: 2 chains at
+        // Sharded(4) occupy exactly 8 threads (the caller works chain 0
+        // and each chain's sweep leader is its own chain thread), so a
+        // budget of 8 must admit the full configuration…
+        let opts = |thread_budget| ParallelStemOptions {
+            stem: StemOptions {
+                shard: ShardMode::Sharded(4),
+                ..StemOptions::quick_test()
+            },
+            chains: 2,
+            master_seed: 0,
+            thread_budget,
+        };
+        assert_eq!(opts(Some(8)).effective_shard(), ShardMode::Sharded(4));
+        // …while one thread short of the fit caps each chain to 3.
+        assert_eq!(opts(Some(7)).effective_shard(), ShardMode::Sharded(3));
+        assert_eq!(opts(None).effective_shard(), ShardMode::Sharded(4));
     }
 
     #[test]

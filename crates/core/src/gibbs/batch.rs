@@ -105,6 +105,15 @@ pub(crate) struct GroupStructure {
     waves: [Vec<PlanShape>; 2],
 }
 
+#[cfg(test)]
+impl GroupStructure {
+    /// Test-only view of one parity wave's shapes (used by the pool
+    /// unit tests, which live outside this module).
+    pub(crate) fn test_wave(&self, parity: usize) -> &[PlanShape] {
+        &self.waves[parity]
+    }
+}
+
 /// Per-group resampling statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GroupStats {
@@ -206,7 +215,7 @@ impl BatchScratch {
 
     /// Sizes the per-member buffers for a wave and hands out the
     /// disjoint slices its prepare phase writes.
-    fn wave_bufs<'a>(&'a mut self, shapes: &'a [PlanShape]) -> WaveBufs<'a> {
+    pub(crate) fn wave_bufs<'a>(&'a mut self, shapes: &'a [PlanShape]) -> WaveBufs<'a> {
         let n = shapes.len();
         self.soa.resize(n);
         if self.supports.len() < n {
@@ -296,6 +305,19 @@ impl<'a> WaveBufs<'a> {
                 slots: slots_r,
             },
         )
+    }
+}
+
+#[cfg(test)]
+impl WaveBufs<'_> {
+    /// Test-only view of the prepared support classifications.
+    pub(crate) fn test_supports(&self) -> &[ArrivalSupport] {
+        self.supports
+    }
+
+    /// Test-only mutable view of the prepared density slots.
+    pub(crate) fn test_slots(&mut self) -> &mut [PiecewiseScratch] {
+        self.slots
     }
 }
 
@@ -462,6 +484,7 @@ pub(crate) fn resample_group<R: Rng + ?Sized>(
     group: &GroupStructure,
     scratch: &mut BatchScratch,
     shard: ShardMode,
+    mut pool: Option<&mut crate::gibbs::pool::WavePool>,
     rng: &mut R,
 ) -> Result<GroupStats, InferenceError> {
     let mut stats = GroupStats::default();
@@ -471,8 +494,15 @@ pub(crate) fn resample_group<R: Rng + ?Sized>(
         }
         scratch.begin_wave(log.num_events());
         // Prepare phase: every wave member's support and density against
-        // the wave's entry state, chunked across shard workers.
-        crate::gibbs::shard::prepare_wave(log, rates, scratch.wave_bufs(wave), shard)?;
+        // the wave's entry state, chunked across shard workers (drawn
+        // from the persistent pool when one is supplied).
+        crate::gibbs::shard::prepare_wave(
+            log,
+            rates,
+            scratch.wave_bufs(wave),
+            shard,
+            pool.as_deref_mut(),
+        )?;
         // Serial drain: draws, writes, and deferred-move cleanup.
         for (i, shape) in wave.iter().enumerate() {
             let x = if scratch.is_conflicted(shape) {
@@ -562,7 +592,7 @@ mod tests {
     ) -> GroupStats {
         let gs = build_group_structure(log, events).unwrap();
         let mut rng = rng_from_seed(seed);
-        resample_group(log, rates, &gs, scratch, ShardMode::Serial, &mut rng).unwrap()
+        resample_group(log, rates, &gs, scratch, ShardMode::Serial, None, &mut rng).unwrap()
     }
 
     #[test]
@@ -695,6 +725,7 @@ mod tests {
                 &gs,
                 &mut scratch,
                 ShardMode::Serial,
+                None,
                 &mut rng,
             )
             .unwrap();

@@ -12,8 +12,11 @@
 //!   arrival moves per queue and amortizes the conditional construction
 //!   across each group, with conflict-set fallback to the scalar path.
 //! - [`shard`]: intra-trace sharding — fans each wave's draw-free
-//!   prepare phase out across scoped worker threads, bit-identical to
-//!   the serial batched sweep at every shard count.
+//!   prepare phase out across worker threads, bit-identical to the
+//!   serial batched sweep at every shard count.
+//! - [`pool`]: the persistent wave-prepare worker pool — long-lived
+//!   threads parked on channels so sharded dispatch costs one enqueue
+//!   and one rendezvous per wave instead of a thread spawn.
 //! - [`numeric`]: brute-force numerical conditionals used to validate the
 //!   closed forms in tests and benches.
 
@@ -21,6 +24,7 @@ pub mod arrival;
 pub mod batch;
 pub mod final_departure;
 pub mod numeric;
+pub mod pool;
 pub mod reassign;
 pub mod shard;
 pub mod shift;

@@ -65,13 +65,24 @@
 //!
 //! # Scheduling policy
 //!
-//! Workers are scoped threads spawned per wave. Spawning costs a few
-//! tens of microseconds, so tiny waves are prepared inline: a wave only
-//! fans out when every worker can be handed at least
-//! [`MIN_EVENTS_PER_WORKER`] members. The policy affects scheduling
-//! only — never results — so it can be tuned freely. For NUMA-scale
-//! traces a persistent worker pool (amortizing spawn cost across waves)
-//! is the known next step; see ROADMAP.md.
+//! Spawning a thread costs a few tens of microseconds, so tiny waves
+//! are prepared inline: a wave only fans out when every worker can be
+//! handed at least [`MIN_EVENTS_PER_WORKER`] members (floor division —
+//! see [`ShardMode::workers_for`] for the pinned policy). Waves that do
+//! fan out run on one of two worker sources, selected by
+//! [`crate::gibbs::pool::DispatchMode`]:
+//!
+//! - **Pooled** (the default): a persistent [`crate::gibbs::pool::WavePool`]
+//!   created once per chain run; dispatch is one enqueue and one
+//!   rendezvous per worker, amortizing spawn cost across all waves.
+//! - **Scoped**: [`std::thread::scope`] workers spawned per wave (the
+//!   original policy, kept as the byte-identity reference).
+//!
+//! Both sources split the wave with the same `split_leader_rest`
+//! splitter and surface errors in the same leader-then-block order, so
+//! the policy affects scheduling only — never results — and can be
+//! tuned freely. NUMA pinning of pool workers is the known next step;
+//! see ROADMAP.md.
 
 use crate::error::InferenceError;
 use crate::gibbs::batch::WaveBufs;
@@ -94,11 +105,14 @@ pub enum ShardMode {
     Sharded(usize),
 }
 
-/// Minimum wave members handed to each worker before a wave fans out;
-/// below `2 × MIN_EVENTS_PER_WORKER` members the wave is prepared
-/// inline. Sized so each spawned worker gets tens of microseconds of
-/// prepare work — well above thread-spawn cost. Tuning this changes
-/// scheduling only, never results.
+/// Minimum wave members handed to each worker before a wave fans out:
+/// a wave of `len` members uses `len / MIN_EVENTS_PER_WORKER` workers
+/// (floor division, clamped to the configured cap), so below
+/// `2 × MIN_EVENTS_PER_WORKER` members — up to and including
+/// `2 × MIN_EVENTS_PER_WORKER − 1` — the wave is prepared inline. Sized
+/// so each worker gets tens of microseconds of prepare work — well
+/// above per-wave dispatch cost. Tuning this changes scheduling only,
+/// never results.
 pub const MIN_EVENTS_PER_WORKER: usize = 512;
 
 impl ShardMode {
@@ -135,36 +149,54 @@ impl ShardMode {
     }
 
     /// How many workers a wave of `len` members fans out to under this
-    /// mode: at most [`ShardMode::workers`], and only as many as can
-    /// each be handed [`MIN_EVENTS_PER_WORKER`] members. An unvalidated
-    /// `Sharded(0)` degrades to the inline path rather than panicking
-    /// (the option-carrying entry points reject it up front via
-    /// [`ShardMode::validate`]).
-    fn workers_for(self, len: usize) -> usize {
+    /// mode: `len / MIN_EVENTS_PER_WORKER` (floor division), at most
+    /// [`ShardMode::workers`] — i.e. only as many workers as can each
+    /// be handed a *full* [`MIN_EVENTS_PER_WORKER`] members. An
+    /// unvalidated `Sharded(0)` degrades to the inline path rather than
+    /// panicking (the option-carrying entry points reject it up front
+    /// via [`ShardMode::validate`]).
+    ///
+    /// The inline threshold is pinned here: one member short of two
+    /// full chunks still prepares inline, and the first wave to fan out
+    /// is exactly `2 × MIN_EVENTS_PER_WORKER` members.
+    ///
+    /// ```
+    /// use qni_core::gibbs::shard::{ShardMode, MIN_EVENTS_PER_WORKER};
+    /// let m = ShardMode::Sharded(4);
+    /// assert_eq!(m.workers_for(2 * MIN_EVENTS_PER_WORKER - 1), 1);
+    /// assert_eq!(m.workers_for(2 * MIN_EVENTS_PER_WORKER), 2);
+    /// ```
+    pub fn workers_for(self, len: usize) -> usize {
         (len / MIN_EVENTS_PER_WORKER).clamp(1, self.workers().max(1))
     }
 }
 
 /// Executes a wave's prepare phase under `mode`: inline when small or
-/// serial, otherwise split into contiguous per-worker queue blocks on a
-/// [`std::thread::scope`]. Workers read the frozen log and write
-/// disjoint per-member slots, so results are bit-identical regardless
-/// of the split; errors are surfaced in block order so even the failure
+/// serial, otherwise split into contiguous per-worker queue blocks and
+/// run on `pool` when one is supplied (the persistent-pool dispatch) or
+/// on per-wave [`std::thread::scope`] workers otherwise. Workers read
+/// the frozen log and write disjoint per-member slots, so results are
+/// bit-identical regardless of the split and the worker source; errors
+/// are surfaced leader-first then in block order so even the failure
 /// path is deterministic.
 pub(crate) fn prepare_wave(
     log: &EventLog,
     rates: &[f64],
     bufs: WaveBufs<'_>,
     mode: ShardMode,
+    pool: Option<&mut crate::gibbs::pool::WavePool>,
 ) -> Result<(), InferenceError> {
     let workers = mode.workers_for(bufs.len());
     if workers <= 1 {
         return crate::gibbs::batch::prepare_chunk(log, rates, bufs);
     }
-    let mut chunks = split_even(bufs, workers).into_iter();
-    let leader_chunk = chunks.next().expect("at least one chunk"); // qni-lint: allow(QNI-E002) — chunks(n) with n >= 1 always yields a first chunk
+    if let Some(pool) = pool {
+        return pool.dispatch(log, rates, bufs, workers);
+    }
+    let (leader_chunk, rest) = split_leader_rest(bufs, workers);
     let results: Vec<Result<(), InferenceError>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
+        let handles: Vec<_> = rest
+            .into_iter()
             .map(|chunk| s.spawn(move || crate::gibbs::batch::prepare_chunk(log, rates, chunk)))
             .collect();
         // The calling thread is worker 0: it prepares the first queue
@@ -182,21 +214,28 @@ pub(crate) fn prepare_wave(
     results.into_iter().collect()
 }
 
-/// Splits wave buffers into `workers` contiguous, near-equal chunks
-/// (the first `len % workers` chunks get one extra member).
-fn split_even(mut bufs: WaveBufs<'_>, workers: usize) -> Vec<WaveBufs<'_>> {
+/// Splits wave buffers into `workers ≥ 2` contiguous, near-equal chunks
+/// (the first `len % workers` chunks get one extra member), returning
+/// the leader's chunk 0 separately from chunks `1..`. Shared by the
+/// scoped path and [`crate::gibbs::pool::WavePool::dispatch`], so both
+/// worker sources see byte-identical chunk boundaries.
+pub(crate) fn split_leader_rest(
+    bufs: WaveBufs<'_>,
+    workers: usize,
+) -> (WaveBufs<'_>, Vec<WaveBufs<'_>>) {
     let len = bufs.len();
     let base = len / workers;
     let extra = len % workers;
-    let mut chunks = Vec::with_capacity(workers);
-    for i in 0..workers - 1 {
+    let (leader, mut tail) = bufs.split_at(base + usize::from(extra > 0));
+    let mut rest = Vec::with_capacity(workers - 1);
+    for i in 1..workers - 1 {
         let take = base + usize::from(i < extra);
-        let (head, tail) = bufs.split_at(take);
-        chunks.push(head);
-        bufs = tail;
+        let (head, t) = tail.split_at(take);
+        rest.push(head);
+        tail = t;
     }
-    chunks.push(bufs);
-    chunks
+    rest.push(tail);
+    (leader, rest)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Full Gibbs sweeps over all free variables.
 
 use crate::error::InferenceError;
+use crate::gibbs::pool::WavePool;
 use crate::gibbs::shard::ShardMode;
 use crate::state::GibbsState;
 use qni_model::ids::EventId;
@@ -82,7 +83,7 @@ pub fn sweep<R: Rng + ?Sized>(
     schedule.extend(state.shiftable_tasks.iter().map(|&k| Move::Shift(k)));
     schedule.shuffle(rng);
     let mut stats = SweepStats::default();
-    let result = run_schedule(state, &schedule, ShardMode::Serial, rng, &mut stats);
+    let result = run_schedule(state, &schedule, ShardMode::Serial, None, rng, &mut stats);
     state.scratch.schedule = schedule;
     result?;
     debug_assert!(
@@ -117,6 +118,20 @@ pub fn sweep_batched_sharded<R: Rng + ?Sized>(
     shard: ShardMode,
     rng: &mut R,
 ) -> Result<SweepStats, InferenceError> {
+    sweep_batched_pooled(state, shard, None, rng)
+}
+
+/// [`sweep_batched_sharded`] with the wave preparations dispatched to a
+/// persistent [`WavePool`] instead of per-wave scoped spawns when
+/// `pool` is `Some`. The pool is a pure scheduling vehicle: results are
+/// bit-identical to the scoped and serial paths for every pool size
+/// (see [`crate::gibbs::pool`]).
+pub fn sweep_batched_pooled<R: Rng + ?Sized>(
+    state: &mut GibbsState,
+    shard: ShardMode,
+    pool: Option<&mut WavePool>,
+    rng: &mut R,
+) -> Result<SweepStats, InferenceError> {
     state.ensure_arrival_groups()?;
     let mut schedule = std::mem::take(&mut state.scratch.schedule);
     schedule.clear();
@@ -125,7 +140,7 @@ pub fn sweep_batched_sharded<R: Rng + ?Sized>(
     schedule.extend(state.shiftable_tasks.iter().map(|&k| Move::Shift(k)));
     schedule.shuffle(rng);
     let mut stats = SweepStats::default();
-    let result = run_schedule(state, &schedule, shard, rng, &mut stats);
+    let result = run_schedule(state, &schedule, shard, pool, rng, &mut stats);
     state.scratch.schedule = schedule;
     result?;
     debug_assert!(
@@ -169,8 +184,21 @@ pub fn sweep_with_opts<R: Rng + ?Sized>(
     shard: ShardMode,
     rng: &mut R,
 ) -> Result<SweepStats, InferenceError> {
+    sweep_with_opts_pooled(state, mode, shard, None, rng)
+}
+
+/// [`sweep_with_opts`] with an optional persistent [`WavePool`] for the
+/// batched path's wave preparation. `None` keeps the per-wave scoped
+/// dispatch; either way the bytes are identical.
+pub fn sweep_with_opts_pooled<R: Rng + ?Sized>(
+    state: &mut GibbsState,
+    mode: BatchMode,
+    shard: ShardMode,
+    pool: Option<&mut WavePool>,
+    rng: &mut R,
+) -> Result<SweepStats, InferenceError> {
     match mode {
-        BatchMode::Grouped => sweep_batched_sharded(state, shard, rng),
+        BatchMode::Grouped => sweep_batched_pooled(state, shard, pool, rng),
         BatchMode::Scalar => sweep(state, rng),
     }
 }
@@ -181,6 +209,7 @@ fn run_schedule<R: Rng + ?Sized>(
     state: &mut GibbsState,
     schedule: &[Move],
     shard: ShardMode,
+    mut pool: Option<&mut WavePool>,
     rng: &mut R,
     stats: &mut SweepStats,
 ) -> Result<(), InferenceError> {
@@ -212,6 +241,7 @@ fn run_schedule<R: Rng + ?Sized>(
                     &groups[gi as usize],
                     batch,
                     shard,
+                    pool.as_deref_mut(),
                     rng,
                 )?;
                 stats.arrival_moves += g.moves;

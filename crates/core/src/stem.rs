@@ -12,8 +12,9 @@
 //! µ̂ fixed".
 
 use crate::error::InferenceError;
+use crate::gibbs::pool::{DispatchMode, WavePool};
 use crate::gibbs::shard::ShardMode;
-use crate::gibbs::sweep::{sweep_with_opts, BatchMode};
+use crate::gibbs::sweep::{sweep_with_opts, sweep_with_opts_pooled, BatchMode};
 use crate::init::InitStrategy;
 use crate::mstep;
 use crate::state::GibbsState;
@@ -45,6 +46,12 @@ pub struct StemOptions {
     /// are bit-identical at every shard count (see
     /// [`crate::gibbs::shard`]). Requires [`BatchMode::Grouped`].
     pub shard: ShardMode,
+    /// Where sharded wave preparation gets its worker threads: a
+    /// persistent per-run [`crate::gibbs::pool::WavePool`] (default) or
+    /// per-wave scoped spawns. Pure scheduling knob — bytes are
+    /// identical either way — so it is excluded from checkpoint
+    /// fingerprints. Ignored when `shard` never fans out.
+    pub dispatch: DispatchMode,
 }
 
 impl Default for StemOptions {
@@ -57,6 +64,7 @@ impl Default for StemOptions {
             shift_moves: true,
             batch: BatchMode::default(),
             shard: ShardMode::default(),
+            dispatch: DispatchMode::default(),
         }
     }
 }
@@ -77,6 +85,7 @@ impl StemOptions {
             shift_moves: true,
             batch: BatchMode::default(),
             shard: ShardMode::default(),
+            dispatch: DispatchMode::default(),
         }
     }
 
@@ -147,6 +156,29 @@ pub fn run_stem_warm<R: Rng + ?Sized>(
     opts: &StemOptions,
     rng: &mut R,
 ) -> Result<StemResult, InferenceError> {
+    // Build the run's persistent pool up front (when the configuration
+    // can fan out at all) so every sharded wave of every sweep reuses
+    // the same parked workers instead of spawning fresh ones.
+    let mut pool = (opts.dispatch == DispatchMode::Pooled && opts.shard.workers() > 1)
+        .then(|| WavePool::new(opts.shard.workers()));
+    run_stem_warm_in_pool(masked, initial_rates, warm, opts, pool.as_mut(), rng)
+}
+
+/// [`run_stem_warm`] against a caller-owned [`WavePool`], so long-lived
+/// callers (the multi-chain engine, the streaming engine) can reuse one
+/// pool across many fits instead of spawning threads per run. `None`
+/// falls back to the per-wave dispatch selected by
+/// [`StemOptions::dispatch`]'s scoped path. Pool reuse is byte-neutral:
+/// two consecutive fits on one pool equal two fresh runs bit-for-bit
+/// (pinned by `crates/core/tests/pool_gibbs.rs`).
+pub fn run_stem_warm_in_pool<R: Rng + ?Sized>(
+    masked: &MaskedLog,
+    initial_rates: Option<&[f64]>,
+    warm: Option<&crate::init::WarmTimes>,
+    opts: &StemOptions,
+    mut pool: Option<&mut WavePool>,
+    rng: &mut R,
+) -> Result<StemResult, InferenceError> {
     opts.validate()?;
     let rates0 = match initial_rates {
         Some(r) => r.to_vec(),
@@ -161,7 +193,7 @@ pub fn run_stem_warm<R: Rng + ?Sized>(
     // the recorded trace row itself.
     let mut rates_buf = state.rates().to_vec();
     for _ in 0..opts.iterations {
-        sweep_with_opts(&mut state, opts.batch, opts.shard, rng)?;
+        sweep_with_opts_pooled(&mut state, opts.batch, opts.shard, pool.as_deref_mut(), rng)?;
         mstep::update_rates(&mut rates_buf, state.log())?;
         state.set_rates(&rates_buf)?;
         trace.push(rates_buf.clone());
@@ -185,7 +217,7 @@ pub fn run_stem_warm<R: Rng + ?Sized>(
     let mut avgs = Vec::new();
     let sweeps = opts.waiting_sweeps.max(1);
     for _ in 0..sweeps {
-        sweep_with_opts(&mut state, opts.batch, opts.shard, rng)?;
+        sweep_with_opts_pooled(&mut state, opts.batch, opts.shard, pool.as_deref_mut(), rng)?;
         state.log().queue_averages_into(&mut avgs);
         for (i, avg) in avgs.iter().enumerate() {
             if avg.count > 0 {

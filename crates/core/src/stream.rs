@@ -89,8 +89,9 @@
 //! assert!(traj.windows[0].rates[0] > 0.0);
 //! ```
 
-use crate::chains::{run_stem_parallel_warm, ParallelStemOptions};
+use crate::chains::{run_stem_parallel_warm_in_pools, ParallelStemOptions};
 use crate::error::InferenceError;
+use crate::gibbs::pool::PoolSet;
 use crate::init::WarmTimes;
 use crate::stem::StemOptions;
 use qni_model::ids::{QueueId, StateId, TaskId};
@@ -451,6 +452,12 @@ pub struct StreamEngine {
     num_queues: usize,
     prev: Option<PrevWindow>,
     windows: Vec<WindowEstimate>,
+    /// Per-chain persistent wave-prepare pools, reused across every
+    /// pushed window (built lazily on the first fit that shards).
+    /// Runtime-only scheduling state: never serialized into
+    /// [`EngineState`], rebuilt on restore, and byte-neutral to
+    /// results (see [`crate::gibbs::pool`]).
+    pools: PoolSet,
 }
 
 impl StreamEngine {
@@ -473,6 +480,7 @@ impl StreamEngine {
             num_queues,
             prev: None,
             windows: Vec::new(),
+            pools: PoolSet::new(),
         })
     }
 
@@ -559,11 +567,12 @@ impl StreamEngine {
             master_seed: split_seed(self.opts.master_seed, window.index as u64),
             thread_budget: self.opts.thread_budget,
         };
-        let mut r = run_stem_parallel_warm(
+        let mut r = run_stem_parallel_warm_in_pools(
             window.masked(),
             initial_rates.as_deref(),
             warm.as_ref(),
             &popts,
+            &mut self.pools,
         )?;
         let free =
             window.masked().free_arrivals().len() + window.masked().free_final_departures().len();

@@ -149,9 +149,16 @@ impl Checkpoint {
 /// Fingerprints every configuration knob that affects the stream's
 /// bytes: the schedule, queue count, StEM budgets and strategies, chain
 /// count, master seed, and warm-start/occupancy settings. Deliberately
-/// *excluded* are the byte-neutral execution knobs — shard mode, thread
-/// budget, and the injected clock — so a checkpoint written on an
-/// 8-core box resumes on a 2-core one.
+/// *excluded* are the byte-neutral execution knobs — shard mode, wave
+/// dispatch (pooled vs scoped), thread budget, and the injected clock —
+/// so a checkpoint written on an 8-core box resumes on a 2-core one.
+///
+/// `Option`-valued knobs hash a presence word *and* the value, so
+/// `None` never aliases `Some(0)`: `warm_burn_in: None` (keep the full
+/// `stem.burn_in` on warm windows) and `warm_burn_in: Some(0)` (zero
+/// burn-in on warm windows) yield different byte streams and must
+/// reject each other's checkpoints (pinned by the
+/// `fingerprint_separates_absent_from_zero_warm_burn_in` test).
 pub fn options_fingerprint(
     schedule: &WindowSchedule,
     num_queues: usize,
@@ -613,9 +620,9 @@ mod tests {
         std::fs::remove_file(&cp_path).unwrap();
     }
 
-    /// Byte-neutral execution knobs (shard mode, thread budget, clock)
-    /// are excluded from the options fingerprint: a checkpoint written
-    /// on one machine shape resumes on another.
+    /// Byte-neutral execution knobs (shard mode, wave dispatch, thread
+    /// budget, clock) are excluded from the options fingerprint: a
+    /// checkpoint written on one machine shape resumes on another.
     #[test]
     fn options_fingerprint_ignores_byte_neutral_knobs() {
         let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
@@ -630,6 +637,14 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(a, options_fingerprint(&schedule, 2, &sharded));
+        let scoped = StreamOptions {
+            stem: crate::stem::StemOptions {
+                dispatch: crate::gibbs::pool::DispatchMode::Scoped,
+                ..base.stem.clone()
+            },
+            ..base.clone()
+        };
+        assert_eq!(a, options_fingerprint(&schedule, 2, &scoped));
         let reseeded = StreamOptions {
             master_seed: 1,
             ..base.clone()
@@ -638,6 +653,66 @@ mod tests {
         assert_ne!(a, options_fingerprint(&schedule, 3, &base));
         let other_schedule = WindowSchedule::new(20.0, 5.0).unwrap();
         assert_ne!(a, options_fingerprint(&other_schedule, 2, &base));
+    }
+
+    /// Regression guard for the warm-burn-in aliasing hazard: hashing
+    /// only `warm_burn_in.unwrap_or(0)` would make `None` (keep the
+    /// full `stem.burn_in` on warm windows) and `Some(0)` (zero warm
+    /// burn-in) collide even though they produce different byte
+    /// streams. The fingerprint must keep them distinct — and a
+    /// checkpoint written under either must be rejected by a session
+    /// configured with the other, in both directions.
+    #[test]
+    fn fingerprint_separates_absent_from_zero_warm_burn_in() {
+        let schedule = WindowSchedule::new(20.0, 10.0).unwrap();
+        let absent = StreamOptions {
+            warm_burn_in: None,
+            ..StreamOptions::quick_test()
+        };
+        let zero = StreamOptions {
+            warm_burn_in: Some(0),
+            ..absent.clone()
+        };
+        let f_absent = options_fingerprint(&schedule, 2, &absent);
+        let f_zero = options_fingerprint(&schedule, 2, &zero);
+        assert_ne!(
+            f_absent, f_zero,
+            "warm_burn_in None and Some(0) yield different byte streams \
+             and must never share a fingerprint"
+        );
+        // Resume-level rejection, both directions: a checkpoint taken
+        // under one setting must not be accepted by the other.
+        let path = tmp_path("warm-burn-in-alias");
+        let _ = std::fs::remove_file(&path);
+        for (write_opts, resume_opts) in [(&absent, &zero), (&zero, &absent)] {
+            let session = WatchSession::new(&path, schedule, 2, write_opts.clone()).unwrap();
+            let cp = session.checkpoint();
+            assert!(
+                matches!(
+                    WatchSession::resume(
+                        &path,
+                        schedule,
+                        2,
+                        resume_opts.clone(),
+                        TailOptions::default(),
+                        &cp,
+                    ),
+                    Err(InferenceError::BadOptions { .. })
+                ),
+                "resume under the aliased warm_burn_in setting must be rejected"
+            );
+            // Sanity: the same options do resume.
+            WatchSession::resume(
+                &path,
+                schedule,
+                2,
+                write_opts.clone(),
+                TailOptions::default(),
+                &cp,
+            )
+            .unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     /// Records arriving one at a time (the pathological slow writer)

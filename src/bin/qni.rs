@@ -64,15 +64,16 @@ USAGE:
                [--observe 0.1] [--seed 1] --out trace.jsonl
   qni infer    --trace trace.jsonl [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
-               [--threads N]
+               [--dispatch pooled|scoped] [--threads N]
   qni localize --trace trace.jsonl [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
-               [--threads N]
+               [--dispatch pooled|scoped] [--threads N]
   qni stream   --trace trace.jsonl --window W --stride S
                [--warm-start on|off] [--warm-burn-in B]
                [--occupancy-carry on|off] [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
-               [--threads N] [--out traj.csv] [--json traj.json]
+               [--dispatch pooled|scoped] [--threads N]
+               [--out traj.csv] [--json traj.json]
   qni watch    --trace trace.jsonl --window W --stride S --queues Q
                [--poll-ms 50] [--idle-polls 40] [--max-lag-strides L]
                [--max-resident R] [--checkpoint cp.json] [--checkpoint-every 1]
@@ -80,7 +81,8 @@ USAGE:
                [--warm-start on|off] [--warm-burn-in B]
                [--occupancy-carry on|off] [--iterations 200] [--burn-in N]
                [--seed 2] [--chains 1] [--batch on|off] [--shards 1]
-               [--threads N] [--out traj.csv] [--json traj.json]
+               [--dispatch pooled|scoped] [--threads N]
+               [--out traj.csv] [--json traj.json]
   qni volume   --tasks-per-day N --events-per-task M [--fraction 0.01]
   qni lint     [--json] [--sarif FILE] [path-prefix ...]";
 
@@ -177,7 +179,7 @@ struct EngineFlags {
 
 /// Parses and validates the shared engine flags (`--iterations`,
 /// `--burn-in`, `--seed`, `--chains`, `--batch`, `--shards`,
-/// `--threads`).
+/// `--dispatch`, `--threads`).
 fn parse_engine_flags(
     flags: &HashMap<String, String>,
     waiting_sweeps: usize,
@@ -208,6 +210,18 @@ fn parse_engine_flags(
     } else {
         ShardMode::Sharded(shards)
     };
+    // Where sharded waves get their worker threads: a persistent
+    // per-chain pool (default) or per-wave scoped spawns. Byte-neutral
+    // either way — the pool only amortizes thread-spawn cost.
+    let dispatch = match flags.get("dispatch").map(String::as_str) {
+        None | Some("pooled") => DispatchMode::Pooled,
+        Some("scoped") => DispatchMode::Scoped,
+        Some(v) => {
+            return Err(format!(
+                "--dispatch: expected `pooled` or `scoped`, got `{v}`"
+            ))
+        }
+    };
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = get_usize(flags, "threads", host_threads.max(chains))?;
     if threads == 0 {
@@ -226,6 +240,7 @@ fn parse_engine_flags(
         waiting_sweeps,
         batch,
         shard,
+        dispatch,
         ..StemOptions::default()
     };
     // Catches an empty kept-sample window (--burn-in >= --iterations) up

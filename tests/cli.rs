@@ -427,6 +427,110 @@ fn shards_flag_is_byte_identical_and_validated() {
 }
 
 #[test]
+fn dispatch_flag_is_byte_identical_and_validated() {
+    let dir = std::env::temp_dir().join("qni-cli-dispatch-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let out = qni()
+        .args([
+            "simulate",
+            "--tiers",
+            "1,1",
+            "--lambda",
+            "4",
+            "--mu",
+            "6",
+            "--tasks",
+            "100",
+            "--observe",
+            "0.2",
+            "--seed",
+            "9",
+            "--out",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+
+    // Wave dispatch is a pure scheduling knob: the persistent pool
+    // (default), an explicit `--dispatch pooled`, and per-wave scoped
+    // threads all print byte-identical output.
+    let infer = |extra: &[&str]| {
+        let mut args = vec![
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+            "--shards",
+            "2",
+        ];
+        args.extend_from_slice(extra);
+        let out = qni().args(&args).output().expect("run infer --dispatch");
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let base = infer(&[]);
+    assert_eq!(base, infer(&["--dispatch", "pooled"]));
+    assert_eq!(base, infer(&["--dispatch", "scoped"]));
+
+    // Streaming too: pooled and scoped stdout match byte for byte.
+    let stream = |extra: &[&str]| {
+        let mut args = vec![
+            "stream",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--window",
+            "10",
+            "--stride",
+            "5",
+            "--iterations",
+            "30",
+            "--seed",
+            "3",
+            "--shards",
+            "2",
+        ];
+        args.extend_from_slice(extra);
+        let out = qni().args(&args).output().expect("run stream --dispatch");
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(stream(&[]), stream(&["--dispatch", "scoped"]));
+
+    // Anything but `pooled`/`scoped` is a usage error.
+    let out = qni()
+        .args([
+            "infer",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+            "--iterations",
+            "30",
+            "--dispatch",
+            "threads",
+        ])
+        .output()
+        .expect("run infer --dispatch threads");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--dispatch: expected `pooled` or `scoped`"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
 fn watch_matches_stream_fingerprint_and_enforces_gates() {
     let dir = std::env::temp_dir().join("qni-cli-watch-test");
     std::fs::create_dir_all(&dir).expect("tmp dir");
